@@ -1,0 +1,624 @@
+//! The S₀ → C translator of §5.1.
+//!
+//! The translation produces a single C function `program`:
+//!
+//! * procedure headers become **labels**, tail calls become assignments
+//!   to **global parameter variables** followed by `goto`;
+//! * on entry to a procedure a fresh scope copies the global parameter
+//!   variables into private ones, so argument lists can be built without
+//!   interference;
+//! * every simple expression is an assignment to a **single-use
+//!   temporary**, sequentialized with C's comma operator — register
+//!   allocation is left to the C compiler;
+//! * closures are **flat vectors** (label + captured values) and closure
+//!   application compiles to the same sequential label dispatch as in
+//!   the Scheme residual code;
+//! * data objects are a tagged union.
+//!
+//! The paper uses the Boehm collector with "no cooperation between the
+//! translation and the garbage collector"; allocation strategy being
+//! orthogonal, the emitted runtime uses a self-contained bump arena
+//! (documented substitution — benchmarks are sized for it).
+
+use pe_core::{S0Program, S0Simple, S0Tail};
+use pe_frontend::ast::{Constant, Prim};
+use pe_interp::Datum;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Options for the C translation.
+#[derive(Debug, Clone)]
+pub struct COptions {
+    /// Bytes of the bump arena in the emitted runtime.
+    pub arena_bytes: usize,
+}
+
+impl Default for COptions {
+    fn default() -> Self {
+        COptions { arena_bytes: 256 << 20 }
+    }
+}
+
+/// The result of a translation.
+#[derive(Debug, Clone)]
+pub struct CProgram {
+    /// The complete C source text.
+    pub source: String,
+}
+
+impl CProgram {
+    /// Size of the generated C text in bytes (§8 code-size experiment).
+    pub fn size_bytes(&self) -> usize {
+        self.source.len()
+    }
+}
+
+struct Emitter {
+    out: String,
+    /// S₀ name → sanitized unique C label.
+    labels: HashMap<String, String>,
+    used: HashMap<String, usize>,
+    symbols: Vec<String>,
+    strings: Vec<String>,
+    next_temp: usize,
+    max_arity: usize,
+}
+
+impl Emitter {
+    fn label_of(&mut self, name: &str) -> String {
+        if let Some(l) = self.labels.get(name) {
+            return l.clone();
+        }
+        let base: String = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        let base = if base.starts_with(|c: char| c.is_ascii_digit()) {
+            format!("p_{base}")
+        } else {
+            base
+        };
+        let n = self.used.entry(base.clone()).or_insert(0);
+        let unique = if *n == 0 { format!("L_{base}") } else { format!("L_{base}_{n}") };
+        *n += 1;
+        self.labels.insert(name.to_string(), unique.clone());
+        unique
+    }
+
+    fn sym_index(&mut self, s: &str) -> usize {
+        if let Some(i) = self.symbols.iter().position(|x| x == s) {
+            return i;
+        }
+        self.symbols.push(s.to_string());
+        self.symbols.len() - 1
+    }
+
+    fn str_index(&mut self, s: &str) -> usize {
+        if let Some(i) = self.strings.iter().position(|x| x == s) {
+            return i;
+        }
+        self.strings.push(s.to_string());
+        self.strings.len() - 1
+    }
+
+    fn temp(&mut self) -> String {
+        let t = format!("t{}", self.next_temp);
+        self.next_temp += 1;
+        t
+    }
+
+    /// Emits a constant as a C expression.
+    fn constant(&mut self, k: &Constant) -> String {
+        match k {
+            Constant::Int(n) => format!("rt_int({n}L)"),
+            Constant::Bool(b) => format!("rt_bool({})", i32::from(*b)),
+            Constant::Char(c) => format!("rt_char({})", *c as u32),
+            Constant::Nil => "rt_nil()".to_string(),
+            Constant::Sym(s) => {
+                let i = self.sym_index(s);
+                format!("rt_sym({i})")
+            }
+            Constant::Str(s) => {
+                let i = self.str_index(s);
+                format!("rt_str({i})")
+            }
+            Constant::Pair(a, d) => {
+                let a = self.constant(a);
+                let d = self.constant(d);
+                format!("rt_cons({a}, {d})")
+            }
+        }
+    }
+
+    /// Translates a simple expression into a C expression that assigns
+    /// every intermediate result to a fresh single-use temporary,
+    /// sequenced with the comma operator (§5.1), and evaluates to the
+    /// final temporary.  Temporary declarations accumulate in `temps`.
+    fn simple(&mut self, s: &S0Simple, params: &HashMap<&str, String>, temps: &mut Vec<String>) -> String {
+        let expr = match s {
+            S0Simple::Var(v) => return params[v.as_str()].clone(),
+            S0Simple::Const(k) => self.constant(k),
+            S0Simple::Prim(op, args) => {
+                let xs: Vec<String> =
+                    args.iter().map(|a| self.simple(a, params, temps)).collect();
+                prim_call(*op, &xs)
+            }
+            S0Simple::MakeClosure(l, args) => {
+                let xs: Vec<String> =
+                    args.iter().map(|a| self.simple(a, params, temps)).collect();
+                let mut call = format!("rt_closure({l}, {}", xs.len());
+                for x in &xs {
+                    let _ = write!(call, ", {x}");
+                }
+                call.push(')');
+                call
+            }
+            S0Simple::ClosureLabel(a) => {
+                let x = self.simple(a, params, temps);
+                format!("rt_closure_label({x})")
+            }
+            S0Simple::ClosureFreeval(a, i) => {
+                let x = self.simple(a, params, temps);
+                format!("rt_closure_freeval({x}, {i})")
+            }
+        };
+        let t = self.temp();
+        temps.push(t.clone());
+        format!("({t} = {expr}, {t})")
+    }
+
+    fn tail(
+        &mut self,
+        t: &S0Tail,
+        params: &HashMap<&str, String>,
+        temps: &mut Vec<String>,
+        indent: usize,
+        body: &mut String,
+    ) {
+        let pad = "  ".repeat(indent);
+        match t {
+            S0Tail::Return(s) => {
+                let e = self.simple(s, params, temps);
+                let _ = writeln!(body, "{pad}return {e};");
+            }
+            S0Tail::If(c, a, b) => {
+                let e = self.simple(c, params, temps);
+                let _ = writeln!(body, "{pad}if (rt_truthy({e})) {{");
+                self.tail(a, params, temps, indent + 1, body);
+                let _ = writeln!(body, "{pad}}} else {{");
+                self.tail(b, params, temps, indent + 1, body);
+                let _ = writeln!(body, "{pad}}}");
+            }
+            S0Tail::TailCall(callee, args) => {
+                // Arguments are simple expressions over private variables,
+                // so they can be computed before touching the globals.
+                let xs: Vec<String> =
+                    args.iter().map(|a| self.simple(a, params, temps)).collect();
+                for (i, x) in xs.iter().enumerate() {
+                    let _ = writeln!(body, "{pad}g{i} = {x};");
+                }
+                let l = self.label_of(callee);
+                let _ = writeln!(body, "{pad}goto {l};");
+            }
+            S0Tail::Fail(m) => {
+                let _ = writeln!(body, "{pad}rt_die({:?});", m);
+            }
+        }
+    }
+}
+
+fn prim_call(op: Prim, args: &[String]) -> String {
+    let f = match op {
+        Prim::Cons => "rt_cons",
+        Prim::Car => "rt_car",
+        Prim::Cdr => "rt_cdr",
+        Prim::NullP => "rt_nullp",
+        Prim::PairP => "rt_pairp",
+        Prim::Not => "rt_not",
+        Prim::EqP | Prim::EqvP => "rt_eqp",
+        Prim::EqualP => "rt_equalp",
+        Prim::Add => "rt_add",
+        Prim::Sub => "rt_sub",
+        Prim::Mul => "rt_mul",
+        Prim::Quotient => "rt_quotient",
+        Prim::Remainder => "rt_remainder",
+        Prim::NumEq => "rt_numeq",
+        Prim::Lt => "rt_lt",
+        Prim::Gt => "rt_gt",
+        Prim::Le => "rt_le",
+        Prim::Ge => "rt_ge",
+        Prim::ZeroP => "rt_zerop",
+        Prim::Add1 => "rt_add1",
+        Prim::Sub1 => "rt_sub1",
+        Prim::SymbolP => "rt_symbolp",
+        Prim::NumberP => "rt_numberp",
+        Prim::BooleanP => "rt_booleanp",
+    };
+    format!("{f}({})", args.join(", "))
+}
+
+fn datum_literal(e: &mut Emitter, d: &Datum) -> String {
+    match d {
+        Datum::Int(n) => format!("rt_int({n}L)"),
+        Datum::Bool(b) => format!("rt_bool({})", i32::from(*b)),
+        Datum::Char(c) => format!("rt_char({})", *c as u32),
+        Datum::Nil => "rt_nil()".to_string(),
+        Datum::Sym(s) => {
+            let i = e.sym_index(s);
+            format!("rt_sym({i})")
+        }
+        Datum::Str(s) => {
+            let i = e.str_index(s);
+            format!("rt_str({i})")
+        }
+        Datum::Pair(p) => {
+            let a = datum_literal(e, &p.0);
+            let d = datum_literal(e, &p.1);
+            format!("rt_cons({a}, {d})")
+        }
+        Datum::Closure(c) => match *c {},
+    }
+}
+
+/// Translates an S₀ program to a standalone C source file whose `main`
+/// runs the entry procedure on `args` and prints the result as an
+/// S-expression.
+pub fn emit_c(p: &S0Program, args: &[Datum], opts: &COptions) -> CProgram {
+    let mut e = Emitter {
+        out: String::new(),
+        labels: HashMap::new(),
+        used: HashMap::new(),
+        symbols: Vec::new(),
+        strings: Vec::new(),
+        next_temp: 0,
+        max_arity: p.procs.iter().map(|q| q.params.len()).max().unwrap_or(0),
+    };
+
+    // Bodies first, so the symbol/string tables fill up.
+    let mut bodies = String::new();
+    for q in &p.procs {
+        let label = e.label_of(&q.name);
+        let _ = writeln!(bodies, "{label}: {{");
+        let params: HashMap<&str, String> = q
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.as_str(), format!("p{i}")))
+            .collect();
+        // Fresh scope: copy the globals into private parameter variables.
+        for i in 0..q.params.len() {
+            let _ = writeln!(bodies, "  Obj *p{i} = g{i};");
+        }
+        if q.params.is_empty() {
+            let _ = writeln!(bodies, "  ;");
+        }
+        let mut temps = Vec::new();
+        let mut body = String::new();
+        e.tail(&q.body, &params, &mut temps, 1, &mut body);
+        if !temps.is_empty() {
+            let _ = writeln!(bodies, "  Obj *{};", temps.join(", *"));
+        }
+        bodies.push_str(&body);
+        let _ = writeln!(bodies, "}}");
+    }
+
+    let mut main_args = String::new();
+    let entry_args: Vec<String> = args.iter().map(|d| datum_literal(&mut e, d)).collect();
+    for (i, a) in entry_args.iter().enumerate() {
+        let _ = writeln!(main_args, "  g{i} = {a};");
+    }
+
+    // Now assemble the file.
+    let mut out = String::new();
+    out.push_str(&runtime_header(opts, &e.symbols, &e.strings));
+    let _ = writeln!(out, "/* global parameter variables (§5.1) */");
+    for i in 0..e.max_arity.max(args.len()) {
+        let _ = writeln!(out, "static Obj *g{i};");
+    }
+    let _ = writeln!(out, "\nstatic Obj *program(void) {{");
+    let entry_label = e.label_of(&p.entry);
+    let _ = writeln!(out, "  goto {entry_label};");
+    out.push_str(&bodies);
+    let _ = writeln!(out, "}}");
+    let _ = writeln!(out, "\nint main(void) {{");
+    let _ = writeln!(out, "  rt_init();");
+    out.push_str(&main_args);
+    let _ = writeln!(out, "  rt_print(program());");
+    let _ = writeln!(out, "  printf(\"\\n\");");
+    let _ = writeln!(out, "  return 0;");
+    let _ = writeln!(out, "}}");
+
+    let _ = &e.out;
+    CProgram { source: out }
+}
+
+fn runtime_header(opts: &COptions, symbols: &[String], strings: &[String]) -> String {
+    let mut h = String::new();
+    let _ = writeln!(
+        h,
+        r#"/* generated by pe-backend-c — S0-to-C translation (Sperber/Thiemann §5.1) */
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+enum {{ T_INT, T_BOOL, T_CHAR, T_NIL, T_SYM, T_STR, T_PAIR, T_CLO }};
+
+typedef struct Obj Obj;
+struct Obj {{
+  int tag;
+  union {{
+    long i;
+    struct {{ Obj *car, *cdr; }} pair;
+    struct {{ long label; int n; Obj **fv; }} clo;
+  }} u;
+}};
+"#
+    );
+    let _ = writeln!(h, "static const char *rt_symbols[] = {{");
+    for s in symbols {
+        let _ = writeln!(h, "  {:?},", s);
+    }
+    let _ = writeln!(h, "  0\n}};");
+    let _ = writeln!(h, "static const char *rt_strings[] = {{");
+    for s in strings {
+        let _ = writeln!(h, "  {:?},", s);
+    }
+    let _ = writeln!(h, "  0\n}};");
+    let _ = writeln!(
+        h,
+        r##"
+/* Bump arena: substitution for the Boehm collector (see DESIGN.md). */
+static char *rt_arena, *rt_free_ptr, *rt_end;
+static void rt_init(void) {{
+  rt_arena = (char *)malloc({arena});
+  if (!rt_arena) {{ fprintf(stderr, "arena allocation failed\n"); exit(2); }}
+  rt_free_ptr = rt_arena;
+  rt_end = rt_arena + {arena};
+}}
+static void rt_die(const char *msg) {{
+  fprintf(stderr, "runtime error: %s\n", msg);
+  exit(1);
+}}
+static void *rt_alloc(size_t n) {{
+  n = (n + 15) & ~(size_t)15;
+  if (rt_free_ptr + n > rt_end) rt_die("arena exhausted");
+  {{ void *p = rt_free_ptr; rt_free_ptr += n; return p; }}
+}}
+static Obj *rt_new(int tag) {{
+  Obj *o = (Obj *)rt_alloc(sizeof(Obj));
+  o->tag = tag;
+  return o;
+}}
+static Obj *rt_int(long n) {{ Obj *o = rt_new(T_INT); o->u.i = n; return o; }}
+static Obj *rt_bool(int b) {{ Obj *o = rt_new(T_BOOL); o->u.i = b; return o; }}
+static Obj *rt_char(long c) {{ Obj *o = rt_new(T_CHAR); o->u.i = c; return o; }}
+static Obj *rt_nil(void) {{ Obj *o = rt_new(T_NIL); return o; }}
+static Obj *rt_sym(long i) {{ Obj *o = rt_new(T_SYM); o->u.i = i; return o; }}
+static Obj *rt_str(long i) {{ Obj *o = rt_new(T_STR); o->u.i = i; return o; }}
+static Obj *rt_cons(Obj *a, Obj *d) {{
+  Obj *o = rt_new(T_PAIR); o->u.pair.car = a; o->u.pair.cdr = d; return o;
+}}
+static int rt_truthy(Obj *o) {{ return !(o->tag == T_BOOL && o->u.i == 0); }}
+static Obj *rt_car(Obj *o) {{ if (o->tag != T_PAIR) rt_die("car: not a pair"); return o->u.pair.car; }}
+static Obj *rt_cdr(Obj *o) {{ if (o->tag != T_PAIR) rt_die("cdr: not a pair"); return o->u.pair.cdr; }}
+static Obj *rt_nullp(Obj *o) {{ return rt_bool(o->tag == T_NIL); }}
+static Obj *rt_pairp(Obj *o) {{ return rt_bool(o->tag == T_PAIR); }}
+static Obj *rt_not(Obj *o) {{ return rt_bool(!rt_truthy(o)); }}
+static Obj *rt_symbolp(Obj *o) {{ return rt_bool(o->tag == T_SYM); }}
+static Obj *rt_numberp(Obj *o) {{ return rt_bool(o->tag == T_INT); }}
+static Obj *rt_booleanp(Obj *o) {{ return rt_bool(o->tag == T_BOOL); }}
+static long rt_ival(Obj *o) {{ if (o->tag != T_INT) rt_die("expected number"); return o->u.i; }}
+static Obj *rt_add(Obj *a, Obj *b) {{ return rt_int(rt_ival(a) + rt_ival(b)); }}
+static Obj *rt_sub(Obj *a, Obj *b) {{ return rt_int(rt_ival(a) - rt_ival(b)); }}
+static Obj *rt_mul(Obj *a, Obj *b) {{ return rt_int(rt_ival(a) * rt_ival(b)); }}
+static Obj *rt_quotient(Obj *a, Obj *b) {{
+  long d = rt_ival(b); if (d == 0) rt_die("quotient: division by zero");
+  return rt_int(rt_ival(a) / d);
+}}
+static Obj *rt_remainder(Obj *a, Obj *b) {{
+  long d = rt_ival(b); if (d == 0) rt_die("remainder: division by zero");
+  return rt_int(rt_ival(a) % d);
+}}
+static Obj *rt_numeq(Obj *a, Obj *b) {{ return rt_bool(rt_ival(a) == rt_ival(b)); }}
+static Obj *rt_lt(Obj *a, Obj *b) {{ return rt_bool(rt_ival(a) < rt_ival(b)); }}
+static Obj *rt_gt(Obj *a, Obj *b) {{ return rt_bool(rt_ival(a) > rt_ival(b)); }}
+static Obj *rt_le(Obj *a, Obj *b) {{ return rt_bool(rt_ival(a) <= rt_ival(b)); }}
+static Obj *rt_ge(Obj *a, Obj *b) {{ return rt_bool(rt_ival(a) >= rt_ival(b)); }}
+static Obj *rt_zerop(Obj *o) {{ return rt_bool(rt_ival(o) == 0); }}
+static Obj *rt_add1(Obj *o) {{ return rt_int(rt_ival(o) + 1); }}
+static Obj *rt_sub1(Obj *o) {{ return rt_int(rt_ival(o) - 1); }}
+static int rt_eq_raw(Obj *a, Obj *b) {{
+  if (a == b) return 1;
+  if (a->tag != b->tag) return 0;
+  switch (a->tag) {{
+    case T_INT: case T_BOOL: case T_CHAR: case T_SYM: case T_STR: return a->u.i == b->u.i;
+    case T_NIL: return 1;
+    default: return 0;
+  }}
+}}
+static Obj *rt_eqp(Obj *a, Obj *b) {{ return rt_bool(rt_eq_raw(a, b)); }}
+static int rt_equal_raw(Obj *a, Obj *b) {{
+  if (rt_eq_raw(a, b)) return 1;
+  if (a->tag == T_PAIR && b->tag == T_PAIR)
+    return rt_equal_raw(a->u.pair.car, b->u.pair.car) &&
+           rt_equal_raw(a->u.pair.cdr, b->u.pair.cdr);
+  return 0;
+}}
+static Obj *rt_equalp(Obj *a, Obj *b) {{ return rt_bool(rt_equal_raw(a, b)); }}
+static Obj *rt_closure(long label, int n, ...) {{
+  __builtin_va_list ap;
+  Obj *o = rt_new(T_CLO);
+  int i;
+  o->u.clo.label = label;
+  o->u.clo.n = n;
+  o->u.clo.fv = (Obj **)rt_alloc(sizeof(Obj *) * (n ? n : 1));
+  __builtin_va_start(ap, n);
+  for (i = 0; i < n; i++) o->u.clo.fv[i] = __builtin_va_arg(ap, Obj *);
+  __builtin_va_end(ap);
+  return o;
+}}
+static Obj *rt_closure_label(Obj *o) {{
+  if (o->tag != T_CLO) rt_die("closure-label: not a closure");
+  return rt_int(o->u.clo.label);
+}}
+static Obj *rt_closure_freeval(Obj *o, int i) {{
+  if (o->tag != T_CLO) rt_die("closure-freeval: not a closure");
+  if (i >= o->u.clo.n) rt_die("closure-freeval: index out of range");
+  return o->u.clo.fv[i];
+}}
+static void rt_print(Obj *o) {{
+  switch (o->tag) {{
+    case T_INT: printf("%ld", o->u.i); break;
+    case T_BOOL: printf(o->u.i ? "#t" : "#f"); break;
+    case T_CHAR: printf("#\\%c", (char)o->u.i); break;
+    case T_NIL: printf("()"); break;
+    case T_SYM: printf("%s", rt_symbols[o->u.i]); break;
+    case T_STR: printf("%c%s%c", 34, rt_strings[o->u.i], 34); break;
+    case T_CLO: printf("#<procedure %ld>", o->u.clo.label); break;
+    case T_PAIR: {{
+      printf("(");
+      for (;;) {{
+        rt_print(o->u.pair.car);
+        o = o->u.pair.cdr;
+        if (o->tag == T_NIL) break;
+        if (o->tag != T_PAIR) {{ printf(" . "); rt_print(o); break; }}
+        printf(" ");
+      }}
+      printf(")");
+      break;
+    }}
+  }}
+}}
+"##,
+        arena = opts.arena_bytes
+    );
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_core::{compile, CompileOptions};
+    use pe_frontend::{desugar, parse_source};
+    use std::process::Command;
+
+    fn cc_available() -> bool {
+        Command::new("cc").arg("--version").output().is_ok()
+    }
+
+    fn run_c(c: &CProgram, tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("pe-backend-c-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("prog.c");
+        let bin = dir.join("prog");
+        std::fs::write(&src, &c.source).unwrap();
+        let out = Command::new("cc")
+            .arg("-O1")
+            .arg("-o")
+            .arg(&bin)
+            .arg(&src)
+            .output()
+            .expect("cc runs");
+        assert!(
+            out.status.success(),
+            "cc failed:\n{}\n--- source ---\n{}",
+            String::from_utf8_lossy(&out.stderr),
+            c.source
+        );
+        let out = Command::new(&bin).output().expect("binary runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    }
+
+    fn compile_and_run(src: &str, entry: &str, args: &[Datum], tag: &str) -> String {
+        let p = parse_source(src).unwrap();
+        let d = desugar(&p).unwrap();
+        let s0 = compile(&d, entry, &CompileOptions::default()).unwrap();
+        let c = emit_c(&s0, args, &COptions::default());
+        run_c(&c, tag)
+    }
+
+    #[test]
+    fn emitted_c_has_the_paper_shape() {
+        let p = parse_source("(define (f x) (g (+ x 1))) (define (g y) (cons y '()))").unwrap();
+        let d = desugar(&p).unwrap();
+        let s0 = compile(&d, "f", &CompileOptions::default()).unwrap();
+        let c = emit_c(&s0, &[Datum::Int(1)], &COptions::default());
+        // labels + gotos + global parameter variables + temporaries
+        assert!(c.source.contains("goto L_"), "{}", c.source);
+        assert!(c.source.contains("static Obj *g0;"), "{}", c.source);
+        assert!(c.source.contains("Obj *p0 = g0;"), "{}", c.source);
+        assert!(c.source.contains("(t0 = "), "{}", c.source);
+    }
+
+    #[test]
+    fn c_runs_cps_append() {
+        if !cc_available() {
+            eprintln!("cc not available; skipping");
+            return;
+        }
+        let src = "(define (append x y) (cps-append x y (lambda (v) v)))
+                   (define (cps-append x y c)
+                     (if (null? x) (c y)
+                         (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
+        let out = compile_and_run(
+            src,
+            "append",
+            &[Datum::parse("(1 2)").unwrap(), Datum::parse("(3 4)").unwrap()],
+            "append",
+        );
+        assert_eq!(out, "(1 2 3 4)");
+    }
+
+    #[test]
+    fn c_runs_tak() {
+        if !cc_available() {
+            eprintln!("cc not available; skipping");
+            return;
+        }
+        let src = "(define (tak x y z)
+                     (if (not (< y x)) z
+                         (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))";
+        let out = compile_and_run(
+            src,
+            "tak",
+            &[Datum::Int(14), Datum::Int(7), Datum::Int(3)],
+            "tak",
+        );
+        assert_eq!(out, "7");
+    }
+
+    #[test]
+    fn c_prints_symbols_and_structures() {
+        if !cc_available() {
+            eprintln!("cc not available; skipping");
+            return;
+        }
+        let src = "(define (f) (cons 'alpha (cons #t (cons #\\x '()))))";
+        let out = compile_and_run(src, "f", &[], "syms");
+        assert_eq!(out, "(alpha #t #\\x)");
+    }
+
+    #[test]
+    fn c_runtime_faults_cleanly() {
+        if !cc_available() {
+            eprintln!("cc not available; skipping");
+            return;
+        }
+        let src = "(define (f x) (car x))";
+        let p = parse_source(src).unwrap();
+        let d = desugar(&p).unwrap();
+        let s0 = compile(&d, "f", &CompileOptions::default()).unwrap();
+        let c = emit_c(&s0, &[Datum::Int(7)], &COptions::default());
+        let dir = std::env::temp_dir().join(format!("pe-backend-c-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let srcf = dir.join("prog.c");
+        let bin = dir.join("prog");
+        std::fs::write(&srcf, &c.source).unwrap();
+        let out = Command::new("cc").arg("-o").arg(&bin).arg(&srcf).output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let out = Command::new(&bin).output().unwrap();
+        assert!(!out.status.success());
+        assert!(String::from_utf8_lossy(&out.stderr).contains("car: not a pair"));
+    }
+}

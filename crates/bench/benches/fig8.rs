@@ -1,0 +1,49 @@
+//! Figure 8 — the paper's benchmark table: each Fig. 8 program compiled
+//! by the PE pipeline (offline generalization, as in the paper's runs)
+//! and executed on the S₀ VM, against the Hobbit-like baseline.
+//!
+//! The paper reports ms on an IBM PowerPC/250; we reproduce the *shape*
+//! (who wins per row).  Run with `cargo bench -p pe-bench --bench fig8`.
+
+use criterion::{BenchmarkId, Criterion};
+use std::time::Duration;
+use realistic_pe::{CompileOptions, GenStrategy, Limits, Pipeline, SUITE};
+
+fn fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for b in SUITE {
+        let pipe = Pipeline::new(b.source).expect("suite parses");
+        let args = b.bench_inputs();
+        let opts = CompileOptions { strategy: GenStrategy::Offline, ..CompileOptions::default() };
+        let vm = pipe.compile_vm(b.entry, &opts).expect("compiles");
+        let hob = pipe.compile_hobbit().expect("compiles");
+        let lim = Limits::default();
+        // Correctness before timing.
+        assert_eq!(
+            vm.run(&args, lim).expect("vm runs").0,
+            hob.run(b.entry, &args, lim).expect("hobbit runs"),
+            "{}: engines disagree",
+            b.name
+        );
+        group.bench_with_input(BenchmarkId::new("ours", b.name), &args, |bench, args| {
+            bench.iter(|| vm.run(args, lim).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("hobbit", b.name), &args, |bench, args| {
+            bench.iter(|| hob.run(b.entry, args, lim).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    // Baseline/interpreter engines recurse on the host stack by design;
+    // run the whole harness on a big-stack worker.
+    realistic_pe::with_big_stack(|| {
+        let mut c = Criterion::default().configure_from_args();
+        fig8(&mut c);
+        c.final_summary();
+    });
+}

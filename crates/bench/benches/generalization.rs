@@ -1,0 +1,44 @@
+//! §8 — generalization-strategy comparison: the same benchmarks compiled
+//! with the online vs the offline strategy (the paper: "using the online
+//! generalization strategy, the cpstak benchmark ran roughly 3 times
+//! faster").  Run with `cargo bench -p pe-bench --bench generalization`.
+
+use criterion::{BenchmarkId, Criterion};
+use std::time::Duration;
+use realistic_pe::{CompileOptions, GenStrategy, Limits, Pipeline, SUITE};
+
+fn generalization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generalization");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for b in SUITE {
+        let pipe = Pipeline::new(b.source).expect("suite parses");
+        let args = b.bench_inputs();
+        let lim = Limits::default();
+        for (label, strategy) in
+            [("offline", GenStrategy::Offline), ("online", GenStrategy::Online)]
+        {
+            let opts = CompileOptions { strategy, ..CompileOptions::default() };
+            let vm = pipe.compile_vm(b.entry, &opts).expect("compiles");
+            group.bench_with_input(
+                BenchmarkId::new(label, b.name),
+                &args,
+                |bench, args| {
+                    bench.iter(|| vm.run(args, lim).expect("runs"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn main() {
+    // Baseline/interpreter engines recurse on the host stack by design;
+    // run the whole harness on a big-stack worker.
+    realistic_pe::with_big_stack(|| {
+        let mut c = Criterion::default().configure_from_args();
+        generalization(&mut c);
+        c.final_summary();
+    });
+}

@@ -1,0 +1,59 @@
+//! §2 — interpretive overhead: the compiled S₀ program vs the Fig. 6
+//! tail-recursive interpreter on the same (test-sized) inputs, plus the
+//! cost of compilation itself.  Run with
+//! `cargo bench -p pe-bench --bench speedup`.
+
+use criterion::{BenchmarkId, Criterion};
+use std::time::Duration;
+use realistic_pe::{CompileOptions, Limits, Pipeline, SUITE};
+
+fn speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for b in SUITE {
+        let pipe = Pipeline::new(b.source).expect("suite parses");
+        let args = b.test_inputs();
+        let lim = Limits::default();
+        let vm = pipe.compile_vm(b.entry, &CompileOptions::default()).expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::new("interpreted", b.name),
+            &args,
+            |bench, args| {
+                bench.iter(|| pipe.run_tail(b.entry, args, lim).expect("runs"));
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("compiled", b.name), &args, |bench, args| {
+            bench.iter(|| vm.run(args, lim).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile-time");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for b in SUITE {
+        group.bench_function(BenchmarkId::new("compile", b.name), |bench| {
+            bench.iter(|| {
+                let pipe = Pipeline::new(b.source).expect("parses");
+                pipe.compile(b.entry, &CompileOptions::default()).expect("compiles")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    // Baseline/interpreter engines recurse on the host stack by design;
+    // run the whole harness on a big-stack worker.
+    realistic_pe::with_big_stack(|| {
+        let mut c = Criterion::default().configure_from_args();
+        speedup(&mut c);
+    compile_time(&mut c);
+        c.final_summary();
+    });
+}

@@ -1,0 +1,16 @@
+//! The benchmark harness regenerating the paper's evaluation.
+//!
+//! Criterion benches (run with `cargo bench -p pe-bench`):
+//!
+//! * `fig8` — the Figure 8 table: every benchmark, ours (PE → S₀ VM,
+//!   offline generalization) vs the Hobbit-like baseline;
+//! * `generalization` — the §8 online-vs-offline comparison (the paper:
+//!   cpstak ≈3× faster with the online strategy);
+//! * `speedup` — the §2 interpretive-overhead claim: compiled code vs
+//!   the Fig. 6 interpreter, plus compile-time costs.
+//!
+//! The human-readable row printer for every table and figure — including
+//! the code-size table and the ablations — is
+//! `cargo run --release --example figures` in the `realistic-pe` crate.
+
+pub use realistic_pe::{Benchmark, SUITE};

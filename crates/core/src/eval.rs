@@ -1,0 +1,203 @@
+//! A reference evaluator for S₀ — the semantics the back ends must
+//! implement.
+//!
+//! This is a direct loop over the S₀ program (tail calls never grow the
+//! host stack); the production executor with the C-translation's
+//! register discipline and instruction counters lives in the `pe-vm`
+//! crate, and the C back end in `pe-backend-c`.
+
+use crate::s0::{S0Program, S0Simple, S0Tail};
+use pe_interp::value::{apply_prim, Value};
+use pe_interp::{Datum, InterpError, Limits};
+use std::rc::Rc;
+
+/// A runtime closure: flat vector of label + captured values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct S0Closure {
+    /// The lambda label stored by `make-closure`.
+    pub label: u32,
+    /// The captured values.
+    pub freevals: Rc<Vec<V>>,
+}
+
+type V = Value<S0Closure>;
+
+fn eval_simple(s: &S0Simple, frame: &[(String, V)]) -> Result<V, InterpError> {
+    match s {
+        S0Simple::Var(v) => frame
+            .iter()
+            .rev()
+            .find(|(n, _)| n == v)
+            .map(|(_, val)| val.clone())
+            .ok_or_else(|| InterpError::Unbound(v.clone())),
+        S0Simple::Const(k) => Ok(Value::from_constant(k)),
+        S0Simple::Prim(op, args) => {
+            let vals = args
+                .iter()
+                .map(|a| eval_simple(a, frame))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(apply_prim(*op, &vals)?)
+        }
+        S0Simple::MakeClosure(l, args) => {
+            let vals = args
+                .iter()
+                .map(|a| eval_simple(a, frame))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Value::Closure(S0Closure { label: *l, freevals: Rc::new(vals) }))
+        }
+        S0Simple::ClosureLabel(a) => match eval_simple(a, frame)? {
+            Value::Closure(c) => Ok(Value::Int(i64::from(c.label))),
+            v => Err(InterpError::NotAProcedure(v.to_string())),
+        },
+        S0Simple::ClosureFreeval(a, i) => match eval_simple(a, frame)? {
+            Value::Closure(c) => c
+                .freevals
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| InterpError::Unbound(format!("freeval {i}"))),
+            v => Err(InterpError::NotAProcedure(v.to_string())),
+        },
+    }
+}
+
+/// Runs the entry procedure of an S₀ program on first-order inputs.
+///
+/// # Errors
+///
+/// Returns an [`InterpError`] on dynamic faults, `%fail` forms, fuel
+/// exhaustion or a closure-valued result.
+pub fn run(
+    p: &S0Program,
+    args: &[Datum],
+    limits: Limits,
+) -> Result<Datum, InterpError> {
+    let entry = p
+        .proc(&p.entry)
+        .ok_or_else(|| InterpError::NoSuchProc(p.entry.clone()))?;
+    if entry.params.len() != args.len() {
+        return Err(InterpError::EntryArity {
+            name: p.entry.clone(),
+            expected: entry.params.len(),
+            got: args.len(),
+        });
+    }
+    let mut frame: Vec<(String, V)> = entry
+        .params
+        .iter()
+        .cloned()
+        .zip(args.iter().map(Datum::embed))
+        .collect();
+    let mut body = &entry.body;
+    let mut fuel = limits.fuel;
+    loop {
+        if fuel == 0 {
+            return Err(InterpError::FuelExhausted);
+        }
+        fuel -= 1;
+        match body {
+            S0Tail::Return(s) => {
+                let v = eval_simple(s, &frame)?;
+                return v.to_datum().ok_or(InterpError::ResultNotFirstOrder);
+            }
+            S0Tail::If(c, t, e) => {
+                body = if eval_simple(c, &frame)?.is_truthy() { t } else { e };
+            }
+            S0Tail::TailCall(callee, cargs) => {
+                let def = p
+                    .proc(callee)
+                    .ok_or_else(|| InterpError::NoSuchProc(callee.clone()))?;
+                let vals = cargs
+                    .iter()
+                    .map(|a| eval_simple(a, &frame))
+                    .collect::<Result<Vec<_>, _>>()?;
+                frame = def.params.iter().cloned().zip(vals).collect();
+                body = &def.body;
+            }
+            S0Tail::Fail(msg) => return Err(InterpError::NotAProcedure(msg.clone())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::s0::S0Proc;
+    use pe_frontend::ast::Constant;
+    use pe_frontend::Prim;
+
+    #[test]
+    fn closures_roundtrip_through_make_and_freeval() {
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![S0Proc {
+                name: "main".into(),
+                params: vec!["x".into()],
+                body: S0Tail::Return(S0Simple::ClosureFreeval(
+                    Box::new(S0Simple::MakeClosure(
+                        7,
+                        vec![
+                            S0Simple::Const(Constant::Int(10)),
+                            S0Simple::Var("x".into()),
+                        ],
+                    )),
+                    1,
+                )),
+            }],
+        };
+        assert_eq!(run(&p, &[Datum::Int(42)], Limits::default()), Ok(Datum::Int(42)));
+    }
+
+    #[test]
+    fn closure_label_reads_back() {
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![S0Proc {
+                name: "main".into(),
+                params: vec![],
+                body: S0Tail::Return(S0Simple::ClosureLabel(Box::new(
+                    S0Simple::MakeClosure(24, vec![]),
+                ))),
+            }],
+        };
+        assert_eq!(run(&p, &[], Limits::default()), Ok(Datum::Int(24)));
+    }
+
+    #[test]
+    fn fail_faults() {
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![S0Proc {
+                name: "main".into(),
+                params: vec![],
+                body: S0Tail::Fail("boom".into()),
+            }],
+        };
+        assert!(matches!(
+            run(&p, &[], Limits::default()),
+            Err(InterpError::NotAProcedure(m)) if m == "boom"
+        ));
+    }
+
+    #[test]
+    fn tail_loop_is_flat() {
+        let p = S0Program {
+            entry: "loop".into(),
+            procs: vec![S0Proc {
+                name: "loop".into(),
+                params: vec!["n".into()],
+                body: S0Tail::If(
+                    S0Simple::Prim(Prim::ZeroP, vec![S0Simple::Var("n".into())]),
+                    Box::new(S0Tail::Return(S0Simple::Const(Constant::Int(0)))),
+                    Box::new(S0Tail::TailCall(
+                        "loop".into(),
+                        vec![S0Simple::Prim(
+                            Prim::Sub,
+                            vec![S0Simple::Var("n".into()), S0Simple::Const(Constant::Int(1))],
+                        )],
+                    )),
+                ),
+            }],
+        };
+        assert_eq!(run(&p, &[Datum::Int(2_000_000)], Limits::default()), Ok(Datum::Int(0)));
+    }
+}

@@ -1,0 +1,738 @@
+//! Residual-program post-processing.
+//!
+//! Unmix's post-processor performs post-unfolding and arity raising; the
+//! equivalents on S₀ are:
+//!
+//! * **reachability** — drop procedures never called from the entry;
+//! * **transition compression** — a procedure whose body is a single
+//!   tail call is inlined everywhere (classic Mix);
+//! * **inline-once** — a non-recursive procedure with exactly one call
+//!   site is inlined there (post-unfolding);
+//! * **dead-parameter elimination** — parameters unused by a body are
+//!   dropped, together with the corresponding (effect-free) arguments.
+//!
+//! All passes iterate to a fixpoint.  Inlining in S₀ is sound by
+//! construction: bodies only reference their own parameters, and calls
+//! are always in tail position, so substitution never captures and never
+//! changes evaluation order.
+
+use crate::s0::{S0Program, S0Simple, S0Tail};
+use std::collections::{HashMap, HashSet};
+
+/// Runs all post passes to a fixpoint.
+pub fn postprocess(mut p: S0Program) -> S0Program {
+    loop {
+        let before = fingerprint(&p);
+        p = simplify(p);
+        p = drop_unreachable(p);
+        p = compress_transitions(p);
+        p = compress_returns(p);
+        p = inline_once(p);
+        p = drop_dead_params(p);
+        p = merge_entry(p);
+        if fingerprint(&p) == before {
+            return p;
+        }
+    }
+}
+
+/// Inlines procedures whose whole body is a `Return` of a simple
+/// expression (return compression), with the usual duplication guard.
+pub fn compress_returns(mut p: S0Program) -> S0Program {
+    let returners: HashMap<String, (Vec<String>, S0Simple)> = p
+        .procs
+        .iter()
+        .filter_map(|q| match &q.body {
+            S0Tail::Return(s) => Some((q.name.clone(), (q.params.clone(), s.clone()))),
+            _ => None,
+        })
+        .collect();
+    if returners.is_empty() {
+        return p;
+    }
+    for q in &mut p.procs {
+        q.body = rewrite_calls(&q.body, &mut |callee, args| {
+            if let Some((params, body)) = returners.get(callee) {
+                let dup = params.iter().zip(args).any(|(pm, a)| {
+                    !matches!(a, S0Simple::Var(_) | S0Simple::Const(_))
+                        && occurrences(body, pm) > 1
+                });
+                if !dup {
+                    let map: HashMap<String, S0Simple> =
+                        params.iter().cloned().zip(args.iter().cloned()).collect();
+                    return S0Tail::Return(body.subst(&map));
+                }
+            }
+            S0Tail::TailCall(callee.to_string(), args.to_vec())
+        });
+    }
+    drop_unreachable(p)
+}
+
+/// When the entry is a pure trampoline — its body forwards its own
+/// parameters, in order, to one other procedure — delete the wrapper and
+/// give the target the entry's public name.
+pub fn merge_entry(mut p: S0Program) -> S0Program {
+    let Some(entry) = p.proc(&p.entry) else { return p };
+    let S0Tail::TailCall(target, args) = &entry.body else {
+        return p;
+    };
+    let target = target.clone();
+    if target == p.entry {
+        return p;
+    }
+    let forwards_params = args.len() == entry.params.len()
+        && entry
+            .params
+            .iter()
+            .zip(args)
+            .all(|(pm, a)| matches!(a, S0Simple::Var(v) if v == pm));
+    if !forwards_params {
+        return p;
+    }
+    // The target must have the same arity (it does: the call above).
+    let entry_name = p.entry.clone();
+    p.procs.retain(|q| q.name != entry_name);
+    for q in &mut p.procs {
+        if q.name == target {
+            q.name = entry_name.clone();
+        }
+        q.body = rewrite_calls(&q.body, &mut |callee, args| {
+            let callee =
+                if callee == target { entry_name.clone() } else { callee.to_string() };
+            S0Tail::TailCall(callee, args.to_vec())
+        });
+    }
+    p
+}
+
+/// Peephole simplification on simple expressions:
+/// `(car (cons a d)) → a`, `(cdr (cons a d)) → d`,
+/// `(closure-label (make-closure ℓ …)) → ℓ`,
+/// `(closure-freeval (make-closure ℓ v₀…) i) → vᵢ`,
+/// `(equal? k₁ k₂) → #t/#f` on atom constants, and constant-condition
+/// folding on `if` — all only when the discarded part cannot fault.
+pub fn simplify(mut p: S0Program) -> S0Program {
+    fn effect_free_all(args: &[S0Simple]) -> bool {
+        args.iter().all(is_effect_free)
+    }
+    fn go_simple(s: &S0Simple) -> S0Simple {
+        use pe_frontend::Prim::*;
+        let s = match s {
+            S0Simple::Var(_) | S0Simple::Const(_) => return s.clone(),
+            S0Simple::Prim(op, args) => {
+                S0Simple::Prim(*op, args.iter().map(go_simple).collect())
+            }
+            S0Simple::MakeClosure(l, args) => {
+                S0Simple::MakeClosure(*l, args.iter().map(go_simple).collect())
+            }
+            S0Simple::ClosureLabel(a) => S0Simple::ClosureLabel(Box::new(go_simple(a))),
+            S0Simple::ClosureFreeval(a, i) => {
+                S0Simple::ClosureFreeval(Box::new(go_simple(a)), *i)
+            }
+        };
+        match &s {
+            S0Simple::Prim(op @ (Car | Cdr), args) => {
+                if let [S0Simple::Prim(Cons, parts)] = args.as_slice() {
+                    let (keep, drop) =
+                        if *op == Car { (&parts[0], &parts[1]) } else { (&parts[1], &parts[0]) };
+                    if is_effect_free(drop) {
+                        return keep.clone();
+                    }
+                }
+                s
+            }
+            S0Simple::Prim(NullP, args) => {
+                if let [S0Simple::Prim(Cons, parts)] = args.as_slice() {
+                    if effect_free_all(parts) {
+                        return S0Simple::Const(pe_frontend::Constant::Bool(false));
+                    }
+                }
+                s
+            }
+            S0Simple::Prim(EqualP, args) => {
+                if let [S0Simple::Const(a), S0Simple::Const(b)] = args.as_slice() {
+                    return S0Simple::Const(pe_frontend::Constant::Bool(a == b));
+                }
+                s
+            }
+            S0Simple::ClosureLabel(a) => {
+                if let S0Simple::MakeClosure(l, args) = &**a {
+                    if effect_free_all(args) {
+                        return S0Simple::Const(pe_frontend::Constant::Int(i64::from(*l)));
+                    }
+                }
+                s
+            }
+            S0Simple::ClosureFreeval(a, i) => {
+                if let S0Simple::MakeClosure(_, args) = &**a {
+                    if let Some(v) = args.get(*i) {
+                        let others_free = args
+                            .iter()
+                            .enumerate()
+                            .all(|(j, x)| j == *i || is_effect_free(x));
+                        if others_free {
+                            return v.clone();
+                        }
+                    }
+                }
+                s
+            }
+            _ => s,
+        }
+    }
+    fn go_tail(t: &S0Tail) -> S0Tail {
+        match t {
+            S0Tail::Return(s) => S0Tail::Return(go_simple(s)),
+            S0Tail::If(c, a, b) => {
+                let c = go_simple(c);
+                let a = go_tail(a);
+                let b = go_tail(b);
+                if let S0Simple::Const(k) = &c {
+                    return if k.is_truthy() { a } else { b };
+                }
+                S0Tail::If(c, Box::new(a), Box::new(b))
+            }
+            S0Tail::TailCall(p, args) => {
+                S0Tail::TailCall(p.clone(), args.iter().map(go_simple).collect())
+            }
+            S0Tail::Fail(_) => t.clone(),
+        }
+    }
+    for q in &mut p.procs {
+        q.body = go_tail(&q.body);
+    }
+    p
+}
+
+fn fingerprint(p: &S0Program) -> (usize, usize) {
+    (p.procs.len(), p.size())
+}
+
+/// Drops procedures unreachable from the entry.
+pub fn drop_unreachable(p: S0Program) -> S0Program {
+    let mut reach: HashSet<String> = HashSet::new();
+    let mut work = vec![p.entry.clone()];
+    while let Some(name) = work.pop() {
+        if !reach.insert(name.clone()) {
+            continue;
+        }
+        if let Some(proc_) = p.proc(&name) {
+            proc_.body.calls(&mut |callee| work.push(callee.to_string()));
+        }
+    }
+    S0Program {
+        procs: p.procs.into_iter().filter(|q| reach.contains(&q.name)).collect(),
+        entry: p.entry,
+    }
+}
+
+/// Inlines procedures whose whole body is a single tail call.
+pub fn compress_transitions(mut p: S0Program) -> S0Program {
+    // name → (params, target call) for trivial trampolines, skipping
+    // self-loops.
+    let trivial: HashMap<String, (Vec<String>, String, Vec<S0Simple>)> = p
+        .procs
+        .iter()
+        .filter_map(|q| match &q.body {
+            S0Tail::TailCall(t, args) if *t != q.name => {
+                Some((q.name.clone(), (q.params.clone(), t.clone(), args.clone())))
+            }
+            _ => None,
+        })
+        .collect();
+    if trivial.is_empty() {
+        return p;
+    }
+    for q in &mut p.procs {
+        q.body = rewrite_calls(&q.body, &mut |callee, args| {
+            let mut callee = callee.to_string();
+            let mut args = args.to_vec();
+            // Chase trampoline chains (cycles impossible: each step
+            // strictly follows a non-self edge; bounded by table size).
+            let mut steps = 0;
+            while let Some((params, target, targs)) = trivial.get(&callee) {
+                // Duplication guard: do not substitute a non-trivial
+                // argument for a parameter the target call uses twice.
+                let dup = params.iter().zip(&args).any(|(pm, a)| {
+                    !matches!(a, S0Simple::Var(_) | S0Simple::Const(_))
+                        && targs.iter().map(|t| occurrences(t, pm)).sum::<usize>() > 1
+                });
+                if dup {
+                    break;
+                }
+                let map: HashMap<String, S0Simple> =
+                    params.iter().cloned().zip(args.iter().cloned()).collect();
+                args = targs.iter().map(|a| a.subst(&map)).collect();
+                callee = target.clone();
+                steps += 1;
+                if steps > trivial.len() {
+                    break; // defensive: mutual trampoline cycle
+                }
+            }
+            S0Tail::TailCall(callee, args)
+        });
+    }
+    // Entry may itself be a trampoline; keep it (it is the public name).
+    drop_unreachable(p)
+}
+
+/// Inlines non-recursive procedures called from exactly one site.
+pub fn inline_once(mut p: S0Program) -> S0Program {
+    loop {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for q in &p.procs {
+            q.body.calls(&mut |c| *counts.entry(c.to_string()).or_insert(0) += 1);
+        }
+        let self_recursive: HashSet<String> = p
+            .procs
+            .iter()
+            .filter(|q| {
+                let mut rec = false;
+                q.body.calls(&mut |c| rec |= c == q.name);
+                rec
+            })
+            .map(|q| q.name.clone())
+            .collect();
+        // A victim is inlinable when substitution cannot duplicate a
+        // non-trivial argument: each parameter is used at most once, or
+        // the single call site passes only variables/constants there.
+        let mut call_args: HashMap<String, Vec<S0Simple>> = HashMap::new();
+        for q in &p.procs {
+            visit_calls(&q.body, &mut |callee, args| {
+                call_args.entry(callee.to_string()).or_insert_with(|| args.to_vec());
+            });
+        }
+        let candidate = p.procs.iter().find(|q| {
+            q.name != p.entry
+                && counts.get(&q.name).copied().unwrap_or(0) == 1
+                && !self_recursive.contains(&q.name)
+                && call_args.get(&q.name).is_some_and(|args| {
+                    q.params.iter().zip(args).all(|(pm, a)| {
+                        matches!(a, S0Simple::Var(_) | S0Simple::Const(_))
+                            || occurrences_tail(&q.body, pm) <= 1
+                    })
+                })
+        });
+        let Some(victim) = candidate else {
+            return p;
+        };
+        let vname = victim.name.clone();
+        let vparams = victim.params.clone();
+        let vbody = victim.body.clone();
+        p.procs.retain(|q| q.name != vname);
+        for q in &mut p.procs {
+            q.body = rewrite_calls(&q.body, &mut |callee, args| {
+                if callee == vname {
+                    let map: HashMap<String, S0Simple> =
+                        vparams.iter().cloned().zip(args.iter().cloned()).collect();
+                    vbody.subst(&map)
+                } else {
+                    S0Tail::TailCall(callee.to_string(), args.to_vec())
+                }
+            });
+        }
+    }
+}
+
+/// Removes parameters that no body uses, when every call site's
+/// corresponding argument is effect-free (cannot fault at runtime).
+pub fn drop_dead_params(mut p: S0Program) -> S0Program {
+    loop {
+        // For each proc (except the entry, whose signature is public):
+        // find dead parameter indices.
+        let mut dead: HashMap<String, Vec<usize>> = HashMap::new();
+        for q in &p.procs {
+            if q.name == p.entry {
+                continue;
+            }
+            let mut used = HashSet::new();
+            q.body.vars(&mut used);
+            let idxs: Vec<usize> = q
+                .params
+                .iter()
+                .enumerate()
+                .filter(|(_, pm)| !used.contains(*pm))
+                .map(|(i, _)| i)
+                .collect();
+            if !idxs.is_empty() {
+                dead.insert(q.name.clone(), idxs);
+            }
+        }
+        if dead.is_empty() {
+            return p;
+        }
+        // Only drop indices whose argument is effect-free at every site.
+        let mut droppable = dead.clone();
+        for q in &p.procs {
+            visit_calls(&q.body, &mut |callee, args| {
+                if let Some(idxs) = droppable.get_mut(callee) {
+                    idxs.retain(|&i| args.get(i).is_none_or(is_effect_free));
+                }
+            });
+        }
+        droppable.retain(|_, idxs| !idxs.is_empty());
+        if droppable.is_empty() {
+            return p;
+        }
+        for q in &mut p.procs {
+            if let Some(idxs) = droppable.get(&q.name) {
+                let keep: Vec<bool> =
+                    (0..q.params.len()).map(|i| !idxs.contains(&i)).collect();
+                q.params = q
+                    .params
+                    .iter()
+                    .zip(&keep)
+                    .filter(|(_, k)| **k)
+                    .map(|(p, _)| p.clone())
+                    .collect();
+            }
+            q.body = rewrite_calls(&q.body, &mut |callee, args| {
+                let args = match droppable.get(callee) {
+                    Some(idxs) => args
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| !idxs.contains(i))
+                        .map(|(_, a)| a.clone())
+                        .collect(),
+                    None => args.to_vec(),
+                };
+                S0Tail::TailCall(callee.to_string(), args)
+            });
+        }
+    }
+}
+
+/// A simple expression that can never fault at runtime.
+fn is_effect_free(s: &S0Simple) -> bool {
+    use pe_frontend::Prim::*;
+    match s {
+        S0Simple::Var(_) | S0Simple::Const(_) => true,
+        S0Simple::MakeClosure(_, args) => args.iter().all(is_effect_free),
+        S0Simple::Prim(op, args) => {
+            matches!(
+                op,
+                Cons | NullP | PairP | Not | EqP | EqvP | EqualP | SymbolP | NumberP | BooleanP
+            ) && args.iter().all(is_effect_free)
+        }
+        // closure-label / closure-freeval fault on non-closures.
+        S0Simple::ClosureLabel(_) | S0Simple::ClosureFreeval(_, _) => false,
+    }
+}
+
+fn occurrences(s: &S0Simple, v: &str) -> usize {
+    match s {
+        S0Simple::Var(x) => usize::from(x == v),
+        S0Simple::Const(_) => 0,
+        S0Simple::Prim(_, args) | S0Simple::MakeClosure(_, args) => {
+            args.iter().map(|a| occurrences(a, v)).sum()
+        }
+        S0Simple::ClosureLabel(a) | S0Simple::ClosureFreeval(a, _) => occurrences(a, v),
+    }
+}
+
+fn occurrences_tail(t: &S0Tail, v: &str) -> usize {
+    match t {
+        S0Tail::Return(s) => occurrences(s, v),
+        S0Tail::If(c, a, b) => {
+            occurrences(c, v) + occurrences_tail(a, v).max(occurrences_tail(b, v))
+        }
+        S0Tail::TailCall(_, args) => args.iter().map(|a| occurrences(a, v)).sum(),
+        S0Tail::Fail(_) => 0,
+    }
+}
+
+fn rewrite_calls(t: &S0Tail, f: &mut impl FnMut(&str, &[S0Simple]) -> S0Tail) -> S0Tail {
+    match t {
+        S0Tail::Return(_) | S0Tail::Fail(_) => t.clone(),
+        S0Tail::If(c, a, b) => S0Tail::If(
+            c.clone(),
+            Box::new(rewrite_calls(a, f)),
+            Box::new(rewrite_calls(b, f)),
+        ),
+        S0Tail::TailCall(p, args) => f(p, args),
+    }
+}
+
+fn visit_calls(t: &S0Tail, f: &mut impl FnMut(&str, &[S0Simple])) {
+    match t {
+        S0Tail::Return(_) | S0Tail::Fail(_) => {}
+        S0Tail::If(_, a, b) => {
+            visit_calls(a, f);
+            visit_calls(b, f);
+        }
+        S0Tail::TailCall(p, args) => f(p, args),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::s0::S0Proc;
+    use pe_frontend::ast::Constant;
+    use pe_frontend::Prim;
+
+    fn var(v: &str) -> S0Simple {
+        S0Simple::Var(v.into())
+    }
+
+    fn kint(n: i64) -> S0Simple {
+        S0Simple::Const(Constant::Int(n))
+    }
+
+    #[test]
+    fn unreachable_procs_are_dropped() {
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc { name: "main".into(), params: vec![], body: S0Tail::Return(kint(1)) },
+                S0Proc { name: "junk".into(), params: vec![], body: S0Tail::Return(kint(2)) },
+            ],
+        };
+        let p = drop_unreachable(p);
+        assert_eq!(p.procs.len(), 1);
+        assert_eq!(p.procs[0].name, "main");
+    }
+
+    #[test]
+    fn transition_chains_are_compressed() {
+        // main → a → b, both trampolines; main should call c directly.
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["x".into()],
+                    body: S0Tail::TailCall("a".into(), vec![var("x")]),
+                },
+                S0Proc {
+                    name: "a".into(),
+                    params: vec!["y".into()],
+                    body: S0Tail::TailCall(
+                        "b".into(),
+                        vec![S0Simple::Prim(Prim::Cons, vec![var("y"), kint(1)])],
+                    ),
+                },
+                S0Proc {
+                    name: "b".into(),
+                    params: vec!["z".into()],
+                    body: S0Tail::TailCall("c".into(), vec![var("z"), var("z")]),
+                },
+                S0Proc {
+                    name: "c".into(),
+                    params: vec!["u".into(), "v".into()],
+                    body: S0Tail::Return(var("u")),
+                },
+            ],
+        };
+        let p = compress_transitions(p);
+        let main = p.proc("main").unwrap();
+        // The chase inlines a (and substitutes its cons into b's arg),
+        // then stops: b would duplicate the non-trivial cons argument
+        // into c's two argument slots.
+        match &main.body {
+            S0Tail::TailCall(t, args) => {
+                assert_eq!(t, "b");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("expected direct call to b, got {other:?}"),
+        }
+        assert!(p.proc("a").is_none(), "trampoline a removed");
+        assert!(p.proc("b").is_some(), "duplicating trampoline b kept");
+    }
+
+    #[test]
+    fn transition_compression_never_duplicates_work() {
+        // x → dup with a computed argument used twice: must not chase.
+        let p = S0Program {
+            entry: "x".into(),
+            procs: vec![
+                S0Proc {
+                    name: "x".into(),
+                    params: vec!["v".into()],
+                    body: S0Tail::TailCall(
+                        "dup".into(),
+                        vec![S0Simple::Prim(Prim::Cons, vec![var("v"), kint(1)])],
+                    ),
+                },
+                S0Proc {
+                    name: "dup".into(),
+                    params: vec!["w".into()],
+                    body: S0Tail::TailCall("use2".into(), vec![var("w"), var("w")]),
+                },
+                S0Proc {
+                    name: "use2".into(),
+                    params: vec!["a".into(), "b".into()],
+                    body: S0Tail::Return(S0Simple::Prim(Prim::Cons, vec![var("a"), var("b")])),
+                },
+            ],
+        };
+        let before = p.size();
+        let q = postprocess(p);
+        assert!(q.check().is_empty());
+        // The cons argument appears once in the output program.
+        assert!(q.size() <= before + 2, "no blowup: {} -> {}", before, q.size());
+    }
+
+    #[test]
+    fn inline_once_merges_chains() {
+        // The paper's append-$1 scenario: a chain of once-called procs
+        // collapses into the entry.
+        let p = S0Program {
+            entry: "append-$1".into(),
+            procs: vec![
+                S0Proc {
+                    name: "append-$1".into(),
+                    params: vec!["y".into()],
+                    body: S0Tail::TailCall("sl-eval-$1".into(), vec![var("y")]),
+                },
+                S0Proc {
+                    name: "sl-eval-$1".into(),
+                    params: vec!["cv-vals-$1".into()],
+                    body: S0Tail::Return(S0Simple::Prim(
+                        Prim::Cons,
+                        vec![S0Simple::Const(Constant::Sym("foo".into())), var("cv-vals-$1")],
+                    )),
+                },
+            ],
+        };
+        let p = postprocess(p);
+        assert_eq!(p.procs.len(), 1);
+        match &p.procs[0].body {
+            S0Tail::Return(S0Simple::Prim(Prim::Cons, args)) => {
+                assert_eq!(args[1], var("y"));
+            }
+            other => panic!("expected inlined cons, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recursive_procs_are_not_inlined() {
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["n".into()],
+                    body: S0Tail::TailCall("loop".into(), vec![var("n")]),
+                },
+                S0Proc {
+                    name: "loop".into(),
+                    params: vec!["n".into()],
+                    body: S0Tail::If(
+                        S0Simple::Prim(Prim::ZeroP, vec![var("n")]),
+                        Box::new(S0Tail::Return(kint(0))),
+                        Box::new(S0Tail::TailCall(
+                            "loop".into(),
+                            vec![S0Simple::Prim(Prim::Sub, vec![var("n"), kint(1)])],
+                        )),
+                    ),
+                },
+            ],
+        };
+        let q = postprocess(p.clone());
+        // merge_entry renames the loop to the public entry name; the
+        // self-recursive loop itself must survive under either name.
+        let survivor = q.proc("loop").or_else(|| q.proc("main")).expect("loop survives");
+        let mut recursive = false;
+        survivor.body.calls(&mut |c| recursive |= c == survivor.name);
+        assert!(recursive, "{q}");
+        assert!(q.check().is_empty());
+    }
+
+    #[test]
+    fn dead_params_are_dropped_when_safe() {
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["x".into()],
+                    body: S0Tail::If(
+                        var("x"),
+                        // Safe dead arg: a constant.
+                        Box::new(S0Tail::TailCall("f".into(), vec![kint(1), var("x")])),
+                        // Unsafe dead arg would be (car x): keep it.
+                        Box::new(S0Tail::TailCall("f".into(), vec![kint(2), var("x")])),
+                    ),
+                },
+                S0Proc {
+                    name: "f".into(),
+                    params: vec!["dead".into(), "live".into()],
+                    body: S0Tail::TailCall("f".into(), vec![var("dead"), var("live")]),
+                },
+            ],
+        };
+        // `dead` is passed through recursively, so it IS used… make a
+        // genuinely dead one instead:
+        let p2 = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["x".into()],
+                    body: S0Tail::TailCall("f".into(), vec![kint(1), var("x")]),
+                },
+                S0Proc {
+                    name: "f".into(),
+                    params: vec!["dead".into(), "live".into()],
+                    body: S0Tail::Return(var("live")),
+                },
+            ],
+        };
+        let q = drop_dead_params(p2);
+        let f = q.proc("f").unwrap();
+        assert_eq!(f.params, vec!["live".to_string()]);
+        assert!(q.check().is_empty());
+
+        // The unsafe case: argument can fault, parameter must stay.
+        let p3 = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["x".into()],
+                    body: S0Tail::TailCall(
+                        "f".into(),
+                        vec![S0Simple::Prim(Prim::Car, vec![var("x")]), var("x")],
+                    ),
+                },
+                S0Proc {
+                    name: "f".into(),
+                    params: vec!["dead".into(), "live".into()],
+                    body: S0Tail::Return(var("live")),
+                },
+            ],
+        };
+        let q = drop_dead_params(p3);
+        assert_eq!(q.proc("f").unwrap().params.len(), 2, "faulting arg must stay");
+        let _ = p;
+    }
+
+    #[test]
+    fn postprocess_preserves_wellformedness() {
+        let p = S0Program {
+            entry: "e".into(),
+            procs: vec![
+                S0Proc {
+                    name: "e".into(),
+                    params: vec!["a".into()],
+                    body: S0Tail::TailCall("t1".into(), vec![var("a")]),
+                },
+                S0Proc {
+                    name: "t1".into(),
+                    params: vec!["b".into()],
+                    body: S0Tail::TailCall("t2".into(), vec![var("b"), kint(9)]),
+                },
+                S0Proc {
+                    name: "t2".into(),
+                    params: vec!["c".into(), "d".into()],
+                    body: S0Tail::Return(S0Simple::Prim(Prim::Cons, vec![var("c"), var("d")])),
+                },
+            ],
+        };
+        let q = postprocess(p);
+        assert!(q.check().is_empty(), "{:?}", q.check());
+        assert_eq!(q.procs.len(), 1, "everything inlined into the entry");
+    }
+}

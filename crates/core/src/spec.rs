@@ -1,0 +1,974 @@
+//! The specializing compiler — the program transformer that the
+//! specializer projections produce from the two-level interpreter of
+//! Fig. 7.
+//!
+//! A *specialization state* is ⟨E, ρ, σ, τ⟩: a serious expression of the
+//! desugared subject program, an environment binding variables to value
+//! descriptions, a binding of configuration variables to residual
+//! expressions, and a stack of pending evaluation contexts.  The engine
+//! evaluates statically whatever the descriptions decide and emits
+//! residual S₀ code for the rest:
+//!
+//! * **memoization** — procedure calls, dynamic-conditional branches and
+//!   The-Trick dispatch arms are *specialization points*: states equal up
+//!   to renaming of configuration variables share one residual procedure
+//!   `sl-eval-$n(cv-vals-$1 …)`;
+//! * **The Trick** (§4.2) — applying an unknown closure dispatches over
+//!   the flow analysis' candidate lambdas, comparing `closure-label`s
+//!   sequentially, so the interpreted expression becomes static again in
+//!   every arm;
+//! * **generalization** (§4.5) — self-embedding descriptions are lifted
+//!   to configuration variables either at dynamic conditionals (online)
+//!   or at creation (offline, driven by [`GenAnalysis`]); a critical
+//!   context stack is split into a static prefix and a dynamic rest, the
+//!   latter an ordinary runtime list of closures.
+
+use crate::desc::{CvId, DescShape, ValDesc};
+use crate::s0::{S0Proc, S0Program, S0Simple, S0Tail};
+use pe_frontend::ast::{Constant, Prim};
+use pe_frontend::dast::{DLabel, DProgram, LamId, SimpleExpr, TailExpr, VarId};
+use pe_frontend::flow::{FlowAnalysis, LamSet};
+use pe_frontend::gen_analysis::GenAnalysis;
+use pe_interp::Datum;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::fmt;
+use std::rc::Rc;
+
+/// When to generalize self-embedding data (§4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GenStrategy {
+    /// Delay until a dynamic conditional, then scan ρ and τ (less
+    /// conservative; residual code unrolls loops at least once).
+    Online,
+    /// Generalize critical lambdas/cons sites at creation, guided by the
+    /// offline [`GenAnalysis`].
+    Offline,
+}
+
+/// Compiler configuration.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Generalization strategy.
+    pub strategy: GenStrategy,
+    /// Run the residual post-processor (transition compression,
+    /// inline-once, dead parameter elimination).
+    pub postprocess: bool,
+    /// Restrict The Trick's dispatch candidates with the flow analysis;
+    /// `false` dispatches over every context lambda (the ablation).
+    pub trick_flow: bool,
+    /// Upper bound on residual procedures before giving up.
+    pub max_procs: usize,
+    /// Upper bound on static unfolding depth within one residual body.
+    pub max_inline_depth: usize,
+    /// Descriptions larger than this are generalized (safety valve, far
+    /// beyond anything the benchmark suite produces).
+    pub max_desc_size: usize,
+    /// Bounded-static-variation widening: when one variable slot of one
+    /// specialization point has been seen with more than this many
+    /// distinct fully static values, the slot is generalized from then
+    /// on.  Catches static data that *grows* under dynamic control
+    /// (e.g. a counter incremented around a dynamic loop), which the
+    /// §4.5 self-embedding test cannot see because base values have no
+    /// creation sites.  Static unfolding below the threshold (the
+    /// specializer projections' use case) is unaffected.
+    pub widen_threshold: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            strategy: GenStrategy::Offline,
+            postprocess: true,
+            trick_flow: true,
+            max_procs: 50_000,
+            max_inline_depth: 300,
+            max_desc_size: 512,
+            widen_threshold: 40,
+        }
+    }
+}
+
+/// An error produced during specialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The entry procedure does not exist.
+    NoSuchProc(String),
+    /// Wrong number of static/dynamic argument slots for the entry.
+    EntryArity { name: String, expected: usize, got: usize },
+    /// The residual program exceeded `max_procs` (specialization of a
+    /// program that diverges on its static data).
+    Budget { procs: usize },
+    /// Static unfolding exceeded `max_inline_depth` (e.g. the Ω
+    /// combinator, which also loops the paper's interpreter).
+    DepthExceeded,
+    /// Internal: a variable had no description (unreachable from the
+    /// public API).
+    UnboundVar(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::NoSuchProc(n) => write!(f, "no such procedure: {n}"),
+            SpecError::EntryArity { name, expected, got } => {
+                write!(f, "entry {name} expects {expected} argument slot(s), got {got}")
+            }
+            SpecError::Budget { procs } => {
+                write!(f, "specialization exceeded the budget of {procs} residual procedures")
+            }
+            SpecError::DepthExceeded => write!(f, "static unfolding depth exceeded"),
+            SpecError::UnboundVar(v) => write!(f, "internal: unbound {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// The environment ρ: variables → value descriptions.
+type Env = BTreeMap<VarId, ValDesc>;
+
+/// σ: configuration variables → residual expressions.
+type Sigma = HashMap<CvId, S0Simple>;
+
+/// The context stack τ, split into a static prefix (top at the end) and
+/// an optional dynamic rest — a runtime list of closures, car = top.
+#[derive(Debug, Clone, Default)]
+struct CtxStack {
+    prefix: Vec<ValDesc>,
+    /// Always a `ValDesc::Cv` when present.
+    dyn_rest: Option<ValDesc>,
+}
+
+/// Memoization key: a specialization state up to renaming of
+/// configuration variables.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    label: DLabel,
+    env: Vec<(VarId, DescShape)>,
+    prefix: Vec<DescShape>,
+    dyn_rest: Option<DescShape>,
+}
+
+struct PendingProc<'p> {
+    name: String,
+    params: Vec<String>,
+    te: &'p TailExpr,
+    env: Env,
+    tau: CtxStack,
+    sigma: Sigma,
+}
+
+/// The specializer engine.
+pub struct Spec<'p> {
+    dp: &'p DProgram,
+    flow: &'p FlowAnalysis,
+    gen: &'p GenAnalysis,
+    opts: CompileOptions,
+    memo: HashMap<Key, String>,
+    pending: VecDeque<PendingProc<'p>>,
+    done: Vec<S0Proc>,
+    next_cv: CvId,
+    next_proc: u32,
+    /// Bounded-static-variation tracking: distinct fully static values
+    /// seen per (point, variable), and slots already widened.
+    static_variety: HashMap<(DLabel, VarId), std::collections::HashSet<Constant>>,
+    widened: std::collections::HashSet<(DLabel, VarId)>,
+    /// The same widening for the static context-stack prefix: distinct
+    /// prefix shapes seen per point; a point that shows too many flushes
+    /// its stack to the dynamic representation from then on.
+    prefix_variety: HashMap<DLabel, std::collections::HashSet<String>>,
+    widened_prefix: std::collections::HashSet<DLabel>,
+}
+
+impl<'p> Spec<'p> {
+    /// Creates an engine over an analyzed program.
+    pub fn new(
+        dp: &'p DProgram,
+        flow: &'p FlowAnalysis,
+        gen: &'p GenAnalysis,
+        opts: CompileOptions,
+    ) -> Spec<'p> {
+        Spec {
+            dp,
+            flow,
+            gen,
+            opts,
+            memo: HashMap::new(),
+            pending: VecDeque::new(),
+            done: Vec::new(),
+            next_cv: 0,
+            next_proc: 0,
+            static_variety: HashMap::new(),
+            widened: std::collections::HashSet::new(),
+            prefix_variety: HashMap::new(),
+            widened_prefix: std::collections::HashSet::new(),
+        }
+    }
+
+    fn fresh_cv(&mut self) -> CvId {
+        let id = self.next_cv;
+        self.next_cv += 1;
+        id
+    }
+
+    /// Compiles `entry` with every parameter dynamic (the paper's main
+    /// mode: closure conversion + tail conversion + constant folding).
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn compile(mut self, entry: &str) -> Result<S0Program, SpecError> {
+        let slots: Vec<Option<Datum>> = {
+            let pid = self
+                .dp
+                .proc_id(entry)
+                .ok_or_else(|| SpecError::NoSuchProc(entry.to_string()))?;
+            vec![None; self.dp.proc(pid).params.len()]
+        };
+        self.run(entry, &slots, entry.to_string())
+    }
+
+    /// Specializes `entry` with respect to known (static) arguments —
+    /// the first specializer projection.  `slots[i] = Some(v)` makes the
+    /// i-th parameter static with value `v`; `None` keeps it dynamic and
+    /// a parameter of the residual entry `entry-$1`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn specialize(
+        mut self,
+        entry: &str,
+        slots: &[Option<Datum>],
+    ) -> Result<S0Program, SpecError> {
+        let name = format!("{entry}-$1");
+        self.run(entry, slots, name)
+    }
+
+    fn run(
+        &mut self,
+        entry: &str,
+        slots: &[Option<Datum>],
+        residual_name: String,
+    ) -> Result<S0Program, SpecError> {
+        let pid = self
+            .dp
+            .proc_id(entry)
+            .ok_or_else(|| SpecError::NoSuchProc(entry.to_string()))?;
+        let def = self.dp.proc(pid);
+        if def.params.len() != slots.len() {
+            return Err(SpecError::EntryArity {
+                name: entry.to_string(),
+                expected: def.params.len(),
+                got: slots.len(),
+            });
+        }
+        let mut env = Env::new();
+        let mut sigma = Sigma::new();
+        let mut params = Vec::new();
+        for (&param, slot) in def.params.iter().zip(slots) {
+            match slot {
+                Some(v) => {
+                    env.insert(param, ValDesc::Quote(datum_to_constant(v)));
+                }
+                None => {
+                    let cv = self.fresh_cv();
+                    let name = unique_param_name(&self.dp.var_names[param.0 as usize], &params);
+                    sigma.insert(cv, S0Simple::Var(name.clone()));
+                    params.push(name);
+                    env.insert(
+                        param,
+                        ValDesc::Cv { id: cv, cands: self.flow.var_lambdas(param) },
+                    );
+                }
+            }
+        }
+        // Going through spec_point registers the entry state in the memo
+        // table, so a self-recursive entry reuses one residual procedure
+        // (post-processing then merges the trampoline away).
+        let body =
+            self.spec_point(&def.body, &env, &CtxStack::default(), &mut sigma)?;
+        let entry_proc = S0Proc { name: residual_name.clone(), params, body };
+        let mut procs = vec![entry_proc];
+        while let Some(p) = self.pending.pop_front() {
+            if procs.len() + self.done.len() >= self.opts.max_procs {
+                return Err(SpecError::Budget { procs: self.opts.max_procs });
+            }
+            let mut sigma = p.sigma;
+            let body = self.spec_tail(p.te, p.env, p.tau, &mut sigma, 0)?;
+            self.done.push(S0Proc { name: p.name, params: p.params, body });
+        }
+        procs.append(&mut self.done);
+        Ok(S0Program { procs, entry: residual_name })
+    }
+
+    // ------------------------------------------------------------------
+    // E⋆ — serious expressions
+    // ------------------------------------------------------------------
+
+    fn spec_tail(
+        &mut self,
+        te: &'p TailExpr,
+        mut env: Env,
+        mut tau: CtxStack,
+        sigma: &mut Sigma,
+        depth: usize,
+    ) -> Result<S0Tail, SpecError> {
+        if depth > self.opts.max_inline_depth {
+            return Err(SpecError::DepthExceeded);
+        }
+        match te {
+            TailExpr::Simple(se) => {
+                let d = self.spec_simple(se, &env, sigma)?;
+                self.apply_ctx(d, tau, sigma, depth)
+            }
+            TailExpr::If(_, c, t, e) => {
+                let d = self.spec_simple(c, &env, sigma)?;
+                match d.truthiness() {
+                    Some(true) => self.spec_tail(t, env, tau, sigma, depth + 1),
+                    Some(false) => self.spec_tail(e, env, tau, sigma, depth + 1),
+                    None => {
+                        // The online strategy's moment: scan ρ and τ for
+                        // critical data before residualizing the
+                        // conditional.  (Run in both modes; offline has
+                        // already generalized at creation, so this is a
+                        // cheap no-op backstop there.)
+                        self.generalize_state(&mut env, &mut tau, sigma);
+                        let cond = d.residualize(sigma);
+                        let tcall = self.spec_point(t, &env, &tau, sigma)?;
+                        let ecall = self.spec_point(e, &env, &tau, sigma)?;
+                        Ok(S0Tail::If(cond, Box::new(tcall), Box::new(ecall)))
+                    }
+                }
+            }
+            TailExpr::CallProc(_, pid, args) => {
+                let def = self.dp.proc(*pid);
+                let mut callee = Env::new();
+                for (&param, arg) in def.params.iter().zip(args) {
+                    let d = self.spec_simple(arg, &env, sigma)?;
+                    callee.insert(param, d);
+                }
+                Ok(self.spec_point(&def.body, &callee, &tau, sigma)?)
+            }
+            TailExpr::PushApp(_, ctx, body) => {
+                let d = self.spec_simple(ctx, &env, sigma)?;
+                // Offline stack rule: pushing a context that may be a
+                // stack-critical lambda flushes τ to a dynamic list.
+                let critical = self.opts.strategy == GenStrategy::Offline
+                    && !d.is_fully_static()
+                    && d.closure_candidates()
+                        .iter()
+                        .any(|l| self.gen.lam_is_critical(l));
+                if critical {
+                    tau.prefix.push(d);
+                    self.flush_stack(&mut tau, sigma);
+                } else {
+                    tau.prefix.push(d);
+                }
+                self.spec_tail(body, env, tau, sigma, depth + 1)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // C — context application
+    // ------------------------------------------------------------------
+
+    fn apply_ctx(
+        &mut self,
+        value: ValDesc,
+        mut tau: CtxStack,
+        sigma: &mut Sigma,
+        depth: usize,
+    ) -> Result<S0Tail, SpecError> {
+        if depth > self.opts.max_inline_depth {
+            return Err(SpecError::DepthExceeded);
+        }
+        if let Some(ctx) = tau.prefix.pop() {
+            return match ctx {
+                ValDesc::Clos { lam, freevals } => {
+                    let def = self.dp.lambda(lam);
+                    let mut env = Env::new();
+                    env.insert(def.param, value);
+                    for (&fv, d) in def.freevars.iter().zip(freevals) {
+                        env.insert(fv, d);
+                    }
+                    self.spec_tail(&def.body, env, tau, sigma, depth + 1)
+                }
+                ValDesc::Cv { id, cands } => {
+                    let ctx_expr = sigma
+                        .get(&id)
+                        .cloned()
+                        .unwrap_or_else(|| panic!("cv {id} unbound"));
+                    self.trick_dispatch(ctx_expr, &cands, value, tau, sigma)
+                }
+                ValDesc::Quote(_) | ValDesc::Cons { .. } => {
+                    Ok(S0Tail::Fail("application of a non-procedure".to_string()))
+                }
+            };
+        }
+        if let Some(ValDesc::Cv { id, cands }) = tau.dyn_rest.clone() {
+            // Pop from the dynamic context stack: an ordinary list.
+            let stack_expr = sigma.get(&id).cloned().expect("dyn stack cv bound");
+            let ctx_cv = self.fresh_cv();
+            sigma.insert(ctx_cv, S0Simple::Prim(Prim::Car, vec![stack_expr.clone()]));
+            let rest_cv = self.fresh_cv();
+            sigma.insert(rest_cv, S0Simple::Prim(Prim::Cdr, vec![stack_expr.clone()]));
+            let tau2 = CtxStack {
+                prefix: Vec::new(),
+                dyn_rest: Some(ValDesc::Cv { id: rest_cv, cands: cands.clone() }),
+            };
+            let ctx_expr = sigma[&ctx_cv].clone();
+            let dispatch = self.trick_dispatch(ctx_expr, &cands, value.clone(), tau2, sigma)?;
+            return Ok(S0Tail::If(
+                S0Simple::Prim(Prim::NullP, vec![stack_expr]),
+                Box::new(S0Tail::Return(value.residualize(sigma))),
+                Box::new(dispatch),
+            ));
+        }
+        Ok(S0Tail::Return(value.residualize(sigma)))
+    }
+
+    /// The Trick: a sequential dispatch over candidate lambdas,
+    /// comparing `closure-label`s, each arm continuing with the now
+    /// static lambda body (a memoized specialization point).
+    fn trick_dispatch(
+        &mut self,
+        ctx_expr: S0Simple,
+        cands: &LamSet,
+        value: ValDesc,
+        tau: CtxStack,
+        sigma: &mut Sigma,
+    ) -> Result<S0Tail, SpecError> {
+        let list: Vec<LamId> = cands.iter().collect();
+        if list.is_empty() {
+            return Ok(S0Tail::Fail("application of a non-procedure".to_string()));
+        }
+        let mut out: Option<S0Tail> = None;
+        // Build from the last candidate backwards; the final candidate
+        // needs no test (sequential dispatch, as in the paper's output).
+        for (i, &lam) in list.iter().enumerate().rev() {
+            let arm = self.trick_arm(lam, &ctx_expr, value.clone(), tau.clone(), sigma)?;
+            out = Some(match out {
+                None => arm,
+                Some(rest) => S0Tail::If(
+                    S0Simple::Prim(
+                        Prim::EqualP,
+                        vec![
+                            S0Simple::Const(Constant::Int(i64::from(lam.0))),
+                            S0Simple::ClosureLabel(Box::new(ctx_expr.clone())),
+                        ],
+                    ),
+                    Box::new(arm),
+                    Box::new(rest),
+                ),
+            });
+            let _ = i;
+        }
+        Ok(out.expect("nonempty candidate list"))
+    }
+
+    fn trick_arm(
+        &mut self,
+        lam: LamId,
+        ctx_expr: &S0Simple,
+        value: ValDesc,
+        tau: CtxStack,
+        sigma: &mut Sigma,
+    ) -> Result<S0Tail, SpecError> {
+        // A dynamic dispatch is dynamic control: a value flowing through
+        // it could enumerate every value the program can compute (list
+        // shapes via cons, counters via folded arithmetic), so it is
+        // generalized here — the arm's memo key must stay finite.  A
+        // constant still appears literally in the residual call's
+        // argument, so no code quality is lost; static data keeps
+        // propagating through procedure calls and *static* context
+        // applications, which is where the specializer projections act.
+        let value = match &value {
+            ValDesc::Cv { .. } => value,
+            _ => self.generalize(value, sigma),
+        };
+        let def = self.dp.lambda(lam);
+        let mut env = Env::new();
+        env.insert(def.param, value);
+        for (i, &fv) in def.freevars.iter().enumerate() {
+            let cv = self.fresh_cv();
+            sigma.insert(
+                cv,
+                S0Simple::ClosureFreeval(Box::new(ctx_expr.clone()), i),
+            );
+            env.insert(fv, ValDesc::Cv { id: cv, cands: self.fv_cands(fv) });
+        }
+        self.spec_point(&def.body, &env, &tau, sigma)
+    }
+
+    fn fv_cands(&self, v: VarId) -> LamSet {
+        if self.opts.trick_flow {
+            self.flow.var_lambdas(v)
+        } else {
+            self.all_lams()
+        }
+    }
+
+    fn all_lams(&self) -> LamSet {
+        (0..self.dp.lambdas.len() as u32).map(LamId).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Specialization points (memoization)
+    // ------------------------------------------------------------------
+
+    fn spec_point(
+        &mut self,
+        te: &'p TailExpr,
+        env: &Env,
+        tau: &CtxStack,
+        sigma: &mut Sigma,
+    ) -> Result<S0Tail, SpecError> {
+        // Bounded-static-variation widening for the context stack: a
+        // specialization point whose static prefix keeps changing shape
+        // (distinct context combinations under dynamic control) switches
+        // to the dynamic stack representation — the prefix contents
+        // still appear, as residual make-closure/cons code.
+        let mut tau = tau.clone();
+        {
+            let label = te.label();
+            if self.widened_prefix.contains(&label) {
+                self.flush_stack(&mut tau, sigma);
+            } else if !tau.prefix.is_empty() {
+                let mut idx: HashMap<CvId, u32> = HashMap::new();
+                let mut next = 0u32;
+                let mut cvs = Vec::new();
+                for d in &tau.prefix {
+                    d.collect_cvs(&mut cvs);
+                }
+                for cv in cvs {
+                    idx.entry(cv).or_insert_with(|| {
+                        next += 1;
+                        next - 1
+                    });
+                }
+                let shape =
+                    format!("{:?}", tau.prefix.iter().map(|d| d.shape(&idx)).collect::<Vec<_>>());
+                let seen = self.prefix_variety.entry(label).or_default();
+                seen.insert(shape);
+                if seen.len() > self.opts.widen_threshold {
+                    self.widened_prefix.insert(label);
+                    self.flush_stack(&mut tau, sigma);
+                }
+            }
+        }
+        let tau = &tau;
+        // Restrict ρ to the free variables of the target expression.
+        let mut live = BTreeSet::new();
+        pe_frontend::dast::free_tail(self.dp, te, &mut live);
+        let mut env_live: Vec<(VarId, ValDesc)> = env
+            .iter()
+            .filter(|(v, _)| live.contains(v))
+            .map(|(v, d)| (*v, d.clone()))
+            .collect();
+        // Bounded-static-variation widening (see CompileOptions).
+        let label = te.label();
+        for (v, d) in &mut env_live {
+            let slot = (label, *v);
+            if self.widened.contains(&slot) {
+                if !matches!(d, ValDesc::Cv { .. }) {
+                    *d = self.generalize(d.clone(), sigma);
+                }
+                continue;
+            }
+            if let Some(k) = d.as_constant() {
+                let seen = self.static_variety.entry(slot).or_default();
+                seen.insert(k);
+                if seen.len() > self.opts.widen_threshold {
+                    self.widened.insert(slot);
+                    *d = self.generalize(d.clone(), sigma);
+                }
+            }
+        }
+
+        // Canonical numbering of configuration variables by first
+        // occurrence across ρ (in VarId order), then τ.
+        let mut order: Vec<CvId> = Vec::new();
+        for (_, d) in &env_live {
+            d.collect_cvs(&mut order);
+        }
+        for d in &tau.prefix {
+            d.collect_cvs(&mut order);
+        }
+        if let Some(d) = &tau.dyn_rest {
+            d.collect_cvs(&mut order);
+        }
+        let index: HashMap<CvId, u32> =
+            order.iter().enumerate().map(|(i, &cv)| (cv, i as u32)).collect();
+        let key = Key {
+            label,
+            env: env_live.iter().map(|(v, d)| (*v, d.shape(&index))).collect(),
+            prefix: tau.prefix.iter().map(|d| d.shape(&index)).collect(),
+            dyn_rest: tau.dyn_rest.as_ref().map(|d| d.shape(&index)),
+        };
+        let args: Vec<S0Simple> = order
+            .iter()
+            .map(|cv| sigma.get(cv).cloned().expect("cv bound at call"))
+            .collect();
+        if let Some(name) = self.memo.get(&key) {
+            return Ok(S0Tail::TailCall(name.clone(), args));
+        }
+        self.next_proc += 1;
+        let name = format!("sl-eval-${}", self.next_proc);
+        if std::env::var("PE_SPEC_DEBUG").is_ok() {
+            eprintln!("[spec] {name} label={:?} params={} key={:?}", key.label, order.len(), key);
+        }
+        self.memo.insert(key, name.clone());
+        if self.memo.len() > self.opts.max_procs {
+            return Err(SpecError::Budget { procs: self.opts.max_procs });
+        }
+
+        // Rename the state's cvs to fresh ones bound to the residual
+        // procedure's parameters.
+        let mut rename: HashMap<CvId, CvId> = HashMap::new();
+        let mut new_sigma = Sigma::new();
+        let mut params = Vec::new();
+        for (i, &old) in order.iter().enumerate() {
+            let fresh = self.fresh_cv();
+            rename.insert(old, fresh);
+            let pname = format!("cv-vals-${}", i + 1);
+            new_sigma.insert(fresh, S0Simple::Var(pname.clone()));
+            params.push(pname);
+        }
+        let new_env: Env =
+            env_live.iter().map(|(v, d)| (*v, d.rename_cvs(&rename))).collect();
+        let new_tau = CtxStack {
+            prefix: tau.prefix.iter().map(|d| d.rename_cvs(&rename)).collect(),
+            dyn_rest: tau.dyn_rest.as_ref().map(|d| d.rename_cvs(&rename)),
+        };
+        self.pending.push_back(PendingProc {
+            name: name.clone(),
+            params,
+            te,
+            env: new_env,
+            tau: new_tau,
+            sigma: new_sigma,
+        });
+        Ok(S0Tail::TailCall(name, args))
+    }
+
+    // ------------------------------------------------------------------
+    // S⋆ — simple expressions over descriptions
+    // ------------------------------------------------------------------
+
+    fn spec_simple(
+        &mut self,
+        se: &SimpleExpr,
+        env: &Env,
+        sigma: &mut Sigma,
+    ) -> Result<ValDesc, SpecError> {
+        match se {
+            SimpleExpr::Var(_, v) => env
+                .get(v)
+                .cloned()
+                .ok_or_else(|| SpecError::UnboundVar(self.dp.var_name(*v))),
+            SimpleExpr::Const(_, k) => Ok(ValDesc::Quote(k.clone())),
+            SimpleExpr::Lambda(_, id) => {
+                let def = self.dp.lambda(*id);
+                let freevals = def
+                    .freevars
+                    .iter()
+                    .map(|fv| {
+                        env.get(fv)
+                            .cloned()
+                            .ok_or_else(|| SpecError::UnboundVar(self.dp.var_name(*fv)))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                let d = ValDesc::Clos { lam: *id, freevals };
+                // Fully static closures cannot grow under dynamic
+                // control; keeping them static preserves the specializer
+                // projections' power on static inputs.
+                let must_gen = (self.opts.strategy == GenStrategy::Offline
+                    && self.gen.lam_is_critical(*id)
+                    && !d.is_fully_static())
+                    || d.size() > self.opts.max_desc_size;
+                Ok(if must_gen { self.generalize(d, sigma) } else { d })
+            }
+            SimpleExpr::Prim(l, op, args) => {
+                let descs = args
+                    .iter()
+                    .map(|a| self.spec_simple(a, env, sigma))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(self.prim_on_descs(l.0, *op, descs, se, sigma))
+            }
+        }
+    }
+
+    /// `S⋆` on primitives: reduce statically when the descriptions allow
+    /// it (including the paper's "null? on cons descriptions with dynamic
+    /// components" case), otherwise bind a fresh configuration variable
+    /// to the rebuilt expression.
+    fn prim_on_descs(
+        &mut self,
+        site: u32,
+        op: Prim,
+        descs: Vec<ValDesc>,
+        se: &SimpleExpr,
+        sigma: &mut Sigma,
+    ) -> ValDesc {
+        use Prim::*;
+        let quote_bool = |b: bool| ValDesc::Quote(Constant::Bool(b));
+        match op {
+            Cons => {
+                let d = ValDesc::Cons {
+                    site,
+                    car: Rc::new(descs[0].clone()),
+                    cdr: Rc::new(descs[1].clone()),
+                };
+                // Keep the creation site even for fully static pairs: the
+                // §4.5 self-embedding test needs it to spot values that
+                // grow across dynamic dispatch (quote-collapsing here
+                // makes specialization of e.g. deriv diverge).
+                let must_gen = (self.opts.strategy == GenStrategy::Offline
+                    && self.gen.cons_is_critical(site))
+                    || d.size() > self.opts.max_desc_size;
+                if must_gen {
+                    self.generalize(d, sigma)
+                } else {
+                    d
+                }
+            }
+            Car => match &descs[0] {
+                ValDesc::Cons { car, .. } => (**car).clone(),
+                ValDesc::Quote(Constant::Pair(a, _)) => ValDesc::Quote((**a).clone()),
+                _ => self.dynamic_prim(op, descs, se, sigma),
+            },
+            Cdr => match &descs[0] {
+                ValDesc::Cons { cdr, .. } => (**cdr).clone(),
+                ValDesc::Quote(Constant::Pair(_, d)) => ValDesc::Quote((**d).clone()),
+                _ => self.dynamic_prim(op, descs, se, sigma),
+            },
+            NullP => match &descs[0] {
+                ValDesc::Quote(Constant::Nil) => quote_bool(true),
+                ValDesc::Quote(_) | ValDesc::Cons { .. } | ValDesc::Clos { .. } => {
+                    quote_bool(false)
+                }
+                ValDesc::Cv { .. } => self.dynamic_prim(op, descs, se, sigma),
+            },
+            PairP => match &descs[0] {
+                ValDesc::Cons { .. } | ValDesc::Quote(Constant::Pair(_, _)) => quote_bool(true),
+                ValDesc::Quote(_) | ValDesc::Clos { .. } => quote_bool(false),
+                ValDesc::Cv { .. } => self.dynamic_prim(op, descs, se, sigma),
+            },
+            Not => match descs[0].truthiness() {
+                Some(b) => quote_bool(!b),
+                None => self.dynamic_prim(op, descs, se, sigma),
+            },
+            SymbolP | NumberP | BooleanP => match &descs[0] {
+                ValDesc::Quote(k) => quote_bool(match op {
+                    SymbolP => matches!(k, Constant::Sym(_)),
+                    NumberP => matches!(k, Constant::Int(_)),
+                    _ => matches!(k, Constant::Bool(_)),
+                }),
+                ValDesc::Cons { .. } | ValDesc::Clos { .. } => quote_bool(false),
+                ValDesc::Cv { .. } => self.dynamic_prim(op, descs, se, sigma),
+            },
+            EqualP => match (descs[0].as_constant(), descs[1].as_constant()) {
+                (Some(a), Some(b)) => quote_bool(a == b),
+                _ => self.dynamic_prim(op, descs, se, sigma),
+            },
+            EqP | EqvP => match (&descs[0], &descs[1]) {
+                // Only atoms fold: runtime eq? on pairs is identity, which
+                // compile time must not guess.
+                (ValDesc::Quote(a), ValDesc::Quote(b))
+                    if !matches!(a, Constant::Pair(_, _))
+                        && !matches!(b, Constant::Pair(_, _)) =>
+                {
+                    quote_bool(a == b)
+                }
+                _ => self.dynamic_prim(op, descs, se, sigma),
+            },
+            Add | Sub | Mul | Quotient | Remainder | NumEq | Lt | Gt | Le | Ge => {
+                match (&descs[0], &descs[1]) {
+                    (ValDesc::Quote(Constant::Int(a)), ValDesc::Quote(Constant::Int(b))) => {
+                        match fold_arith(op, *a, *b) {
+                            Some(k) => ValDesc::Quote(k),
+                            // Overflow / division by zero: leave it to the
+                            // runtime, faithfully.
+                            None => self.dynamic_prim(op, descs, se, sigma),
+                        }
+                    }
+                    _ => self.dynamic_prim(op, descs, se, sigma),
+                }
+            }
+            ZeroP | Add1 | Sub1 => match &descs[0] {
+                ValDesc::Quote(Constant::Int(n)) => match op {
+                    ZeroP => quote_bool(*n == 0),
+                    Add1 => match n.checked_add(1) {
+                        Some(m) => ValDesc::Quote(Constant::Int(m)),
+                        None => self.dynamic_prim(op, descs, se, sigma),
+                    },
+                    _ => match n.checked_sub(1) {
+                        Some(m) => ValDesc::Quote(Constant::Int(m)),
+                        None => self.dynamic_prim(op, descs, se, sigma),
+                    },
+                },
+                _ => self.dynamic_prim(op, descs, se, sigma),
+            },
+        }
+    }
+
+    fn dynamic_prim(
+        &mut self,
+        op: Prim,
+        descs: Vec<ValDesc>,
+        se: &SimpleExpr,
+        sigma: &mut Sigma,
+    ) -> ValDesc {
+        let expr = S0Simple::Prim(op, descs.iter().map(|d| d.residualize(sigma)).collect());
+        let cv = self.fresh_cv();
+        sigma.insert(cv, expr);
+        let cands = if self.opts.trick_flow { self.flow.lambdas_of(se) } else { self.all_lams() };
+        ValDesc::Cv { id: cv, cands }
+    }
+
+    // ------------------------------------------------------------------
+    // Generalization (§4.5)
+    // ------------------------------------------------------------------
+
+    /// Lifts a description to a fresh configuration variable whose
+    /// runtime value is the `D[·]`-lifted residual expression.
+    fn generalize(&mut self, d: ValDesc, sigma: &mut Sigma) -> ValDesc {
+        let expr = d.residualize(sigma);
+        let cv = self.fresh_cv();
+        sigma.insert(cv, expr);
+        ValDesc::Cv { id: cv, cands: d.closure_candidates() }
+    }
+
+    /// The online scan at a dynamic conditional: generalize
+    /// self-embedding descriptions in ρ and τ, and split the stack when
+    /// its static spine shows repetition.
+    fn generalize_state(&mut self, env: &mut Env, tau: &mut CtxStack, sigma: &mut Sigma) {
+        let vars: Vec<VarId> = env.keys().copied().collect();
+        for v in vars {
+            let d = env[&v].clone();
+            if d.is_self_embedding() || d.size() > self.opts.max_desc_size {
+                let g = self.generalize(d, sigma);
+                env.insert(v, g);
+            }
+        }
+        for i in 0..tau.prefix.len() {
+            let d = tau.prefix[i].clone();
+            if d.is_self_embedding() || d.size() > self.opts.max_desc_size {
+                tau.prefix[i] = self.generalize(d, sigma);
+            }
+        }
+        // Spine repetition: the same lambda pushed twice, or unknown
+        // contexts piling on a stack that already has a dynamic rest.
+        let mut seen: BTreeSet<LamId> = BTreeSet::new();
+        let mut cv_count = 0usize;
+        let mut repeat = false;
+        for d in &tau.prefix {
+            match d {
+                ValDesc::Clos { lam, .. } => {
+                    if !seen.insert(*lam) {
+                        repeat = true;
+                    }
+                }
+                ValDesc::Cv { .. } => {
+                    cv_count += 1;
+                    if cv_count > 1 || tau.dyn_rest.is_some() {
+                        repeat = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if repeat {
+            self.flush_stack(tau, sigma);
+        }
+    }
+
+    /// Moves the whole static prefix onto the dynamic context stack — an
+    /// ordinary runtime list of closures, top at the car, terminated by
+    /// the previous dynamic rest or `'()` (the halt context).
+    fn flush_stack(&mut self, tau: &mut CtxStack, sigma: &mut Sigma) {
+        if tau.prefix.is_empty() && tau.dyn_rest.is_some() {
+            return;
+        }
+        let mut expr = match &tau.dyn_rest {
+            Some(d) => d.residualize(sigma),
+            None => S0Simple::Const(Constant::Nil),
+        };
+        let mut cands = match &tau.dyn_rest {
+            Some(ValDesc::Cv { cands, .. }) => cands.clone(),
+            _ => LamSet::new(),
+        };
+        for d in tau.prefix.drain(..) {
+            cands = cands.union(&d.closure_candidates());
+            expr = S0Simple::Prim(Prim::Cons, vec![d.residualize(sigma), expr]);
+        }
+        // Every lambda that may ever be pushed can be on the stack once
+        // it is dynamic (pops lose the per-element provenance).
+        cands = cands.union(&self.gen.stack_candidates);
+        let cv = self.fresh_cv();
+        sigma.insert(cv, expr);
+        tau.dyn_rest = Some(ValDesc::Cv { id: cv, cands });
+    }
+}
+
+fn fold_arith(op: Prim, a: i64, b: i64) -> Option<Constant> {
+    use Prim::*;
+    Some(match op {
+        Add => Constant::Int(a.checked_add(b)?),
+        Sub => Constant::Int(a.checked_sub(b)?),
+        Mul => Constant::Int(a.checked_mul(b)?),
+        Quotient => {
+            if b == 0 {
+                return None;
+            }
+            Constant::Int(a.checked_div(b)?)
+        }
+        Remainder => {
+            if b == 0 {
+                return None;
+            }
+            Constant::Int(a.checked_rem(b)?)
+        }
+        NumEq => Constant::Bool(a == b),
+        Lt => Constant::Bool(a < b),
+        Gt => Constant::Bool(a > b),
+        Le => Constant::Bool(a <= b),
+        Ge => Constant::Bool(a >= b),
+        _ => return None,
+    })
+}
+
+fn datum_to_constant(d: &Datum) -> Constant {
+    match d {
+        Datum::Int(n) => Constant::Int(*n),
+        Datum::Bool(b) => Constant::Bool(*b),
+        Datum::Char(c) => Constant::Char(*c),
+        Datum::Str(s) => Constant::Str(s.clone()),
+        Datum::Sym(s) => Constant::Sym(s.clone()),
+        Datum::Nil => Constant::Nil,
+        Datum::Pair(p) => Constant::Pair(
+            Rc::new(datum_to_constant(&p.0)),
+            Rc::new(datum_to_constant(&p.1)),
+        ),
+        Datum::Closure(c) => match *c {},
+    }
+}
+
+/// Makes an entry parameter name unique among already chosen ones,
+/// stripping the `%` of generated temporaries.
+fn unique_param_name(base: &str, taken: &[String]) -> String {
+    let base = base.replace('%', "t");
+    if !taken.iter().any(|t| *t == base) {
+        return base;
+    }
+    let mut i = 2;
+    loop {
+        let cand = format!("{base}{i}");
+        if !taken.iter().any(|t| *t == cand) {
+            return cand;
+        }
+        i += 1;
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the specializing compiler: compiled ≡ interpreted
+//! on randomly generated programs, residual programs always pass the S₀
+//! checker, and specialization to static inputs preserves meaning.
+
+use pe_core::{compile, eval, specialize, CompileOptions, GenStrategy};
+use pe_frontend::{desugar, parse_source};
+use pe_interp::{tail, Datum, Limits};
+use proptest::prelude::*;
+
+/// Generates bodies over `x` (number) and `l` (list) with structural
+/// recursion through `walk`, lambdas and lets — always terminating.
+fn arb_body() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("x".to_string()),
+        Just("l".to_string()),
+        (-9i64..10).prop_map(|n| n.to_string()),
+        Just("'a".to_string()),
+        Just("'()".to_string()),
+        Just("#f".to_string()),
+    ];
+    leaf.prop_recursive(4, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(cons {a} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(+ {a} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(- {a} {b})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| format!("(if (null? {c}) {t} {f})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| format!("(if (< {c} 0) {t} {f})")),
+            inner.clone().prop_map(|a| format!("(walk {a})")),
+            (inner.clone(), inner.clone()).prop_map(|(r, b)| format!("(let ((w {r})) {b})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(b, a)| format!("((lambda (v) {b}) {a})")),
+            inner.clone().prop_map(|a| format!("(if (pair? {a}) (car {a}) {a})")),
+            inner.prop_map(|a| format!("(if (pair? {a}) (cdr {a}) '())")),
+        ]
+    })
+}
+
+fn program_for(body: &str) -> String {
+    format!(
+        "(define (main x l) {body})
+         (define (walk v) (if (pair? v) (walk (cdr v)) v))"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Compiled code computes exactly what the Fig. 6 interpreter
+    /// computes — value or fault — for both generalization strategies.
+    #[test]
+    fn compiled_equals_interpreted(
+        body in arb_body(),
+        x in -30i64..30,
+        l in proptest::collection::vec(-3i64..4, 0..4),
+    ) {
+        let src = program_for(&body);
+        let p = parse_source(&src).expect("parses");
+        let d = desugar(&p).expect("desugars");
+        let args = [
+            Datum::Int(x),
+            Datum::parse(&format!("({})", l.iter().map(i64::to_string)
+                .collect::<Vec<_>>().join(" "))).unwrap(),
+        ];
+        let lim = Limits { fuel: 1_000_000 };
+        let reference = tail::run(&d, "main", &args, lim);
+        for strategy in [GenStrategy::Offline, GenStrategy::Online] {
+            let opts = CompileOptions { strategy, ..CompileOptions::default() };
+            let s0 = compile(&d, "main", &opts).expect("compiles");
+            prop_assert!(s0.check().is_empty(), "{:?}", s0.check());
+            let compiled = eval::run(&s0, &args, lim);
+            match (&reference, &compiled) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{:?}", strategy),
+                (Err(_), _) => {
+                    // Residual code is *at least as defined* as the
+                    // source: a dynamic computation whose result is never
+                    // used may be discarded, so an error in dead code can
+                    // disappear (standard for PE of pure languages; see
+                    // DESIGN.md).  A fault in live code is preserved.
+                }
+                (Ok(a), Err(e)) => prop_assert!(
+                    false,
+                    "strategy {strategy:?}: interp ok {a} but compiled faulted {e}\n{s0}"
+                ),
+            }
+        }
+    }
+
+    /// The first specializer projection preserves meaning: specializing
+    /// to a static list argument and then supplying only the number
+    /// computes the same result.
+    #[test]
+    fn specialization_preserves_meaning(
+        body in arb_body(),
+        x in -30i64..30,
+        l in proptest::collection::vec(-3i64..4, 0..4),
+    ) {
+        let src = program_for(&body);
+        let p = parse_source(&src).expect("parses");
+        let d = desugar(&p).expect("desugars");
+        let ldat = Datum::parse(&format!("({})", l.iter().map(i64::to_string)
+            .collect::<Vec<_>>().join(" "))).unwrap();
+        let lim = Limits { fuel: 1_000_000 };
+        let reference = tail::run(&d, "main", &[Datum::Int(x), ldat.clone()], lim);
+        let opts = CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
+        let s0 = specialize(&d, "main", &[None, Some(ldat)], &opts).expect("specializes");
+        prop_assert!(s0.check().is_empty());
+        let specialized = eval::run(&s0, &[Datum::Int(x)], lim);
+        match (&reference, &specialized) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            // Specialization may evaluate a faulting static expression
+            // lazily (residualized) or the reference may fault on a path
+            // the residual program folded away; only a success/success
+            // mismatch is a bug.
+            (Ok(a), Err(e)) => prop_assert!(false, "reference {a} but specialized faulted: {e}\n{s0}"),
+            (Err(_), Ok(_)) => {}
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The surface abstract syntax of the subject language (paper Fig. 2).
+//!
+//! ```text
+//! E ::= V | K | (if E E E) | (O E*) | (P E*) | (let ((V E)) E)
+//!     | (lambda (V) E) | (E E)
+//! D ::= (define (P V*) E)
+//! Π ::= D+
+//! ```
+//!
+//! Exactly as in the paper, `lambda` binds a single variable and
+//! applications have a single argument, while top-level procedures take
+//! any number of parameters.  Every expression carries a unique
+//! [`Label`]; the closure-conversion machinery identifies lambdas by
+//! their labels.
+
+use pe_sexpr::Sexpr;
+use std::fmt;
+use std::rc::Rc;
+
+/// A unique label `ℓ ∈ Label` attached to every expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub u32);
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Quoted, self-evaluating data (`K ∈ Constants`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// A fixnum.
+    Int(i64),
+    /// `#t` / `#f`.
+    Bool(bool),
+    /// A character.
+    Char(char),
+    /// A string.
+    Str(Rc<str>),
+    /// A quoted symbol.
+    Sym(Rc<str>),
+    /// The empty list.
+    Nil,
+    /// A quoted pair.
+    Pair(Rc<Constant>, Rc<Constant>),
+}
+
+impl Constant {
+    /// Scheme truthiness: everything but `#f` is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Constant::Bool(false))
+    }
+
+    /// Renders the constant as a (quoted) S-expression datum.
+    pub fn to_sexpr(&self) -> Sexpr {
+        match self {
+            Constant::Int(n) => Sexpr::Int(*n),
+            Constant::Bool(b) => Sexpr::Bool(*b),
+            Constant::Char(c) => Sexpr::Char(*c),
+            Constant::Str(s) => Sexpr::Str(s.clone()),
+            Constant::Sym(s) => Sexpr::Sym(s.clone()),
+            Constant::Nil => Sexpr::nil(),
+            Constant::Pair(_, _) => {
+                // Render proper-list spines as lists, falling back to a
+                // synthetic (cons a d) for improper data (which the reader
+                // cannot produce, but programmatic construction can).
+                let mut items = Vec::new();
+                let mut cur = self.clone();
+                loop {
+                    match cur {
+                        Constant::Pair(a, d) => {
+                            items.push(a.to_sexpr());
+                            cur = (*d).clone();
+                        }
+                        Constant::Nil => return Sexpr::List(items),
+                        other => {
+                            let mut out = vec![Sexpr::sym_of("cons-spine")];
+                            out.extend(items);
+                            out.push(other.to_sexpr());
+                            return Sexpr::List(out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Primitive operators (`O ∈ Operators`), all strict and first-order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Prim {
+    /// `(cons a d)`
+    Cons,
+    /// `(car p)`
+    Car,
+    /// `(cdr p)`
+    Cdr,
+    /// `(null? x)`
+    NullP,
+    /// `(pair? x)`
+    PairP,
+    /// `(not x)`
+    Not,
+    /// `(eq? a b)` — pointer/atom identity; on fixnums same as `=`.
+    EqP,
+    /// `(eqv? a b)`
+    EqvP,
+    /// `(equal? a b)` — structural equality.
+    EqualP,
+    /// `(+ a b)`
+    Add,
+    /// `(- a b)`
+    Sub,
+    /// `(* a b)`
+    Mul,
+    /// `(quotient a b)`
+    Quotient,
+    /// `(remainder a b)`
+    Remainder,
+    /// `(= a b)`
+    NumEq,
+    /// `(< a b)`
+    Lt,
+    /// `(> a b)`
+    Gt,
+    /// `(<= a b)`
+    Le,
+    /// `(>= a b)`
+    Ge,
+    /// `(zero? n)`
+    ZeroP,
+    /// `(add1 n)`
+    Add1,
+    /// `(sub1 n)`
+    Sub1,
+    /// `(symbol? x)`
+    SymbolP,
+    /// `(number? x)`
+    NumberP,
+    /// `(boolean? x)`
+    BooleanP,
+}
+
+impl Prim {
+    /// The number of arguments the primitive takes (after the parser has
+    /// lowered variadic `+ - * list` forms to binary applications).
+    pub fn arity(self) -> usize {
+        match self {
+            Prim::Car
+            | Prim::Cdr
+            | Prim::NullP
+            | Prim::PairP
+            | Prim::Not
+            | Prim::ZeroP
+            | Prim::Add1
+            | Prim::Sub1
+            | Prim::SymbolP
+            | Prim::NumberP
+            | Prim::BooleanP => 1,
+            _ => 2,
+        }
+    }
+
+    /// The surface name of the primitive.
+    pub fn name(self) -> &'static str {
+        match self {
+            Prim::Cons => "cons",
+            Prim::Car => "car",
+            Prim::Cdr => "cdr",
+            Prim::NullP => "null?",
+            Prim::PairP => "pair?",
+            Prim::Not => "not",
+            Prim::EqP => "eq?",
+            Prim::EqvP => "eqv?",
+            Prim::EqualP => "equal?",
+            Prim::Add => "+",
+            Prim::Sub => "-",
+            Prim::Mul => "*",
+            Prim::Quotient => "quotient",
+            Prim::Remainder => "remainder",
+            Prim::NumEq => "=",
+            Prim::Lt => "<",
+            Prim::Gt => ">",
+            Prim::Le => "<=",
+            Prim::Ge => ">=",
+            Prim::ZeroP => "zero?",
+            Prim::Add1 => "add1",
+            Prim::Sub1 => "sub1",
+            Prim::SymbolP => "symbol?",
+            Prim::NumberP => "number?",
+            Prim::BooleanP => "boolean?",
+        }
+    }
+
+    /// Looks a primitive up by its surface name.
+    pub fn from_name(name: &str) -> Option<Prim> {
+        use Prim::*;
+        Some(match name {
+            "cons" => Cons,
+            "car" => Car,
+            "cdr" => Cdr,
+            "null?" => NullP,
+            "pair?" => PairP,
+            "not" => Not,
+            "eq?" => EqP,
+            "eqv?" => EqvP,
+            "equal?" => EqualP,
+            "+" => Add,
+            "-" => Sub,
+            "*" => Mul,
+            "quotient" => Quotient,
+            "remainder" => Remainder,
+            "=" => NumEq,
+            "<" => Lt,
+            ">" => Gt,
+            "<=" => Le,
+            ">=" => Ge,
+            "zero?" => ZeroP,
+            "add1" => Add1,
+            "sub1" => Sub1,
+            "symbol?" => SymbolP,
+            "number?" => NumberP,
+            "boolean?" => BooleanP,
+            _ => return None,
+        })
+    }
+
+    /// All primitives, for exhaustive tests.
+    pub fn all() -> &'static [Prim] {
+        use Prim::*;
+        &[
+            Cons, Car, Cdr, NullP, PairP, Not, EqP, EqvP, EqualP, Add, Sub, Mul, Quotient,
+            Remainder, NumEq, Lt, Gt, Le, Ge, ZeroP, Add1, Sub1, SymbolP, NumberP, BooleanP,
+        ]
+    }
+}
+
+impl fmt::Display for Prim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A surface expression (`E` in Fig. 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A variable reference `V`.
+    Var(Label, Rc<str>),
+    /// A constant `K`.
+    Const(Label, Constant),
+    /// `(if E E E)`.
+    If(Label, Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `(O E*)` — primitive application.
+    Prim(Label, Prim, Vec<Expr>),
+    /// `(P E*)` — call of a top-level procedure.
+    Call(Label, Rc<str>, Vec<Expr>),
+    /// `(let ((V E)) E)`.
+    Let(Label, Rc<str>, Box<Expr>, Box<Expr>),
+    /// `(lambda (V) E)` — single-parameter abstraction.
+    Lambda(Label, Rc<str>, Box<Expr>),
+    /// `(E E)` — application of a computed function to one argument.
+    App(Label, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// The label of this expression.
+    pub fn label(&self) -> Label {
+        match self {
+            Expr::Var(l, _)
+            | Expr::Const(l, _)
+            | Expr::If(l, _, _, _)
+            | Expr::Prim(l, _, _)
+            | Expr::Call(l, _, _)
+            | Expr::Let(l, _, _, _)
+            | Expr::Lambda(l, _, _)
+            | Expr::App(l, _, _) => *l,
+        }
+    }
+
+    /// Unparses back to concrete syntax.
+    pub fn to_sexpr(&self) -> Sexpr {
+        match self {
+            Expr::Var(_, v) => Sexpr::Sym(v.clone()),
+            Expr::Const(_, k) => match k {
+                Constant::Int(n) => Sexpr::Int(*n),
+                Constant::Bool(b) => Sexpr::Bool(*b),
+                Constant::Char(c) => Sexpr::Char(*c),
+                Constant::Str(s) => Sexpr::Str(s.clone()),
+                k => Sexpr::list_of([Sexpr::sym_of("quote"), k.to_sexpr()]),
+            },
+            Expr::If(_, c, t, e) => {
+                Sexpr::list_of([Sexpr::sym_of("if"), c.to_sexpr(), t.to_sexpr(), e.to_sexpr()])
+            }
+            Expr::Prim(_, op, args) => {
+                let mut xs = vec![Sexpr::sym_of(op.name())];
+                xs.extend(args.iter().map(Expr::to_sexpr));
+                Sexpr::List(xs)
+            }
+            Expr::Call(_, p, args) => {
+                let mut xs = vec![Sexpr::Sym(p.clone())];
+                xs.extend(args.iter().map(Expr::to_sexpr));
+                Sexpr::List(xs)
+            }
+            Expr::Let(_, v, rhs, body) => Sexpr::list_of([
+                Sexpr::sym_of("let"),
+                Sexpr::list_of([Sexpr::list_of([Sexpr::Sym(v.clone()), rhs.to_sexpr()])]),
+                body.to_sexpr(),
+            ]),
+            Expr::Lambda(_, v, body) => Sexpr::list_of([
+                Sexpr::sym_of("lambda"),
+                Sexpr::list_of([Sexpr::Sym(v.clone())]),
+                body.to_sexpr(),
+            ]),
+            Expr::App(_, f, a) => Sexpr::list_of([f.to_sexpr(), a.to_sexpr()]),
+        }
+    }
+
+    /// Calls `f` on this expression and every subexpression.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Var(_, _) | Expr::Const(_, _) => {}
+            Expr::If(_, c, t, e) => {
+                c.walk(f);
+                t.walk(f);
+                e.walk(f);
+            }
+            Expr::Prim(_, _, args) | Expr::Call(_, _, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Let(_, _, rhs, body) => {
+                rhs.walk(f);
+                body.walk(f);
+            }
+            Expr::Lambda(_, _, body) => body.walk(f),
+            Expr::App(_, g, a) => {
+                g.walk(f);
+                a.walk(f);
+            }
+        }
+    }
+}
+
+/// A top-level definition `(define (P V*) E)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Definition {
+    /// The procedure name `P`.
+    pub name: Rc<str>,
+    /// The formal parameters `V*`.
+    pub params: Vec<Rc<str>>,
+    /// The body.
+    pub body: Expr,
+}
+
+impl Definition {
+    /// Unparses back to concrete syntax.
+    pub fn to_sexpr(&self) -> Sexpr {
+        let mut head = vec![Sexpr::Sym(self.name.clone())];
+        head.extend(self.params.iter().map(|p| Sexpr::Sym(p.clone())));
+        Sexpr::list_of([Sexpr::sym_of("define"), Sexpr::List(head), self.body.to_sexpr()])
+    }
+}
+
+/// A whole program `Π ::= D+`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The definitions, in source order.
+    pub defs: Vec<Definition>,
+}
+
+impl Program {
+    /// Finds a definition by name.
+    pub fn def(&self, name: &str) -> Option<&Definition> {
+        self.defs.iter().find(|d| &*d.name == name)
+    }
+
+    /// Unparses the whole program.
+    pub fn to_sexprs(&self) -> Vec<Sexpr> {
+        self.defs.iter().map(Definition::to_sexpr).collect()
+    }
+
+    /// Renders the program as concrete syntax, one definition per line.
+    pub fn to_source(&self) -> String {
+        self.to_sexprs()
+            .iter()
+            .map(pe_sexpr::pretty)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_source())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_names_roundtrip() {
+        for &p in Prim::all() {
+            assert_eq!(Prim::from_name(p.name()), Some(p), "prim {p}");
+        }
+        assert_eq!(Prim::from_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn prim_arities() {
+        assert_eq!(Prim::Cons.arity(), 2);
+        assert_eq!(Prim::Car.arity(), 1);
+        assert_eq!(Prim::NumEq.arity(), 2);
+        assert_eq!(Prim::ZeroP.arity(), 1);
+    }
+
+    #[test]
+    fn constant_truthiness() {
+        assert!(!Constant::Bool(false).is_truthy());
+        assert!(Constant::Bool(true).is_truthy());
+        assert!(Constant::Int(0).is_truthy());
+        assert!(Constant::Nil.is_truthy());
+    }
+
+    #[test]
+    fn constant_list_rendering() {
+        let k = Constant::Pair(
+            Rc::new(Constant::Sym("a".into())),
+            Rc::new(Constant::Pair(Rc::new(Constant::Int(2)), Rc::new(Constant::Nil))),
+        );
+        assert_eq!(k.to_sexpr().to_string(), "(a 2)");
+    }
+}

@@ -1,0 +1,426 @@
+//! The desugaring phase of §4.3: surface syntax → tail form (Fig. 5).
+//!
+//! The desugarer "simply moves the non-tail expressions into parameters
+//! to lambda abstractions" — every serious subexpression in a non-tail
+//! position is lifted out and its evaluation context is reified as a
+//! lambda:
+//!
+//! ```text
+//! (f (g x))            ⇒  ((lambda (%t) (f %t)) (g x))
+//! (let ((v e1)) e2)    ⇒  ((lambda (v) e2) e1)
+//! (if (g x) a b)       ⇒  ((lambda (%t) (if %t a b)) (g x))
+//! ```
+//!
+//! Because the subject language is pure, reordering of *simple*
+//! expressions relative to serious siblings only affects which dynamic
+//! error is reported first, never the value computed.
+//!
+//! The desugarer also alpha-renames all variables to unique [`VarId`]s
+//! and hoists lambdas into the program-level table `φ` ([`DProgram::lambdas`]),
+//! computing each lambda's free variables in a fixed order.
+
+use crate::ast::{Expr, Program};
+use crate::dast::{
+    free_tail, DDef, DLabel, DProgram, LamId, LambdaDef, ProcId, SimpleExpr, TailExpr, VarId,
+};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An error produced during desugaring.
+///
+/// A scope-checked surface program cannot trigger these; they guard
+/// against programmatically constructed ASTs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesugarError {
+    /// A variable had no alpha-renaming in scope.
+    UnboundVariable(String),
+    /// A called procedure does not exist in the program.
+    UnknownProcedure(String),
+}
+
+impl fmt::Display for DesugarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DesugarError::UnboundVariable(v) => write!(f, "desugar: unbound variable {v}"),
+            DesugarError::UnknownProcedure(p) => write!(f, "desugar: unknown procedure {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DesugarError {}
+
+/// Lexical environment: surface name → unique id.  Cloned at binders;
+/// scopes are small.
+type Scope = HashMap<Rc<str>, VarId>;
+
+struct Ctx {
+    next_label: u32,
+    next_var: u32,
+    var_names: Vec<Rc<str>>,
+    lambdas: Vec<LambdaDef>,
+    procs: HashMap<Rc<str>, ProcId>,
+}
+
+impl Ctx {
+    fn label(&mut self) -> DLabel {
+        let l = DLabel(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn fresh_var(&mut self, name: &str) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        self.var_names.push(name.into());
+        v
+    }
+
+    fn temp(&mut self) -> VarId {
+        let n = self.next_var;
+        self.fresh_var(&format!("%t{n}"))
+    }
+
+    /// True if `e` is a simple expression (Fig. 5's `SE`).
+    fn is_simple(e: &Expr) -> bool {
+        match e {
+            Expr::Var(_, _) | Expr::Const(_, _) | Expr::Lambda(_, _, _) => true,
+            Expr::Prim(_, _, args) => args.iter().all(Self::is_simple),
+            Expr::If(_, _, _, _) | Expr::Call(_, _, _) | Expr::Let(_, _, _, _) | Expr::App(_, _, _) => {
+                false
+            }
+        }
+    }
+
+    /// Translates a simple surface expression.
+    fn simp(&mut self, e: &Expr, scope: &Scope) -> Result<SimpleExpr, DesugarError> {
+        match e {
+            Expr::Var(_, v) => {
+                let id = scope
+                    .get(v)
+                    .copied()
+                    .ok_or_else(|| DesugarError::UnboundVariable(v.to_string()))?;
+                Ok(SimpleExpr::Var(self.label(), id))
+            }
+            Expr::Const(_, k) => Ok(SimpleExpr::Const(self.label(), k.clone())),
+            Expr::Prim(_, op, args) => {
+                let args = args
+                    .iter()
+                    .map(|a| self.simp(a, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(SimpleExpr::Prim(self.label(), *op, args))
+            }
+            Expr::Lambda(_, v, body) => {
+                let param = self.fresh_var(v);
+                let mut inner = scope.clone();
+                inner.insert(v.clone(), param);
+                let body = self.tail(body, &inner)?;
+                Ok(self.make_lambda(param, body))
+            }
+            _ => unreachable!("simp called on serious expression"),
+        }
+    }
+
+    /// Hoists a lambda with the given (already desugared) body, computing
+    /// its free variables.
+    fn make_lambda(&mut self, param: VarId, body: TailExpr) -> SimpleExpr {
+        // Free variables need the lambda table for nested lambda leaves;
+        // we build a throwaway view over the current table.
+        let view = DProgram {
+            defs: Vec::new(),
+            lambdas: std::mem::take(&mut self.lambdas),
+            var_names: Vec::new(), // free_tail never consults names
+        };
+        let mut fv = BTreeSet::new();
+        free_tail(&view, &body, &mut fv);
+        fv.remove(&param);
+        self.lambdas = view.lambdas;
+        let id = LamId(self.lambdas.len() as u32);
+        self.lambdas.push(LambdaDef { param, freevars: fv.into_iter().collect(), body });
+        SimpleExpr::Lambda(self.label(), id)
+    }
+
+    /// Wraps `serious` with the context "λ v. rest(v)": builds
+    /// `((lambda (v) <rest>) <serious>)`.
+    fn bind(
+        &mut self,
+        serious: &Expr,
+        scope: &Scope,
+        rest: impl FnOnce(&mut Self, SimpleExpr) -> Result<TailExpr, DesugarError>,
+    ) -> Result<TailExpr, DesugarError> {
+        let v = self.temp();
+        let hole = SimpleExpr::Var(self.label(), v);
+        let body = rest(self, hole)?;
+        let ctx = self.make_lambda(v, body);
+        let arg = self.tail(serious, scope)?;
+        Ok(TailExpr::PushApp(self.label(), ctx, Box::new(arg)))
+    }
+
+    /// Translates an expression in tail position.
+    fn tail(&mut self, e: &Expr, scope: &Scope) -> Result<TailExpr, DesugarError> {
+        match e {
+            _ if Self::is_simple(e) => Ok(TailExpr::Simple(self.simp(e, scope)?)),
+            Expr::If(_, c, t, f) => {
+                if Self::is_simple(c) {
+                    let c = self.simp(c, scope)?;
+                    let t = self.tail(t, scope)?;
+                    let f = self.tail(f, scope)?;
+                    Ok(TailExpr::If(self.label(), c, Box::new(t), Box::new(f)))
+                } else {
+                    let (t, f) = (t.clone(), f.clone());
+                    let scope2 = scope.clone();
+                    self.bind(c, scope, move |me, hole| {
+                        let t = me.tail(&t, &scope2)?;
+                        let f = me.tail(&f, &scope2)?;
+                        Ok(TailExpr::If(me.label(), hole, Box::new(t), Box::new(f)))
+                    })
+                }
+            }
+            Expr::Prim(_, op, args) => {
+                // At least one argument is serious (else is_simple).
+                let i = args
+                    .iter()
+                    .position(|a| !Self::is_simple(a))
+                    .expect("serious prim must have a serious argument");
+                let (op, args) = (*op, args.clone());
+                let scope2 = scope.clone();
+                self.bind(&args[i].clone(), scope, move |me, hole| {
+                    let mut new_args = args;
+                    // Replace the serious argument with the hole variable
+                    // and retranslate the (now possibly simple) prim.
+                    new_args[i] = hole_expr(&hole);
+                    let rebuilt = Expr::Prim(crate::ast::Label(u32::MAX), op, new_args);
+                    me.tail_with_holes(&rebuilt, &scope2, &hole)
+                })
+            }
+            Expr::Call(_, p, args) => {
+                if args.iter().all(Self::is_simple) {
+                    let pid = self
+                        .procs
+                        .get(p)
+                        .copied()
+                        .ok_or_else(|| DesugarError::UnknownProcedure(p.to_string()))?;
+                    let args = args
+                        .iter()
+                        .map(|a| self.simp(a, scope))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(TailExpr::CallProc(self.label(), pid, args))
+                } else {
+                    let i = args
+                        .iter()
+                        .position(|a| !Self::is_simple(a))
+                        .expect("checked above");
+                    let (p, args) = (p.clone(), args.clone());
+                    let scope2 = scope.clone();
+                    self.bind(&args[i].clone(), scope, move |me, hole| {
+                        let mut new_args = args;
+                        new_args[i] = hole_expr(&hole);
+                        let rebuilt = Expr::Call(crate::ast::Label(u32::MAX), p, new_args);
+                        me.tail_with_holes(&rebuilt, &scope2, &hole)
+                    })
+                }
+            }
+            Expr::Let(_, v, rhs, body) => {
+                // (let ((v e1)) e2) ⇒ ((lambda (v) e2) e1)
+                let param = self.fresh_var(v);
+                let mut inner = scope.clone();
+                inner.insert(v.clone(), param);
+                let body = self.tail(body, &inner)?;
+                let ctx = self.make_lambda(param, body);
+                let arg = self.tail(rhs, scope)?;
+                Ok(TailExpr::PushApp(self.label(), ctx, Box::new(arg)))
+            }
+            Expr::App(_, f, a) => {
+                if Self::is_simple(f) {
+                    // (SE E): push the operator closure, evaluate the
+                    // argument (serious or simple) under it.
+                    let ctx = self.simp(f, scope)?;
+                    let arg = self.tail(a, scope)?;
+                    Ok(TailExpr::PushApp(self.label(), ctx, Box::new(arg)))
+                } else {
+                    let (a,) = (a.clone(),);
+                    let scope2 = scope.clone();
+                    self.bind(f, scope, move |me, hole| {
+                        let arg = me.tail(&a, &scope2)?;
+                        Ok(TailExpr::PushApp(me.label(), hole, Box::new(arg)))
+                    })
+                }
+            }
+            Expr::Var(_, _) | Expr::Const(_, _) | Expr::Lambda(_, _, _) => {
+                unreachable!("simple cases handled by the guard")
+            }
+        }
+    }
+
+    /// Retranslates a rebuilt expression in which hole variables (already
+    /// desugared [`SimpleExpr::Var`]s) stand for bound temporaries.  The
+    /// hole's `VarId` is reachable through a synthetic scope entry.
+    fn tail_with_holes(
+        &mut self,
+        e: &Expr,
+        scope: &Scope,
+        hole: &SimpleExpr,
+    ) -> Result<TailExpr, DesugarError> {
+        let SimpleExpr::Var(_, vid) = hole else {
+            unreachable!("holes are variables")
+        };
+        let mut scope = scope.clone();
+        scope.insert(Rc::from(hole_name(*vid).as_str()), *vid);
+        self.tail(e, &scope)
+    }
+}
+
+fn hole_name(v: VarId) -> String {
+    format!("%hole{}", v.0)
+}
+
+fn hole_expr(hole: &SimpleExpr) -> Expr {
+    let SimpleExpr::Var(_, vid) = hole else {
+        unreachable!("holes are variables")
+    };
+    Expr::Var(crate::ast::Label(u32::MAX), Rc::from(hole_name(*vid).as_str()))
+}
+
+/// Desugars a scope-checked surface program into tail form.
+///
+/// # Errors
+///
+/// Only programmatically constructed (non-parser) ASTs can fail, with
+/// [`DesugarError::UnboundVariable`] or [`DesugarError::UnknownProcedure`].
+pub fn desugar(p: &Program) -> Result<DProgram, DesugarError> {
+    let procs: HashMap<Rc<str>, ProcId> = p
+        .defs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.name.clone(), ProcId(i as u32)))
+        .collect();
+    let mut ctx = Ctx {
+        next_label: 0,
+        next_var: 0,
+        var_names: Vec::new(),
+        lambdas: Vec::new(),
+        procs,
+    };
+    let mut defs = Vec::new();
+    for d in &p.defs {
+        let mut scope: Scope = HashMap::new();
+        let params: Vec<VarId> = d
+            .params
+            .iter()
+            .map(|name| {
+                let v = ctx.fresh_var(name);
+                scope.insert(name.clone(), v);
+                v
+            })
+            .collect();
+        let body = ctx.tail(&d.body, &scope)?;
+        defs.push(DDef { name: d.name.clone(), params, body });
+    }
+    Ok(DProgram { defs, lambdas: ctx.lambdas, var_names: ctx.var_names })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dast::{SimpleExpr, TailExpr};
+    use crate::parse::parse_source;
+
+    fn d(src: &str) -> DProgram {
+        desugar(&parse_source(src).expect("parse")).expect("desugar")
+    }
+
+    /// Checks the Fig. 5 grammar: conditions simple, call args simple,
+    /// contexts simple.
+    fn assert_tail_form(p: &DProgram, te: &TailExpr) {
+        match te {
+            TailExpr::Simple(_) => {}
+            TailExpr::If(_, _c, t, e) => {
+                assert_tail_form(p, t);
+                assert_tail_form(p, e);
+            }
+            TailExpr::CallProc(_, _, _args) => {}
+            TailExpr::PushApp(_, _ctx, body) => assert_tail_form(p, body),
+        }
+    }
+
+    #[test]
+    fn simple_body_stays_simple() {
+        let p = d("(define (f x) (cons x x))");
+        assert!(matches!(p.defs[0].body, TailExpr::Simple(_)));
+    }
+
+    #[test]
+    fn nested_call_introduces_context() {
+        let p = d("(define (f x) x) (define (g x) (f (f x)))");
+        let TailExpr::PushApp(_, SimpleExpr::Lambda(_, lam), body) = &p.defs[1].body else {
+            panic!("expected context push, got {:?}", p.defs[1].body);
+        };
+        // The serious inner call is evaluated under the pushed context.
+        assert!(matches!(&**body, TailExpr::CallProc(_, _, _)));
+        // The context body performs the outer call on the temp.
+        let lam = p.lambda(*lam);
+        assert!(matches!(&lam.body, TailExpr::CallProc(_, _, _)));
+    }
+
+    #[test]
+    fn let_becomes_lambda_application() {
+        let p = d("(define (f x) (let ((y (cons x x))) (cons y y)))");
+        assert!(matches!(&p.defs[0].body, TailExpr::PushApp(_, SimpleExpr::Lambda(_, _), _)));
+    }
+
+    #[test]
+    fn serious_condition_is_lifted() {
+        let p = d("(define (f x) x) (define (g x) (if (f x) 1 2))");
+        let TailExpr::PushApp(_, SimpleExpr::Lambda(_, lam), body) = &p.defs[1].body else {
+            panic!("expected context push");
+        };
+        assert!(matches!(&**body, TailExpr::CallProc(_, _, _)));
+        assert!(matches!(&p.lambda(*lam).body, TailExpr::If(_, SimpleExpr::Var(_, _), _, _)));
+    }
+
+    #[test]
+    fn whole_suite_is_grammar_conformant() {
+        for src in [
+            "(define (append x y) (cps-append x y (lambda (v) v)))
+             (define (cps-append x y c)
+               (if (null? x) (c y)
+                   (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))",
+            "(define (tak x y z)
+               (if (not (< y x)) z
+                   (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))",
+            "(define (f x) (let ((a (g x)) (b (g x))) (if (g (cons a b)) (f a) (f b))))
+             (define (g x) x)",
+        ] {
+            let p = d(src);
+            for def in &p.defs {
+                assert_tail_form(&p, &def.body);
+            }
+            for lam in &p.lambdas {
+                assert_tail_form(&p, &lam.body);
+            }
+        }
+    }
+
+    #[test]
+    fn alpha_renaming_is_unique() {
+        let p = d("(define (f x) ((lambda (x) x) x)) (define (g x) x)");
+        // Three distinct binders named x → three distinct VarIds.
+        let xs: Vec<u32> = p
+            .var_names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| &***n == "x")
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(xs.len(), 3);
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        // (f (g x)) ⇒ ((lambda (t) (f t)) (g x))
+        let p = d("(define (f x) x) (define (g x) x) (define (h x) (f (g x)))");
+        let s = p.to_source();
+        assert!(s.contains("lambda"), "context lambda expected in: {s}");
+    }
+}

@@ -1,0 +1,511 @@
+//! The "simple equational flow analysis" of §4.2 — a monovariant 0CFA
+//! over the desugared tail form.
+//!
+//! The analysis computes, for every variable and every expression, which
+//! lambda abstractions its value may be a closure of, and which `cons`
+//! sites its value may be a pair of.  The specializer uses it to
+//!
+//! * restrict the set of lambdas The Trick must dispatch over when a
+//!   dynamic closure is applied, and
+//! * (via [`crate::gen_analysis`]) detect self-embedding closures and
+//!   pairs that would make specialization diverge (§4.5).
+//!
+//! Abstract values track closure labels and cons-site labels precisely;
+//! all other data collapses to a `base` flag.  Returned values merge in a
+//! single global pool (`RET`) that feeds every context-lambda parameter —
+//! the paper calls for exactly this kind of cheap equational analysis.
+
+use crate::dast::{DProgram, LamId, SimpleExpr, TailExpr, VarId};
+use crate::Prim;
+use std::collections::BTreeSet;
+
+/// A set of lambda labels — the dispatch candidates for The Trick.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LamSet(pub BTreeSet<LamId>);
+
+impl LamSet {
+    /// The empty set.
+    pub fn new() -> LamSet {
+        LamSet::default()
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &LamSet) -> LamSet {
+        LamSet(self.0.union(&other.0).copied().collect())
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = LamId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if no lambda can flow here.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, l: LamId) -> bool {
+        self.0.contains(&l)
+    }
+}
+
+impl FromIterator<LamId> for LamSet {
+    fn from_iter<T: IntoIterator<Item = LamId>>(iter: T) -> Self {
+        LamSet(iter.into_iter().collect())
+    }
+}
+
+/// An abstract value: which closures / pairs / other data may flow here.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Lambdas this value may be a closure of.
+    pub lams: BTreeSet<LamId>,
+    /// `cons` sites (by expression label `DLabel.0`) this value may be a
+    /// pair of.
+    pub pairs: BTreeSet<u32>,
+    /// May be quoted (closure-free) structured data.
+    pub quoted: bool,
+    /// May be first-order base data (numbers, booleans, entry input, …).
+    pub base: bool,
+}
+
+impl AbsVal {
+    fn base() -> AbsVal {
+        AbsVal { base: true, ..AbsVal::default() }
+    }
+
+    fn join(&mut self, other: &AbsVal) -> bool {
+        let n0 = self.lams.len();
+        let p0 = self.pairs.len();
+        let q0 = self.quoted;
+        let b0 = self.base;
+        self.lams.extend(other.lams.iter().copied());
+        self.pairs.extend(other.pairs.iter().copied());
+        self.quoted |= other.quoted;
+        self.base |= other.base;
+        self.lams.len() != n0 || self.pairs.len() != p0 || self.quoted != q0 || self.base != b0
+    }
+}
+
+/// The result of the flow analysis.
+#[derive(Debug)]
+pub struct FlowAnalysis {
+    vars: Vec<AbsVal>,
+    /// Per `cons` site: the join of both component values.
+    cons_components: Vec<(u32, AbsVal)>,
+    /// The global return pool.
+    ret: AbsVal,
+    /// Lambdas that may occur in context position of a `PushApp` —
+    /// everything a dynamic context stack may contain.
+    context_lams: LamSet,
+}
+
+impl FlowAnalysis {
+    /// Runs the analysis to fixpoint.
+    pub fn analyze(p: &DProgram) -> FlowAnalysis {
+        let nvars = p.var_names.len();
+        let mut st = Solver {
+            p,
+            vars: vec![AbsVal::default(); nvars],
+            cons: Vec::new(),
+            ret: AbsVal::default(),
+            changed: true,
+        };
+        // Collect cons sites up front so indices are stable.
+        for d in &p.defs {
+            collect_cons_sites_tail(&d.body, &mut st.cons);
+        }
+        for l in &p.lambdas {
+            collect_cons_sites_tail(&l.body, &mut st.cons);
+        }
+        // Entry assumption: any procedure may be called from outside with
+        // first-order data.
+        for d in &p.defs {
+            for &v in &d.params {
+                st.vars[v.0 as usize].join(&AbsVal::base());
+            }
+        }
+        while st.changed {
+            st.changed = false;
+            for d in &p.defs {
+                st.tail(&d.body);
+            }
+            for l in &p.lambdas {
+                st.tail(&l.body);
+            }
+        }
+        // Context lambdas: those that may flow into ctx position.
+        let mut context_lams = BTreeSet::new();
+        for d in &p.defs {
+            collect_context_lams(&st, &d.body, &mut context_lams);
+        }
+        for l in &p.lambdas {
+            collect_context_lams(&st, &l.body, &mut context_lams);
+        }
+        FlowAnalysis {
+            vars: st.vars,
+            cons_components: st.cons,
+            ret: st.ret,
+            context_lams: LamSet(context_lams),
+        }
+    }
+
+    /// The abstract value of a variable.
+    pub fn var(&self, v: VarId) -> &AbsVal {
+        &self.vars[v.0 as usize]
+    }
+
+    /// The abstract value of a simple expression.
+    pub fn value_of(&self, se: &SimpleExpr) -> AbsVal {
+        eval_simple(&self.vars, &self.cons_components, se)
+    }
+
+    /// The lambdas a simple expression may evaluate to — The Trick's
+    /// dispatch candidates for this expression.
+    pub fn lambdas_of(&self, se: &SimpleExpr) -> LamSet {
+        LamSet(self.value_of(se).lams.clone())
+    }
+
+    /// The lambdas a variable may hold.
+    pub fn var_lambdas(&self, v: VarId) -> LamSet {
+        LamSet(self.var(v).lams.clone())
+    }
+
+    /// Lambdas that may serve as evaluation contexts (may be pushed on
+    /// the context stack) — the candidate set for a fully dynamic stack.
+    pub fn context_lambdas(&self) -> &LamSet {
+        &self.context_lams
+    }
+
+    /// Lambdas that may be returned through the global return pool.
+    pub fn returned_lambdas(&self) -> LamSet {
+        LamSet(self.ret.lams.clone())
+    }
+
+    /// The joined components of a `cons` site, if the site exists.
+    pub fn cons_components(&self, site: u32) -> Option<&AbsVal> {
+        self.cons_components.iter().find(|(s, _)| *s == site).map(|(_, v)| v)
+    }
+
+    /// All lambdas reachable *inside* an abstract value: its own closure
+    /// set plus, transitively, anything stored in pairs it may contain
+    /// and anything captured by closures it may be.
+    pub fn deep_lambdas(&self, p: &DProgram, v: &AbsVal) -> LamSet {
+        let mut seen_lams: BTreeSet<LamId> = BTreeSet::new();
+        let mut seen_pairs: BTreeSet<u32> = BTreeSet::new();
+        let mut lam_work: Vec<LamId> = v.lams.iter().copied().collect();
+        let mut pair_work: Vec<u32> = v.pairs.iter().copied().collect();
+        while !lam_work.is_empty() || !pair_work.is_empty() {
+            while let Some(site) = pair_work.pop() {
+                if !seen_pairs.insert(site) {
+                    continue;
+                }
+                if let Some(c) = self.cons_components(site) {
+                    lam_work.extend(c.lams.iter().copied());
+                    pair_work.extend(c.pairs.iter().copied());
+                }
+            }
+            while let Some(lam) = lam_work.pop() {
+                if !seen_lams.insert(lam) {
+                    continue;
+                }
+                for &fv in &p.lambda(lam).freevars {
+                    let fvv = self.var(fv);
+                    lam_work.extend(fvv.lams.iter().copied());
+                    pair_work.extend(fvv.pairs.iter().copied());
+                }
+            }
+        }
+        LamSet(seen_lams)
+    }
+
+    /// All cons sites reachable inside an abstract value, transitively
+    /// through pair components and closure captures.
+    pub fn deep_pairs(&self, p: &DProgram, v: &AbsVal) -> BTreeSet<u32> {
+        let mut seen_lams: BTreeSet<LamId> = BTreeSet::new();
+        let mut seen_pairs: BTreeSet<u32> = BTreeSet::new();
+        let mut lam_work: Vec<LamId> = v.lams.iter().copied().collect();
+        let mut pair_work: Vec<u32> = v.pairs.iter().copied().collect();
+        while !lam_work.is_empty() || !pair_work.is_empty() {
+            while let Some(site) = pair_work.pop() {
+                if !seen_pairs.insert(site) {
+                    continue;
+                }
+                if let Some(c) = self.cons_components(site) {
+                    lam_work.extend(c.lams.iter().copied());
+                    pair_work.extend(c.pairs.iter().copied());
+                }
+            }
+            while let Some(lam) = lam_work.pop() {
+                if !seen_lams.insert(lam) {
+                    continue;
+                }
+                for &fv in &p.lambda(lam).freevars {
+                    let fvv = self.var(fv);
+                    lam_work.extend(fvv.lams.iter().copied());
+                    pair_work.extend(fvv.pairs.iter().copied());
+                }
+            }
+        }
+        seen_pairs
+    }
+}
+
+struct Solver<'p> {
+    p: &'p DProgram,
+    vars: Vec<AbsVal>,
+    cons: Vec<(u32, AbsVal)>,
+    ret: AbsVal,
+    changed: bool,
+}
+
+fn collect_cons_sites_tail(te: &TailExpr, out: &mut Vec<(u32, AbsVal)>) {
+    match te {
+        TailExpr::Simple(se) => collect_cons_sites_simple(se, out),
+        TailExpr::If(_, c, t, e) => {
+            collect_cons_sites_simple(c, out);
+            collect_cons_sites_tail(t, out);
+            collect_cons_sites_tail(e, out);
+        }
+        TailExpr::CallProc(_, _, args) => {
+            for a in args {
+                collect_cons_sites_simple(a, out);
+            }
+        }
+        TailExpr::PushApp(_, ctx, body) => {
+            collect_cons_sites_simple(ctx, out);
+            collect_cons_sites_tail(body, out);
+        }
+    }
+}
+
+fn collect_cons_sites_simple(se: &SimpleExpr, out: &mut Vec<(u32, AbsVal)>) {
+    if let SimpleExpr::Prim(l, op, args) = se {
+        if *op == Prim::Cons {
+            out.push((l.0, AbsVal::default()));
+        }
+        for a in args {
+            collect_cons_sites_simple(a, out);
+        }
+    }
+}
+
+fn eval_simple(vars: &[AbsVal], cons: &[(u32, AbsVal)], se: &SimpleExpr) -> AbsVal {
+    match se {
+        SimpleExpr::Var(_, v) => vars[v.0 as usize].clone(),
+        SimpleExpr::Const(_, k) => {
+            let mut a = AbsVal::base();
+            if matches!(k, crate::Constant::Pair(_, _)) {
+                a.quoted = true;
+            }
+            a
+        }
+        SimpleExpr::Lambda(_, id) => AbsVal { lams: BTreeSet::from([*id]), ..AbsVal::default() },
+        SimpleExpr::Prim(l, op, args) => {
+            let argvals: Vec<AbsVal> = args.iter().map(|a| eval_simple(vars, cons, a)).collect();
+            match op {
+                Prim::Cons => AbsVal { pairs: BTreeSet::from([l.0]), ..AbsVal::default() },
+                Prim::Car | Prim::Cdr => {
+                    let mut out = AbsVal::default();
+                    let x = &argvals[0];
+                    // Components of quoted data are quoted data; base
+                    // data is closure-free so its components are base.
+                    out.quoted |= x.quoted;
+                    out.base |= x.base || x.quoted;
+                    for site in &x.pairs {
+                        if let Some((_, c)) = cons.iter().find(|(s, _)| s == site) {
+                            let c = c.clone();
+                            out.join(&c);
+                        }
+                    }
+                    out
+                }
+                _ => AbsVal::base(),
+            }
+        }
+    }
+}
+
+impl Solver<'_> {
+    fn value_of(&self, se: &SimpleExpr) -> AbsVal {
+        eval_simple(&self.vars, &self.cons, se)
+    }
+
+    fn flow_into_var(&mut self, v: VarId, val: &AbsVal) {
+        if self.vars[v.0 as usize].join(val) {
+            self.changed = true;
+        }
+    }
+
+    /// Records component flows for every `cons` nested in `se`.
+    fn record_cons_flows(&mut self, se: &SimpleExpr) {
+        match se {
+            SimpleExpr::Prim(l, op, args) => {
+                for a in args {
+                    self.record_cons_flows(a);
+                }
+                if *op == Prim::Cons {
+                    let a = self.value_of(&args[0]);
+                    let d = self.value_of(&args[1]);
+                    let entry = self
+                        .cons
+                        .iter_mut()
+                        .find(|(s, _)| *s == l.0)
+                        .expect("cons site collected");
+                    let mut ch = entry.1.join(&a);
+                    ch |= entry.1.join(&d);
+                    if ch {
+                        self.changed = true;
+                    }
+                }
+            }
+            SimpleExpr::Var(_, _) | SimpleExpr::Const(_, _) | SimpleExpr::Lambda(_, _) => {}
+        }
+    }
+
+    fn tail(&mut self, te: &TailExpr) {
+        match te {
+            TailExpr::Simple(se) => {
+                self.record_cons_flows(se);
+                let v = self.value_of(se);
+                if self.ret.join(&v) {
+                    self.changed = true;
+                }
+            }
+            TailExpr::If(_, c, t, e) => {
+                self.record_cons_flows(c);
+                self.tail(t);
+                self.tail(e);
+            }
+            TailExpr::CallProc(_, pid, args) => {
+                let params = self.p.proc(*pid).params.clone();
+                for (param, arg) in params.iter().zip(args) {
+                    self.record_cons_flows(arg);
+                    let v = self.value_of(arg);
+                    self.flow_into_var(*param, &v);
+                }
+            }
+            TailExpr::PushApp(_, ctx, body) => {
+                self.record_cons_flows(ctx);
+                // Whatever the body returns is delivered to the pushed
+                // context's parameter; with the global return pool that
+                // is RET.
+                let ctxv = self.value_of(ctx);
+                let ret = self.ret.clone();
+                for lam in ctxv.lams.iter().copied().collect::<Vec<_>>() {
+                    let param = self.p.lambda(lam).param;
+                    self.flow_into_var(param, &ret);
+                }
+                self.tail(body);
+            }
+        }
+    }
+}
+
+fn collect_context_lams(st: &Solver<'_>, te: &TailExpr, out: &mut BTreeSet<LamId>) {
+    match te {
+        TailExpr::Simple(_) | TailExpr::CallProc(_, _, _) => {}
+        TailExpr::If(_, _, t, e) => {
+            collect_context_lams(st, t, out);
+            collect_context_lams(st, e, out);
+        }
+        TailExpr::PushApp(_, ctx, body) => {
+            out.extend(st.value_of(ctx).lams.iter().copied());
+            collect_context_lams(st, body, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desugar::desugar;
+    use crate::parse::parse_source;
+
+    fn analyze(src: &str) -> (DProgram, FlowAnalysis) {
+        let p = desugar(&parse_source(src).unwrap()).unwrap();
+        let f = FlowAnalysis::analyze(&p);
+        (p, f)
+    }
+
+    #[test]
+    fn cps_append_continuation_candidates() {
+        let (p, f) = analyze(
+            "(define (append x y) (cps-append x y (lambda (v) v)))
+             (define (cps-append x y c)
+               (if (null? x) (c y)
+                   (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))",
+        );
+        // `c` can be the identity lambda or the inner continuation: 2
+        // candidates, exactly the paper's dispatch over labels 10 and 24.
+        let cps = p.proc_id("cps-append").unwrap();
+        let c = p.proc(cps).params[2];
+        let cands = f.var_lambdas(c);
+        assert_eq!(cands.len(), 2, "candidates: {cands:?}");
+    }
+
+    #[test]
+    fn first_order_program_has_no_closure_params() {
+        let (p, f) = analyze(
+            "(define (tak x y z)
+               (if (not (< y x)) z
+                   (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))",
+        );
+        let tak = p.proc_id("tak").unwrap();
+        for &param in &p.proc(tak).params {
+            assert!(f.var_lambdas(param).is_empty());
+        }
+        // But desugaring introduced context lambdas.
+        assert!(!f.context_lambdas().is_empty());
+    }
+
+    #[test]
+    fn closures_through_pairs_are_tracked() {
+        let (p, f) = analyze(
+            "(define (mk x) (cons (lambda (v) x) '()))
+             (define (use p a) ((car p) a))
+             (define (main a) (use (mk a) a))",
+        );
+        let use_ = p.proc_id("use").unwrap();
+        let pp = p.proc(use_).params[0];
+        // p itself is a pair, not a closure…
+        assert!(f.var_lambdas(pp).is_empty());
+        // …but (car p) can be the stored lambda.
+        let deep = f.deep_lambdas(&p, f.var(pp));
+        assert_eq!(deep.len(), 1);
+    }
+
+    #[test]
+    fn quoted_data_never_contains_closures() {
+        let (p, f) = analyze("(define (f) (car '(a b)))");
+        let _ = p;
+        assert!(f.returned_lambdas().is_empty());
+    }
+
+    #[test]
+    fn deep_pairs_terminates_on_cycles() {
+        // A self-embedding cons: (cons x acc) where acc comes back around.
+        let (p, f) =
+            analyze("(define (rev x acc) (if (null? x) acc (rev (cdr x) (cons (car x) acc))))");
+        let rev = p.proc_id("rev").unwrap();
+        let acc = p.proc(rev).params[1];
+        let deep = f.deep_pairs(&p, f.var(acc));
+        assert_eq!(deep.len(), 1, "one cons site, cyclically reachable");
+    }
+
+    #[test]
+    fn lamset_operations() {
+        let a: LamSet = [LamId(1), LamId(2)].into_iter().collect();
+        let b: LamSet = [LamId(2), LamId(3)].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(u.contains(LamId(1)) && u.contains(LamId(3)));
+        assert!(!LamSet::new().contains(LamId(0)));
+    }
+}

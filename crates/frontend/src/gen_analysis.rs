@@ -1,0 +1,345 @@
+//! The offline generalization analysis of §4.5.
+//!
+//! Mix-style partial evaluators do not detect static data structures
+//! that grow without bounds under dynamic control.  The paper identifies
+//! three sources of self-embedding data in the two-level interpreter:
+//!
+//! 1. the stack of evaluation contexts may contain a context that leads
+//!    to its own repeated evaluation,
+//! 2. a closure may contain a closure generated from the same lambda
+//!    expression as part of a free variable's value,
+//! 3. applications of `cons` may nest.
+//!
+//! Under the *offline* strategy, a flow analysis determines statically
+//! which lambdas and which cons sites may lead to critical data; the
+//! specializer then generalizes the corresponding value descriptions *at
+//! creation* (critical evaluation contexts "are merely closures already
+//! caught by the analysis", plus stack-recursion detection below).
+
+use crate::dast::{DProgram, LamId, ProcId, SimpleExpr, TailExpr};
+use crate::flow::{FlowAnalysis, LamSet};
+use std::collections::BTreeSet;
+
+/// Which lambdas and cons sites the offline strategy generalizes at
+/// creation.
+#[derive(Debug, Clone)]
+pub struct GenAnalysis {
+    /// Lambdas whose closures may (transitively) capture a closure of
+    /// the same lambda — source 2 — or that may be pushed repeatedly on
+    /// the context stack without an intervening pop — source 1.
+    pub critical_lams: BTreeSet<LamId>,
+    /// Cons sites whose results may (transitively) contain a pair from
+    /// the same site — source 3.
+    pub critical_cons: BTreeSet<u32>,
+    /// Lambdas that may appear on a dynamic context stack (used as the
+    /// dispatch candidate set when the whole stack is dynamic).
+    pub stack_candidates: LamSet,
+}
+
+impl GenAnalysis {
+    /// Runs the analysis on a desugared program using flow results.
+    pub fn analyze(p: &DProgram, flow: &FlowAnalysis) -> GenAnalysis {
+        let mut critical_lams = BTreeSet::new();
+        let mut critical_cons = BTreeSet::new();
+
+        // Source 2: a closure of ℓ can reach a closure of ℓ through its
+        // free variables (via captured values and pair components).
+        for (i, lam) in p.lambdas.iter().enumerate() {
+            let id = LamId(i as u32);
+            for &fv in &lam.freevars {
+                if flow.deep_lambdas(p, flow.var(fv)).contains(id) {
+                    critical_lams.insert(id);
+                    break;
+                }
+            }
+        }
+
+        // Source 3: a cons site whose components can reach a pair from
+        // the same site.
+        let mut all_sites: BTreeSet<u32> = BTreeSet::new();
+        collect_sites(p, &mut all_sites);
+        for &site in &all_sites {
+            if let Some(c) = flow.cons_components(site) {
+                if flow.deep_pairs(p, c).contains(&site) {
+                    critical_cons.insert(site);
+                }
+            }
+        }
+
+        // Source 1: a context pushed inside a recursive procedure (or
+        // inside a lambda reachable from one) may pile up on the stack.
+        // We approximate with the procedure-level call graph: a PushApp
+        // whose surrounding procedure takes part in call-graph recursion
+        // marks its context lambdas critical.  This is deliberately
+        // conservative — the paper's offline strategy "necessarily
+        // generalizes" more than the online one.
+        let recursive = recursive_procs(p);
+        for (pidx, d) in p.defs.iter().enumerate() {
+            if recursive.contains(&ProcId(pidx as u32)) {
+                mark_pushed_contexts(p, flow, &d.body, &mut critical_lams);
+            }
+        }
+        // Lambdas syntactically inside a recursive proc's body live in
+        // the lambda table; their pushes count too when the lambda itself
+        // can be invoked from a recursive context.  Conservatively mark
+        // pushes inside any lambda that a recursive procedure can create.
+        for (pidx, d) in p.defs.iter().enumerate() {
+            if !recursive.contains(&ProcId(pidx as u32)) {
+                continue;
+            }
+            let mut lams = BTreeSet::new();
+            lambdas_created_tail(&d.body, &mut lams);
+            let mut work: Vec<LamId> = lams.iter().copied().collect();
+            let mut seen = lams;
+            while let Some(l) = work.pop() {
+                mark_pushed_contexts(p, flow, &p.lambda(l).body, &mut critical_lams);
+                let mut inner = BTreeSet::new();
+                lambdas_created_tail(&p.lambda(l).body, &mut inner);
+                for i in inner {
+                    if seen.insert(i) {
+                        work.push(i);
+                    }
+                }
+            }
+        }
+
+        GenAnalysis {
+            critical_lams,
+            critical_cons,
+            stack_candidates: flow.context_lambdas().clone(),
+        }
+    }
+
+    /// True if closures of `l` must be generalized at creation.
+    pub fn lam_is_critical(&self, l: LamId) -> bool {
+        self.critical_lams.contains(&l)
+    }
+
+    /// True if pairs from cons site `site` must be generalized at
+    /// creation.
+    pub fn cons_is_critical(&self, site: u32) -> bool {
+        self.critical_cons.contains(&site)
+    }
+}
+
+fn collect_sites(p: &DProgram, out: &mut BTreeSet<u32>) {
+    fn simple(se: &SimpleExpr, out: &mut BTreeSet<u32>) {
+        if let SimpleExpr::Prim(l, op, args) = se {
+            if *op == crate::Prim::Cons {
+                out.insert(l.0);
+            }
+            for a in args {
+                simple(a, out);
+            }
+        }
+    }
+    fn tail(te: &TailExpr, out: &mut BTreeSet<u32>) {
+        match te {
+            TailExpr::Simple(se) => simple(se, out),
+            TailExpr::If(_, c, t, e) => {
+                simple(c, out);
+                tail(t, out);
+                tail(e, out);
+            }
+            TailExpr::CallProc(_, _, args) => args.iter().for_each(|a| simple(a, out)),
+            TailExpr::PushApp(_, ctx, body) => {
+                simple(ctx, out);
+                tail(body, out);
+            }
+        }
+    }
+    for d in &p.defs {
+        tail(&d.body, out);
+    }
+    for l in &p.lambdas {
+        tail(&l.body, out);
+    }
+}
+
+/// The set of procedures taking part in call-graph recursion, where the
+/// call graph includes calls made from lambdas created by a procedure
+/// (the closure may be invoked later, transferring control back).
+fn recursive_procs(p: &DProgram) -> BTreeSet<ProcId> {
+    let n = p.defs.len();
+    // edges[i] = procs callable from proc i (directly or via its lambdas).
+    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (i, d) in p.defs.iter().enumerate() {
+        let mut lams = BTreeSet::new();
+        lambdas_created_tail(&d.body, &mut lams);
+        let mut work: Vec<LamId> = lams.iter().copied().collect();
+        let mut seen = lams;
+        calls_in_tail(&d.body, &mut edges[i]);
+        while let Some(l) = work.pop() {
+            calls_in_tail(&p.lambda(l).body, &mut edges[i]);
+            let mut inner = BTreeSet::new();
+            lambdas_created_tail(&p.lambda(l).body, &mut inner);
+            for x in inner {
+                if seen.insert(x) {
+                    work.push(x);
+                }
+            }
+        }
+    }
+    // Transitive closure (n is small).
+    let mut closed = edges.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in 0..n {
+            let reach: Vec<usize> = closed[i].iter().copied().collect();
+            for j in reach {
+                let next: Vec<usize> = closed[j].iter().copied().collect();
+                for k in next {
+                    if closed[i].insert(k) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    (0..n).filter(|&i| closed[i].contains(&i)).map(|i| ProcId(i as u32)).collect()
+}
+
+fn calls_in_tail(te: &TailExpr, out: &mut BTreeSet<usize>) {
+    match te {
+        TailExpr::Simple(_) => {}
+        TailExpr::If(_, _, t, e) => {
+            calls_in_tail(t, out);
+            calls_in_tail(e, out);
+        }
+        TailExpr::CallProc(_, pid, _) => {
+            out.insert(pid.0 as usize);
+        }
+        TailExpr::PushApp(_, _, body) => calls_in_tail(body, out),
+    }
+}
+
+fn lambdas_created_tail(te: &TailExpr, out: &mut BTreeSet<LamId>) {
+    fn simple(se: &SimpleExpr, out: &mut BTreeSet<LamId>) {
+        match se {
+            SimpleExpr::Lambda(_, id) => {
+                out.insert(*id);
+            }
+            SimpleExpr::Prim(_, _, args) => args.iter().for_each(|a| simple(a, out)),
+            SimpleExpr::Var(_, _) | SimpleExpr::Const(_, _) => {}
+        }
+    }
+    match te {
+        TailExpr::Simple(se) => simple(se, out),
+        TailExpr::If(_, c, t, e) => {
+            simple(c, out);
+            lambdas_created_tail(t, out);
+            lambdas_created_tail(e, out);
+        }
+        TailExpr::CallProc(_, _, args) => args.iter().for_each(|a| simple(a, out)),
+        TailExpr::PushApp(_, ctx, body) => {
+            simple(ctx, out);
+            lambdas_created_tail(body, out);
+        }
+    }
+}
+
+fn mark_pushed_contexts(
+    p: &DProgram,
+    flow: &FlowAnalysis,
+    te: &TailExpr,
+    out: &mut BTreeSet<LamId>,
+) {
+    let _ = p;
+    match te {
+        TailExpr::Simple(_) | TailExpr::CallProc(_, _, _) => {}
+        TailExpr::If(_, _, t, e) => {
+            mark_pushed_contexts(p, flow, t, out);
+            mark_pushed_contexts(p, flow, e, out);
+        }
+        TailExpr::PushApp(_, ctx, body) => {
+            // The pushed context can only pile up if a procedure call
+            // runs while it is still on the stack; a push over a simple
+            // body (such as CPS's `(c y)`) is popped immediately and can
+            // never grow the stack.
+            if tail_contains_call(body) {
+                out.extend(flow.lambdas_of(ctx).iter());
+            }
+            mark_pushed_contexts(p, flow, body, out);
+        }
+    }
+}
+
+/// True if evaluating `te` can perform a top-level procedure call while
+/// contexts pushed *around* `te` are still pending.
+fn tail_contains_call(te: &TailExpr) -> bool {
+    match te {
+        TailExpr::Simple(_) => false,
+        TailExpr::If(_, _, t, e) => tail_contains_call(t) || tail_contains_call(e),
+        TailExpr::CallProc(_, _, _) => true,
+        TailExpr::PushApp(_, _, body) => tail_contains_call(body),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desugar::desugar;
+    use crate::parse::parse_source;
+
+    fn analyze(src: &str) -> (DProgram, GenAnalysis) {
+        let p = desugar(&parse_source(src).unwrap()).unwrap();
+        let f = FlowAnalysis::analyze(&p);
+        let g = GenAnalysis::analyze(&p, &f);
+        (p, g)
+    }
+
+    #[test]
+    fn cps_append_inner_continuation_is_critical() {
+        let (p, g) = analyze(
+            "(define (append x y) (cps-append x y (lambda (v) v)))
+             (define (cps-append x y c)
+               (if (null? x) (c y)
+                   (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))",
+        );
+        // The inner continuation captures `c`, which can be the inner
+        // continuation itself: self-embedding, hence critical.
+        assert!(!g.critical_lams.is_empty(), "inner continuation must be critical");
+        // The identity continuation captures nothing; it must NOT be
+        // critical.
+        let identity = p
+            .lambdas
+            .iter()
+            .position(|l| l.freevars.is_empty())
+            .expect("identity lambda");
+        assert!(!g.lam_is_critical(LamId(identity as u32)));
+    }
+
+    #[test]
+    fn rev_accumulator_cons_is_critical() {
+        let (_, g) =
+            analyze("(define (rev x acc) (if (null? x) acc (rev (cdr x) (cons (car x) acc))))");
+        assert_eq!(g.critical_cons.len(), 1);
+    }
+
+    #[test]
+    fn straightline_cons_is_not_critical() {
+        let (_, g) = analyze("(define (f x) (cons 1 (cons 2 x)))");
+        assert!(g.critical_cons.is_empty());
+    }
+
+    #[test]
+    fn tak_contexts_are_critical_via_recursion() {
+        let (_, g) = analyze(
+            "(define (tak x y z)
+               (if (not (< y x)) z
+                   (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))",
+        );
+        // tak is recursive and pushes contexts for nested calls: those
+        // contexts may pile up on the stack, so they are critical.
+        assert!(!g.critical_lams.is_empty());
+        assert!(!g.stack_candidates.is_empty());
+    }
+
+    #[test]
+    fn non_recursive_pushes_are_not_critical() {
+        let (_, g) = analyze("(define (g x) x) (define (f x) (g (g x)))");
+        // f pushes a context for the nested call but nothing recurses.
+        assert!(g.critical_lams.is_empty(), "critical: {:?}", g.critical_lams);
+    }
+}

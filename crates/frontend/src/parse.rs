@@ -1,0 +1,592 @@
+//! Parsing and validation: concrete S-expression syntax → surface AST.
+//!
+//! The parser resolves every head position according to the grammar of
+//! Fig. 2: a lexically bound variable shadows procedures and primitives,
+//! an in-scope top-level procedure name produces a [`Expr::Call`], a
+//! primitive name produces [`Expr::Prim`], anything else is an error.
+//! Scoping, arity and well-formedness are all checked here, so the rest
+//! of the pipeline can assume a valid program.
+
+use crate::ast::{Constant, Definition, Expr, Label, Prim, Program};
+use pe_sexpr::Sexpr;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::rc::Rc;
+
+/// An error produced while parsing or validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The input was not a well-formed `(define (P V*) E)` form.
+    BadDefinition(String),
+    /// Two definitions share a name.
+    DuplicateDefinition(String),
+    /// A variable was referenced outside any binding.
+    UnboundVariable(String),
+    /// A procedure was called with the wrong number of arguments.
+    ProcArity { name: String, expected: usize, got: usize },
+    /// A primitive was applied to the wrong number of arguments.
+    PrimArity { name: String, expected: usize, got: usize },
+    /// A special form (`if`, `let`, `lambda`, `quote`) was malformed.
+    BadForm { form: &'static str, detail: String },
+    /// A computed application `(E E)` had more or fewer than one argument.
+    AppArity(String),
+    /// A procedure name was used as a value (procedures are not
+    /// first-class in the subject language).
+    ProcAsValue(String),
+    /// An identifier used a reserved spelling (leading `%`).
+    ReservedIdentifier(String),
+    /// The program has no definitions.
+    EmptyProgram,
+    /// A quoted datum contained something that is not subject-language data.
+    BadDatum(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadDefinition(d) => write!(f, "malformed definition: {d}"),
+            ParseError::DuplicateDefinition(n) => write!(f, "duplicate definition of {n}"),
+            ParseError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            ParseError::ProcArity { name, expected, got } => {
+                write!(f, "procedure {name} expects {expected} argument(s), got {got}")
+            }
+            ParseError::PrimArity { name, expected, got } => {
+                write!(f, "primitive {name} expects {expected} argument(s), got {got}")
+            }
+            ParseError::BadForm { form, detail } => write!(f, "malformed {form}: {detail}"),
+            ParseError::AppArity(e) => {
+                write!(f, "computed applications take exactly one argument: {e}")
+            }
+            ParseError::ProcAsValue(n) => {
+                write!(f, "procedure {n} used as a value (procedures are not first-class)")
+            }
+            ParseError::ReservedIdentifier(v) => {
+                write!(f, "identifier {v} is reserved (leading %)")
+            }
+            ParseError::EmptyProgram => write!(f, "program has no definitions"),
+            ParseError::BadDatum(d) => write!(f, "unsupported quoted datum: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser {
+    next_label: u32,
+    /// name → arity of every top-level procedure.
+    procs: HashMap<Rc<str>, usize>,
+}
+
+impl Parser {
+    fn fresh(&mut self) -> Label {
+        let l = Label(self.next_label);
+        self.next_label += 1;
+        l
+    }
+
+    fn parse_expr(&mut self, e: &Sexpr, bound: &im_set::Set) -> Result<Expr, ParseError> {
+        match e {
+            Sexpr::Int(n) => Ok(Expr::Const(self.fresh(), Constant::Int(*n))),
+            Sexpr::Bool(b) => Ok(Expr::Const(self.fresh(), Constant::Bool(*b))),
+            Sexpr::Char(c) => Ok(Expr::Const(self.fresh(), Constant::Char(*c))),
+            Sexpr::Str(s) => Ok(Expr::Const(self.fresh(), Constant::Str(s.clone()))),
+            Sexpr::Sym(v) => {
+                check_ident(v)?;
+                if bound.contains(v) {
+                    Ok(Expr::Var(self.fresh(), v.clone()))
+                } else if self.procs.contains_key(v) {
+                    Err(ParseError::ProcAsValue(v.to_string()))
+                } else {
+                    Err(ParseError::UnboundVariable(v.to_string()))
+                }
+            }
+            Sexpr::List(xs) => {
+                let Some(head) = xs.first() else {
+                    return Err(ParseError::BadDatum("()".to_string()));
+                };
+                if let Some(name) = head.sym() {
+                    // Special forms first; they cannot be shadowed because
+                    // `if`/`let`/`lambda`/`quote` are not valid binders
+                    // (check_ident rejects them).
+                    match name {
+                        "quote" => return self.parse_quote(xs),
+                        "if" => return self.parse_if(xs, bound),
+                        "let" => return self.parse_let(xs, bound),
+                        "lambda" => return self.parse_lambda(xs, bound),
+                        _ => {}
+                    }
+                    if bound.contains(name) {
+                        return self.parse_app(xs, bound);
+                    }
+                    if let Some(&arity) = self.procs.get(name) {
+                        let args = &xs[1..];
+                        if args.len() != arity {
+                            return Err(ParseError::ProcArity {
+                                name: name.to_string(),
+                                expected: arity,
+                                got: args.len(),
+                            });
+                        }
+                        let args = args
+                            .iter()
+                            .map(|a| self.parse_expr(a, bound))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        return Ok(Expr::Call(self.fresh(), name.into(), args));
+                    }
+                    if name == "list" {
+                        return self.parse_list_sugar(&xs[1..], bound);
+                    }
+                    if let Some(p) = Prim::from_name(name) {
+                        return self.parse_prim(p, &xs[1..], bound);
+                    }
+                    return Err(ParseError::UnboundVariable(name.to_string()));
+                }
+                self.parse_app(xs, bound)
+            }
+        }
+    }
+
+    fn parse_quote(&mut self, xs: &[Sexpr]) -> Result<Expr, ParseError> {
+        if xs.len() != 2 {
+            return Err(ParseError::BadForm {
+                form: "quote",
+                detail: Sexpr::List(xs.to_vec()).to_string(),
+            });
+        }
+        Ok(Expr::Const(self.fresh(), datum(&xs[1])?))
+    }
+
+    fn parse_if(&mut self, xs: &[Sexpr], bound: &im_set::Set) -> Result<Expr, ParseError> {
+        if xs.len() != 4 {
+            return Err(ParseError::BadForm {
+                form: "if",
+                detail: format!("expected 3 subforms, got {}", xs.len() - 1),
+            });
+        }
+        let c = self.parse_expr(&xs[1], bound)?;
+        let t = self.parse_expr(&xs[2], bound)?;
+        let e = self.parse_expr(&xs[3], bound)?;
+        Ok(Expr::If(self.fresh(), Box::new(c), Box::new(t), Box::new(e)))
+    }
+
+    fn parse_let(&mut self, xs: &[Sexpr], bound: &im_set::Set) -> Result<Expr, ParseError> {
+        // `(let ((v e) ...) body)`; multiple bindings nest left-to-right
+        // (a convenience over Fig. 2's single binding; semantics identical
+        // to nested single lets since rhs of later bindings may see
+        // earlier ones — i.e. this is let*, the only coherent reading for
+        // nested single-binding lets).
+        if xs.len() != 3 {
+            return Err(ParseError::BadForm {
+                form: "let",
+                detail: format!("expected bindings and body, got {} subforms", xs.len() - 1),
+            });
+        }
+        let Some(bindings) = xs[1].list() else {
+            return Err(ParseError::BadForm { form: "let", detail: xs[1].to_string() });
+        };
+        if bindings.is_empty() {
+            return Err(ParseError::BadForm {
+                form: "let",
+                detail: "empty binding list".to_string(),
+            });
+        }
+        self.parse_let_bindings(bindings, &xs[2], bound)
+    }
+
+    fn parse_let_bindings(
+        &mut self,
+        bindings: &[Sexpr],
+        body: &Sexpr,
+        bound: &im_set::Set,
+    ) -> Result<Expr, ParseError> {
+        let Some([v, rhs]) = bindings[0].list().filter(|b| b.len() == 2) else {
+            return Err(ParseError::BadForm { form: "let", detail: bindings[0].to_string() });
+        };
+        let Some(v) = v.sym() else {
+            return Err(ParseError::BadForm { form: "let", detail: bindings[0].to_string() });
+        };
+        check_binder(v)?;
+        let rhs = self.parse_expr(rhs, bound)?;
+        let inner = bound.insert(v);
+        let body = if bindings.len() == 1 {
+            self.parse_expr(body, &inner)?
+        } else {
+            self.parse_let_bindings(&bindings[1..], body, &inner)?
+        };
+        Ok(Expr::Let(self.fresh(), v.into(), Box::new(rhs), Box::new(body)))
+    }
+
+    fn parse_lambda(&mut self, xs: &[Sexpr], bound: &im_set::Set) -> Result<Expr, ParseError> {
+        if xs.len() != 3 {
+            return Err(ParseError::BadForm {
+                form: "lambda",
+                detail: format!("expected parameter list and body, got {} subforms", xs.len() - 1),
+            });
+        }
+        let params = xs[1].list().ok_or(ParseError::BadForm {
+            form: "lambda",
+            detail: xs[1].to_string(),
+        })?;
+        let [param] = params else {
+            return Err(ParseError::BadForm {
+                form: "lambda",
+                detail: format!(
+                    "lambda binds exactly one variable (Fig. 2), got {}",
+                    params.len()
+                ),
+            });
+        };
+        let Some(v) = param.sym() else {
+            return Err(ParseError::BadForm { form: "lambda", detail: param.to_string() });
+        };
+        check_binder(v)?;
+        let inner = bound.insert(v);
+        let body = self.parse_expr(&xs[2], &inner)?;
+        Ok(Expr::Lambda(self.fresh(), v.into(), Box::new(body)))
+    }
+
+    fn parse_app(&mut self, xs: &[Sexpr], bound: &im_set::Set) -> Result<Expr, ParseError> {
+        if xs.len() != 2 {
+            return Err(ParseError::AppArity(Sexpr::List(xs.to_vec()).to_string()));
+        }
+        let f = self.parse_expr(&xs[0], bound)?;
+        let a = self.parse_expr(&xs[1], bound)?;
+        Ok(Expr::App(self.fresh(), Box::new(f), Box::new(a)))
+    }
+
+    fn parse_prim(
+        &mut self,
+        p: Prim,
+        args: &[Sexpr],
+        bound: &im_set::Set,
+    ) -> Result<Expr, ParseError> {
+        let parsed = args
+            .iter()
+            .map(|a| self.parse_expr(a, bound))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Variadic lowering: (+ a b c) → (+ (+ a b) c), (- a) → (- 0 a).
+        match p {
+            Prim::Add | Prim::Mul if parsed.len() >= 2 => {
+                let mut it = parsed.into_iter();
+                let mut acc = it.next().expect("len >= 2");
+                for next in it {
+                    acc = Expr::Prim(self.fresh(), p, vec![acc, next]);
+                }
+                return Ok(acc);
+            }
+            Prim::Sub if parsed.len() == 1 => {
+                let mut it = parsed.into_iter();
+                let a = it.next().expect("len == 1");
+                return Ok(Expr::Prim(
+                    self.fresh(),
+                    Prim::Sub,
+                    vec![Expr::Const(self.fresh(), Constant::Int(0)), a],
+                ));
+            }
+            Prim::Sub if parsed.len() > 2 => {
+                let mut it = parsed.into_iter();
+                let mut acc = it.next().expect("len > 2");
+                for next in it {
+                    acc = Expr::Prim(self.fresh(), Prim::Sub, vec![acc, next]);
+                }
+                return Ok(acc);
+            }
+            _ => {}
+        }
+        if parsed.len() != p.arity() {
+            return Err(ParseError::PrimArity {
+                name: p.name().to_string(),
+                expected: p.arity(),
+                got: parsed.len(),
+            });
+        }
+        Ok(Expr::Prim(self.fresh(), p, parsed))
+    }
+
+    fn parse_list_sugar(
+        &mut self,
+        args: &[Sexpr],
+        bound: &im_set::Set,
+    ) -> Result<Expr, ParseError> {
+        // (list a b) → (cons a (cons b '()))
+        let mut acc = Expr::Const(self.fresh(), Constant::Nil);
+        for a in args.iter().rev() {
+            let a = self.parse_expr(a, bound)?;
+            acc = Expr::Prim(self.fresh(), Prim::Cons, vec![a, acc]);
+        }
+        Ok(acc)
+    }
+}
+
+/// Converts a quoted S-expression to constant data.
+fn datum(e: &Sexpr) -> Result<Constant, ParseError> {
+    Ok(match e {
+        Sexpr::Int(n) => Constant::Int(*n),
+        Sexpr::Bool(b) => Constant::Bool(*b),
+        Sexpr::Char(c) => Constant::Char(*c),
+        Sexpr::Str(s) => Constant::Str(s.clone()),
+        Sexpr::Sym(s) => Constant::Sym(s.clone()),
+        Sexpr::List(xs) => {
+            let mut acc = Constant::Nil;
+            for x in xs.iter().rev() {
+                acc = Constant::Pair(Rc::new(datum(x)?), Rc::new(acc));
+            }
+            acc
+        }
+    })
+}
+
+fn check_ident(v: &str) -> Result<(), ParseError> {
+    if v.starts_with('%') {
+        return Err(ParseError::ReservedIdentifier(v.to_string()));
+    }
+    Ok(())
+}
+
+fn check_binder(v: &str) -> Result<(), ParseError> {
+    check_ident(v)?;
+    if matches!(v, "if" | "let" | "lambda" | "quote" | "define" | "list") {
+        return Err(ParseError::BadForm { form: "binder", detail: format!("cannot bind {v}") });
+    }
+    Ok(())
+}
+
+/// A tiny persistent string set used for lexical scopes.
+mod im_set {
+    use std::collections::HashSet;
+    use std::rc::Rc;
+
+    /// An immutable set with O(n) insert; scopes are tiny so this is fine
+    /// and it keeps the parser free of lifetime plumbing.
+    #[derive(Clone, Default)]
+    pub struct Set(Rc<HashSet<Rc<str>>>);
+
+    impl Set {
+        pub fn contains(&self, v: &str) -> bool {
+            self.0.contains(v)
+        }
+
+        #[must_use]
+        pub fn insert(&self, v: &str) -> Set {
+            let mut s: HashSet<Rc<str>> = (*self.0).clone();
+            s.insert(v.into());
+            Set(Rc::new(s))
+        }
+
+        pub fn from_iter<'a>(it: impl IntoIterator<Item = &'a str>) -> Set {
+            Set(Rc::new(it.into_iter().map(Rc::from).collect()))
+        }
+    }
+}
+
+/// Parses a whole program from S-expressions.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered; the program is fully
+/// scope- and arity-checked on success.
+pub fn parse_program(forms: &[Sexpr]) -> Result<Program, ParseError> {
+    if forms.is_empty() {
+        return Err(ParseError::EmptyProgram);
+    }
+    // Pass 1: collect procedure signatures (procedures may call forward).
+    let mut procs: HashMap<Rc<str>, usize> = HashMap::new();
+    let mut sigs = Vec::new();
+    for form in forms {
+        let Some(args) = form.form_args("define") else {
+            return Err(ParseError::BadDefinition(form.to_string()));
+        };
+        let [header, body] = args else {
+            return Err(ParseError::BadDefinition(form.to_string()));
+        };
+        let Some(header) = header.list() else {
+            return Err(ParseError::BadDefinition(form.to_string()));
+        };
+        let Some(name) = header.first().and_then(Sexpr::sym) else {
+            return Err(ParseError::BadDefinition(form.to_string()));
+        };
+        check_binder(name)?;
+        let mut params = Vec::new();
+        let mut seen = HashSet::new();
+        for p in &header[1..] {
+            let Some(p) = p.sym() else {
+                return Err(ParseError::BadDefinition(form.to_string()));
+            };
+            check_binder(p)?;
+            if !seen.insert(p) {
+                return Err(ParseError::BadDefinition(format!(
+                    "duplicate parameter {p} in {name}"
+                )));
+            }
+            params.push(Rc::<str>::from(p));
+        }
+        if procs.insert(name.into(), params.len()).is_some() {
+            return Err(ParseError::DuplicateDefinition(name.to_string()));
+        }
+        sigs.push((Rc::<str>::from(name), params, body));
+    }
+    // Pass 2: parse bodies.
+    let mut parser = Parser { next_label: 0, procs };
+    let mut defs = Vec::new();
+    for (name, params, body) in sigs {
+        let bound = im_set::Set::from_iter(params.iter().map(|p| &**p));
+        let body = parser.parse_expr(body, &bound)?;
+        defs.push(Definition { name, params, body });
+    }
+    Ok(Program { defs })
+}
+
+/// Parses a whole program from source text.
+///
+/// # Errors
+///
+/// Returns a reader error rendered through [`ParseError::BadDefinition`]
+/// or a genuine [`ParseError`].
+pub fn parse_source(src: &str) -> Result<Program, ParseError> {
+    let forms =
+        pe_sexpr::read(src).map_err(|e| ParseError::BadDefinition(format!("reader: {e}")))?;
+    parse_program(&forms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(src: &str) -> Program {
+        parse_source(src).expect("parse")
+    }
+
+    fn perr(src: &str) -> ParseError {
+        parse_source(src).expect_err("should not parse")
+    }
+
+    #[test]
+    fn parses_paper_append() {
+        let prog = p("(define (append x y) (cps-append x y (lambda (x) x)))
+                      (define (cps-append x y c)
+                        (if (null? x)
+                            (c y)
+                            (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))");
+        assert_eq!(prog.defs.len(), 2);
+        let app = prog.def("append").unwrap();
+        assert!(matches!(app.body, Expr::Call(_, _, _)));
+        // Round-trip through unparse+parse preserves structure.
+        let again = p(&prog.to_source());
+        assert_eq!(again.defs.len(), 2);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let prog = p("(define (f x) (if (null? x) (f (cdr x)) (cons x x)))");
+        let mut labels = Vec::new();
+        prog.defs[0].body.walk(&mut |e| labels.push(e.label()));
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(labels.len(), dedup.len());
+    }
+
+    #[test]
+    fn shadowing_primitives_and_procs() {
+        // `car` bound as a lambda parameter shadows the primitive.
+        let prog = p("(define (f car) (car 1))");
+        match &prog.defs[0].body {
+            Expr::App(_, f, _) => assert!(matches!(&**f, Expr::Var(_, v) if &**v == "car")),
+            other => panic!("expected App, got {other:?}"),
+        }
+        // A procedure name bound as a variable shadows the procedure.
+        let prog = p("(define (g x) x) (define (f g) (g 1))");
+        assert!(matches!(&prog.defs[1].body, Expr::App(_, _, _)));
+    }
+
+    #[test]
+    fn unbound_and_proc_as_value() {
+        assert!(matches!(perr("(define (f x) y)"), ParseError::UnboundVariable(v) if v == "y"));
+        assert!(matches!(
+            perr("(define (f x) x) (define (g y) f)"),
+            ParseError::ProcAsValue(v) if v == "f"
+        ));
+    }
+
+    #[test]
+    fn arity_errors() {
+        assert!(matches!(
+            perr("(define (f x) x) (define (g y) (f y y))"),
+            ParseError::ProcArity { expected: 1, got: 2, .. }
+        ));
+        assert!(matches!(
+            perr("(define (g y) (car y y))"),
+            ParseError::PrimArity { expected: 1, got: 2, .. }
+        ));
+        assert!(matches!(perr("(define (g y) ((lambda (v) v) y y))"), ParseError::AppArity(_)));
+    }
+
+    #[test]
+    fn variadic_lowering() {
+        let prog = p("(define (f a b c) (+ a b c 1))");
+        // (+ (+ (+ a b) c) 1)
+        let Expr::Prim(_, Prim::Add, args) = &prog.defs[0].body else {
+            panic!("expected +");
+        };
+        assert!(matches!(&args[0], Expr::Prim(_, Prim::Add, _)));
+        let prog = p("(define (f a) (- a))");
+        let Expr::Prim(_, Prim::Sub, args) = &prog.defs[0].body else {
+            panic!("expected -");
+        };
+        assert!(matches!(&args[0], Expr::Const(_, Constant::Int(0))));
+    }
+
+    #[test]
+    fn list_sugar() {
+        let prog = p("(define (f a) (list a 2))");
+        let Expr::Prim(_, Prim::Cons, args) = &prog.defs[0].body else {
+            panic!("expected cons");
+        };
+        assert!(matches!(&args[1], Expr::Prim(_, Prim::Cons, _)));
+    }
+
+    #[test]
+    fn quote_data() {
+        let prog = p("(define (f) '(a (1 2) #t))");
+        let Expr::Const(_, k) = &prog.defs[0].body else {
+            panic!("expected const");
+        };
+        assert_eq!(k.to_sexpr().to_string(), "(a (1 2) #t)");
+    }
+
+    #[test]
+    fn let_multi_bindings_nest() {
+        let prog = p("(define (f x) (let ((a (car x)) (b a)) (cons a b)))");
+        let Expr::Let(_, v1, _, body) = &prog.defs[0].body else {
+            panic!("expected let");
+        };
+        assert_eq!(&**v1, "a");
+        assert!(matches!(&**body, Expr::Let(_, v2, _, _) if &**v2 == "b"));
+    }
+
+    #[test]
+    fn malformed_forms() {
+        assert!(matches!(perr("(define f 1)"), ParseError::BadDefinition(_)));
+        assert!(matches!(perr("(define (f x) (if x 1))"), ParseError::BadForm { form: "if", .. }));
+        assert!(matches!(
+            perr("(define (f x) (lambda (a b) a))"),
+            ParseError::BadForm { form: "lambda", .. }
+        ));
+        assert!(matches!(
+            perr("(define (f x) (let () x))"),
+            ParseError::BadForm { form: "let", .. }
+        ));
+        assert!(matches!(perr(""), ParseError::EmptyProgram));
+        assert!(matches!(
+            perr("(define (f x) x) (define (f y) y)"),
+            ParseError::DuplicateDefinition(_)
+        ));
+        assert!(matches!(perr("(define (f %x) %x)"), ParseError::ReservedIdentifier(_)));
+        assert!(matches!(perr("(define (f x x) x)"), ParseError::BadDefinition(_)));
+    }
+
+    #[test]
+    fn empty_application_is_error() {
+        assert!(matches!(perr("(define (f x) ())"), ParseError::BadDatum(_)));
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the desugarer: output always conforms to the
+//! Fig. 5 grammar, free variables are preserved, and unparse→parse of
+//! the surface program is the identity.
+
+use pe_frontend::dast::{DProgram, SimpleExpr, TailExpr};
+use pe_frontend::{desugar, parse_source};
+use proptest::prelude::*;
+
+/// A tiny expression generator for one-parameter programs.
+fn arb_body() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("x".to_string()),
+        (-50i64..50).prop_map(|n| n.to_string()),
+        Just("'sym".to_string()),
+        Just("#t".to_string()),
+        Just("'()".to_string()),
+    ];
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(cons {a} {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("(+ {a} {b})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| format!("(if {c} {t} {f})")),
+            inner.clone().prop_map(|a| format!("(f {a})")),
+            (inner.clone(), inner.clone()).prop_map(|(r, b)| format!("(let ((y {r})) {b})")),
+            (inner.clone(), inner.clone())
+                .prop_map(|(b, a)| format!("((lambda (z) {b}) {a})")),
+            inner.prop_map(|a| format!("(car (cons {a} '()))")),
+        ]
+    })
+}
+
+/// The Fig. 5 grammar check: conditions, call arguments and contexts are
+/// simple; lambdas are hoisted; `let` is gone.
+fn assert_tail_form(p: &DProgram, te: &TailExpr) {
+    match te {
+        TailExpr::Simple(se) => assert_simple(p, se),
+        TailExpr::If(_, c, t, e) => {
+            assert_simple(p, c);
+            assert_tail_form(p, t);
+            assert_tail_form(p, e);
+        }
+        TailExpr::CallProc(_, _, args) => args.iter().for_each(|a| assert_simple(p, a)),
+        TailExpr::PushApp(_, ctx, body) => {
+            assert_simple(p, ctx);
+            assert_tail_form(p, body);
+        }
+    }
+}
+
+fn assert_simple(p: &DProgram, se: &SimpleExpr) {
+    match se {
+        SimpleExpr::Var(_, _) | SimpleExpr::Const(_, _) => {}
+        SimpleExpr::Prim(_, _, args) => args.iter().for_each(|a| assert_simple(p, a)),
+        SimpleExpr::Lambda(_, id) => assert_tail_form(p, &p.lambda(*id).body),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn desugared_output_is_grammar_conformant(body in arb_body()) {
+        let src = format!("(define (main x) {body}) (define (f w) w)");
+        let p = parse_source(&src).expect("generated program parses");
+        let d = desugar(&p).expect("desugars");
+        for def in &d.defs {
+            assert_tail_form(&d, &def.body);
+        }
+        // Every lambda's freevar list is sorted and excludes the param.
+        for lam in &d.lambdas {
+            prop_assert!(lam.freevars.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!lam.freevars.contains(&lam.param));
+        }
+    }
+
+    #[test]
+    fn unparse_parse_identity(body in arb_body()) {
+        let src = format!("(define (main x) {body}) (define (f w) w)");
+        let p = parse_source(&src).expect("parses");
+        let again = parse_source(&p.to_source()).expect("unparse reparses");
+        // Structural equality up to labels: compare unparsed text.
+        prop_assert_eq!(p.to_source(), again.to_source());
+    }
+
+    #[test]
+    fn desugaring_preserves_semantics(body in arb_body(), x in -20i64..20) {
+        use pe_interp::{standard, tail, Datum, Limits};
+        let src = format!("(define (main x) {body}) (define (f w) w)");
+        let p = parse_source(&src).expect("parses");
+        let d = desugar(&p).expect("desugars");
+        let args = [Datum::Int(x)];
+        let lim = Limits { fuel: 1_000_000 };
+        let direct = standard::run(&p, "main", &args, lim);
+        let tailed = tail::run(&d, "main", &args, lim);
+        match (&direct, &tailed) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            // Both fault (possibly with different dynamic errors, since
+            // desugaring may reorder which error surfaces).
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+        }
+    }
+}

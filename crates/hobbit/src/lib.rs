@@ -1,0 +1,439 @@
+//! A Hobbit-like baseline compiler (the §6 comparator).
+//!
+//! Tammet's Hobbit compiles Scheme to C by mapping Scheme procedures
+//! directly onto C functions — recursion uses the **native stack**, no
+//! evaluation-context closures are ever allocated — with lambda lifting,
+//! fixnum arithmetic and local optimization.  This crate reproduces that
+//! architectural signature on the Rust host:
+//!
+//! * every procedure becomes a code tree with **pre-resolved frame
+//!   slots** (no environment lookups at run time) executed by direct
+//!   host-stack recursion ("compiled closures" technique);
+//! * constant subexpressions are folded at compile time;
+//! * closures are flat records created only for genuine `lambda`s — the
+//!   compiler never allocates for control flow.
+//!
+//! Relative to the partial-evaluation pipeline this baseline is strong
+//! on first-order, deeply recursive code (tak, deriv, queens: the native
+//! stack is free) and weak on higher-order/CPS code (every closure call
+//! is an indirect dispatch through a record) — the precise shape of the
+//! paper's Fig. 8.
+
+use pe_frontend::ast::{Expr, Prim, Program};
+use pe_interp::value::{apply_prim, Value};
+use pe_interp::{Datum, InterpError, Limits};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A runtime closure of the baseline: lifted-lambda index + captures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HobClosure {
+    lam: usize,
+    captures: Rc<[V]>,
+}
+
+type V = Value<HobClosure>;
+
+/// An error while compiling with the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HobError {
+    /// A variable was not in scope (hand-built ASTs only).
+    Unbound(String),
+    /// The entry procedure is missing.
+    NoSuchProc(String),
+}
+
+impl fmt::Display for HobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HobError::Unbound(v) => write!(f, "hobbit: unbound variable {v}"),
+            HobError::NoSuchProc(p) => write!(f, "hobbit: no such procedure {p}"),
+        }
+    }
+}
+
+impl std::error::Error for HobError {}
+
+/// Compiled code: a tree with resolved slots, executed on the host stack.
+#[derive(Debug, Clone)]
+enum Code {
+    Const(V),
+    Slot(usize),
+    If(Box<Code>, Box<Code>, Box<Code>),
+    Prim(Prim, Vec<Code>),
+    /// Direct call of a top-level procedure — native-stack recursion.
+    Call(usize, Vec<Code>),
+    /// Allocate a closure for a lifted lambda, capturing listed slots.
+    MakeClosure { lam: usize, capture_slots: Vec<usize> },
+    /// Indirect call through a closure record.
+    CallClosure(Box<Code>, Box<Code>),
+    /// `(let ((v e)) body)` — push a frame slot for the body.
+    Let(Box<Code>, Box<Code>),
+}
+
+struct LiftedLambda {
+    /// Body code; frame layout: slot 0 = parameter, slots 1.. = captures.
+    body: Code,
+}
+
+struct ProcDef {
+    arity: usize,
+    body: Code,
+}
+
+/// A program compiled by the baseline.
+pub struct Hobbit {
+    procs: Vec<ProcDef>,
+    lambdas: Vec<LiftedLambda>,
+    names: HashMap<String, usize>,
+}
+
+/// Compile-time scope: name → frame slot.
+struct Scope {
+    names: Vec<String>,
+}
+
+impl Scope {
+    fn slot(&self, v: &str) -> Option<usize> {
+        self.names.iter().rposition(|n| n == v)
+    }
+}
+
+struct Compiler<'p> {
+    prog: &'p Program,
+    proc_index: HashMap<&'p str, usize>,
+    lambdas: Vec<LiftedLambda>,
+}
+
+impl Compiler<'_> {
+    fn compile_expr(&mut self, e: &Expr, scope: &mut Scope) -> Result<Code, HobError> {
+        Ok(match e {
+            Expr::Var(_, v) => {
+                Code::Slot(scope.slot(v).ok_or_else(|| HobError::Unbound(v.to_string()))?)
+            }
+            Expr::Const(_, k) => Code::Const(Value::from_constant(k)),
+            Expr::If(_, c, t, f) => {
+                let c = self.compile_expr(c, scope)?;
+                let t = self.compile_expr(t, scope)?;
+                let f = self.compile_expr(f, scope)?;
+                // Fold constant conditions.
+                match c {
+                    Code::Const(v) => {
+                        if v.is_truthy() {
+                            t
+                        } else {
+                            f
+                        }
+                    }
+                    c => Code::If(Box::new(c), Box::new(t), Box::new(f)),
+                }
+            }
+            Expr::Prim(_, op, args) => {
+                let args = args
+                    .iter()
+                    .map(|a| self.compile_expr(a, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                // Constant folding when every operand is a literal and
+                // the operation cannot fault.
+                if args.iter().all(|a| matches!(a, Code::Const(_))) {
+                    let vals: Vec<V> = args
+                        .iter()
+                        .map(|a| match a {
+                            Code::Const(v) => v.clone(),
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    if let Ok(v) = apply_prim(*op, &vals) {
+                        return Ok(Code::Const(v));
+                    }
+                }
+                Code::Prim(*op, args)
+            }
+            Expr::Call(_, p, args) => {
+                let idx = *self
+                    .proc_index
+                    .get(&**p)
+                    .ok_or_else(|| HobError::NoSuchProc(p.to_string()))?;
+                let args = args
+                    .iter()
+                    .map(|a| self.compile_expr(a, scope))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Code::Call(idx, args)
+            }
+            Expr::Let(_, v, rhs, body) => {
+                let rhs = self.compile_expr(rhs, scope)?;
+                scope.names.push(v.to_string());
+                let body = self.compile_expr(body, scope)?;
+                scope.names.pop();
+                Code::Let(Box::new(rhs), Box::new(body))
+            }
+            Expr::Lambda(_, v, body) => {
+                // Lambda lifting: compile the body in a fresh frame
+                // [param, captures…]; captures are the body's free
+                // variables resolved in the current scope.
+                let mut fv = std::collections::BTreeSet::new();
+                free_vars(body, &mut fv);
+                fv.remove(v.as_ref());
+                // Only variables actually in scope are captured (free
+                // names that are top-level procs were rejected earlier by
+                // the parser).
+                let captured: Vec<String> = fv
+                    .into_iter()
+                    .filter(|n| scope.slot(n).is_some())
+                    .map(str::to_string)
+                    .collect();
+                let capture_slots: Vec<usize> =
+                    captured.iter().map(|n| scope.slot(n).expect("checked")).collect();
+                let mut inner = Scope { names: Vec::with_capacity(1 + captured.len()) };
+                inner.names.push(v.to_string());
+                inner.names.extend(captured.iter().cloned());
+                let body = self.compile_expr(body, &mut inner)?;
+                let lam = self.lambdas.len();
+                self.lambdas.push(LiftedLambda { body });
+                Code::MakeClosure { lam, capture_slots }
+            }
+            Expr::App(_, f, a) => {
+                let f = self.compile_expr(f, scope)?;
+                let a = self.compile_expr(a, scope)?;
+                Code::CallClosure(Box::new(f), Box::new(a))
+            }
+        })
+    }
+}
+
+fn free_vars<'p>(e: &'p Expr, out: &mut std::collections::BTreeSet<&'p str>) {
+    match e {
+        Expr::Var(_, v) => {
+            out.insert(v);
+        }
+        Expr::Const(_, _) => {}
+        Expr::If(_, c, t, f) => {
+            free_vars(c, out);
+            free_vars(t, out);
+            free_vars(f, out);
+        }
+        Expr::Prim(_, _, args) | Expr::Call(_, _, args) => {
+            args.iter().for_each(|a| free_vars(a, out));
+        }
+        Expr::Let(_, v, rhs, body) => {
+            free_vars(rhs, out);
+            let mut inner = std::collections::BTreeSet::new();
+            free_vars(body, &mut inner);
+            inner.remove(v.as_ref());
+            out.extend(inner);
+        }
+        Expr::Lambda(_, v, body) => {
+            let mut inner = std::collections::BTreeSet::new();
+            free_vars(body, &mut inner);
+            inner.remove(v.as_ref());
+            out.extend(inner);
+        }
+        Expr::App(_, f, a) => {
+            free_vars(f, out);
+            free_vars(a, out);
+        }
+    }
+}
+
+impl Hobbit {
+    /// Compiles a whole program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HobError`] only for hand-built (non-parser) ASTs.
+    pub fn compile(prog: &Program) -> Result<Hobbit, HobError> {
+        let proc_index: HashMap<&str, usize> =
+            prog.defs.iter().enumerate().map(|(i, d)| (&*d.name, i)).collect();
+        let mut c = Compiler { prog, proc_index, lambdas: Vec::new() };
+        let _ = c.prog;
+        let mut procs = Vec::new();
+        for d in &prog.defs {
+            let mut scope = Scope { names: d.params.iter().map(|p| p.to_string()).collect() };
+            let body = c.compile_expr(&d.body, &mut scope)?;
+            procs.push(ProcDef { arity: d.params.len(), body });
+        }
+        Ok(Hobbit {
+            procs,
+            lambdas: c.lambdas,
+            names: prog
+                .defs
+                .iter()
+                .enumerate()
+                .map(|(i, d)| (d.name.to_string(), i))
+                .collect(),
+        })
+    }
+
+    /// Runs `entry` on first-order arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on dynamic faults, missing or
+    /// wrong-arity entry, exhausted fuel, or higher-order results.
+    pub fn run(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        limits: Limits,
+    ) -> Result<Datum, InterpError> {
+        let idx = *self
+            .names
+            .get(entry)
+            .ok_or_else(|| InterpError::NoSuchProc(entry.to_string()))?;
+        let def = &self.procs[idx];
+        if def.arity != args.len() {
+            return Err(InterpError::EntryArity {
+                name: entry.to_string(),
+                expected: def.arity,
+                got: args.len(),
+            });
+        }
+        let mut frame: Vec<V> = args.iter().map(Datum::embed).collect();
+        let mut fuel = limits.fuel;
+        let v = self.exec(&def.body, &mut frame, &mut fuel)?;
+        v.to_datum().ok_or(InterpError::ResultNotFirstOrder)
+    }
+
+    fn exec(&self, code: &Code, frame: &mut Vec<V>, fuel: &mut u64) -> Result<V, InterpError> {
+        match code {
+            Code::Const(v) => Ok(v.clone()),
+            Code::Slot(i) => Ok(frame[*i].clone()),
+            Code::If(c, t, f) => {
+                if self.exec(c, frame, fuel)?.is_truthy() {
+                    self.exec(t, frame, fuel)
+                } else {
+                    self.exec(f, frame, fuel)
+                }
+            }
+            Code::Prim(op, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.exec(a, frame, fuel)?);
+                }
+                Ok(apply_prim(*op, &vals)?)
+            }
+            Code::Call(idx, args) => {
+                if *fuel == 0 {
+                    return Err(InterpError::FuelExhausted);
+                }
+                *fuel -= 1;
+                let mut next = Vec::with_capacity(args.len());
+                for a in args {
+                    next.push(self.exec(a, frame, fuel)?);
+                }
+                // Native-stack recursion: this is the whole point of the
+                // baseline.
+                self.exec(&self.procs[*idx].body, &mut next, fuel)
+            }
+            Code::MakeClosure { lam, capture_slots } => {
+                let captures: Vec<V> =
+                    capture_slots.iter().map(|&s| frame[s].clone()).collect();
+                Ok(Value::Closure(HobClosure { lam: *lam, captures: captures.into() }))
+            }
+            Code::CallClosure(f, a) => {
+                if *fuel == 0 {
+                    return Err(InterpError::FuelExhausted);
+                }
+                *fuel -= 1;
+                let fv = self.exec(f, frame, fuel)?;
+                let av = self.exec(a, frame, fuel)?;
+                match fv {
+                    Value::Closure(c) => {
+                        let lam = &self.lambdas[c.lam];
+                        let mut next = Vec::with_capacity(1 + c.captures.len());
+                        next.push(av);
+                        next.extend(c.captures.iter().cloned());
+                        self.exec(&lam.body, &mut next, fuel)
+                    }
+                    v => Err(InterpError::NotAProcedure(v.to_string())),
+                }
+            }
+            Code::Let(rhs, body) => {
+                let v = self.exec(rhs, frame, fuel)?;
+                frame.push(v);
+                let r = self.exec(body, frame, fuel);
+                frame.pop();
+                r
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_frontend::parse_source;
+
+    fn go(src: &str, entry: &str, args: &[Datum]) -> Result<Datum, InterpError> {
+        Hobbit::compile(&parse_source(src).unwrap()).unwrap().run(entry, args, Limits::default())
+    }
+
+    #[test]
+    fn first_order_recursion() {
+        let src = "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))";
+        assert_eq!(go(src, "fact", &[Datum::Int(12)]), Ok(Datum::Int(479_001_600)));
+    }
+
+    #[test]
+    fn closures_capture_correctly() {
+        let src = "(define (main a)
+                     (let ((adda (lambda (b) (+ a b))))
+                       (let ((a 100)) (adda 1))))";
+        assert_eq!(go(src, "main", &[Datum::Int(5)]), Ok(Datum::Int(6)));
+    }
+
+    #[test]
+    fn cps_append_runs() {
+        let src = "(define (append x y) (cps-append x y (lambda (v) v)))
+                   (define (cps-append x y c)
+                     (if (null? x) (c y)
+                         (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
+        let r = go(
+            src,
+            "append",
+            &[Datum::parse("(1 2)").unwrap(), Datum::parse("(3)").unwrap()],
+        )
+        .unwrap();
+        assert_eq!(r.to_string(), "(1 2 3)");
+    }
+
+    #[test]
+    fn constant_folding_happens_at_compile_time() {
+        let prog = parse_source("(define (f) (+ 1 (* 2 3)))").unwrap();
+        let h = Hobbit::compile(&prog).unwrap();
+        assert!(matches!(h.procs[0].body, Code::Const(Value::Int(7))));
+    }
+
+    #[test]
+    fn faulting_constants_are_not_folded() {
+        // (car 5) as a "constant" must fault at run time, not compile time.
+        let prog = parse_source("(define (f) (car 5))").unwrap();
+        let h = Hobbit::compile(&prog).unwrap();
+        assert!(matches!(h.procs[0].body, Code::Prim(Prim::Car, _)));
+        assert!(h.run("f", &[], Limits::default()).is_err());
+    }
+
+    #[test]
+    fn agreement_with_reference_interpreter() {
+        let src = "(define (map-sq l) (if (null? l) '() (cons (* (car l) (car l)) (map-sq (cdr l)))))";
+        let p = parse_source(src).unwrap();
+        let h = Hobbit::compile(&p).unwrap();
+        let input = Datum::parse("(1 2 3 4)").unwrap();
+        let a = h.run("map-sq", &[input.clone()], Limits::default()).unwrap();
+        let b = pe_interp::standard::run(&p, "map-sq", &[input], Limits::default()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.to_string(), "(1 4 9 16)");
+    }
+
+    #[test]
+    fn fuel_limits_divergence() {
+        // Small fuel: the baseline recurses on the host stack.
+        let src = "(define (f x) (f x))";
+        let h = Hobbit::compile(&parse_source(src).unwrap()).unwrap();
+        assert_eq!(
+            h.run("f", &[Datum::Int(0)], Limits { fuel: 200 }),
+            Err(InterpError::FuelExhausted)
+        );
+    }
+}

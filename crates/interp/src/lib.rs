@@ -1,0 +1,191 @@
+//! The interpreter family of §4 — three operationally different but
+//! observationally equivalent evaluators for the subject language:
+//!
+//! * [`standard`] — Fig. 3: a straightforward environment-based
+//!   call-by-value interpreter whose closures capture the whole lexical
+//!   environment;
+//! * [`closconv`] — Fig. 4: the same interpreter after Reynolds
+//!   defunctionalization — closures are records of a lambda label and the
+//!   values of its free variables;
+//! * [`tail`] — Fig. 6: the tail-recursive interpreter over the desugared
+//!   tail form, with an explicit stack of evaluation contexts (a loop, no
+//!   host recursion).
+//!
+//! In the paper, partially evaluating the Fig. 6 interpreter with respect
+//! to a subject program yields compiled code; these interpreters define
+//! the reference semantics the compiler (crate `pe-core`) must preserve.
+
+pub mod closconv;
+pub mod standard;
+pub mod tail;
+pub mod value;
+
+pub use value::{apply_prim, Datum, NoClosure, PrimError, Value};
+
+use std::fmt;
+
+/// An error raised during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A primitive failed.
+    Prim(PrimError),
+    /// A non-procedure appeared in operator/context position.
+    NotAProcedure(String),
+    /// An unbound variable at runtime (only hand-built ASTs can do this).
+    Unbound(String),
+    /// The entry procedure does not exist.
+    NoSuchProc(String),
+    /// The entry procedure was given the wrong number of arguments.
+    EntryArity { name: String, expected: usize, got: usize },
+    /// The step budget was exhausted (guards tests against divergence).
+    FuelExhausted,
+    /// The program's result contains a closure and cannot be rendered as
+    /// first-order data.
+    ResultNotFirstOrder,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Prim(e) => write!(f, "{e}"),
+            InterpError::NotAProcedure(v) => write!(f, "not a procedure: {v}"),
+            InterpError::Unbound(v) => write!(f, "unbound variable at runtime: {v}"),
+            InterpError::NoSuchProc(n) => write!(f, "no such procedure: {n}"),
+            InterpError::EntryArity { name, expected, got } => {
+                write!(f, "entry {name} expects {expected} argument(s), got {got}")
+            }
+            InterpError::FuelExhausted => write!(f, "step budget exhausted"),
+            InterpError::ResultNotFirstOrder => {
+                write!(f, "result contains a closure")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<PrimError> for InterpError {
+    fn from(e: PrimError) -> Self {
+        InterpError::Prim(e)
+    }
+}
+
+/// Evaluation limits shared by all engines.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum number of evaluation steps (calls / machine transitions).
+    pub fuel: u64,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        // Generous enough for the full benchmark suite at test sizes.
+        Limits { fuel: 500_000_000 }
+    }
+}
+
+#[cfg(test)]
+mod equivalence_tests {
+    //! Cross-engine equivalence on a small program suite: the paper's
+    //! Fig. 3, Fig. 4 and Fig. 6 interpreters agree everywhere.
+
+    use crate::{closconv, standard, tail, Datum, InterpError, Limits};
+    use pe_frontend::{desugar, parse_source};
+
+    fn run_all(src: &str, entry: &str, args: &[Datum]) -> Vec<Result<Datum, InterpError>> {
+        let p = parse_source(src).expect("parse");
+        let d = desugar(&p).expect("desugar");
+        vec![
+            standard::run(&p, entry, args, Limits::default()),
+            closconv::run(&p, entry, args, Limits::default()),
+            tail::run(&d, entry, args, Limits::default()),
+        ]
+    }
+
+    fn check(src: &str, entry: &str, args: &[Datum], expect: &str) {
+        let expected = Datum::parse(expect).unwrap();
+        for (i, r) in run_all(src, entry, args).into_iter().enumerate() {
+            assert_eq!(r.as_ref(), Ok(&expected), "engine {i} on {entry}");
+        }
+    }
+
+    #[test]
+    fn cps_append_all_engines() {
+        let src = "(define (append x y) (cps-append x y (lambda (v) v)))
+                   (define (cps-append x y c)
+                     (if (null? x) (c y)
+                         (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
+        check(
+            src,
+            "append",
+            &[Datum::parse("(1 2)").unwrap(), Datum::parse("(3 4)").unwrap()],
+            "(1 2 3 4)",
+        );
+    }
+
+    #[test]
+    fn tak_all_engines() {
+        let src = "(define (tak x y z)
+                     (if (not (< y x)) z
+                         (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))";
+        check(
+            src,
+            "tak",
+            &[Datum::Int(8), Datum::Int(4), Datum::Int(2)],
+            "3",
+        );
+    }
+
+    #[test]
+    fn higher_order_compose_all_engines() {
+        let src = "(define (main n)
+                     (let ((add (lambda (a) (lambda (b) (+ a b))))
+                           (twice (lambda (f) (lambda (x) (f (f x))))))
+                       ((twice (add n)) 10)))";
+        check(src, "main", &[Datum::Int(5)], "20");
+    }
+
+    #[test]
+    fn deep_tail_recursion_is_constant_stack_in_tail_engine() {
+        // A count-down loop of a million steps: the tail engine must not
+        // overflow the host stack (the others get small inputs elsewhere).
+        let src = "(define (loop n) (if (zero? n) 'done (loop (- n 1))))";
+        let p = parse_source(src).unwrap();
+        let d = desugar(&p).unwrap();
+        let r = tail::run(&d, "loop", &[Datum::Int(1_000_000)], Limits::default());
+        assert_eq!(r, Ok(Datum::Sym("done".into())));
+    }
+
+    #[test]
+    fn errors_agree() {
+        let src = "(define (f x) (car x))";
+        for r in run_all(src, "f", &[Datum::Int(5)]) {
+            assert!(matches!(r, Err(InterpError::Prim(_))), "got {r:?}");
+        }
+        for r in run_all(src, "g", &[Datum::Int(5)]) {
+            assert!(matches!(r, Err(InterpError::NoSuchProc(_))));
+        }
+        for r in run_all(src, "f", &[]) {
+            assert!(matches!(r, Err(InterpError::EntryArity { .. })));
+        }
+    }
+
+    #[test]
+    fn fuel_stops_divergence() {
+        let src = "(define (f x) (f x))";
+        let p = parse_source(src).unwrap();
+        let d = desugar(&p).unwrap();
+        let lim = Limits { fuel: 200 }; // small: recursive engines use the host stack
+        assert_eq!(standard::run(&p, "f", &[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
+        assert_eq!(closconv::run(&p, "f", &[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
+        assert_eq!(tail::run(&d, "f", &[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
+    }
+
+    #[test]
+    fn closure_result_is_reported() {
+        let src = "(define (f x) (lambda (y) x))";
+        for r in run_all(src, "f", &[Datum::Int(1)]) {
+            assert_eq!(r, Err(InterpError::ResultNotFirstOrder));
+        }
+    }
+}

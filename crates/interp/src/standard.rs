@@ -1,0 +1,226 @@
+//! The standard call-by-value interpreter of Fig. 3.
+//!
+//! Function values capture the entire lexical environment, exactly as the
+//! denotational-style clauses `E[(lambda (V) E)]ρ = λy.E[E]ρ[V ↦ y]` do —
+//! in first-order Rust the "meta-level function" is a record of the
+//! parameter, the body, and the captured environment.
+
+use crate::value::{apply_prim, Value};
+use crate::{Datum, InterpError, Limits};
+use pe_frontend::ast::{Expr, Program};
+use std::rc::Rc;
+
+/// A Fig. 3 closure: parameter, body, and the whole captured environment.
+#[derive(Debug, Clone)]
+pub struct EnvClosure<'p> {
+    param: &'p str,
+    body: &'p Expr,
+    env: Env<'p>,
+}
+
+impl PartialEq for EnvClosure<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        // Identity of the originating expression; environments are not
+        // compared (equal?/eq? on procedures is unspecified in Scheme).
+        std::ptr::eq(self.body, other.body)
+    }
+}
+
+type V<'p> = Value<EnvClosure<'p>>;
+
+/// A persistent environment (linked list; scopes are small).
+#[derive(Debug, Clone)]
+struct Env<'p>(Option<Rc<EnvNode<'p>>>);
+
+#[derive(Debug)]
+struct EnvNode<'p> {
+    name: &'p str,
+    val: V<'p>,
+    rest: Env<'p>,
+}
+
+impl<'p> Env<'p> {
+    fn empty() -> Env<'p> {
+        Env(None)
+    }
+
+    fn bind(&self, name: &'p str, val: V<'p>) -> Env<'p> {
+        Env(Some(Rc::new(EnvNode { name, val, rest: self.clone() })))
+    }
+
+    fn lookup(&self, name: &str) -> Option<&V<'p>> {
+        let mut cur = self;
+        while let Some(node) = &cur.0 {
+            if node.name == name {
+                return Some(&node.val);
+            }
+            cur = &node.rest;
+        }
+        None
+    }
+}
+
+struct Interp<'p> {
+    prog: &'p Program,
+    fuel: u64,
+}
+
+impl<'p> Interp<'p> {
+    fn spend(&mut self) -> Result<(), InterpError> {
+        if self.fuel == 0 {
+            return Err(InterpError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &'p Expr, env: &Env<'p>) -> Result<V<'p>, InterpError> {
+        match e {
+            Expr::Var(_, v) => env
+                .lookup(v)
+                .cloned()
+                .ok_or_else(|| InterpError::Unbound(v.to_string())),
+            Expr::Const(_, k) => Ok(Value::from_constant(k)),
+            Expr::If(_, c, t, f) => {
+                let c = self.eval(c, env)?;
+                if c.is_truthy() {
+                    self.eval(t, env)
+                } else {
+                    self.eval(f, env)
+                }
+            }
+            Expr::Prim(_, op, args) => {
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(apply_prim(*op, &vals)?)
+            }
+            Expr::Call(_, p, args) => {
+                self.spend()?;
+                let vals = args
+                    .iter()
+                    .map(|a| self.eval(a, env))
+                    .collect::<Result<Vec<_>, _>>()?;
+                let def = self
+                    .prog
+                    .def(p)
+                    .ok_or_else(|| InterpError::NoSuchProc(p.to_string()))?;
+                let mut callee = Env::empty();
+                for (param, val) in def.params.iter().zip(vals) {
+                    callee = callee.bind(param, val);
+                }
+                self.eval(&def.body, &callee)
+            }
+            Expr::Let(_, v, rhs, body) => {
+                let rhs = self.eval(rhs, env)?;
+                self.eval(body, &env.bind(v, rhs))
+            }
+            Expr::Lambda(_, v, body) => {
+                Ok(Value::Closure(EnvClosure { param: v, body, env: env.clone() }))
+            }
+            Expr::App(_, f, a) => {
+                self.spend()?;
+                let fv = self.eval(f, env)?;
+                let av = self.eval(a, env)?;
+                match fv {
+                    Value::Closure(c) => self.eval(c.body, &c.env.bind(c.param, av)),
+                    v => Err(InterpError::NotAProcedure(v.to_string())),
+                }
+            }
+        }
+    }
+}
+
+/// Runs `entry` of `prog` on first-order arguments.
+///
+/// # Errors
+///
+/// Returns an [`InterpError`] for dynamic type errors, a missing or
+/// wrong-arity entry, exhausted fuel, or a higher-order result.
+pub fn run(
+    prog: &Program,
+    entry: &str,
+    args: &[Datum],
+    limits: Limits,
+) -> Result<Datum, InterpError> {
+    let def = prog
+        .def(entry)
+        .ok_or_else(|| InterpError::NoSuchProc(entry.to_string()))?;
+    if def.params.len() != args.len() {
+        return Err(InterpError::EntryArity {
+            name: entry.to_string(),
+            expected: def.params.len(),
+            got: args.len(),
+        });
+    }
+    let mut env = Env::empty();
+    for (param, arg) in def.params.iter().zip(args) {
+        env = env.bind(param, arg.embed());
+    }
+    let mut interp = Interp { prog, fuel: limits.fuel };
+    let result = interp.eval(&def.body, &env)?;
+    result.to_datum().ok_or(InterpError::ResultNotFirstOrder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_frontend::parse_source;
+
+    fn go(src: &str, entry: &str, args: &[Datum]) -> Result<Datum, InterpError> {
+        run(&parse_source(src).unwrap(), entry, args, Limits::default())
+    }
+
+    #[test]
+    fn constants_and_arith() {
+        assert_eq!(go("(define (f) (+ 1 (* 2 3)))", "f", &[]), Ok(Datum::Int(7)));
+        assert_eq!(go("(define (f) 'sym)", "f", &[]), Ok(Datum::Sym("sym".into())));
+        assert_eq!(go("(define (f) #\\a)", "f", &[]), Ok(Datum::Char('a')));
+    }
+
+    #[test]
+    fn lexical_scope_captures() {
+        // The classic adder test: closures capture their creation env.
+        let src = "(define (main) (let ((a 1))
+                     (let ((add-a (lambda (b) (+ a b))))
+                       (let ((a 100)) (add-a 10)))))";
+        assert_eq!(go(src, "main", &[]), Ok(Datum::Int(11)));
+    }
+
+    #[test]
+    fn shadowing_in_lambda() {
+        let src = "(define (f x) ((lambda (x) (+ x 1)) (* x 2)))";
+        assert_eq!(go(src, "f", &[Datum::Int(5)]), Ok(Datum::Int(11)));
+    }
+
+    #[test]
+    fn recursion_through_definitions() {
+        let src = "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))";
+        assert_eq!(go(src, "fact", &[Datum::Int(10)]), Ok(Datum::Int(3_628_800)));
+    }
+
+    #[test]
+    fn mutual_recursion() {
+        let src = "(define (even? n) (if (zero? n) #t (odd? (- n 1))))
+                   (define (odd? n) (if (zero? n) #f (even? (- n 1))))";
+        assert_eq!(go(src, "even?", &[Datum::Int(10)]), Ok(Datum::Bool(true)));
+        assert_eq!(go(src, "odd?", &[Datum::Int(10)]), Ok(Datum::Bool(false)));
+    }
+
+    #[test]
+    fn applying_non_procedure_fails() {
+        assert!(matches!(
+            go("(define (f x) (x 1))", "f", &[Datum::Int(3)]),
+            Err(InterpError::NotAProcedure(_))
+        ));
+    }
+
+    #[test]
+    fn quoted_structure() {
+        assert_eq!(
+            go("(define (f) (car (cdr '(a b c))))", "f", &[]),
+            Ok(Datum::Sym("b".into()))
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! The tail-recursive interpreter of Fig. 6.
+//!
+//! Evaluation contexts are encoded as closures, exactly like source-level
+//! functions, and kept on an explicit stack `τ`:
+//!
+//! * `S` evaluates simple expressions (no calls — all statically
+//!   unfoldable, which is what makes the specializer's residual code
+//!   tail-recursive);
+//! * `E*` processes serious expressions with the context stack;
+//! * `C` applies the topmost pending context to a delivered value; an
+//!   empty stack means the value is the final result.
+//!
+//! The whole machine is a single Rust loop: the host stack stays flat no
+//! matter how deep the subject program's recursion is.
+
+use crate::value::{apply_prim, Value};
+use crate::{Datum, InterpError, Limits};
+use pe_frontend::dast::{DProgram, LamId, SimpleExpr, TailExpr, VarId};
+
+/// A context/function closure of the tail machine: `(ℓ, v₁ … vₙ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailClosure {
+    /// The originating lambda.
+    pub lam: LamId,
+    /// Captured free-variable values in the lambda's fixed order.
+    pub freevals: Vec<V>,
+}
+
+type V = Value<TailClosure>;
+
+/// A per-activation environment (small; linear lookup).
+#[derive(Debug, Clone, Default)]
+struct Env(Vec<(VarId, V)>);
+
+impl Env {
+    fn bind(&mut self, var: VarId, val: V) {
+        self.0.push((var, val));
+    }
+
+    fn lookup(&self, var: VarId) -> Option<&V> {
+        self.0.iter().rev().find(|(v, _)| *v == var).map(|(_, val)| val)
+    }
+}
+
+/// `S[SE]ρ` — simple-expression evaluation.
+fn eval_simple(p: &DProgram, se: &SimpleExpr, env: &Env) -> Result<V, InterpError> {
+    match se {
+        SimpleExpr::Var(_, v) => env
+            .lookup(*v)
+            .cloned()
+            .ok_or_else(|| InterpError::Unbound(p.var_name(*v))),
+        SimpleExpr::Const(_, k) => Ok(Value::from_constant(k)),
+        SimpleExpr::Prim(_, op, args) => {
+            let vals = args
+                .iter()
+                .map(|a| eval_simple(p, a, env))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(apply_prim(*op, &vals)?)
+        }
+        SimpleExpr::Lambda(_, id) => {
+            let lam = p.lambda(*id);
+            let freevals = lam
+                .freevars
+                .iter()
+                .map(|fv| {
+                    env.lookup(*fv)
+                        .cloned()
+                        .ok_or_else(|| InterpError::Unbound(p.var_name(*fv)))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Value::Closure(TailClosure { lam: *id, freevals }))
+        }
+    }
+}
+
+/// Runs `entry` of the desugared program `p` on first-order arguments.
+///
+/// # Errors
+///
+/// Returns an [`InterpError`] for dynamic type errors, a missing or
+/// wrong-arity entry, exhausted fuel, or a higher-order result.
+pub fn run(
+    p: &DProgram,
+    entry: &str,
+    args: &[Datum],
+    limits: Limits,
+) -> Result<Datum, InterpError> {
+    let pid = p
+        .proc_id(entry)
+        .ok_or_else(|| InterpError::NoSuchProc(entry.to_string()))?;
+    let def = p.proc(pid);
+    if def.params.len() != args.len() {
+        return Err(InterpError::EntryArity {
+            name: entry.to_string(),
+            expected: def.params.len(),
+            got: args.len(),
+        });
+    }
+    let mut env = Env::default();
+    for (param, arg) in def.params.iter().zip(args) {
+        env.bind(*param, arg.embed());
+    }
+
+    let mut fuel = limits.fuel;
+    // τ — the stack of pending evaluation contexts.
+    let mut stack: Vec<TailClosure> = Vec::new();
+    let mut cur: &TailExpr = &def.body;
+
+    loop {
+        if fuel == 0 {
+            return Err(InterpError::FuelExhausted);
+        }
+        fuel -= 1;
+        match cur {
+            // E*[SE]ρτ = C (S[SE]ρ) τ
+            TailExpr::Simple(se) => {
+                let v = eval_simple(p, se, &env)?;
+                match stack.pop() {
+                    // C v [] = v
+                    None => return v.to_datum().ok_or(InterpError::ResultNotFirstOrder),
+                    // C v ((ℓ, v₁…vₙ) : τ): bind param and freevars, run body.
+                    Some(ctx) => {
+                        let lam = p.lambda(ctx.lam);
+                        let mut next = Env::default();
+                        next.bind(lam.param, v);
+                        for (fv, val) in lam.freevars.iter().zip(ctx.freevals) {
+                            next.bind(*fv, val);
+                        }
+                        env = next;
+                        cur = &lam.body;
+                    }
+                }
+            }
+            TailExpr::If(_, c, t, e) => {
+                let cv = eval_simple(p, c, &env)?;
+                cur = if cv.is_truthy() { t } else { e };
+            }
+            // E*[(P SE₁…SEₙ)]ρτ = E*[φ(P)][Vᵢ ↦ S[SEᵢ]ρ]τ
+            TailExpr::CallProc(_, pid, args) => {
+                let def = p.proc(*pid);
+                let mut next = Env::default();
+                for (param, arg) in def.params.iter().zip(args) {
+                    let v = eval_simple(p, arg, &env)?;
+                    next.bind(*param, v);
+                }
+                env = next;
+                cur = &def.body;
+            }
+            // E*[(SE E)]ρτ = E*[E]ρ (S[SE]ρ : τ)
+            TailExpr::PushApp(_, ctx, body) => {
+                match eval_simple(p, ctx, &env)? {
+                    Value::Closure(c) => stack.push(c),
+                    v => return Err(InterpError::NotAProcedure(v.to_string())),
+                }
+                cur = body;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_frontend::{desugar, parse_source};
+
+    fn go(src: &str, entry: &str, args: &[Datum]) -> Result<Datum, InterpError> {
+        let p = desugar(&parse_source(src).unwrap()).unwrap();
+        run(&p, entry, args, Limits::default())
+    }
+
+    #[test]
+    fn contexts_deliver_values() {
+        // (f (g x)) requires one context push/pop.
+        let src = "(define (g x) (* x 2)) (define (f x) (+ x 1)) (define (h x) (f (g x)))";
+        assert_eq!(go(src, "h", &[Datum::Int(10)]), Ok(Datum::Int(21)));
+    }
+
+    #[test]
+    fn deeply_nested_contexts() {
+        let src = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+        assert_eq!(go(src, "fib", &[Datum::Int(15)]), Ok(Datum::Int(610)));
+    }
+
+    #[test]
+    fn cps_code_runs_with_empty_machine_stack() {
+        // CPS programs carry their continuations as closures; the machine
+        // stack depth stays ≤ 1 (push immediately followed by delivery).
+        let src = "(define (loop n acc k) (if (zero? n) (k acc) (loop (- n 1) (+ acc 1) k)))
+                   (define (main n) (loop n 0 (lambda (r) r)))";
+        assert_eq!(go(src, "main", &[Datum::Int(100_000)]), Ok(Datum::Int(100_000)));
+    }
+
+    #[test]
+    fn non_closure_context_is_an_error() {
+        let src = "(define (f x) (x (f x)))";
+        assert!(matches!(
+            go(src, "f", &[Datum::Int(1)]),
+            Err(InterpError::NotAProcedure(_))
+        ));
+    }
+
+    #[test]
+    fn let_over_lambda() {
+        let src = "(define (main a)
+                     (let ((mk (lambda (x) (lambda (y) (cons x y)))))
+                       ((mk a) 2)))";
+        assert_eq!(go(src, "main", &[Datum::Int(1)]).unwrap().to_string(), "(1 . 2)");
+    }
+
+    #[test]
+    fn queens_smoke() {
+        let src = r"
+(define (ok? row dist placed)
+  (if (null? placed) #t
+      (if (= (car placed) row) #f
+          (if (= (car placed) (+ row dist)) #f
+              (if (= (car placed) (- row dist)) #f
+                  (ok? row (+ dist 1) (cdr placed)))))))
+(define (queens-col col n placed)
+  (if (> col n) 1 (loop-rows 1 col n placed)))
+(define (loop-rows row col n placed)
+  (if (> row n) 0
+      (+ (if (safe? row placed) (queens-col (+ col 1) n (cons row placed)) 0)
+         (loop-rows (+ row 1) col n placed))))
+(define (safe? row placed) (ok? row 1 placed))
+(define (queens n) (queens-col 1 n '()))";
+        assert_eq!(go(src, "queens", &[Datum::Int(5)]), Ok(Datum::Int(10)));
+        assert_eq!(go(src, "queens", &[Datum::Int(6)]), Ok(Datum::Int(4)));
+    }
+}

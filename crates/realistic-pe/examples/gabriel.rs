@@ -1,0 +1,44 @@
+//! Runs the whole Fig. 8 benchmark suite (test inputs) through every
+//! engine and prints a correctness/cost matrix — a quick, human-readable
+//! version of the evaluation before running the Criterion benches.
+//!
+//! ```sh
+//! cargo run --release --example gabriel
+//! ```
+
+use realistic_pe::{CompileOptions, Datum, GenStrategy, Limits, Pipeline, SUITE};
+
+fn main() {
+    // The interpreters and the baseline use the host stack (by design);
+    // deep CPS benchmarks need a roomy one.
+    realistic_pe::with_big_stack(|| run().expect("suite runs"));
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:<11} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "benchmark", "ok", "vm steps", "vm allocs", "s0 procs", "ho?"
+    );
+    for b in SUITE {
+        let pipe = Pipeline::new(b.source)?;
+        let args = b.test_inputs();
+        let expect = Datum::parse(b.test_expect)?;
+        let opts = CompileOptions { strategy: GenStrategy::Offline, ..CompileOptions::default() };
+        let s0 = pipe.compile(b.entry, &opts)?;
+        let (result, stats) = pipe.run_compiled(b.entry, &args, &opts, Limits::default())?;
+        let hob = pipe.compile_hobbit()?.run(b.entry, &args, Limits::default())?;
+        let ok = result == expect && hob == expect;
+        println!(
+            "{:<11} {:>6} {:>12} {:>12} {:>12} {:>10}",
+            b.name,
+            if ok { "yes" } else { "NO" },
+            stats.steps,
+            stats.allocs,
+            s0.procs.len(),
+            if b.higher_order { "higher" } else { "first" }
+        );
+        assert!(ok, "{}: engines disagree", b.name);
+    }
+    println!("\nAll engines agree on the whole suite.");
+    Ok(())
+}

@@ -1,0 +1,199 @@
+//! The end-to-end compilation pipeline, tying every crate together:
+//!
+//! ```text
+//! source ──parse──▶ surface AST ──desugar──▶ tail form (Fig. 5)
+//!    ──specializing compiler (Fig. 7)──▶ S₀ ──▶ VM / C back end
+//! ```
+//!
+//! plus the two §6 comparators: the interpreter family and the
+//! Hobbit-like baseline.
+
+use pe_core::{CompileOptions, S0Program, SpecError};
+use pe_frontend::{desugar, parse_source, DProgram, ParseError, Program};
+use pe_hobbit::Hobbit;
+use pe_interp::{Datum, InterpError, Limits};
+use pe_vm::{Vm, VmStats};
+use std::fmt;
+
+/// Any error the pipeline can produce.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Reading/parsing/validation failed.
+    Parse(ParseError),
+    /// Desugaring failed (programmatic ASTs only).
+    Desugar(pe_frontend::DesugarError),
+    /// Specialization failed.
+    Spec(SpecError),
+    /// The compiled program did not pass the S₀ well-formedness check.
+    IllFormed(Vec<String>),
+    /// Baseline compilation failed.
+    Hobbit(pe_hobbit::HobError),
+    /// VM compilation failed.
+    Vm(pe_vm::VmError),
+    /// Execution failed.
+    Run(InterpError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(e) => write!(f, "{e}"),
+            PipelineError::Desugar(e) => write!(f, "{e}"),
+            PipelineError::Spec(e) => write!(f, "{e}"),
+            PipelineError::IllFormed(errs) => {
+                write!(f, "ill-formed residual program: {}", errs.join("; "))
+            }
+            PipelineError::Hobbit(e) => write!(f, "{e}"),
+            PipelineError::Vm(e) => write!(f, "{e}"),
+            PipelineError::Run(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl From<SpecError> for PipelineError {
+    fn from(e: SpecError) -> Self {
+        PipelineError::Spec(e)
+    }
+}
+
+impl From<InterpError> for PipelineError {
+    fn from(e: InterpError) -> Self {
+        PipelineError::Run(e)
+    }
+}
+
+/// A parsed and desugared program, ready for any engine.
+pub struct Pipeline {
+    /// The surface program (Fig. 2).
+    pub program: Program,
+    /// The desugared tail form (Fig. 5).
+    pub dprog: DProgram,
+}
+
+impl Pipeline {
+    /// Parses and desugars source text.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn new(source: &str) -> Result<Pipeline, PipelineError> {
+        let program = parse_source(source)?;
+        let dprog = desugar(&program).map_err(PipelineError::Desugar)?;
+        Ok(Pipeline { program, dprog })
+    }
+
+    /// Compiles `entry` to S₀ (checked well-formed).
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn compile(&self, entry: &str, opts: &CompileOptions) -> Result<S0Program, PipelineError> {
+        let s0 = pe_core::compile(&self.dprog, entry, opts)?;
+        let errs = s0.check();
+        if !errs.is_empty() {
+            return Err(PipelineError::IllFormed(errs));
+        }
+        Ok(s0)
+    }
+
+    /// Compiles `entry` to S₀ and loads it into the VM.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn compile_vm(&self, entry: &str, opts: &CompileOptions) -> Result<Vm, PipelineError> {
+        let s0 = self.compile(entry, opts)?;
+        Vm::compile(&s0).map_err(PipelineError::Vm)
+    }
+
+    /// Compiles the whole program with the Hobbit-like baseline.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn compile_hobbit(&self) -> Result<Hobbit, PipelineError> {
+        Hobbit::compile(&self.program).map_err(PipelineError::Hobbit)
+    }
+
+    /// Runs the standard (Fig. 3) interpreter.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run_standard(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        limits: Limits,
+    ) -> Result<Datum, PipelineError> {
+        Ok(pe_interp::standard::run(&self.program, entry, args, limits)?)
+    }
+
+    /// Runs the closure-converted (Fig. 4) interpreter.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run_closconv(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        limits: Limits,
+    ) -> Result<Datum, PipelineError> {
+        Ok(pe_interp::closconv::run(&self.program, entry, args, limits)?)
+    }
+
+    /// Runs the tail-recursive (Fig. 6) interpreter.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run_tail(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        limits: Limits,
+    ) -> Result<Datum, PipelineError> {
+        Ok(pe_interp::tail::run(&self.dprog, entry, args, limits)?)
+    }
+
+    /// Compiles and runs on the VM, returning result and counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run_compiled(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        opts: &CompileOptions,
+        limits: Limits,
+    ) -> Result<(Datum, VmStats), PipelineError> {
+        let vm = self.compile_vm(entry, opts)?;
+        Ok(vm.run(args, limits)?)
+    }
+
+    /// Emits the §5.1 C translation of the compiled program, with `args`
+    /// baked into `main`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn emit_c(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        opts: &CompileOptions,
+    ) -> Result<pe_backend_c::CProgram, PipelineError> {
+        let s0 = self.compile(entry, opts)?;
+        Ok(pe_backend_c::emit_c(&s0, args, &pe_backend_c::COptions::default()))
+    }
+}

@@ -1,0 +1,230 @@
+//! The benchmark suite of §6 (Fig. 8): `deriv`, `tak`, `cpstak`, `takl`,
+//! `fibclos`, `cps-append` and `queens`, written in the subject
+//! language.
+//!
+//! Each [`Benchmark`] carries two input sizes: `test` (fast, used by the
+//! correctness tests) and `bench` (the measured configuration, scaled so
+//! the whole suite runs in seconds on the S₀ virtual machine — the paper
+//! measured milliseconds on a PowerPC/250; we reproduce *shape*, not
+//! absolute numbers).
+
+use pe_interp::Datum;
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// The Fig. 8 row name.
+    pub name: &'static str,
+    /// Subject-language source text.
+    pub source: &'static str,
+    /// Entry procedure.
+    pub entry: &'static str,
+    /// Fast arguments for tests, as parseable data.
+    pub test_args: &'static [&'static str],
+    /// Expected result on `test_args` (printed form).
+    pub test_expect: &'static str,
+    /// Measured arguments for benchmarks.
+    pub bench_args: &'static [&'static str],
+    /// True if the program is higher-order before compilation (the axis
+    /// of the paper's Fig. 8 discussion).
+    pub higher_order: bool,
+    /// The paper's Fig. 8 timing for "ours" (ms on a PowerPC/250).
+    pub paper_ours_ms: u32,
+    /// The paper's Fig. 8 timing for Hobbit (ms).
+    pub paper_hobbit_ms: u32,
+}
+
+impl Benchmark {
+    /// Parses the test arguments.
+    pub fn test_inputs(&self) -> Vec<Datum> {
+        self.test_args.iter().map(|s| Datum::parse(s).expect("parseable")).collect()
+    }
+
+    /// Parses the benchmark arguments.
+    pub fn bench_inputs(&self) -> Vec<Datum> {
+        self.bench_args.iter().map(|s| Datum::parse(s).expect("parseable")).collect()
+    }
+}
+
+/// `deriv` — symbolic differentiation (Gabriel suite), binary `+`/`*`.
+pub const DERIV: Benchmark = Benchmark {
+    name: "deriv",
+    source: r"
+(define (deriv e)
+  (if (symbol? e) (if (eq? e 'x) 1 0)
+      (if (number? e) 0
+          (if (eq? (car e) '+)
+              (cons '+ (cons (deriv (car (cdr e))) (cons (deriv (car (cdr (cdr e)))) '())))
+              (if (eq? (car e) '*)
+                  (cons '+
+                    (cons (cons '* (cons (car (cdr e)) (cons (deriv (car (cdr (cdr e)))) '())))
+                      (cons (cons '* (cons (deriv (car (cdr e))) (cons (car (cdr (cdr e))) '())))
+                        '())))
+                  e)))))
+(define (deriv-n e n)
+  (if (zero? n) (deriv e) (nth-junk (deriv e) e (- n 1))))
+(define (nth-junk d e n) (deriv-n e n))",
+    entry: "deriv-n",
+    test_args: &["(+ (* 3 (* x x)) (* b x))", "3"],
+    test_expect: "(+ (+ (* 3 (+ (* x 1) (* 1 x))) (* 0 (* x x))) (+ (* b 1) (* 0 x)))",
+    bench_args: &["(+ (* 3 (* x x)) (+ (* a (* x x)) (+ (* b x) 5)))", "300"],
+    higher_order: false,
+    paper_ours_ms: 2420,
+    paper_hobbit_ms: 390,
+};
+
+/// `tak` — the Takeuchi function.
+pub const TAK: Benchmark = Benchmark {
+    name: "tak",
+    source: r"
+(define (tak x y z)
+  (if (not (< y x)) z
+      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))",
+    entry: "tak",
+    test_args: &["12", "6", "3"],
+    test_expect: "4",
+    bench_args: &["18", "12", "6"],
+    higher_order: false,
+    paper_ours_ms: 5820,
+    paper_hobbit_ms: 810,
+};
+
+/// `cpstak` — Takeuchi in continuation-passing style.
+pub const CPSTAK: Benchmark = Benchmark {
+    name: "cpstak",
+    source: r"
+(define (cpstak x y z) (tak-k x y z (lambda (a) a)))
+(define (tak-k x y z k)
+  (if (not (< y x)) (k z)
+      (tak-k (- x 1) y z
+        (lambda (v1)
+          (tak-k (- y 1) z x
+            (lambda (v2)
+              (tak-k (- z 1) x y
+                (lambda (v3) (tak-k v1 v2 v3 k)))))))))",
+    entry: "cpstak",
+    test_args: &["12", "6", "3"],
+    test_expect: "4",
+    bench_args: &["18", "12", "6"],
+    higher_order: true,
+    paper_ours_ms: 6400,
+    paper_hobbit_ms: 6490,
+};
+
+/// `takl` — Takeuchi on unary (list) numbers.
+pub const TAKL: Benchmark = Benchmark {
+    name: "takl",
+    source: r"
+(define (listn n) (if (zero? n) '() (cons n (listn (- n 1)))))
+(define (shorterp x y)
+  (if (null? y) #f (if (null? x) #t (shorterp (cdr x) (cdr y)))))
+(define (mas x y z)
+  (if (not (shorterp y x)) z
+      (mas (mas (cdr x) y z) (mas (cdr y) z x) (mas (cdr z) x y))))
+(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))
+(define (takl x y z) (len (mas (listn x) (listn y) (listn z))))",
+    entry: "takl",
+    test_args: &["8", "4", "2"],
+    test_expect: "3",
+    bench_args: &["14", "10", "5"],
+    higher_order: false,
+    paper_ours_ms: 220,
+    paper_hobbit_ms: 870,
+};
+
+/// `fibclos` — Fibonacci with the recursion threaded through closures.
+pub const FIBCLOS: Benchmark = Benchmark {
+    name: "fibclos",
+    source: r"
+(define (fibclos n) (fib-k n (lambda (r) r)))
+(define (fib-k n k)
+  (if (< n 2) (k n)
+      (fib-k (- n 1)
+        (lambda (f1) (fib-k (- n 2) (lambda (f2) (k (+ f1 f2))))))))",
+    entry: "fibclos",
+    test_args: &["12"],
+    test_expect: "144",
+    bench_args: &["21"],
+    higher_order: true,
+    paper_ours_ms: 15820,
+    paper_hobbit_ms: 19480,
+};
+
+/// `cps-append` — the paper's §1 example, iterated.
+pub const CPS_APPEND: Benchmark = Benchmark {
+    name: "cps-append",
+    source: r"
+(define (cps-append x y c)
+  (if (null? x) (c y)
+      (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))
+(define (append2 x y) (cps-append x y (lambda (v) v)))
+(define (listn n) (if (zero? n) '() (cons n (listn (- n 1)))))
+(define (append-loop n reps)
+  (run-append (listn n) (listn n) reps))
+(define (run-append x y reps)
+  (if (zero? reps) (len (append2 x y)) (drop (append2 x y) x y (- reps 1))))
+(define (drop r x y reps) (run-append x y reps))
+(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))",
+    entry: "append-loop",
+    test_args: &["5", "3"],
+    test_expect: "10",
+    bench_args: &["120", "400"],
+    higher_order: true,
+    paper_ours_ms: 5480,
+    paper_hobbit_ms: 36340,
+};
+
+/// `queens` — counting the solutions of the n-queens problem.
+pub const QUEENS: Benchmark = Benchmark {
+    name: "queens",
+    source: r"
+(define (ok? row dist placed)
+  (if (null? placed) #t
+      (if (= (car placed) row) #f
+          (if (= (car placed) (+ row dist)) #f
+              (if (= (car placed) (- row dist)) #f
+                  (ok? row (+ dist 1) (cdr placed)))))))
+(define (queens-col col n placed)
+  (if (> col n) 1 (loop-rows 1 col n placed)))
+(define (loop-rows row col n placed)
+  (if (> row n) 0
+      (+ (if (ok? row 1 placed) (queens-col (+ col 1) n (cons row placed)) 0)
+         (loop-rows (+ row 1) col n placed))))
+(define (queens n) (queens-col 1 n '()))",
+    entry: "queens",
+    test_args: &["6"],
+    test_expect: "4",
+    bench_args: &["8"],
+    higher_order: false,
+    paper_ours_ms: 8110,
+    paper_hobbit_ms: 2370,
+};
+
+/// The full Fig. 8 suite, in the paper's row order.
+pub const SUITE: &[Benchmark] = &[DERIV, TAK, CPSTAK, TAKL, FIBCLOS, CPS_APPEND, QUEENS];
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<&'static Benchmark> {
+    SUITE.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_frontend::parse_source;
+
+    #[test]
+    fn suite_parses() {
+        for b in SUITE {
+            parse_source(b.source).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!b.test_inputs().is_empty() || b.name == "noargs");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("tak").is_some());
+        assert!(benchmark("nope").is_none());
+        assert_eq!(SUITE.len(), 7, "all Fig. 8 rows present");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based cross-engine equivalence: randomly generated programs
+//! must evaluate identically on every engine (interpreters, compiled VM
+//! with both generalization strategies, Hobbit baseline) — including
+//! agreeing on *whether* evaluation faults.
+
+use proptest::prelude::*;
+use realistic_pe::{CompileOptions, Datum, GenStrategy, Limits, Pipeline};
+
+/// A generated first-order expression over parameters `p0..p2` (numbers)
+/// and `l0` (a list of numbers), with recursion through `walk`, a
+/// structural loop that is always terminating.
+#[derive(Debug, Clone)]
+enum GenExpr {
+    ParamNum(u8),
+    ParamList,
+    Lit(i8),
+    Add(Box<GenExpr>, Box<GenExpr>),
+    Sub(Box<GenExpr>, Box<GenExpr>),
+    Mul(Box<GenExpr>, Box<GenExpr>),
+    If(Box<GenExpr>, Box<GenExpr>, Box<GenExpr>),
+    Lt(Box<GenExpr>, Box<GenExpr>),
+    Cons(Box<GenExpr>, Box<GenExpr>),
+    CarOrZero(Box<GenExpr>),
+    IsNull(Box<GenExpr>),
+    WalkList(Box<GenExpr>),
+    LetNum(Box<GenExpr>, Box<GenExpr>),
+    /// A higher-order twist: ((lambda (v) body) arg).
+    LamApp(Box<GenExpr>, Box<GenExpr>),
+    LamVar,
+}
+
+impl GenExpr {
+    fn to_src(&self) -> String {
+        match self {
+            GenExpr::ParamNum(i) => format!("p{}", i % 3),
+            GenExpr::ParamList => "l0".to_string(),
+            GenExpr::Lit(n) => format!("{n}"),
+            GenExpr::Add(a, b) => format!("(+ {} {})", a.to_src(), b.to_src()),
+            GenExpr::Sub(a, b) => format!("(- {} {})", a.to_src(), b.to_src()),
+            GenExpr::Mul(a, b) => format!("(* {} {})", a.to_src(), b.to_src()),
+            GenExpr::If(c, t, f) => {
+                format!("(if {} {} {})", c.to_src(), t.to_src(), f.to_src())
+            }
+            GenExpr::Lt(a, b) => format!("(< {} {})", a.to_src(), b.to_src()),
+            GenExpr::Cons(a, b) => format!("(cons {} {})", a.to_src(), b.to_src()),
+            GenExpr::CarOrZero(a) => {
+                let x = a.to_src();
+                format!("(if (pair? {x}) (car {x}) 0)")
+            }
+            GenExpr::IsNull(a) => format!("(null? {})", a.to_src()),
+            GenExpr::WalkList(a) => format!("(walk {})", a.to_src()),
+            GenExpr::LetNum(rhs, body) => {
+                format!("(let ((w {})) {})", rhs.to_src(), body.to_src())
+            }
+            GenExpr::LamApp(body, arg) => {
+                format!("((lambda (v) {}) {})", body.to_src(), arg.to_src())
+            }
+            GenExpr::LamVar => "v".to_string(),
+        }
+    }
+}
+
+fn gen_expr(lam_depth: u32) -> impl Strategy<Value = GenExpr> {
+    let leaf = prop_oneof![
+        (0u8..3).prop_map(GenExpr::ParamNum),
+        Just(GenExpr::ParamList),
+        any::<i8>().prop_map(GenExpr::Lit),
+        if lam_depth > 0 { Just(GenExpr::LamVar).boxed() } else { any::<i8>().prop_map(GenExpr::Lit).boxed() },
+    ];
+    leaf.prop_recursive(4, 24, 3, move |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| GenExpr::If(Box::new(c), Box::new(t), Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Lt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| GenExpr::Cons(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| GenExpr::CarOrZero(Box::new(a))),
+            inner.clone().prop_map(|a| GenExpr::IsNull(Box::new(a))),
+            inner.clone().prop_map(|a| GenExpr::WalkList(Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(r, b)| GenExpr::LetNum(Box::new(r), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(b, a)| GenExpr::LamApp(Box::new(b), Box::new(a))),
+        ]
+    })
+}
+
+fn program_for(body: &GenExpr) -> String {
+    format!(
+        "(define (main p0 p1 p2 l0) {})
+         (define (walk l) (if (pair? l) (walk (cdr l)) l))",
+        body.to_src()
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    /// Generated programs evaluate identically on all engines — both
+    /// values and fault behaviour.
+    #[test]
+    fn engines_agree_on_random_programs(
+        body in gen_expr(0),
+        p0 in -20i64..20,
+        p1 in -20i64..20,
+        p2 in -20i64..20,
+        l0 in proptest::collection::vec(-5i64..5, 0..5),
+    ) {
+        let src = program_for(&body);
+        let pipe = Pipeline::new(&src).expect("generated programs parse");
+        let args = vec![
+            Datum::Int(p0),
+            Datum::Int(p1),
+            Datum::Int(p2),
+            Datum::parse(&format!(
+                "({})",
+                l0.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
+            )).unwrap(),
+        ];
+        let lim = Limits { fuel: 2_000_000 };
+        let reference = pipe.run_standard("main", &args, lim);
+        let tail = pipe.run_tail("main", &args, lim);
+        let cc = pipe.run_closconv("main", &args, lim);
+        let hob = pipe.compile_hobbit().unwrap().run("main", &args, lim);
+        // Values must agree when evaluation succeeds; all engines agree
+        // on success-vs-failure (the pure language has deterministic
+        // semantics; desugaring only reorders which *error* surfaces, so
+        // compare values only on success).
+        match &reference {
+            Ok(v) => {
+                prop_assert_eq!(tail.as_ref().ok(), Some(v), "tail");
+                prop_assert_eq!(cc.as_ref().ok(), Some(v), "closconv");
+                prop_assert_eq!(hob.as_ref().ok(), Some(v), "hobbit");
+                for strategy in [GenStrategy::Offline, GenStrategy::Online] {
+                    let opts = CompileOptions { strategy, ..CompileOptions::default() };
+                    let compiled = pipe.run_compiled("main", &args, &opts, lim);
+                    match compiled {
+                        Ok((got, _)) => prop_assert_eq!(&got, v, "compiled {:?}", strategy),
+                        Err(e) => prop_assert!(false, "compiled {strategy:?} failed: {e}"),
+                    }
+                }
+            }
+            Err(_) => {
+                // Reference faults ⇒ every engine faults (possibly with a
+                // different error message; the language is pure).
+                prop_assert!(tail.is_err(), "tail succeeded where reference faulted");
+                prop_assert!(cc.is_err());
+                prop_assert!(hob.is_err());
+            }
+        }
+    }
+
+    /// Compiled programs never produce ill-formed S₀ on random inputs —
+    /// the language preservation property as a property test.
+    #[test]
+    fn residual_programs_always_check(body in gen_expr(0)) {
+        let src = program_for(&body);
+        let pipe = Pipeline::new(&src).expect("generated programs parse");
+        for strategy in [GenStrategy::Offline, GenStrategy::Online] {
+            let opts = CompileOptions { strategy, ..CompileOptions::default() };
+            let s0 = pipe.compile("main", &opts).expect("compiles");
+            prop_assert!(s0.check().is_empty());
+            prop_assert!(!s0.to_source().contains("lambda"));
+        }
+    }
+}

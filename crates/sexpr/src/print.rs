@@ -1,0 +1,98 @@
+//! A simple indentation-based pretty printer for S-expressions.
+//!
+//! Residual programs produced by the specializer can be deeply nested;
+//! the pretty printer keeps them readable in golden tests, examples and
+//! `EXPERIMENTS.md` listings.
+
+use crate::Sexpr;
+
+/// Pretty-prints `e` with the default line width of 78 columns.
+pub fn pretty(e: &Sexpr) -> String {
+    pretty_width(e, 78)
+}
+
+/// Pretty-prints `e`, breaking lists that would exceed `width` columns.
+pub fn pretty_width(e: &Sexpr, width: usize) -> String {
+    let mut out = String::new();
+    go(e, 0, width, &mut out);
+    out
+}
+
+/// Heads whose first arguments stay on the head line when broken, in the
+/// style of Lisp pretty printers (`define`, `lambda`, `let`, `if`).
+fn head_args_on_line(head: &str) -> usize {
+    match head {
+        "define" | "lambda" | "let" => 1,
+        "if" => 1,
+        _ => 0,
+    }
+}
+
+fn flat_len(e: &Sexpr) -> usize {
+    e.to_string().len()
+}
+
+fn go(e: &Sexpr, indent: usize, width: usize, out: &mut String) {
+    match e {
+        Sexpr::List(xs) if !xs.is_empty() && indent + flat_len(e) > width => {
+            out.push('(');
+            go(&xs[0], indent + 1, width, out);
+            let keep = xs[0]
+                .sym()
+                .map(head_args_on_line)
+                .unwrap_or(0)
+                .min(xs.len() - 1);
+            for x in &xs[1..=keep] {
+                out.push(' ');
+                // Keep header arguments flat; they are small in practice.
+                out.push_str(&x.to_string());
+            }
+            let child_indent = indent + 2;
+            for x in &xs[1 + keep..] {
+                out.push('\n');
+                out.push_str(&" ".repeat(child_indent));
+                go(x, child_indent, width, out);
+            }
+            out.push(')');
+        }
+        _ => out.push_str(&e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read_one;
+
+    #[test]
+    fn short_expressions_stay_flat() {
+        let e = read_one("(+ 1 2)").unwrap();
+        assert_eq!(pretty(&e), "(+ 1 2)");
+    }
+
+    #[test]
+    fn long_expressions_break() {
+        let e = read_one(
+            "(define (f x) (if (null? x) something-quite-long-here \
+             (another-long-function-name x x x x)))",
+        )
+        .unwrap();
+        let p = pretty_width(&e, 40);
+        assert!(p.contains('\n'));
+        // Re-reading the pretty-printed form yields the same tree.
+        assert_eq!(read_one(&p).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_roundtrips() {
+        for src in [
+            "(define (append x y) (cps-append x y (lambda (v) v)))",
+            "(a (b (c (d (e (f (g (h (i (j 1 2 3 4 5 6 7 8 9 10))))))))))",
+            "(quote (1 2 3 #t #\\a \"str\"))",
+        ] {
+            let e = read_one(src).unwrap();
+            let p = pretty_width(&e, 20);
+            assert_eq!(read_one(&p).unwrap(), e, "roundtrip failed for {src}");
+        }
+    }
+}

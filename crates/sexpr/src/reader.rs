@@ -1,0 +1,374 @@
+//! A recursive-descent S-expression reader with source positions.
+
+use crate::{Pos, Sexpr};
+use std::fmt;
+
+/// An error produced while reading S-expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// Where in the input the error occurred.
+    pub pos: Pos,
+    /// What went wrong.
+    pub kind: ReadErrorKind,
+}
+
+/// The kinds of reader errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadErrorKind {
+    /// Input ended inside a list or other composite token.
+    UnexpectedEof,
+    /// A `)` with no matching `(`.
+    UnbalancedClose,
+    /// A malformed `#...` token.
+    BadHash(String),
+    /// A string literal was not terminated.
+    UnterminatedString,
+    /// An integer literal overflowed `i64`.
+    IntOverflow(String),
+    /// Dotted pairs are not part of the subject language.
+    DottedPair,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ReadErrorKind::UnexpectedEof => write!(f, "{}: unexpected end of input", self.pos),
+            ReadErrorKind::UnbalancedClose => write!(f, "{}: unbalanced ')'", self.pos),
+            ReadErrorKind::BadHash(t) => write!(f, "{}: bad token #{t}", self.pos),
+            ReadErrorKind::UnterminatedString => write!(f, "{}: unterminated string", self.pos),
+            ReadErrorKind::IntOverflow(t) => write!(f, "{}: integer overflows fixnum: {t}", self.pos),
+            ReadErrorKind::DottedPair => {
+                write!(f, "{}: dotted pairs are not supported", self.pos)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+struct Reader<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    offset: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Reader<'a> {
+    fn new(src: &'a str) -> Self {
+        Reader { src, bytes: src.as_bytes(), offset: 0, line: 1, col: 1 }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos { offset: self.offset, line: self.line, col: self.col }
+    }
+
+    fn err(&self, kind: ReadErrorKind) -> ReadError {
+        ReadError { pos: self.pos(), kind }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.offset += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b';') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn read_expr(&mut self) -> Result<Sexpr, ReadError> {
+        self.skip_ws_and_comments();
+        match self.peek() {
+            None => Err(self.err(ReadErrorKind::UnexpectedEof)),
+            Some(b'(') | Some(b'[') => self.read_list(),
+            Some(b')') | Some(b']') => Err(self.err(ReadErrorKind::UnbalancedClose)),
+            Some(b'\'') => {
+                self.bump();
+                let quoted = self.read_expr()?;
+                Ok(Sexpr::list_of([Sexpr::sym_of("quote"), quoted]))
+            }
+            Some(b'"') => self.read_string(),
+            Some(b'#') => self.read_hash(),
+            Some(_) => self.read_atom(),
+        }
+    }
+
+    fn read_list(&mut self) -> Result<Sexpr, ReadError> {
+        self.bump(); // consume '(' or '['
+        let mut items = Vec::new();
+        loop {
+            self.skip_ws_and_comments();
+            match self.peek() {
+                None => return Err(self.err(ReadErrorKind::UnexpectedEof)),
+                Some(b')') | Some(b']') => {
+                    self.bump();
+                    return Ok(Sexpr::List(items));
+                }
+                Some(b'.') => {
+                    // A lone dot introduces a dotted pair, which the
+                    // subject language excludes; `.5`-style atoms do not
+                    // occur because floats are not in the language either.
+                    let next = self.bytes.get(self.offset + 1).copied();
+                    if next.is_none() || next.is_some_and(|b| b.is_ascii_whitespace() || b == b')') {
+                        return Err(self.err(ReadErrorKind::DottedPair));
+                    }
+                    items.push(self.read_expr()?);
+                }
+                Some(_) => items.push(self.read_expr()?),
+            }
+        }
+    }
+
+    fn read_string(&mut self) -> Result<Sexpr, ReadError> {
+        self.bump(); // consume '"'
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err(ReadErrorKind::UnterminatedString)),
+                Some(b'"') => return Ok(Sexpr::Str(s.into())),
+                Some(b'\\') => match self.bump() {
+                    None => return Err(self.err(ReadErrorKind::UnterminatedString)),
+                    Some(b'n') => s.push('\n'),
+                    Some(b't') => s.push('\t'),
+                    Some(b) => s.push(b as char),
+                },
+                Some(b) => s.push(b as char),
+            }
+        }
+    }
+
+    fn read_hash(&mut self) -> Result<Sexpr, ReadError> {
+        let start = self.pos();
+        self.bump(); // consume '#'
+        match self.peek() {
+            Some(b't') => {
+                self.bump();
+                Ok(Sexpr::Bool(true))
+            }
+            Some(b'f') => {
+                self.bump();
+                Ok(Sexpr::Bool(false))
+            }
+            Some(b'\\') => {
+                self.bump();
+                let tok_start = self.offset;
+                // A character token is at least one character long; named
+                // characters extend while alphabetic.
+                if self.bump().is_none() {
+                    return Err(ReadError { pos: start, kind: ReadErrorKind::UnexpectedEof });
+                }
+                while self.peek().is_some_and(|b| b.is_ascii_alphanumeric() || b == b'-') {
+                    self.bump();
+                }
+                let tok = &self.src[tok_start..self.offset];
+                match tok {
+                    "space" => Ok(Sexpr::Char(' ')),
+                    "newline" => Ok(Sexpr::Char('\n')),
+                    "tab" => Ok(Sexpr::Char('\t')),
+                    t if t.chars().count() == 1 => Ok(Sexpr::Char(t.chars().next().unwrap())),
+                    t => Err(ReadError {
+                        pos: start,
+                        kind: ReadErrorKind::BadHash(format!("\\{t}")),
+                    }),
+                }
+            }
+            _ => {
+                let tok_start = self.offset;
+                while self.peek().is_some_and(|b| !b.is_ascii_whitespace() && b != b'(' && b != b')')
+                {
+                    self.bump();
+                }
+                Err(ReadError {
+                    pos: start,
+                    kind: ReadErrorKind::BadHash(self.src[tok_start..self.offset].to_string()),
+                })
+            }
+        }
+    }
+
+    fn read_atom(&mut self) -> Result<Sexpr, ReadError> {
+        let start = self.offset;
+        while self.peek().is_some_and(|b| {
+            !b.is_ascii_whitespace()
+                && b != b'('
+                && b != b')'
+                && b != b'['
+                && b != b']'
+                && b != b';'
+                && b != b'"'
+                && b != b'\''
+        }) {
+            self.bump();
+        }
+        let tok = &self.src[start..self.offset];
+        debug_assert!(!tok.is_empty());
+        // Integer literals: optional sign followed by digits.
+        let body = tok.strip_prefix(['-', '+']).unwrap_or(tok);
+        if !body.is_empty() && body.bytes().all(|b| b.is_ascii_digit()) {
+            match tok.parse::<i64>() {
+                Ok(n) => return Ok(Sexpr::Int(n)),
+                Err(_) => {
+                    return Err(self.err(ReadErrorKind::IntOverflow(tok.to_string())));
+                }
+            }
+        }
+        Ok(Sexpr::Sym(tok.into()))
+    }
+}
+
+/// Reads every S-expression in `src`.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] with position information on malformed input.
+pub fn read(src: &str) -> Result<Vec<Sexpr>, ReadError> {
+    let mut r = Reader::new(src);
+    let mut out = Vec::new();
+    loop {
+        r.skip_ws_and_comments();
+        if r.peek().is_none() {
+            return Ok(out);
+        }
+        out.push(r.read_expr()?);
+    }
+}
+
+/// Reads exactly one S-expression; trailing input after the first
+/// expression is ignored.
+///
+/// # Errors
+///
+/// Returns a [`ReadError`] on malformed or empty input.
+pub fn read_one(src: &str) -> Result<Sexpr, ReadError> {
+    let mut r = Reader::new(src);
+    r.read_expr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_atoms() {
+        assert_eq!(read_one("42").unwrap(), Sexpr::Int(42));
+        assert_eq!(read_one("-42").unwrap(), Sexpr::Int(-42));
+        assert_eq!(read_one("+42").unwrap(), Sexpr::Int(42));
+        assert_eq!(read_one("#t").unwrap(), Sexpr::Bool(true));
+        assert_eq!(read_one("#f").unwrap(), Sexpr::Bool(false));
+        assert_eq!(read_one("null?").unwrap(), Sexpr::sym_of("null?"));
+        assert_eq!(read_one("-").unwrap(), Sexpr::sym_of("-"));
+        assert_eq!(read_one("+").unwrap(), Sexpr::sym_of("+"));
+        assert_eq!(read_one("1+").unwrap(), Sexpr::sym_of("1+"));
+    }
+
+    #[test]
+    fn reads_chars() {
+        assert_eq!(read_one("#\\a").unwrap(), Sexpr::Char('a'));
+        assert_eq!(read_one("#\\space").unwrap(), Sexpr::Char(' '));
+        assert_eq!(read_one("#\\newline").unwrap(), Sexpr::Char('\n'));
+        assert_eq!(read_one("#\\0").unwrap(), Sexpr::Char('0'));
+    }
+
+    #[test]
+    fn reads_strings() {
+        assert_eq!(read_one("\"hi\"").unwrap(), Sexpr::Str("hi".into()));
+        assert_eq!(read_one("\"a\\\"b\"").unwrap(), Sexpr::Str("a\"b".into()));
+        assert_eq!(read_one("\"a\\nb\"").unwrap(), Sexpr::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn reads_lists_and_brackets() {
+        let e = read_one("(+ 1 (  * 2 3 ))").unwrap();
+        assert_eq!(e.to_string(), "(+ 1 (* 2 3))");
+        let e = read_one("[+ 1 2]").unwrap();
+        assert_eq!(e.to_string(), "(+ 1 2)");
+        assert_eq!(read_one("()").unwrap(), Sexpr::nil());
+    }
+
+    #[test]
+    fn reads_quote_sugar() {
+        let e = read_one("'(a b)").unwrap();
+        assert_eq!(e.to_string(), "(quote (a b))");
+        let e = read_one("''x").unwrap();
+        assert_eq!(e.to_string(), "(quote (quote x))");
+    }
+
+    #[test]
+    fn skips_comments() {
+        let es = read("; hello\n(a) ; trailing\n(b)").unwrap();
+        assert_eq!(es.len(), 2);
+        assert_eq!(es[0].to_string(), "(a)");
+        assert_eq!(es[1].to_string(), "(b)");
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = read("(a\n   b").unwrap_err();
+        assert_eq!(e.kind, ReadErrorKind::UnexpectedEof);
+        assert_eq!(e.pos.line, 2);
+        let e = read(")").unwrap_err();
+        assert_eq!(e.kind, ReadErrorKind::UnbalancedClose);
+        assert_eq!(e.pos.line, 1);
+        assert_eq!(e.pos.col, 1);
+    }
+
+    #[test]
+    fn rejects_dotted_pairs() {
+        let e = read("(a . b)").unwrap_err();
+        assert_eq!(e.kind, ReadErrorKind::DottedPair);
+    }
+
+    #[test]
+    fn rejects_overflow_and_bad_hash() {
+        let e = read("99999999999999999999").unwrap_err();
+        assert!(matches!(e.kind, ReadErrorKind::IntOverflow(_)));
+        let e = read("#q").unwrap_err();
+        assert!(matches!(e.kind, ReadErrorKind::BadHash(_)));
+        let e = read("#\\spaces").unwrap_err();
+        assert!(matches!(e.kind, ReadErrorKind::BadHash(_)));
+    }
+
+    #[test]
+    fn unterminated_string() {
+        let e = read("\"abc").unwrap_err();
+        assert_eq!(e.kind, ReadErrorKind::UnterminatedString);
+    }
+
+    #[test]
+    fn reads_many() {
+        let es = read("1 2 (3 4) five").unwrap();
+        assert_eq!(es.len(), 4);
+    }
+
+    #[test]
+    fn empty_input_is_empty_vec() {
+        assert_eq!(read("").unwrap(), vec![]);
+        assert_eq!(read("  ; only a comment").unwrap(), vec![]);
+    }
+}

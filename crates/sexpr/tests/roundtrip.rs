@@ -1,0 +1,64 @@
+//! Property tests: printing and re-reading any S-expression is the
+//! identity, for both the flat printer and the pretty printer.
+
+use pe_sexpr::{pretty_width, read, read_one, Sexpr};
+use proptest::prelude::*;
+
+fn arb_sexpr() -> impl Strategy<Value = Sexpr> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Sexpr::Int),
+        any::<bool>().prop_map(Sexpr::Bool),
+        // Symbols: initial char that cannot start a number.
+        "[a-zA-Z!?*+<=>_-][a-zA-Z0-9!?*+<=>_-]{0,8}".prop_filter_map(
+            "not-an-integer-looking symbol",
+            |s| {
+                let body = s.strip_prefix(['-', '+']).unwrap_or(&s);
+                if !body.is_empty() && body.bytes().all(|b| b.is_ascii_digit()) {
+                    None
+                } else {
+                    Some(Sexpr::Sym(s.into()))
+                }
+            }
+        ),
+        // Strings over printable ASCII (reader unescapes exactly these).
+        "[ -~]{0,12}".prop_map(|s| Sexpr::Str(s.into())),
+        prop_oneof![
+            Just(Sexpr::Char('a')),
+            Just(Sexpr::Char('Z')),
+            Just(Sexpr::Char('0')),
+            Just(Sexpr::Char(' ')),
+            Just(Sexpr::Char('\n')),
+        ],
+    ];
+    leaf.prop_recursive(4, 32, 6, |inner| {
+        proptest::collection::vec(inner, 0..6).prop_map(Sexpr::List)
+    })
+}
+
+proptest! {
+    #[test]
+    fn print_read_roundtrip(e in arb_sexpr()) {
+        let printed = e.to_string();
+        let back = read_one(&printed).expect("printed form reads back");
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn pretty_read_roundtrip(e in arb_sexpr(), width in 4usize..100) {
+        let printed = pretty_width(&e, width);
+        let back = read_one(&printed).expect("pretty form reads back");
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn read_never_panics(s in "[ -~\\n]{0,64}") {
+        let _ = read(&s);
+    }
+
+    #[test]
+    fn multiple_expressions_concatenate(a in arb_sexpr(), b in arb_sexpr()) {
+        let src = format!("{a} {b}");
+        let es = read(&src).expect("reads");
+        prop_assert_eq!(es, vec![a, b]);
+    }
+}

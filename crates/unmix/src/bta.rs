@@ -1,0 +1,260 @@
+//! Binding-time analysis — the first phase of an offline partial
+//! evaluator (§2).
+//!
+//! Given the binding times of the entry procedure's parameters, the
+//! analysis computes a congruent monovariant *division* for every
+//! procedure (is each parameter static or dynamic at specialization
+//! time?) plus each procedure's result binding time, and classifies
+//! procedures as **unfoldable** or **residual**: a procedure whose body
+//! contains a conditional on dynamic data becomes a specialization
+//! point, exactly Unmix's classic Mix strategy.
+
+use pe_frontend::ast::{Expr, Program};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A binding time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Bt {
+    /// Known at specialization time.
+    Static,
+    /// Known only at run time.
+    Dynamic,
+}
+
+impl Bt {
+    /// The least upper bound (S ⊑ D).
+    pub fn join(self, other: Bt) -> Bt {
+        if self == Bt::Dynamic || other == Bt::Dynamic {
+            Bt::Dynamic
+        } else {
+            Bt::Static
+        }
+    }
+}
+
+/// The analysis result.
+#[derive(Debug, Clone)]
+pub struct Division {
+    /// Per procedure: binding time of each parameter.
+    pub params: HashMap<Rc<str>, Vec<Bt>>,
+    /// Per procedure: binding time of the result.
+    pub result: HashMap<Rc<str>, Bt>,
+    /// Procedures that must be specialized rather than unfolded.
+    pub residual: HashMap<Rc<str>, bool>,
+}
+
+impl Division {
+    /// Runs the analysis for `entry` with the given parameter binding
+    /// times (`true` = static).
+    pub fn analyze(p: &Program, entry: &str, static_params: &[bool]) -> Division {
+        let mut params: HashMap<Rc<str>, Vec<Bt>> = p
+            .defs
+            .iter()
+            .map(|d| (d.name.clone(), vec![Bt::Static; d.params.len()]))
+            .collect();
+        // Entry division comes from the caller; everything else starts
+        // optimistic (all static) and is raised by call sites.
+        if let Some(div) = params.get_mut(entry) {
+            for (i, b) in div.iter_mut().enumerate() {
+                *b = if static_params.get(i).copied().unwrap_or(false) {
+                    Bt::Static
+                } else {
+                    Bt::Dynamic
+                };
+            }
+        }
+        let mut result: HashMap<Rc<str>, Bt> =
+            p.defs.iter().map(|d| (d.name.clone(), Bt::Static)).collect();
+        // Fixpoint: propagate argument binding times into divisions and
+        // recompute result binding times.
+        loop {
+            let mut changed = false;
+            for d in &p.defs {
+                let env: HashMap<Rc<str>, Bt> = d
+                    .params
+                    .iter()
+                    .cloned()
+                    .zip(params[&d.name].iter().copied())
+                    .collect();
+                bt_expr(&d.body, &env, &result, &mut |callee, arg_bts| {
+                    let div = params.get_mut(callee).expect("known procedure");
+                    for (slot, bt) in div.iter_mut().zip(arg_bts) {
+                        let joined = slot.join(*bt);
+                        if joined != *slot {
+                            *slot = joined;
+                            changed = true;
+                        }
+                    }
+                });
+                let env: HashMap<Rc<str>, Bt> = d
+                    .params
+                    .iter()
+                    .cloned()
+                    .zip(params[&d.name].iter().copied())
+                    .collect();
+                let r = bt_expr(&d.body, &env, &result, &mut |_, _| {});
+                let slot = result.get_mut(&d.name).expect("known procedure");
+                let joined = slot.join(r);
+                if joined != *slot {
+                    *slot = joined;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Residual = body has a conditional with a dynamic condition;
+        // the entry is always residual.
+        let mut residual = HashMap::new();
+        for d in &p.defs {
+            let env: HashMap<Rc<str>, Bt> = d
+                .params
+                .iter()
+                .cloned()
+                .zip(params[&d.name].iter().copied())
+                .collect();
+            let mut has_dyn_if = false;
+            find_dynamic_ifs(&d.body, &env, &result, &mut has_dyn_if);
+            residual.insert(d.name.clone(), has_dyn_if || &*d.name == entry);
+        }
+        Division { params, result, residual }
+    }
+
+    /// True if `name` is a specialization point.
+    pub fn is_residual(&self, name: &str) -> bool {
+        self.residual.get(name).copied().unwrap_or(true)
+    }
+}
+
+/// Computes the binding time of an expression; reports every call's
+/// argument binding times through `on_call`.
+fn bt_expr(
+    e: &Expr,
+    env: &HashMap<Rc<str>, Bt>,
+    result: &HashMap<Rc<str>, Bt>,
+    on_call: &mut impl FnMut(&Rc<str>, &[Bt]),
+) -> Bt {
+    match e {
+        Expr::Var(_, v) => env.get(v).copied().unwrap_or(Bt::Dynamic),
+        Expr::Const(_, _) => Bt::Static,
+        Expr::If(_, c, t, f) => {
+            let cb = bt_expr(c, env, result, on_call);
+            let tb = bt_expr(t, env, result, on_call);
+            let fb = bt_expr(f, env, result, on_call);
+            cb.join(tb).join(fb)
+        }
+        Expr::Prim(_, _, args) => args
+            .iter()
+            .map(|a| bt_expr(a, env, result, on_call))
+            .fold(Bt::Static, Bt::join),
+        Expr::Call(_, p, args) => {
+            let bts: Vec<Bt> =
+                args.iter().map(|a| bt_expr(a, env, result, on_call)).collect();
+            on_call(p, &bts);
+            result.get(p).copied().unwrap_or(Bt::Dynamic)
+        }
+        Expr::Let(_, v, rhs, body) => {
+            let rb = bt_expr(rhs, env, result, on_call);
+            let mut inner = env.clone();
+            inner.insert(v.clone(), rb);
+            bt_expr(body, &inner, result, on_call)
+        }
+        Expr::Lambda(_, _, _) | Expr::App(_, _, _) => {
+            unreachable!("unmix input is first-order (checked by FoProgram)")
+        }
+    }
+}
+
+fn find_dynamic_ifs(
+    e: &Expr,
+    env: &HashMap<Rc<str>, Bt>,
+    result: &HashMap<Rc<str>, Bt>,
+    found: &mut bool,
+) {
+    match e {
+        Expr::Var(_, _) | Expr::Const(_, _) => {}
+        Expr::If(_, c, t, f) => {
+            if bt_expr(c, env, result, &mut |_, _| {}) == Bt::Dynamic {
+                *found = true;
+            }
+            find_dynamic_ifs(c, env, result, found);
+            find_dynamic_ifs(t, env, result, found);
+            find_dynamic_ifs(f, env, result, found);
+        }
+        Expr::Prim(_, _, args) | Expr::Call(_, _, args) => {
+            args.iter().for_each(|a| find_dynamic_ifs(a, env, result, found));
+        }
+        Expr::Let(_, v, rhs, body) => {
+            find_dynamic_ifs(rhs, env, result, found);
+            let rb = bt_expr(rhs, env, result, &mut |_, _| {});
+            let mut inner = env.clone();
+            inner.insert(v.clone(), rb);
+            find_dynamic_ifs(body, &inner, result, found);
+        }
+        Expr::Lambda(_, _, _) | Expr::App(_, _, _) => {
+            unreachable!("unmix input is first-order")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_frontend::parse_source;
+
+    #[test]
+    fn static_params_stay_static() {
+        let p = parse_source(
+            "(define (power x n) (if (zero? n) 1 (* x (power x (- n 1)))))",
+        )
+        .unwrap();
+        let div = Division::analyze(&p, "power", &[false, true]);
+        assert_eq!(div.params["power"], vec![Bt::Dynamic, Bt::Static]);
+        // Result depends on dynamic x.
+        assert_eq!(div.result["power"], Bt::Dynamic);
+        // The only conditional tests static n: power is unfoldable…
+        // except it is the entry, which is always residual.
+        assert!(div.is_residual("power"));
+    }
+
+    #[test]
+    fn dynamic_conditional_makes_residual() {
+        let p = parse_source(
+            "(define (main s d) (helper s d))
+             (define (helper s d) (if (null? d) s (helper s (cdr d))))",
+        )
+        .unwrap();
+        let div = Division::analyze(&p, "main", &[true, false]);
+        assert_eq!(div.params["helper"], vec![Bt::Static, Bt::Dynamic]);
+        assert!(div.is_residual("helper"), "dynamic conditional on d");
+    }
+
+    #[test]
+    fn static_helpers_are_unfoldable() {
+        let p = parse_source(
+            "(define (main s d) (cons (len s) d))
+             (define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))",
+        )
+        .unwrap();
+        let div = Division::analyze(&p, "main", &[true, false]);
+        assert_eq!(div.params["len"], vec![Bt::Static]);
+        assert_eq!(div.result["len"], Bt::Static);
+        assert!(!div.is_residual("len"));
+    }
+
+    #[test]
+    fn congruence_raises_through_calls() {
+        let p = parse_source(
+            "(define (main s d) (f d))
+             (define (f x) (g x))
+             (define (g y) y)",
+        )
+        .unwrap();
+        let div = Division::analyze(&p, "main", &[true, false]);
+        assert_eq!(div.params["f"], vec![Bt::Dynamic]);
+        assert_eq!(div.params["g"], vec![Bt::Dynamic]);
+        assert_eq!(div.result["g"], Bt::Dynamic);
+    }
+}

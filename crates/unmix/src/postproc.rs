@@ -1,0 +1,487 @@
+//! Unmix's post-processor: post-unfolding, dead-parameter elimination,
+//! local simplification and — crucially, in the absence of partially
+//! static data — Romanenko's **arity raiser** (§2).
+//!
+//! The arity raiser splits a parameter that every call site binds to a
+//! `(cons a d)` and that the body only ever destructs with `car`/`cdr`
+//! into two parameters, undoing the boxing that a first-order encoding
+//! of environments introduces.  Iterated to a fixpoint it flattens whole
+//! argument lists — which is what makes residual programs of the
+//! Futamura projection look like real compiled code.
+
+use crate::spec::{is_effect_free, subst_var};
+use pe_frontend::ast::{Expr, Label, Prim, Program};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Runs every pass to a fixpoint.
+pub fn postprocess(mut p: Program) -> Program {
+    loop {
+        let before = fingerprint(&p);
+        p = simplify(p);
+        p = drop_unreachable(p);
+        p = compress_transitions(p);
+        p = inline_once(p);
+        p = drop_dead_params(p);
+        p = raise_arity(p);
+        if fingerprint(&p) == before {
+            return p;
+        }
+    }
+}
+
+fn fingerprint(p: &Program) -> usize {
+    // Cheap structural hash: definition count + total printed length.
+    p.defs.len() * 1_000_003 + p.to_source().len()
+}
+
+/// Local simplification: `(car (cons a d)) → a`, `(cdr (cons a d)) → d`
+/// (when the discarded component is effect-free), `(if #t a b) → a`.
+pub fn simplify(mut p: Program) -> Program {
+    fn go(e: &Expr) -> Expr {
+        match e {
+            Expr::Var(_, _) | Expr::Const(_, _) => e.clone(),
+            Expr::If(l, c, t, f) => {
+                let c = go(c);
+                let t = go(t);
+                let f = go(f);
+                if let Expr::Const(_, k) = &c {
+                    return if k.is_truthy() { t } else { f };
+                }
+                Expr::If(*l, Box::new(c), Box::new(t), Box::new(f))
+            }
+            Expr::Prim(l, op, args) => {
+                let args: Vec<Expr> = args.iter().map(go).collect();
+                if let (Prim::Car | Prim::Cdr, [Expr::Prim(_, Prim::Cons, parts)]) =
+                    (op, args.as_slice())
+                {
+                    let (keep, drop) = if *op == Prim::Car {
+                        (&parts[0], &parts[1])
+                    } else {
+                        (&parts[1], &parts[0])
+                    };
+                    if is_effect_free(drop) {
+                        return keep.clone();
+                    }
+                }
+                Expr::Prim(*l, *op, args)
+            }
+            Expr::Call(l, p, args) => {
+                Expr::Call(*l, p.clone(), args.iter().map(go).collect())
+            }
+            Expr::Let(l, v, rhs, body) => {
+                Expr::Let(*l, v.clone(), Box::new(go(rhs)), Box::new(go(body)))
+            }
+            Expr::Lambda(_, _, _) | Expr::App(_, _, _) => e.clone(),
+        }
+    }
+    for d in &mut p.defs {
+        d.body = go(&d.body);
+    }
+    p
+}
+
+/// Drops procedures unreachable from the first (entry) definition.
+pub fn drop_unreachable(p: Program) -> Program {
+    let Some(entry) = p.defs.first().map(|d| d.name.clone()) else {
+        return p;
+    };
+    let mut reach: HashSet<Rc<str>> = HashSet::new();
+    let mut work = vec![entry];
+    while let Some(n) = work.pop() {
+        if !reach.insert(n.clone()) {
+            continue;
+        }
+        if let Some(d) = p.def(&n) {
+            d.body.walk(&mut |e| {
+                if let Expr::Call(_, callee, _) = e {
+                    work.push(callee.clone());
+                }
+            });
+        }
+    }
+    Program { defs: p.defs.into_iter().filter(|d| reach.contains(&d.name)).collect() }
+}
+
+fn rewrite_calls(e: &Expr, f: &mut impl FnMut(&Rc<str>, &[Expr]) -> Option<Expr>) -> Expr {
+    match e {
+        Expr::Var(_, _) | Expr::Const(_, _) => e.clone(),
+        Expr::If(l, c, t, g) => Expr::If(
+            *l,
+            Box::new(rewrite_calls(c, f)),
+            Box::new(rewrite_calls(t, f)),
+            Box::new(rewrite_calls(g, f)),
+        ),
+        Expr::Prim(l, op, args) => {
+            Expr::Prim(*l, *op, args.iter().map(|a| rewrite_calls(a, f)).collect())
+        }
+        Expr::Call(l, p, args) => {
+            let args: Vec<Expr> = args.iter().map(|a| rewrite_calls(a, f)).collect();
+            f(p, &args).unwrap_or(Expr::Call(*l, p.clone(), args))
+        }
+        Expr::Let(l, v, rhs, body) => Expr::Let(
+            *l,
+            v.clone(),
+            Box::new(rewrite_calls(rhs, f)),
+            Box::new(rewrite_calls(body, f)),
+        ),
+        Expr::Lambda(_, _, _) | Expr::App(_, _, _) => e.clone(),
+    }
+}
+
+/// Inlines procedures whose body is a single call (trampolines).
+pub fn compress_transitions(mut p: Program) -> Program {
+    let trivial: HashMap<Rc<str>, (Vec<Rc<str>>, Rc<str>, Vec<Expr>)> = p
+        .defs
+        .iter()
+        .filter_map(|d| match &d.body {
+            Expr::Call(_, t, args) if *t != d.name => {
+                Some((d.name.clone(), (d.params.clone(), t.clone(), args.clone())))
+            }
+            _ => None,
+        })
+        .collect();
+    if trivial.is_empty() {
+        return p;
+    }
+    for d in &mut p.defs {
+        d.body = rewrite_calls(&d.body, &mut |callee, args| {
+            let (params, target, targs) = trivial.get(callee)?;
+            if args.iter().zip(params.iter()).any(|(a, pm)| {
+                // Substituting a non-trivial arg used twice duplicates
+                // work; only chase when safe.
+                !matches!(a, Expr::Var(_, _) | Expr::Const(_, _))
+                    && targs.iter().map(|t| count(t, pm)).sum::<usize>() > 1
+            }) {
+                return None;
+            }
+            let mut out = Vec::new();
+            for t in targs {
+                let mut t = t.clone();
+                for (pm, a) in params.iter().zip(args) {
+                    t = subst_var(&t, pm, a);
+                }
+                out.push(t);
+            }
+            Some(Expr::Call(Label(u32::MAX), target.clone(), out))
+        });
+    }
+    drop_unreachable(p)
+}
+
+fn count(e: &Expr, v: &str) -> usize {
+    let mut n = 0;
+    e.walk(&mut |x| {
+        if let Expr::Var(_, name) = x {
+            if &**name == v {
+                n += 1;
+            }
+        }
+    });
+    n
+}
+
+/// Inlines non-recursive procedures with exactly one call site.
+pub fn inline_once(mut p: Program) -> Program {
+    loop {
+        let Some(entry) = p.defs.first().map(|d| d.name.clone()) else {
+            return p;
+        };
+        let mut counts: HashMap<Rc<str>, usize> = HashMap::new();
+        for d in &p.defs {
+            d.body.walk(&mut |e| {
+                if let Expr::Call(_, callee, _) = e {
+                    *counts.entry(callee.clone()).or_insert(0) += 1;
+                }
+            });
+        }
+        let recursive: HashSet<Rc<str>> = p
+            .defs
+            .iter()
+            .filter(|d| {
+                let mut rec = false;
+                d.body.walk(&mut |e| {
+                    if let Expr::Call(_, c, _) = e {
+                        rec |= *c == d.name;
+                    }
+                });
+                rec
+            })
+            .map(|d| d.name.clone())
+            .collect();
+        let victim = p.defs.iter().find(|d| {
+            d.name != entry
+                && counts.get(&d.name).copied().unwrap_or(0) == 1
+                && !recursive.contains(&d.name)
+        });
+        let Some(victim) = victim else { return p };
+        let vname = victim.name.clone();
+        let vparams = victim.params.clone();
+        let vbody = victim.body.clone();
+        p.defs.retain(|d| d.name != vname);
+        for d in &mut p.defs {
+            d.body = rewrite_calls(&d.body, &mut |callee, args| {
+                if *callee != vname {
+                    return None;
+                }
+                let mut out = vbody.clone();
+                for (pm, a) in vparams.iter().zip(args) {
+                    out = subst_var(&out, pm, a);
+                }
+                Some(out)
+            });
+        }
+    }
+}
+
+/// Drops parameters no body uses, when the matching arguments are
+/// effect-free everywhere.
+pub fn drop_dead_params(mut p: Program) -> Program {
+    let Some(entry) = p.defs.first().map(|d| d.name.clone()) else {
+        return p;
+    };
+    loop {
+        let mut dead: HashMap<Rc<str>, Vec<usize>> = HashMap::new();
+        for d in &p.defs {
+            if d.name == entry {
+                continue;
+            }
+            let idxs: Vec<usize> = d
+                .params
+                .iter()
+                .enumerate()
+                .filter(|(_, pm)| count(&d.body, pm) == 0)
+                .map(|(i, _)| i)
+                .collect();
+            if !idxs.is_empty() {
+                dead.insert(d.name.clone(), idxs);
+            }
+        }
+        for d in &p.defs {
+            d.body.walk(&mut |e| {
+                if let Expr::Call(_, callee, args) = e {
+                    if let Some(idxs) = dead.get_mut(callee) {
+                        idxs.retain(|&i| args.get(i).is_none_or(is_effect_free));
+                    }
+                }
+            });
+        }
+        dead.retain(|_, v| !v.is_empty());
+        if dead.is_empty() {
+            return p;
+        }
+        for d in &mut p.defs {
+            if let Some(idxs) = dead.get(&d.name) {
+                d.params = d
+                    .params
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !idxs.contains(i))
+                    .map(|(_, pm)| pm.clone())
+                    .collect();
+            }
+            d.body = rewrite_calls(&d.body, &mut |callee, args| {
+                let idxs = dead.get(callee)?;
+                Some(Expr::Call(
+                    Label(u32::MAX),
+                    callee.clone(),
+                    args.iter()
+                        .enumerate()
+                        .filter(|(i, _)| !idxs.contains(i))
+                        .map(|(_, a)| a.clone())
+                        .collect(),
+                ))
+            });
+        }
+    }
+}
+
+/// Romanenko's arity raiser: a parameter that is always bound to a
+/// `(cons a d)` at every call site and only destructed with `car`/`cdr`
+/// in the body is split into two parameters.
+pub fn raise_arity(mut p: Program) -> Program {
+    let Some(entry) = p.defs.first().map(|d| d.name.clone()) else {
+        return p;
+    };
+    loop {
+        // Find one raisable (proc, param index).
+        let mut choice: Option<(Rc<str>, usize)> = None;
+        'outer: for d in &p.defs {
+            if d.name == entry {
+                continue;
+            }
+            for (i, pm) in d.params.iter().enumerate() {
+                if !only_destructed(&d.body, pm) {
+                    continue;
+                }
+                // Every call site must pass a literal cons.
+                let mut ok = true;
+                let mut any = false;
+                for q in &p.defs {
+                    q.body.walk(&mut |e| {
+                        if let Expr::Call(_, callee, args) = e {
+                            if *callee == d.name {
+                                any = true;
+                                ok &= matches!(args.get(i), Some(Expr::Prim(_, Prim::Cons, _)));
+                            }
+                        }
+                    });
+                }
+                if ok && any {
+                    choice = Some((d.name.clone(), i));
+                    break 'outer;
+                }
+            }
+        }
+        let Some((name, idx)) = choice else { return p };
+        for d in &mut p.defs {
+            if d.name == name {
+                let pm = d.params[idx].clone();
+                let hd: Rc<str> = Rc::from(format!("{pm}-hd").as_str());
+                let tl: Rc<str> = Rc::from(format!("{pm}-tl").as_str());
+                d.params.splice(idx..=idx, [hd.clone(), tl.clone()]);
+                d.body = split_uses(&d.body, &pm, &hd, &tl);
+            }
+        }
+        for d in &mut p.defs {
+            d.body = rewrite_calls(&d.body, &mut |callee, args| {
+                if *callee != name {
+                    return None;
+                }
+                let Some(Expr::Prim(_, Prim::Cons, parts)) = args.get(idx) else {
+                    unreachable!("checked: every site passes a cons");
+                };
+                let mut out = args.to_vec();
+                out.splice(idx..=idx, [parts[0].clone(), parts[1].clone()]);
+                Some(Expr::Call(Label(u32::MAX), callee.clone(), out))
+            });
+        }
+    }
+}
+
+/// True if every occurrence of `v` is inside `(car v)` or `(cdr v)`.
+fn only_destructed(e: &Expr, v: &str) -> bool {
+    match e {
+        Expr::Var(_, x) => &**x != v,
+        Expr::Const(_, _) => true,
+        Expr::Prim(_, Prim::Car | Prim::Cdr, args) => {
+            matches!(&args[0], Expr::Var(_, x) if &**x == v)
+                || only_destructed(&args[0], v)
+        }
+        Expr::Prim(_, _, args) | Expr::Call(_, _, args) => {
+            args.iter().all(|a| only_destructed(a, v))
+        }
+        Expr::If(_, c, t, f) => {
+            only_destructed(c, v) && only_destructed(t, v) && only_destructed(f, v)
+        }
+        Expr::Let(_, b, rhs, body) => {
+            only_destructed(rhs, v) && (&**b == v || only_destructed(body, v))
+        }
+        Expr::Lambda(_, _, _) | Expr::App(_, _, _) => false,
+    }
+}
+
+/// Rewrites `(car v) → hd`, `(cdr v) → tl`.
+fn split_uses(e: &Expr, v: &str, hd: &Rc<str>, tl: &Rc<str>) -> Expr {
+    match e {
+        Expr::Prim(l, op @ (Prim::Car | Prim::Cdr), args)
+            if matches!(&args[0], Expr::Var(_, x) if &**x == v) =>
+        {
+            let name = if *op == Prim::Car { hd } else { tl };
+            Expr::Var(*l, name.clone())
+        }
+        Expr::Var(_, _) | Expr::Const(_, _) => e.clone(),
+        Expr::If(l, c, t, f) => Expr::If(
+            *l,
+            Box::new(split_uses(c, v, hd, tl)),
+            Box::new(split_uses(t, v, hd, tl)),
+            Box::new(split_uses(f, v, hd, tl)),
+        ),
+        Expr::Prim(l, op, args) => Expr::Prim(
+            *l,
+            *op,
+            args.iter().map(|a| split_uses(a, v, hd, tl)).collect(),
+        ),
+        Expr::Call(l, p, args) => Expr::Call(
+            *l,
+            p.clone(),
+            args.iter().map(|a| split_uses(a, v, hd, tl)).collect(),
+        ),
+        Expr::Let(l, b, rhs, body) => Expr::Let(
+            *l,
+            b.clone(),
+            Box::new(split_uses(rhs, v, hd, tl)),
+            Box::new(if &**b == v { (**body).clone() } else { split_uses(body, v, hd, tl) }),
+        ),
+        Expr::Lambda(_, _, _) | Expr::App(_, _, _) => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_frontend::parse_source;
+
+    #[test]
+    fn simplify_car_of_cons() {
+        let p = parse_source("(define (f x) (car (cons (+ x 1) '())))").unwrap();
+        let p = simplify(p);
+        assert_eq!(p.defs[0].body.to_sexpr().to_string(), "(+ x 1)");
+    }
+
+    #[test]
+    fn simplify_keeps_faulting_discards() {
+        let p = parse_source("(define (f x) (car (cons 1 (car 5))))").unwrap();
+        let p = simplify(p);
+        assert!(p.defs[0].body.to_sexpr().to_string().contains("car"), "fault preserved");
+    }
+
+    #[test]
+    fn arity_raising_splits_cons_arguments() {
+        let src = "(define (main a b) (worker (cons a b)))
+                   (define (worker env) (+ (car env) (cdr env)))";
+        let p = raise_arity(parse_source(src).unwrap());
+        let w = p.def("worker").unwrap();
+        assert_eq!(w.params.len(), 2, "{}", p.to_source());
+        assert_eq!(w.body.to_sexpr().to_string(), "(+ env-hd env-tl)");
+        let m = p.def("main").unwrap();
+        assert_eq!(m.body.to_sexpr().to_string(), "(worker a b)");
+    }
+
+    #[test]
+    fn arity_raising_iterates_through_nested_env() {
+        // Environments encoded as nested conses flatten completely.
+        let src = "(define (main a b c) (worker (cons a (cons b c))))
+                   (define (worker env) (+ (car env) (+ (car (cdr env)) (cdr (cdr env)))))";
+        let p = postprocess(parse_source(src).unwrap());
+        let m = p.def("main").unwrap();
+        // Fully inlined or flattened: no cons left anywhere.
+        assert!(!m.body.to_sexpr().to_string().contains("cons"), "{}", p.to_source());
+    }
+
+    #[test]
+    fn bare_use_blocks_raising() {
+        let src = "(define (main a b) (worker (cons a b)))
+                   (define (worker env) (cons (car env) env))";
+        let p = raise_arity(parse_source(src).unwrap());
+        assert_eq!(p.def("worker").unwrap().params.len(), 1);
+    }
+
+    #[test]
+    fn inline_once_and_compress() {
+        let src = "(define (main x) (step1 x))
+                   (define (step1 y) (step2 (+ y 1)))
+                   (define (step2 z) (* z z))";
+        let p = postprocess(parse_source(src).unwrap());
+        assert_eq!(p.defs.len(), 1, "{}", p.to_source());
+        assert_eq!(p.defs[0].name.as_ref(), "main");
+    }
+
+    #[test]
+    fn recursive_loops_survive() {
+        let src = "(define (main x) (loop x))
+                   (define (loop n) (if (zero? n) 0 (loop (- n 1))))";
+        let p = postprocess(parse_source(src).unwrap());
+        assert!(p.def("loop").is_some());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the Unmix clone: for random first-order programs
+//! and a random static/dynamic division of the entry's arguments, the
+//! residual program applied to the dynamic arguments computes what the
+//! source computes on all arguments.
+
+use pe_frontend::parse_source;
+use pe_interp::{standard, Datum, Limits};
+use pe_unmix::{specialize, UnmixOptions};
+use proptest::prelude::*;
+
+/// First-order bodies over `a` (number), `b` (number) and `l` (list),
+/// with structural recursion through `walk` — always terminating.
+fn arb_body() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("l".to_string()),
+        (-9i64..10).prop_map(|n| n.to_string()),
+        Just("'()".to_string()),
+    ];
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("(+ {x} {y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("(- {x} {y})")),
+            (inner.clone(), inner.clone()).prop_map(|(x, y)| format!("(cons {x} {y})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| format!("(if (null? {c}) {t} {f})")),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| format!("(if (< {c} 0) {t} {f})")),
+            inner.clone().prop_map(|x| format!("(walk {x})")),
+            inner.clone().prop_map(|x| format!("(if (pair? {x}) (car {x}) {x})")),
+            (inner.clone(), inner.clone()).prop_map(|(r, bd)| format!("(let ((m {r})) {bd})")),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn residual_computes_the_source_function(
+        body in arb_body(),
+        a in -20i64..20,
+        b in -20i64..20,
+        l in proptest::collection::vec(-5i64..5, 0..4),
+        a_static in any::<bool>(),
+        b_static in any::<bool>(),
+    ) {
+        let src = format!(
+            "(define (main a b l) {body})
+             (define (walk v) (if (pair? v) (walk (cdr v)) v))"
+        );
+        let p = parse_source(&src).expect("parses");
+        let ldat = Datum::parse(&format!(
+            "({})",
+            l.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
+        )).unwrap();
+        let lim = Limits { fuel: 500_000 };
+        let all_args = [Datum::Int(a), Datum::Int(b), ldat.clone()];
+        let reference = standard::run(&p, "main", &all_args, lim);
+
+        // The list stays dynamic (it drives `walk`); numbers split
+        // randomly between static and dynamic.
+        let slots = vec![
+            a_static.then(|| Datum::Int(a)),
+            b_static.then(|| Datum::Int(b)),
+            None,
+        ];
+        let residual = specialize(&p, "main", &slots, &UnmixOptions::default());
+        let residual = match residual {
+            Ok(r) => r,
+            // A static fault aborts specialization (classic Mix) — the
+            // faulting expression may sit on a dynamically dead path, so
+            // nothing can be concluded about the reference run.
+            Err(pe_unmix::UnmixError::StaticError(_)) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("specialize: {e}"))),
+        };
+        let dyn_args: Vec<Datum> = [
+            (!a_static).then(|| Datum::Int(a)),
+            (!b_static).then(|| Datum::Int(b)),
+            Some(ldat),
+        ]
+        .into_iter()
+        .flatten()
+        .collect();
+        let via = standard::run(&residual, "main-$1", &dyn_args, lim);
+        match (&reference, &via) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{}", residual.to_source()),
+            // Residual code may be more defined (dead faulting code can
+            // vanish) but must never fault when the source succeeds.
+            (Err(_), _) => {}
+            (Ok(x), Err(e)) => prop_assert!(
+                false,
+                "source ok {x} but residual faulted {e}\n{}",
+                residual.to_source()
+            ),
+        }
+    }
+
+    /// The residual program is always well-scoped: it reparses through
+    /// the front end (which checks scope and arity).
+    #[test]
+    fn residual_is_wellformed(body in arb_body(), a_static in any::<bool>()) {
+        let src = format!(
+            "(define (main a b l) {body})
+             (define (walk v) (if (pair? v) (walk (cdr v)) v))"
+        );
+        let p = parse_source(&src).expect("parses");
+        let slots = vec![a_static.then(|| Datum::Int(3)), None, None];
+        if let Ok(r) = specialize(&p, "main", &slots, &UnmixOptions::default()) {
+            let text = r.to_source();
+            prop_assert!(
+                parse_source(&text).is_ok(),
+                "residual does not reparse:\n{text}"
+            );
+        }
+    }
+}

@@ -1,0 +1,441 @@
+//! The S₀ virtual machine — an executable model of the hand-written C
+//! translation of §5.1.
+//!
+//! The C back end turns the whole program into a single function:
+//! procedures become labels, tail calls become assignments to global
+//! parameter variables followed by `goto`, and closures are flat
+//! vectors.  This crate implements exactly that execution model in Rust:
+//! one dispatch loop, a register frame for the current procedure's
+//! parameters, and resolved (index-based) operands — so benchmark
+//! numbers measured here transfer to the C code's behaviour, and the
+//! instruction/allocation counters give deterministic, machine-
+//! independent cost figures for the evaluation tables.
+//!
+//! ```
+//! use pe_core::{compile, CompileOptions};
+//! use pe_frontend::{desugar, parse_source};
+//! use pe_interp::{Datum, Limits};
+//! use pe_vm::Vm;
+//!
+//! let p = parse_source("(define (double x) (+ x x))").unwrap();
+//! let s0 = compile(&desugar(&p).unwrap(), "double", &CompileOptions::default()).unwrap();
+//! let vm = Vm::compile(&s0).unwrap();
+//! let (result, stats) = vm.run(&[Datum::Int(21)], Limits::default()).unwrap();
+//! assert_eq!(result, Datum::Int(42));
+//! assert!(stats.steps >= 1);
+//! ```
+
+use pe_core::{S0Program, S0Simple, S0Tail};
+use pe_frontend::ast::{Constant, Prim};
+use pe_interp::value::{apply_prim, Value};
+use pe_interp::{Datum, InterpError, Limits};
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// A flat runtime closure: label + captured values, the §5.1 vector
+/// representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VmClosure {
+    /// The label stored by `make-closure`.
+    pub label: u32,
+    /// Captured values.
+    pub freevals: Rc<[V]>,
+}
+
+type V = Value<VmClosure>;
+
+/// Execution counters: deterministic cost figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Machine transitions (returns, branches, tail calls).
+    pub steps: u64,
+    /// Heap allocations (pairs and closures).
+    pub allocs: u64,
+    /// Tail calls (`goto`s in the C model).
+    pub calls: u64,
+}
+
+/// An error while compiling S₀ to the register machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A call targets an undefined procedure.
+    UndefinedProc(String),
+    /// A call has the wrong number of arguments.
+    Arity { name: String, expected: usize, got: usize },
+    /// A variable is not a parameter of its procedure.
+    UnboundVar { proc_name: String, var: String },
+    /// The entry procedure is missing.
+    NoEntry(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UndefinedProc(p) => write!(f, "vm: call to undefined procedure {p}"),
+            VmError::Arity { name, expected, got } => {
+                write!(f, "vm: {name} expects {expected} argument(s), got {got}")
+            }
+            VmError::UnboundVar { proc_name, var } => {
+                write!(f, "vm: unbound variable {var} in {proc_name}")
+            }
+            VmError::NoEntry(e) => write!(f, "vm: entry {e} not defined"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// A resolved simple expression: variables are frame-slot indices.
+#[derive(Debug, Clone)]
+enum RSimple {
+    Slot(usize),
+    Const(V),
+    Prim(Prim, Vec<RSimple>),
+    MakeClosure(u32, Vec<RSimple>),
+    ClosureLabel(Box<RSimple>),
+    ClosureFreeval(Box<RSimple>, usize),
+}
+
+/// A resolved tail expression: calls are block indices.
+#[derive(Debug, Clone)]
+enum RTail {
+    Return(RSimple),
+    If(RSimple, Box<RTail>, Box<RTail>),
+    Goto(usize, Vec<RSimple>),
+    Fail(String),
+}
+
+struct Block {
+    arity: usize,
+    body: RTail,
+}
+
+/// A compiled S₀ program, ready to run.
+pub struct Vm {
+    blocks: Vec<Block>,
+    entry: usize,
+    entry_name: String,
+}
+
+impl Vm {
+    /// Resolves names to indices, checking S₀ well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] naming the first violation.
+    pub fn compile(p: &S0Program) -> Result<Vm, VmError> {
+        let index: HashMap<&str, usize> =
+            p.procs.iter().enumerate().map(|(i, q)| (q.name.as_str(), i)).collect();
+        let entry = *index.get(p.entry.as_str()).ok_or_else(|| VmError::NoEntry(p.entry.clone()))?;
+        let mut blocks = Vec::with_capacity(p.procs.len());
+        for q in &p.procs {
+            let slots: HashMap<&str, usize> =
+                q.params.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
+            let body = resolve_tail(&q.body, &q.name, &slots, &index, p)?;
+            blocks.push(Block { arity: q.params.len(), body });
+        }
+        Ok(Vm { blocks, entry, entry_name: p.entry.clone() })
+    }
+
+    /// The number of compiled blocks (procedures).
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Runs the program on first-order inputs, returning the result and
+    /// the execution counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on dynamic faults, `%fail`, fuel
+    /// exhaustion or a closure-valued result.
+    pub fn run(&self, args: &[Datum], limits: Limits) -> Result<(Datum, VmStats), InterpError> {
+        let entry = &self.blocks[self.entry];
+        if entry.arity != args.len() {
+            return Err(InterpError::EntryArity {
+                name: self.entry_name.clone(),
+                expected: entry.arity,
+                got: args.len(),
+            });
+        }
+        let mut stats = VmStats::default();
+        // The "global parameter variables" of the C translation.
+        let mut frame: Vec<V> = args.iter().map(Datum::embed).collect();
+        let mut body = &entry.body;
+        let mut fuel = limits.fuel;
+        loop {
+            if fuel == 0 {
+                return Err(InterpError::FuelExhausted);
+            }
+            fuel -= 1;
+            stats.steps += 1;
+            match body {
+                RTail::Return(s) => {
+                    let v = eval(s, &frame, &mut stats)?;
+                    return Ok((
+                        v.to_datum().ok_or(InterpError::ResultNotFirstOrder)?,
+                        stats,
+                    ));
+                }
+                RTail::If(c, t, e) => {
+                    body = if eval(c, &frame, &mut stats)?.is_truthy() { t } else { e };
+                }
+                RTail::Goto(target, args) => {
+                    stats.calls += 1;
+                    // Arguments are simple expressions over the *current*
+                    // frame; evaluate them all, then switch frames — the
+                    // C translation's assign-then-goto discipline.
+                    let mut next = Vec::with_capacity(args.len());
+                    for a in args {
+                        next.push(eval(a, &frame, &mut stats)?);
+                    }
+                    frame = next;
+                    body = &self.blocks[*target].body;
+                }
+                RTail::Fail(m) => return Err(InterpError::NotAProcedure(m.clone())),
+            }
+        }
+    }
+}
+
+fn eval(s: &RSimple, frame: &[V], stats: &mut VmStats) -> Result<V, InterpError> {
+    match s {
+        RSimple::Slot(i) => Ok(frame[*i].clone()),
+        RSimple::Const(v) => Ok(v.clone()),
+        RSimple::Prim(op, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, frame, stats)?);
+            }
+            if *op == Prim::Cons {
+                stats.allocs += 1;
+            }
+            Ok(apply_prim(*op, &vals)?)
+        }
+        RSimple::MakeClosure(label, args) => {
+            let mut vals = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(eval(a, frame, stats)?);
+            }
+            stats.allocs += 1;
+            Ok(Value::Closure(VmClosure { label: *label, freevals: vals.into() }))
+        }
+        RSimple::ClosureLabel(a) => match eval(a, frame, stats)? {
+            Value::Closure(c) => Ok(Value::Int(i64::from(c.label))),
+            v => Err(InterpError::NotAProcedure(v.to_string())),
+        },
+        RSimple::ClosureFreeval(a, i) => match eval(a, frame, stats)? {
+            Value::Closure(c) => c
+                .freevals
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| InterpError::Unbound(format!("freeval {i}"))),
+            v => Err(InterpError::NotAProcedure(v.to_string())),
+        },
+    }
+}
+
+fn resolve_simple(
+    s: &S0Simple,
+    owner: &str,
+    slots: &HashMap<&str, usize>,
+    p: &S0Program,
+) -> Result<RSimple, VmError> {
+    Ok(match s {
+        S0Simple::Var(v) => RSimple::Slot(*slots.get(v.as_str()).ok_or_else(|| {
+            VmError::UnboundVar { proc_name: owner.to_string(), var: v.clone() }
+        })?),
+        S0Simple::Const(k) => RSimple::Const(constant_value(k)),
+        S0Simple::Prim(op, args) => RSimple::Prim(
+            *op,
+            args.iter()
+                .map(|a| resolve_simple(a, owner, slots, p))
+                .collect::<Result<_, _>>()?,
+        ),
+        S0Simple::MakeClosure(l, args) => RSimple::MakeClosure(
+            *l,
+            args.iter()
+                .map(|a| resolve_simple(a, owner, slots, p))
+                .collect::<Result<_, _>>()?,
+        ),
+        S0Simple::ClosureLabel(a) => {
+            RSimple::ClosureLabel(Box::new(resolve_simple(a, owner, slots, p)?))
+        }
+        S0Simple::ClosureFreeval(a, i) => {
+            RSimple::ClosureFreeval(Box::new(resolve_simple(a, owner, slots, p)?), *i)
+        }
+    })
+}
+
+fn resolve_tail(
+    t: &S0Tail,
+    owner: &str,
+    slots: &HashMap<&str, usize>,
+    index: &HashMap<&str, usize>,
+    p: &S0Program,
+) -> Result<RTail, VmError> {
+    Ok(match t {
+        S0Tail::Return(s) => RTail::Return(resolve_simple(s, owner, slots, p)?),
+        S0Tail::If(c, a, b) => RTail::If(
+            resolve_simple(c, owner, slots, p)?,
+            Box::new(resolve_tail(a, owner, slots, index, p)?),
+            Box::new(resolve_tail(b, owner, slots, index, p)?),
+        ),
+        S0Tail::TailCall(callee, args) => {
+            let target = *index
+                .get(callee.as_str())
+                .ok_or_else(|| VmError::UndefinedProc(callee.clone()))?;
+            let expected = p.procs[target].params.len();
+            if expected != args.len() {
+                return Err(VmError::Arity {
+                    name: callee.clone(),
+                    expected,
+                    got: args.len(),
+                });
+            }
+            RTail::Goto(
+                target,
+                args.iter()
+                    .map(|a| resolve_simple(a, owner, slots, p))
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+        S0Tail::Fail(m) => RTail::Fail(m.clone()),
+    })
+}
+
+fn constant_value(k: &Constant) -> V {
+    Value::from_constant(k)
+}
+
+/// Compiles and runs in one call (convenience for tests and benches).
+///
+/// # Errors
+///
+/// Compilation errors surface as [`InterpError::NoSuchProc`]-style
+/// messages via [`InterpError::Unbound`]; prefer [`Vm::compile`] +
+/// [`Vm::run`] for precise errors.
+pub fn run_s0(
+    p: &S0Program,
+    args: &[Datum],
+    limits: Limits,
+) -> Result<(Datum, VmStats), InterpError> {
+    let vm = Vm::compile(p).map_err(|e| InterpError::Unbound(e.to_string()))?;
+    vm.run(args, limits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_core::{compile, specialize, CompileOptions, GenStrategy};
+    use pe_frontend::{desugar, parse_source};
+
+    fn compile_to_vm(src: &str, entry: &str) -> Vm {
+        let p = parse_source(src).unwrap();
+        let d = desugar(&p).unwrap();
+        let s0 = compile(&d, entry, &CompileOptions::default()).unwrap();
+        Vm::compile(&s0).unwrap()
+    }
+
+    #[test]
+    fn vm_matches_interpreters_on_cps_append() {
+        let src = "(define (append x y) (cps-append x y (lambda (v) v)))
+                   (define (cps-append x y c)
+                     (if (null? x) (c y)
+                         (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
+        let vm = compile_to_vm(src, "append");
+        let (r, stats) = vm
+            .run(
+                &[Datum::parse("(a b)").unwrap(), Datum::parse("(c)").unwrap()],
+                Limits::default(),
+            )
+            .unwrap();
+        assert_eq!(r.to_string(), "(a b c)");
+        assert!(stats.allocs >= 3, "conses + continuation closures: {stats:?}");
+    }
+
+    #[test]
+    fn vm_runs_tak() {
+        let src = "(define (tak x y z)
+                     (if (not (< y x)) z
+                         (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))";
+        let vm = compile_to_vm(src, "tak");
+        let (r, stats) =
+            vm.run(&[Datum::Int(14), Datum::Int(7), Datum::Int(3)], Limits::default()).unwrap();
+        assert_eq!(r, Datum::Int(7));
+        // tak's contexts are heap-allocated closures in our model — the
+        // §8 observation that Hobbit's native stack wins on this code.
+        assert!(stats.allocs > 1000, "{stats:?}");
+    }
+
+    #[test]
+    fn counters_are_deterministic() {
+        let src = "(define (loop n) (if (zero? n) 0 (loop (- n 1))))";
+        let vm = compile_to_vm(src, "loop");
+        let (_, s1) = vm.run(&[Datum::Int(1000)], Limits::default()).unwrap();
+        let (_, s2) = vm.run(&[Datum::Int(1000)], Limits::default()).unwrap();
+        assert_eq!(s1, s2);
+        assert!(s1.calls >= 1000);
+        assert_eq!(s1.allocs, 0, "a first-order tail loop allocates nothing");
+    }
+
+    #[test]
+    fn specialized_code_is_cheaper() {
+        // The interpretive-overhead claim in miniature: append
+        // specialized to its first argument does fewer steps than the
+        // general compiled version.
+        let src = "(define (append x y) (cps-append x y (lambda (v) v)))
+                   (define (cps-append x y c)
+                     (if (null? x) (c y)
+                         (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
+        let p = parse_source(src).unwrap();
+        let d = desugar(&p).unwrap();
+        let opts = CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
+        let gen_p = compile(&d, "append", &opts).unwrap();
+        let spec_p =
+            specialize(&d, "append", &[Some(Datum::parse("(a b c d)").unwrap()), None], &opts)
+                .unwrap();
+        let y = Datum::parse("(e f)").unwrap();
+        let x = Datum::parse("(a b c d)").unwrap();
+        let (r1, s1) = run_s0(&gen_p, &[x, y.clone()], Limits::default()).unwrap();
+        let (r2, s2) = run_s0(&spec_p, &[y], Limits::default()).unwrap();
+        assert_eq!(r1, r2);
+        assert!(
+            s2.steps < s1.steps,
+            "specialized {s2:?} must beat general {s1:?}"
+        );
+    }
+
+    #[test]
+    fn vm_compile_rejects_bad_programs() {
+        use pe_core::{S0Proc, S0Program, S0Simple, S0Tail};
+        let bad = S0Program {
+            entry: "main".into(),
+            procs: vec![S0Proc {
+                name: "main".into(),
+                params: vec![],
+                body: S0Tail::TailCall("ghost".into(), vec![]),
+            }],
+        };
+        assert!(matches!(Vm::compile(&bad), Err(VmError::UndefinedProc(_))));
+        let bad = S0Program {
+            entry: "main".into(),
+            procs: vec![S0Proc {
+                name: "main".into(),
+                params: vec![],
+                body: S0Tail::Return(S0Simple::Var("x".into())),
+            }],
+        };
+        assert!(matches!(Vm::compile(&bad), Err(VmError::UnboundVar { .. })));
+        let bad = S0Program { entry: "nope".into(), procs: vec![] };
+        assert!(matches!(Vm::compile(&bad), Err(VmError::NoEntry(_))));
+    }
+
+    #[test]
+    fn deep_tail_recursion_is_flat() {
+        let vm = compile_to_vm("(define (loop n) (if (zero? n) 'ok (loop (- n 1))))", "loop");
+        let (r, _) = vm.run(&[Datum::Int(3_000_000)], Limits::default()).unwrap();
+        assert_eq!(r, Datum::Sym("ok".into()));
+    }
+}

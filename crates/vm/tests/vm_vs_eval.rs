@@ -1,0 +1,84 @@
+//! Differential testing: the register-machine VM and the reference S₀
+//! evaluator (`pe_core::eval`) must agree exactly — values, faults and
+//! fuel behaviour — since both claim to implement the §5.1 execution
+//! model.
+
+use pe_core::{compile, eval, CompileOptions, GenStrategy};
+use pe_frontend::{desugar, parse_source};
+use pe_interp::{Datum, Limits};
+use pe_vm::Vm;
+
+fn compile_s0(src: &str, entry: &str, strategy: GenStrategy) -> pe_core::S0Program {
+    let p = parse_source(src).unwrap();
+    let d = desugar(&p).unwrap();
+    compile(&d, entry, &CompileOptions { strategy, ..CompileOptions::default() }).unwrap()
+}
+
+const PROGRAMS: &[(&str, &str, &[&str], &str)] = &[
+    (
+        "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))",
+        "fact",
+        &["10"],
+        "3628800",
+    ),
+    (
+        "(define (append x y) (cps-append x y (lambda (v) v)))
+         (define (cps-append x y c)
+           (if (null? x) (c y)
+               (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))",
+        "append",
+        &["(1 2 3)", "(4)"],
+        "(1 2 3 4)",
+    ),
+    (
+        "(define (map-dbl l) (if (null? l) '() (cons (* 2 (car l)) (map-dbl (cdr l)))))",
+        "map-dbl",
+        &["(1 2 3)"],
+        "(2 4 6)",
+    ),
+    (
+        "(define (ack m n)
+           (if (zero? m) (+ n 1)
+               (if (zero? n) (ack (- m 1) 1) (ack (- m 1) (ack m (- n 1))))))",
+        "ack",
+        &["2", "3"],
+        "9",
+    ),
+];
+
+#[test]
+fn vm_and_reference_agree_on_values() {
+    for (src, entry, args, expect) in PROGRAMS {
+        let args: Vec<Datum> = args.iter().map(|a| Datum::parse(a).unwrap()).collect();
+        for strategy in [GenStrategy::Offline, GenStrategy::Online] {
+            let s0 = compile_s0(src, entry, strategy);
+            let reference = eval::run(&s0, &args, Limits::default()).unwrap();
+            let (vm_result, _) =
+                Vm::compile(&s0).unwrap().run(&args, Limits::default()).unwrap();
+            assert_eq!(reference, vm_result, "{entry} [{strategy:?}]");
+            assert_eq!(reference.to_string(), *expect, "{entry}");
+        }
+    }
+}
+
+#[test]
+fn vm_and_reference_agree_on_faults() {
+    let s0 = compile_s0("(define (f x) (car x))", "f", GenStrategy::Offline);
+    let args = [Datum::Int(3)];
+    assert!(eval::run(&s0, &args, Limits::default()).is_err());
+    assert!(Vm::compile(&s0).unwrap().run(&args, Limits::default()).is_err());
+}
+
+#[test]
+fn vm_stats_scale_with_input() {
+    let s0 = compile_s0(
+        "(define (loop n) (if (zero? n) 0 (loop (- n 1))))",
+        "loop",
+        GenStrategy::Offline,
+    );
+    let vm = Vm::compile(&s0).unwrap();
+    let (_, small) = vm.run(&[Datum::Int(100)], Limits::default()).unwrap();
+    let (_, large) = vm.run(&[Datum::Int(10_000)], Limits::default()).unwrap();
+    assert!(large.steps > small.steps * 50, "{small:?} vs {large:?}");
+    assert!(large.calls >= 10_000);
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Offline CI: build, test, lint, and run the static-verification audit.
+# The workspace has no external dependencies, so everything here works
+# without network access.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+cargo run --release -p realistic-pe --example verify

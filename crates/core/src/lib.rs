@@ -27,8 +27,9 @@
 //! ).unwrap();
 //! let d = desugar(&p).unwrap();
 //! let s0 = compile(&d, "append", &CompileOptions::default()).unwrap();
-//! // The residual program is first-order and tail-recursive:
-//! assert!(s0.check().is_empty());
+//! // The residual program is first-order and tail-recursive — the
+//! // `pe-verify` crate checks this property statically.
+//! assert!(!s0.to_source().contains("lambda"));
 //! assert!(s0.to_source().contains("make-closure"));
 //! ```
 
@@ -86,6 +87,7 @@ pub fn specialize(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated S0Program::check shim
 mod tests {
     use super::*;
     use pe_frontend::{desugar, parse_source};
@@ -256,7 +258,7 @@ mod tests {
               e))))";
         let s0 = compile_src(src, "deriv", &CompileOptions::default());
         let input = Datum::parse("(+ (* x x) x)").unwrap();
-        let r = run_s0(&s0, &[input.clone()]);
+        let r = run_s0(&s0, std::slice::from_ref(&input));
         // Reference: the tail interpreter.
         let p = parse_source(src).unwrap();
         let d = desugar(&p).unwrap();

@@ -466,6 +466,7 @@ fn visit_calls(t: &S0Tail, f: &mut impl FnMut(&str, &[S0Simple])) {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated S0Program::check shim
 mod tests {
     use super::*;
     use crate::s0::S0Proc;

@@ -258,9 +258,13 @@ impl S0Program {
     /// Checks the S₀ well-formedness invariants: every called procedure
     /// exists with the right arity, every variable is bound by its
     /// procedure's parameter list, and the entry exists.  Returns a list
-    /// of violations (empty = well-formed).  This is the *language
-    /// preservation property* checker used by tests: residual programs
-    /// must always satisfy it.
+    /// of violations (empty = well-formed).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pe_verify::verify`, which subsumes this check and adds \
+                closure-shape analysis, the language-preservation certificate, \
+                and residual-quality lints"
+    )]
     pub fn check(&self) -> Vec<String> {
         let mut errs = Vec::new();
         let arities: HashMap<&str, usize> =
@@ -324,6 +328,7 @@ impl fmt::Display for S0Program {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the deprecated S0Program::check shim
 mod tests {
     use super::*;
 

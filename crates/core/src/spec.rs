@@ -866,11 +866,8 @@ impl<'p> Spec<'p> {
         let mut repeat = false;
         for d in &tau.prefix {
             match d {
-                ValDesc::Clos { lam, .. } => {
-                    if !seen.insert(*lam) {
-                        repeat = true;
-                    }
-                }
+                ValDesc::Clos { lam, .. } if !seen.insert(*lam) => repeat = true,
+                ValDesc::Clos { .. } => {}
                 ValDesc::Cv { .. } => {
                     cv_count += 1;
                     if cv_count > 1 || tau.dyn_rest.is_some() {
@@ -960,13 +957,13 @@ fn datum_to_constant(d: &Datum) -> Constant {
 /// stripping the `%` of generated temporaries.
 fn unique_param_name(base: &str, taken: &[String]) -> String {
     let base = base.replace('%', "t");
-    if !taken.iter().any(|t| *t == base) {
+    if !taken.contains(&base) {
         return base;
     }
     let mut i = 2;
     loop {
         let cand = format!("{base}{i}");
-        if !taken.iter().any(|t| *t == cand) {
+        if !taken.contains(&cand) {
             return cand;
         }
         i += 1;

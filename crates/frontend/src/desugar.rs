@@ -332,15 +332,15 @@ mod tests {
 
     /// Checks the Fig. 5 grammar: conditions simple, call args simple,
     /// contexts simple.
-    fn assert_tail_form(p: &DProgram, te: &TailExpr) {
+    fn assert_tail_form(te: &TailExpr) {
         match te {
             TailExpr::Simple(_) => {}
             TailExpr::If(_, _c, t, e) => {
-                assert_tail_form(p, t);
-                assert_tail_form(p, e);
+                assert_tail_form(t);
+                assert_tail_form(e);
             }
             TailExpr::CallProc(_, _, _args) => {}
-            TailExpr::PushApp(_, _ctx, body) => assert_tail_form(p, body),
+            TailExpr::PushApp(_, _ctx, body) => assert_tail_form(body),
         }
     }
 
@@ -394,10 +394,10 @@ mod tests {
         ] {
             let p = d(src);
             for def in &p.defs {
-                assert_tail_form(&p, &def.body);
+                assert_tail_form(&def.body);
             }
             for lam in &p.lambdas {
-                assert_tail_form(&p, &lam.body);
+                assert_tail_form(&lam.body);
             }
         }
     }

@@ -420,7 +420,7 @@ mod tests {
         let p = parse_source(src).unwrap();
         let h = Hobbit::compile(&p).unwrap();
         let input = Datum::parse("(1 2 3 4)").unwrap();
-        let a = h.run("map-sq", &[input.clone()], Limits::default()).unwrap();
+        let a = h.run("map-sq", std::slice::from_ref(&input), Limits::default()).unwrap();
         let b = pe_interp::standard::run(&p, "map-sq", &[input], Limits::default()).unwrap();
         assert_eq!(a, b);
         assert_eq!(a.to_string(), "(1 4 9 16)");

@@ -339,9 +339,9 @@ mod tests {
     #[test]
     fn pairs_and_predicates() {
         let p = apply_prim(Prim::Cons, &[i(1), Value::Nil]).unwrap();
-        assert_eq!(apply_prim(Prim::Car, &[p.clone()]), Ok(i(1)));
-        assert_eq!(apply_prim(Prim::Cdr, &[p.clone()]), Ok(Value::Nil));
-        assert_eq!(apply_prim(Prim::PairP, &[p.clone()]), Ok(Value::Bool(true)));
+        assert_eq!(apply_prim(Prim::Car, std::slice::from_ref(&p)), Ok(i(1)));
+        assert_eq!(apply_prim(Prim::Cdr, std::slice::from_ref(&p)), Ok(Value::Nil));
+        assert_eq!(apply_prim(Prim::PairP, std::slice::from_ref(&p)), Ok(Value::Bool(true)));
         assert_eq!(apply_prim(Prim::NullP, &[p]), Ok(Value::Bool(false)));
         assert_eq!(apply_prim::<NoClosure>(Prim::NullP, &[Value::Nil]), Ok(Value::Bool(true)));
         assert!(matches!(apply_prim(Prim::Car, &[i(5)]), Err(PrimError::TypeError { .. })));

@@ -1,0 +1,5 @@
+//! Host crate for the workspace's property-test suites (see `tests/`).
+//!
+//! This crate is **excluded** from the main workspace so that the
+//! library crates resolve and build with no registry access; `proptest`
+//! is only required when testing from this directory.

@@ -166,7 +166,7 @@ proptest! {
         for strategy in [GenStrategy::Offline, GenStrategy::Online] {
             let opts = CompileOptions { strategy, ..CompileOptions::default() };
             let s0 = pipe.compile("main", &opts).expect("compiles");
-            prop_assert!(s0.check().is_empty());
+            prop_assert!(pe_verify::verify(&s0).is_clean());
             prop_assert!(!s0.to_source().contains("lambda"));
         }
     }

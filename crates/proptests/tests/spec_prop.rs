@@ -68,7 +68,8 @@ proptest! {
         for strategy in [GenStrategy::Offline, GenStrategy::Online] {
             let opts = CompileOptions { strategy, ..CompileOptions::default() };
             let s0 = compile(&d, "main", &opts).expect("compiles");
-            prop_assert!(s0.check().is_empty(), "{:?}", s0.check());
+            let report = pe_verify::verify(&s0);
+            prop_assert!(report.is_clean(), "{report}");
             let compiled = eval::run(&s0, &args, lim);
             match (&reference, &compiled) {
                 (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{:?}", strategy),
@@ -105,7 +106,7 @@ proptest! {
         let reference = tail::run(&d, "main", &[Datum::Int(x), ldat.clone()], lim);
         let opts = CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
         let s0 = specialize(&d, "main", &[None, Some(ldat)], &opts).expect("specializes");
-        prop_assert!(s0.check().is_empty());
+        prop_assert!(pe_verify::verify(&s0).is_clean());
         let specialized = eval::run(&s0, &[Datum::Int(x)], lim);
         match (&reference, &specialized) {
             (Ok(a), Ok(b)) => prop_assert_eq!(a, b),

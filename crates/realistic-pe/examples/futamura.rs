@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // arguments as one list.
     let input = Datum::parse("(1 2 3 4 5)")?;
     let direct =
-        pe_interp::standard::run(&subject, "rev", &[input.clone()], Limits::default())?;
+        pe_interp::standard::run(&subject, "rev", std::slice::from_ref(&input), Limits::default())?;
     let via = pe_interp::standard::run(
         &compiled,
         FUTAMURA_ENTRY,

@@ -19,6 +19,7 @@
 //! | `pe-hobbit` | the §6 baseline: native-stack direct compiler |
 //! | `pe-vm` | S₀ goto-machine (the §5.1 C execution model) with counters |
 //! | `pe-backend-c` | S₀ → C translator |
+//! | `pe-verify` | static verification: well-formedness, closure shapes, preservation certificate, lints, BTA audit |
 //!
 //! # Quickstart
 //!
@@ -48,7 +49,10 @@ pub use pe_core::{compile, specialize, CompileOptions, GenStrategy, S0Program, S
 pub use pe_frontend::{desugar, parse_source, DProgram, Program};
 pub use pe_hobbit::Hobbit;
 pub use pe_interp::{Datum, InterpError, Limits};
-pub use pe_unmix::{compile_by_futamura, UnmixOptions, FUTAMURA_ENTRY};
+pub use pe_unmix::{compile_by_futamura, encode_program, UnmixOptions, FUTAMURA_ENTRY, SINT};
+pub use pe_verify::{
+    verify, verify_division, verify_program, verify_source, Diagnostic, Report, Severity,
+};
 pub use pe_vm::{Vm, VmStats};
 pub use pipeline::{Pipeline, PipelineError};
 pub use suite::{benchmark, Benchmark, SUITE};
@@ -111,12 +115,14 @@ mod tests {
     #[test]
     fn compiled_suite_is_first_order_and_tail_recursive() {
         // The language preservation property over the whole suite: the
-        // residual programs pass the S₀ checker (first-order, all calls
-        // in tail position by construction of the type).
+        // residual programs pass every pe-verify pass with no errors
+        // (first-order, all calls in tail position, sound closure
+        // shapes).
         for b in SUITE {
             let pipe = Pipeline::new(b.source).unwrap();
             let s0 = pipe.compile(b.entry, &CompileOptions::default()).unwrap();
-            assert!(s0.check().is_empty(), "{}", b.name);
+            let report = verify(&s0);
+            assert!(report.is_clean(), "{}:\n{report}", b.name);
             assert!(!s0.to_source().contains("lambda"), "{}", b.name);
         }
     }

@@ -90,18 +90,38 @@ impl Pipeline {
         Ok(Pipeline { program, dprog })
     }
 
-    /// Compiles `entry` to S₀ (checked well-formed).
+    /// Compiles `entry` to S₀ and verifies it with every
+    /// [`pe_verify`] pass: well-formedness, closure-shape analysis, the
+    /// language-preservation certificate, and the residual-quality
+    /// lints.  Error-severity findings abort compilation; warnings are
+    /// available via [`Pipeline::verify`].
     ///
     /// # Errors
     ///
     /// See [`PipelineError`].
     pub fn compile(&self, entry: &str, opts: &CompileOptions) -> Result<S0Program, PipelineError> {
         let s0 = pe_core::compile(&self.dprog, entry, opts)?;
-        let errs = s0.check();
-        if !errs.is_empty() {
-            return Err(PipelineError::IllFormed(errs));
+        let report = pe_verify::verify(&s0);
+        if report.has_errors() {
+            return Err(PipelineError::IllFormed(report.error_messages()));
         }
         Ok(s0)
+    }
+
+    /// Compiles `entry` to S₀ and returns the full verification report,
+    /// warnings included.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`] (verification findings are *returned*, not
+    /// treated as errors).
+    pub fn verify(
+        &self,
+        entry: &str,
+        opts: &CompileOptions,
+    ) -> Result<pe_verify::Report, PipelineError> {
+        let s0 = pe_core::compile(&self.dprog, entry, opts)?;
+        Ok(pe_verify::verify(&s0))
     }
 
     /// Compiles `entry` to S₀ and loads it into the VM.
@@ -111,7 +131,14 @@ impl Pipeline {
     /// See [`PipelineError`].
     pub fn compile_vm(&self, entry: &str, opts: &CompileOptions) -> Result<Vm, PipelineError> {
         let s0 = self.compile(entry, opts)?;
-        Vm::compile(&s0).map_err(PipelineError::Vm)
+        let vm = Vm::compile(&s0).map_err(PipelineError::Vm)?;
+        // The loader and the verifier must agree on what is acceptable:
+        // anything the VM takes must already have verified clean.
+        debug_assert!(
+            pe_verify::verify(&s0).is_clean(),
+            "VM accepted a program the verifier rejects"
+        );
+        Ok(vm)
     }
 
     /// Compiles the whole program with the Hobbit-like baseline.
@@ -194,6 +221,11 @@ impl Pipeline {
         opts: &CompileOptions,
     ) -> Result<pe_backend_c::CProgram, PipelineError> {
         let s0 = self.compile(entry, opts)?;
+        // Re-certify the exact concrete syntax the C emitter consumes.
+        debug_assert!(
+            pe_verify::verify_source(&s0.to_source()).is_clean(),
+            "emit_c input fails the language-preservation certificate"
+        );
         Ok(pe_backend_c::emit_c(&s0, args, &pe_backend_c::COptions::default()))
     }
 }

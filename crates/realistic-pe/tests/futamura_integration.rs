@@ -38,7 +38,7 @@ fn futamura_compiles_recursive_list_programs() {
         let subject = parse_source(src).unwrap();
         let compiled = compile_by_futamura(&subject, &UnmixOptions::default()).unwrap();
         let arg = Datum::parse(input).unwrap();
-        let direct = run_prog(&subject, entry, &[arg.clone()]).unwrap();
+        let direct = run_prog(&subject, entry, std::slice::from_ref(&arg)).unwrap();
         let via = run_prog(&compiled, FUTAMURA_ENTRY, &[pe_interp::Value::list([arg])]).unwrap();
         assert_eq!(direct, via, "{entry}");
         assert_eq!(direct.to_string(), expect);
@@ -97,7 +97,7 @@ fn futamura_and_direct_pipeline_agree() {
 
     for input in ["()", "(1)", "(1 2 3)", "(5 5 5 5)"] {
         let arg = Datum::parse(input).unwrap();
-        let (core_result, _) = vm.run(&[arg.clone()], Limits::default()).unwrap();
+        let (core_result, _) = vm.run(std::slice::from_ref(&arg), Limits::default()).unwrap();
         let unmix_result =
             run_prog(&futamura, FUTAMURA_ENTRY, &[pe_interp::Value::list([arg])]).unwrap();
         assert_eq!(core_result, unmix_result, "input {input}");

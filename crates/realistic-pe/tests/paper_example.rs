@@ -97,8 +97,8 @@ fn jones_challenge_tail_conversion() {
         Pipeline::new("(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))").unwrap();
     let s0 = pipe.compile("fib", &CompileOptions::default()).unwrap();
     // S0Tail has no non-tail call form at all — conversion is total by
-    // construction; check() plus execution demonstrates it.
-    assert!(s0.check().is_empty());
+    // construction; the verifier plus execution demonstrates it.
+    assert!(realistic_pe::verify(&s0).is_clean());
     let vm = Vm::compile(&s0).unwrap();
     let (r, stats) = vm.run(&[Datum::Int(20)], Limits::default()).unwrap();
     assert_eq!(r, Datum::Int(6765));

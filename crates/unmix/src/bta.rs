@@ -126,6 +126,72 @@ impl Division {
     pub fn is_residual(&self, name: &str) -> bool {
         self.residual.get(name).copied().unwrap_or(true)
     }
+
+    /// Audits this division for congruence over `p` (§2).
+    ///
+    /// A division is *congruent* when no static parameter can receive a
+    /// dynamic argument: for every call site, the binding time of each
+    /// argument (computed under the caller's recorded division) must be
+    /// ⊑ the callee's recorded parameter binding time.  The audit also
+    /// checks coverage (every procedure has a division of the right
+    /// width) and that the recorded result binding times are a fixpoint
+    /// of the bodies.  Returns human-readable violations; an empty
+    /// vector means the division is congruent and specialization cannot
+    /// encounter an unexpectedly-dynamic "static" value.
+    pub fn audit(&self, p: &Program, entry: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        if !self.params.contains_key(entry) {
+            out.push(format!("division does not cover entry procedure {entry}"));
+        }
+        for d in &p.defs {
+            let Some(div) = self.params.get(&d.name) else {
+                out.push(format!("division does not cover procedure {}", d.name));
+                continue;
+            };
+            if div.len() != d.params.len() {
+                out.push(format!(
+                    "division for {} has {} binding time(s) for {} parameter(s)",
+                    d.name,
+                    div.len(),
+                    d.params.len()
+                ));
+                continue;
+            }
+            let env: HashMap<Rc<str>, Bt> =
+                d.params.iter().cloned().zip(div.iter().copied()).collect();
+            let r = bt_expr(&d.body, &env, &self.result, &mut |callee, arg_bts| {
+                let Some(callee_div) = self.params.get(callee) else {
+                    out.push(format!(
+                        "{} calls {callee}, which the division does not cover",
+                        d.name
+                    ));
+                    return;
+                };
+                for (i, (slot, bt)) in callee_div.iter().zip(arg_bts).enumerate() {
+                    if *slot == Bt::Static && *bt == Bt::Dynamic {
+                        let prm = p
+                            .def(callee)
+                            .and_then(|cd| cd.params.get(i).cloned())
+                            .unwrap_or_else(|| format!("#{i}").into());
+                        out.push(format!(
+                            "congruence violation: {} passes a dynamic argument \
+                             to static parameter {prm} of {callee}",
+                            d.name
+                        ));
+                    }
+                }
+            });
+            let recorded = self.result.get(&d.name).copied().unwrap_or(Bt::Dynamic);
+            if recorded.join(r) != recorded {
+                out.push(format!(
+                    "result binding time of {} recorded as static \
+                     but its body computes a dynamic result",
+                    d.name
+                ));
+            }
+        }
+        out
+    }
 }
 
 /// Computes the binding time of an expression; reports every call's
@@ -242,6 +308,39 @@ mod tests {
         assert_eq!(div.params["len"], vec![Bt::Static]);
         assert_eq!(div.result["len"], Bt::Static);
         assert!(!div.is_residual("len"));
+    }
+
+    #[test]
+    fn audit_accepts_analyzed_divisions_and_rejects_corrupted_ones() {
+        let p = parse_source(
+            "(define (main s d) (f d))
+             (define (f x) (g x))
+             (define (g y) y)",
+        )
+        .unwrap();
+        let div = Division::analyze(&p, "main", &[true, false]);
+        assert!(div.audit(&p, "main").is_empty());
+
+        // Corrupt the division: claim f's parameter is static even
+        // though main passes it the dynamic d.
+        let mut bad = div.clone();
+        bad.params.insert("f".into(), vec![Bt::Static]);
+        bad.result.insert("f".into(), Bt::Static);
+        let violations = bad.audit(&p, "main");
+        assert!(
+            violations.iter().any(|v| v
+                .contains("congruence violation: main passes a dynamic argument to static parameter x of f")),
+            "{violations:?}"
+        );
+
+        // Drop a procedure from the division entirely.
+        let mut partial = div.clone();
+        partial.params.remove("g");
+        let violations = partial.audit(&p, "main");
+        assert!(
+            violations.iter().any(|v| v.contains("division does not cover procedure g")),
+            "{violations:?}"
+        );
     }
 
     #[test]

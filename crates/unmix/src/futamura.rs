@@ -182,7 +182,7 @@ mod tests {
         let encoded = encode_program(&subject).unwrap();
         let input = Datum::parse("(1 2 3 4)").unwrap();
         let direct =
-            standard::run(&subject, "sum", &[input.clone()], Limits::default()).unwrap();
+            standard::run(&subject, "sum", std::slice::from_ref(&input), Limits::default()).unwrap();
         let via_sint = standard::run(
             &sint,
             "sint",
@@ -202,7 +202,7 @@ mod tests {
         // The compiled program computes the same function…
         let input = Datum::parse("(5 6 7)").unwrap();
         let direct =
-            standard::run(&subject, "sum", &[input.clone()], Limits::default()).unwrap();
+            standard::run(&subject, "sum", std::slice::from_ref(&input), Limits::default()).unwrap();
         let via = standard::run(
             &compiled,
             FUTAMURA_ENTRY,

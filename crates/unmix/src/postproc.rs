@@ -129,9 +129,13 @@ fn rewrite_calls(e: &Expr, f: &mut impl FnMut(&Rc<str>, &[Expr]) -> Option<Expr>
     }
 }
 
+/// A trampoline body: the procedure's parameters, the call target, and
+/// the call's argument expressions.
+type Trampoline = (Vec<Rc<str>>, Rc<str>, Vec<Expr>);
+
 /// Inlines procedures whose body is a single call (trampolines).
 pub fn compress_transitions(mut p: Program) -> Program {
-    let trivial: HashMap<Rc<str>, (Vec<Rc<str>>, Rc<str>, Vec<Expr>)> = p
+    let trivial: HashMap<Rc<str>, Trampoline> = p
         .defs
         .iter()
         .filter_map(|d| match &d.body {

@@ -452,6 +452,15 @@ pub fn specialize(
     }
     let static_flags: Vec<bool> = slots.iter().map(Option::is_some).collect();
     let div = Division::analyze(p, entry, &static_flags);
+    #[cfg(debug_assertions)]
+    {
+        let violations = div.audit(p, entry);
+        debug_assert!(
+            violations.is_empty(),
+            "binding-time analysis produced a non-congruent division:\n{}",
+            violations.join("\n")
+        );
+    }
     let mut u = Unmix {
         prog: p,
         div: &div,

@@ -1,0 +1,115 @@
+//! # pe-verify — static verification for the realistic-pe pipeline
+//!
+//! The compiler of this repository stakes a strong claim taken from the
+//! paper (§4): because the closure-converted interpreter is first-order
+//! and tail-recursive, *every* residual program is too, and the back
+//! ends (VM, C emitter) may rely on it.  This crate checks that claim —
+//! and ordinary well-formedness — with a multi-pass static analyzer
+//! instead of trusting it:
+//!
+//! 1. **well-formed** ([`wellformed`]): scoping, unique procedure names
+//!    and parameters, call-target existence, call and primitive arity.
+//!    Absorbs the historical `S0Program::check()`.
+//! 2. **closure-shape** ([`closure`]): an abstract interpretation
+//!    mapping variables to sets of `make-closure` labels; verifies every
+//!    `closure-freeval` index against the minimum captured-value count
+//!    of the labels that can reach it, and flags dead or non-exhaustive
+//!    sequential dispatch chains.
+//! 3. **preservation** ([`preservation`]): the language-preservation
+//!    certificate, validated on the *concrete syntax* (print → re-read →
+//!    grammar check) so it is independent of the Rust type structure.
+//! 4. **lint** ([`lints`]): unreachable procedures, dead parameters,
+//!    `%fail`-only bodies — warnings about residual quality.
+//! 5. **bta-congruence** ([`verify_division`]): audits an Unmix
+//!    [`Division`](pe_unmix::Division) against its subject program.
+//!
+//! [`verify`] runs passes 1–4 over an [`S0Program`]; [`verify_source`]
+//! runs the preservation certificate over raw text (useful as a
+//! mutation oracle); [`residual::verify_program`] covers Unmix's
+//! surface-language residuals.  The pipeline and the specializer call
+//! these as debug-assertions, and `examples/verify.rs` in the
+//! `realistic-pe` crate audits the whole Gabriel suite.
+
+pub mod closure;
+pub mod lints;
+pub mod preservation;
+pub mod report;
+pub mod residual;
+pub mod wellformed;
+
+pub use report::{Diagnostic, Pass, Report, Severity};
+pub use residual::verify_program;
+
+use pe_core::S0Program;
+use pe_unmix::Division;
+
+/// Runs every S₀ pass (well-formed, closure-shape, preservation, lints)
+/// over `p` and collects the findings.
+pub fn verify(p: &S0Program) -> Report {
+    let mut diagnostics = wellformed::check(p);
+    // The deeper passes assume basic well-formedness (e.g. bound
+    // variables); run them anyway — they are robust — but order the
+    // report by pass.
+    diagnostics.extend(closure::check(p));
+    diagnostics.extend(preservation::check(p));
+    diagnostics.extend(lints::check(p));
+    Report::new(diagnostics)
+}
+
+/// Runs the language-preservation certificate over S₀ concrete syntax.
+///
+/// This is the text-level entry point: it accepts *any* string, so
+/// mutation tests can corrupt a pretty-printed program (break the tail
+/// form, drop an `if` arm, smuggle in a `lambda`) and confirm the
+/// certificate refuses it.
+pub fn verify_source(src: &str) -> Report {
+    Report::new(preservation::check_source(src))
+}
+
+/// Audits an Unmix binding-time division for congruence over its
+/// subject program (pass 5).
+pub fn verify_division(
+    p: &pe_frontend::Program,
+    entry: &str,
+    div: &Division,
+) -> Report {
+    Report::new(
+        div.audit(p, entry)
+            .into_iter()
+            .map(|msg| Diagnostic::error(Pass::BtaCongruence, None, msg))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_is_clean_on_a_compiled_benchmark() {
+        // End-to-end sanity: a small first-order program survives all
+        // four passes once compiled to S₀ by hand.
+        let src = "(define (count n) (if (zero? n) 0 (count (- n 1))))";
+        let r = verify_source(src);
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn verify_division_reports_congruence_errors() {
+        let p = pe_frontend::parse_source(
+            "(define (main s d) (f d))
+             (define (f x) x)",
+        )
+        .unwrap();
+        let div = Division::analyze(&p, "main", &[true, false]);
+        assert!(verify_division(&p, "main", &div).is_clean());
+
+        let mut bad = div.clone();
+        bad.params.insert("f".into(), vec![pe_unmix::Bt::Static]);
+        bad.result.insert("f".into(), pe_unmix::Bt::Static);
+        let r = verify_division(&p, "main", &bad);
+        assert!(r.has_errors());
+        let text = r.to_string();
+        assert!(text.contains("error[bta-congruence] congruence violation"), "{text}");
+    }
+}

@@ -1,0 +1,94 @@
+//! Pass 4 — residual-quality lints.
+//!
+//! Everything here is a *warning*: the program is correct, but the
+//! specializer (or a hand-written subject) left something behind that a
+//! good residual program would not contain — procedures no call chain
+//! can reach, parameters nobody reads, or procedures whose whole body is
+//! `%fail`.
+
+use crate::report::{Diagnostic, Pass};
+use pe_core::{S0Program, S0Tail};
+use std::collections::{HashMap, HashSet};
+
+/// Runs the pass.
+pub fn check(p: &S0Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let warn = |proc_name: &str, msg: String| Diagnostic::warning(Pass::Lint, Some(proc_name), msg);
+
+    // Reachability from the entry over tail-call edges.
+    let by_name: HashMap<&str, &S0Tail> =
+        p.procs.iter().map(|pr| (pr.name.as_str(), &pr.body)).collect();
+    let mut reachable: HashSet<&str> = HashSet::new();
+    let mut work = vec![p.entry.as_str()];
+    while let Some(name) = work.pop() {
+        if !reachable.insert(name) {
+            continue;
+        }
+        if let Some(body) = by_name.get(name) {
+            body.calls(&mut |callee| {
+                if let Some((&k, _)) = by_name.get_key_value(callee) {
+                    if !reachable.contains(k) {
+                        work.push(k);
+                    }
+                }
+            });
+        }
+    }
+
+    for pr in &p.procs {
+        if !reachable.contains(pr.name.as_str()) {
+            out.push(warn(&pr.name, format!("unreachable from entry {}", p.entry)));
+        }
+        if matches!(pr.body, S0Tail::Fail(_)) {
+            out.push(warn(&pr.name, "body is only %fail".to_string()));
+        }
+        if pr.name != p.entry {
+            let mut used = HashSet::new();
+            pr.body.vars(&mut used);
+            for prm in &pr.params {
+                if !used.contains(prm.as_str()) {
+                    out.push(warn(&pr.name, format!("dead parameter {prm}")));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_core::{S0Proc, S0Simple};
+
+    #[test]
+    fn flags_unreachable_dead_param_and_fail_only() {
+        let prog = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["x".into()],
+                    body: S0Tail::TailCall("helper".into(), vec![S0Simple::Var("x".into())]),
+                },
+                S0Proc {
+                    name: "helper".into(),
+                    params: vec!["x".into(), "unused".into()],
+                    body: S0Tail::Return(S0Simple::Var("x".into())),
+                },
+                S0Proc {
+                    name: "orphan".into(),
+                    params: vec![],
+                    body: S0Tail::Fail("never".into()),
+                },
+            ],
+        };
+        let text: Vec<String> = check(&prog).iter().map(ToString::to_string).collect();
+        let text = text.join("\n");
+        assert!(text.contains("warning[lint] orphan: unreachable from entry main"), "{text}");
+        assert!(text.contains("warning[lint] orphan: body is only %fail"), "{text}");
+        assert!(text.contains("warning[lint] helper: dead parameter unused"), "{text}");
+        // `main`'s own param is exempt (the entry's interface is fixed),
+        // and `helper` is reachable.
+        assert!(!text.contains("helper: unreachable"), "{text}");
+    }
+}

@@ -1,0 +1,292 @@
+//! Pass 3 — the language-preservation certificate (§4).
+//!
+//! The paper's central property: residual programs are first-order and
+//! tail-recursive *because the interpreter is*.  Inside this codebase
+//! the property is enforced by the `S0Tail`/`S0Simple` types, so a check
+//! over the typed AST would be vacuous.  This pass therefore certifies
+//! the property on the **concrete syntax**: the residual program is
+//! pretty-printed, read back as S-expressions, and validated against the
+//! S₀ grammar
+//!
+//! ```text
+//! proc ::= (define (P V*) T)
+//! T    ::= S | (if S T T) | (P S*) | (%fail "msg")
+//! S    ::= V | K | (O S*) | (make-closure ℓ S*)
+//!        | (closure-label S) | (closure-freeval S i)
+//! ```
+//!
+//! independently of the Rust type structure.  A `lambda`, a computed
+//! application, or a call in simple (non-tail) position is a certificate
+//! failure — and the same checker doubles as a mutation oracle for
+//! arbitrary source text via [`check_source`].
+
+use crate::report::{Diagnostic, Pass};
+use pe_core::S0Program;
+use pe_frontend::ast::Prim;
+use pe_sexpr::Sexpr;
+use std::collections::HashMap;
+
+/// Certifies a compiled program by re-reading its printed form.
+pub fn check(p: &S0Program) -> Vec<Diagnostic> {
+    check_source(&p.to_source())
+}
+
+/// Certifies S₀ concrete syntax directly.
+pub fn check_source(src: &str) -> Vec<Diagnostic> {
+    let forms = match pe_sexpr::read(src) {
+        Ok(f) => f,
+        Err(e) => {
+            return vec![Diagnostic::error(
+                Pass::Preservation,
+                None,
+                format!("residual program does not parse: {e}"),
+            )]
+        }
+    };
+    let mut procs: HashMap<String, usize> = HashMap::new();
+    for form in &forms {
+        if let Some((name, params, _)) = parse_define(form) {
+            procs.insert(name.to_string(), params);
+        }
+    }
+    let mut out = Vec::new();
+    for form in &forms {
+        match parse_define(form) {
+            Some((name, _, body)) => check_tail(body, &procs, name, &mut out),
+            None => out.push(Diagnostic::error(
+                Pass::Preservation,
+                None,
+                format!("top-level form is not a (define (P V*) T): {form}"),
+            )),
+        }
+    }
+    out
+}
+
+/// Matches `(define (name params*) body)`; returns name, parameter
+/// count and body.
+fn parse_define(form: &Sexpr) -> Option<(&str, usize, &Sexpr)> {
+    let Sexpr::List(items) = form else { return None };
+    let [head, header, body] = items.as_slice() else { return None };
+    if head.sym() != Some("define") {
+        return None;
+    }
+    let Sexpr::List(header) = header else { return None };
+    let (name, params) = header.split_first()?;
+    if !params.iter().all(|p| matches!(p, Sexpr::Sym(_))) {
+        return None;
+    }
+    Some((name.sym()?, params.len(), body))
+}
+
+fn check_tail(
+    e: &Sexpr,
+    procs: &HashMap<String, usize>,
+    owner: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    if let Sexpr::List(items) = e {
+        match items.first().and_then(Sexpr::sym) {
+            Some("if") => {
+                if items.len() != 4 {
+                    out.push(err(owner, format!("malformed if: {e}")));
+                    return;
+                }
+                check_simple(&items[1], procs, owner, out);
+                check_tail(&items[2], procs, owner, out);
+                check_tail(&items[3], procs, owner, out);
+                return;
+            }
+            Some("%fail") => {
+                if !(items.len() == 2 && matches!(items[1], Sexpr::Str(_))) {
+                    out.push(err(owner, format!("malformed %fail: {e}")));
+                }
+                return;
+            }
+            Some(head) if procs.contains_key(head) => {
+                let expected = procs[head];
+                if items.len() - 1 != expected {
+                    out.push(err(
+                        owner,
+                        format!(
+                            "tail call to {head} with {} argument(s), expected {expected}",
+                            items.len() - 1
+                        ),
+                    ));
+                }
+                for a in &items[1..] {
+                    check_simple(a, procs, owner, out);
+                }
+                return;
+            }
+            _ => {}
+        }
+    }
+    check_simple(e, procs, owner, out);
+}
+
+fn check_simple(
+    e: &Sexpr,
+    procs: &HashMap<String, usize>,
+    owner: &str,
+    out: &mut Vec<Diagnostic>,
+) {
+    let items = match e {
+        // Variables and self-evaluating constants.
+        Sexpr::Sym(_) | Sexpr::Int(_) | Sexpr::Bool(_) | Sexpr::Char(_) | Sexpr::Str(_) => {
+            return;
+        }
+        Sexpr::List(items) => items,
+    };
+    let Some(head) = items.first() else {
+        out.push(err(owner, "empty application ()".to_string()));
+        return;
+    };
+    let Some(head) = head.sym() else {
+        out.push(err(
+            owner,
+            format!("application of a non-symbol operator (higher-order construct): {e}"),
+        ));
+        return;
+    };
+    match head {
+        "quote" => {
+            if items.len() != 2 {
+                out.push(err(owner, format!("malformed quote: {e}")));
+            }
+        }
+        "lambda" => out.push(err(
+            owner,
+            format!("higher-order construct (lambda) in residual program: {e}"),
+        )),
+        "if" | "%fail" => out.push(err(
+            owner,
+            format!("{head} in simple position: tail form violated: {e}"),
+        )),
+        "make-closure" => {
+            if items.len() < 2 || !matches!(items[1], Sexpr::Int(l) if l >= 0) {
+                out.push(err(owner, format!("malformed make-closure: {e}")));
+                return;
+            }
+            for a in &items[2..] {
+                check_simple(a, procs, owner, out);
+            }
+        }
+        "closure-label" => {
+            if items.len() != 2 {
+                out.push(err(owner, format!("malformed closure-label: {e}")));
+                return;
+            }
+            check_simple(&items[1], procs, owner, out);
+        }
+        "closure-freeval" => {
+            if items.len() != 3 || !matches!(items[2], Sexpr::Int(i) if i >= 0) {
+                out.push(err(owner, format!("malformed closure-freeval: {e}")));
+                return;
+            }
+            check_simple(&items[1], procs, owner, out);
+        }
+        _ if Prim::from_name(head).is_some() => {
+            let expected = Prim::from_name(head).unwrap().arity();
+            if items.len() - 1 != expected {
+                out.push(err(
+                    owner,
+                    format!(
+                        "primitive {head} applied to {} argument(s), expected {expected}",
+                        items.len() - 1
+                    ),
+                ));
+            }
+            for a in &items[1..] {
+                check_simple(a, procs, owner, out);
+            }
+        }
+        _ if procs.contains_key(head) => out.push(err(
+            owner,
+            format!("call to {head} in non-tail position: residual program is not tail-recursive"),
+        )),
+        _ => out.push(err(owner, format!("unknown operator {head}"))),
+    }
+}
+
+fn err(owner: &str, message: String) -> Diagnostic {
+    Diagnostic::error(Pass::Preservation, Some(owner), message)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msgs(src: &str) -> Vec<String> {
+        check_source(src).iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn accepts_the_grammar() {
+        let diags = msgs(
+            r#"(define (loop n acc)
+                 (if (zero? n) acc (loop (- n 1) (cons (quote x) acc))))
+               (define (disp c v)
+                 (if (equal? 3 (closure-label c))
+                     (loop (closure-freeval c 0) v)
+                     (%fail "no arm")))
+               (define (mk x) (disp (make-closure 3 x) (quote ())))"#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn call_in_simple_position_fails_the_certificate() {
+        let diags = msgs("(define (loop n) (if (zero? n) 0 (loop (loop (- n 1)))))");
+        assert!(
+            diags.iter().any(|m| m.contains(
+                "error[preservation] loop: call to loop in non-tail position: residual program is not tail-recursive"
+            )),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn lambda_fails_the_certificate() {
+        let diags = msgs("(define (f x) (cons (lambda (y) y) x))");
+        assert!(
+            diags.iter().any(|m| m.contains("higher-order construct (lambda)")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn computed_application_fails_the_certificate() {
+        let diags = msgs("(define (f g x) (g x))");
+        // `g` is a parameter, not a defined procedure: unknown operator.
+        assert!(diags.iter().any(|m| m.contains("unknown operator g")), "{diags:?}");
+    }
+
+    #[test]
+    fn arity_drift_fails_the_certificate() {
+        let diags = msgs("(define (main x) (helper x))\n(define (helper a b) a)");
+        assert!(
+            diags
+                .iter()
+                .any(|m| m.contains("tail call to helper with 1 argument(s), expected 2")),
+            "{diags:?}"
+        );
+        let diags = msgs("(define (f x) (cons x))");
+        assert!(
+            diags
+                .iter()
+                .any(|m| m.contains("primitive cons applied to 1 argument(s), expected 2")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn malformed_special_forms_are_reported() {
+        assert!(msgs("(define (f x) (if x x))").iter().any(|m| m.contains("malformed if")));
+        assert!(msgs("(define (f x) (%fail))").iter().any(|m| m.contains("malformed %fail")));
+        assert!(msgs("(define (f x) (closure-freeval x))")
+            .iter()
+            .any(|m| m.contains("malformed closure-freeval")));
+        assert!(msgs("(f x)").iter().any(|m| m.contains("not a (define")));
+    }
+}

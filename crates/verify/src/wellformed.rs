@@ -1,0 +1,183 @@
+//! Pass 1 — well-formedness of S₀ programs.
+//!
+//! Replaces (and absorbs) the historical `S0Program::check()`: the entry
+//! exists, procedure names are unique, parameters are unique, every
+//! variable is bound by its procedure's parameter list, every call
+//! targets a defined procedure with matching arity, and every primitive
+//! application has the primitive's arity.  The tail-form grammar itself
+//! is enforced twice: structurally by the `S0Tail`/`S0Simple` types, and
+//! on the concrete syntax by the [preservation](crate::preservation)
+//! certificate.
+
+use crate::report::{Diagnostic, Pass};
+use pe_core::{S0Program, S0Simple, S0Tail};
+use std::collections::{HashMap, HashSet};
+
+/// Runs the pass.
+pub fn check(p: &S0Program) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let err = |proc_name: Option<&str>, msg: String| Diagnostic::error(Pass::WellFormed, proc_name, msg);
+
+    // On duplicate definitions the *first* wins, matching lookup order;
+    // the duplicate itself is reported below.
+    let mut arities: HashMap<&str, usize> = HashMap::new();
+    for pr in &p.procs {
+        arities.entry(pr.name.as_str()).or_insert(pr.params.len());
+    }
+    if !arities.contains_key(p.entry.as_str()) {
+        out.push(err(None, format!("entry procedure {} is not defined", p.entry)));
+    }
+
+    let mut seen = HashSet::new();
+    for pr in &p.procs {
+        if !seen.insert(pr.name.as_str()) {
+            out.push(err(Some(&pr.name), "duplicate procedure definition".to_string()));
+        }
+        let mut params = HashSet::new();
+        for prm in &pr.params {
+            if !params.insert(prm.as_str()) {
+                out.push(err(Some(&pr.name), format!("duplicate parameter {prm}")));
+            }
+        }
+        let mut used = HashSet::new();
+        pr.body.vars(&mut used);
+        let mut unbound: Vec<String> =
+            used.into_iter().filter(|v| !params.contains(v.as_str())).collect();
+        unbound.sort();
+        for v in unbound {
+            out.push(err(Some(&pr.name), format!("unbound variable {v}")));
+        }
+        check_tail(&pr.name, &pr.body, &arities, &mut out);
+    }
+    out
+}
+
+fn check_tail(
+    owner: &str,
+    t: &S0Tail,
+    arities: &HashMap<&str, usize>,
+    out: &mut Vec<Diagnostic>,
+) {
+    match t {
+        S0Tail::Return(s) => check_simple(owner, s, out),
+        S0Tail::Fail(_) => {}
+        S0Tail::If(c, a, b) => {
+            check_simple(owner, c, out);
+            check_tail(owner, a, arities, out);
+            check_tail(owner, b, arities, out);
+        }
+        S0Tail::TailCall(callee, args) => {
+            match arities.get(callee.as_str()) {
+                None => out.push(Diagnostic::error(
+                    Pass::WellFormed,
+                    Some(owner),
+                    format!("call to undefined procedure {callee}"),
+                )),
+                Some(&n) if n != args.len() => out.push(Diagnostic::error(
+                    Pass::WellFormed,
+                    Some(owner),
+                    format!("call to {callee} with {} argument(s), expected {n}", args.len()),
+                )),
+                Some(_) => {}
+            }
+            for a in args {
+                check_simple(owner, a, out);
+            }
+        }
+    }
+}
+
+fn check_simple(owner: &str, s: &S0Simple, out: &mut Vec<Diagnostic>) {
+    match s {
+        S0Simple::Var(_) | S0Simple::Const(_) => {}
+        S0Simple::Prim(op, args) => {
+            if args.len() != op.arity() {
+                out.push(Diagnostic::error(
+                    Pass::WellFormed,
+                    Some(owner),
+                    format!(
+                        "primitive {op} applied to {} argument(s), expected {}",
+                        args.len(),
+                        op.arity()
+                    ),
+                ));
+            }
+            for a in args {
+                check_simple(owner, a, out);
+            }
+        }
+        S0Simple::MakeClosure(_, args) => {
+            for a in args {
+                check_simple(owner, a, out);
+            }
+        }
+        S0Simple::ClosureLabel(a) => check_simple(owner, a, out),
+        S0Simple::ClosureFreeval(a, _) => check_simple(owner, a, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_frontend::ast::{Constant, Prim};
+    use pe_core::S0Proc;
+
+    fn var(v: &str) -> S0Simple {
+        S0Simple::Var(v.into())
+    }
+
+    #[test]
+    fn catches_all_basic_violations() {
+        let prog = S0Program {
+            entry: "ghost-entry".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["x".into(), "x".into()],
+                    body: S0Tail::If(
+                        var("y"),
+                        Box::new(S0Tail::TailCall("nope".into(), vec![])),
+                        Box::new(S0Tail::TailCall("main".into(), vec![var("x")])),
+                    ),
+                },
+                S0Proc {
+                    name: "main".into(),
+                    params: vec![],
+                    body: S0Tail::Return(S0Simple::Prim(Prim::Car, vec![])),
+                },
+            ],
+        };
+        let msgs: Vec<String> = check(&prog).iter().map(ToString::to_string).collect();
+        let text = msgs.join("\n");
+        assert!(text.contains("entry procedure ghost-entry is not defined"), "{text}");
+        assert!(text.contains("main: duplicate parameter x"), "{text}");
+        assert!(text.contains("main: unbound variable y"), "{text}");
+        assert!(text.contains("main: call to undefined procedure nope"), "{text}");
+        assert!(text.contains("main: call to main with 1 argument(s), expected 2"), "{text}");
+        assert!(text.contains("main: duplicate procedure definition"), "{text}");
+        assert!(text.contains("main: primitive car applied to 0 argument(s), expected 1"), "{text}");
+    }
+
+    #[test]
+    fn accepts_wellformed_loop() {
+        let prog = S0Program {
+            entry: "loop".into(),
+            procs: vec![S0Proc {
+                name: "loop".into(),
+                params: vec!["n".into()],
+                body: S0Tail::If(
+                    S0Simple::Prim(Prim::ZeroP, vec![var("n")]),
+                    Box::new(S0Tail::Return(S0Simple::Const(Constant::Int(0)))),
+                    Box::new(S0Tail::TailCall(
+                        "loop".into(),
+                        vec![S0Simple::Prim(
+                            Prim::Sub,
+                            vec![var("n"), S0Simple::Const(Constant::Int(1))],
+                        )],
+                    )),
+                ),
+            }],
+        };
+        assert!(check(&prog).is_empty());
+    }
+}

@@ -240,7 +240,6 @@ fn resolve_simple(
     s: &S0Simple,
     owner: &str,
     slots: &HashMap<&str, usize>,
-    p: &S0Program,
 ) -> Result<RSimple, VmError> {
     Ok(match s {
         S0Simple::Var(v) => RSimple::Slot(*slots.get(v.as_str()).ok_or_else(|| {
@@ -250,20 +249,20 @@ fn resolve_simple(
         S0Simple::Prim(op, args) => RSimple::Prim(
             *op,
             args.iter()
-                .map(|a| resolve_simple(a, owner, slots, p))
+                .map(|a| resolve_simple(a, owner, slots))
                 .collect::<Result<_, _>>()?,
         ),
         S0Simple::MakeClosure(l, args) => RSimple::MakeClosure(
             *l,
             args.iter()
-                .map(|a| resolve_simple(a, owner, slots, p))
+                .map(|a| resolve_simple(a, owner, slots))
                 .collect::<Result<_, _>>()?,
         ),
         S0Simple::ClosureLabel(a) => {
-            RSimple::ClosureLabel(Box::new(resolve_simple(a, owner, slots, p)?))
+            RSimple::ClosureLabel(Box::new(resolve_simple(a, owner, slots)?))
         }
         S0Simple::ClosureFreeval(a, i) => {
-            RSimple::ClosureFreeval(Box::new(resolve_simple(a, owner, slots, p)?), *i)
+            RSimple::ClosureFreeval(Box::new(resolve_simple(a, owner, slots)?), *i)
         }
     })
 }
@@ -276,9 +275,9 @@ fn resolve_tail(
     p: &S0Program,
 ) -> Result<RTail, VmError> {
     Ok(match t {
-        S0Tail::Return(s) => RTail::Return(resolve_simple(s, owner, slots, p)?),
+        S0Tail::Return(s) => RTail::Return(resolve_simple(s, owner, slots)?),
         S0Tail::If(c, a, b) => RTail::If(
-            resolve_simple(c, owner, slots, p)?,
+            resolve_simple(c, owner, slots)?,
             Box::new(resolve_tail(a, owner, slots, index, p)?),
             Box::new(resolve_tail(b, owner, slots, index, p)?),
         ),
@@ -297,7 +296,7 @@ fn resolve_tail(
             RTail::Goto(
                 target,
                 args.iter()
-                    .map(|a| resolve_simple(a, owner, slots, p))
+                    .map(|a| resolve_simple(a, owner, slots))
                     .collect::<Result<_, _>>()?,
             )
         }

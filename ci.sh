@@ -8,3 +8,10 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo run --release -p realistic-pe --example verify
+
+# Fault injection: hostile input against every entry point, then the
+# deep-input stack smoke in the DEBUG profile (unoptimized frames are
+# the worst case for host-stack recursion, so unbounded recursion
+# aborts here rather than in a user's process).
+cargo test -q -p pe-faultline
+cargo run -p pe-faultline --example stack_smoke

@@ -23,6 +23,20 @@ use std::rc::Rc;
 /// A configuration variable identifier (paper: `cv(i)`).
 pub type CvId = u32;
 
+/// A configuration variable without a σ binding (or absent from a
+/// renaming) — an internal invariant violation that the specializer
+/// reports as [`crate::SpecError::Internal`] instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingCv(pub CvId);
+
+impl std::fmt::Display for MissingCv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "configuration variable {} has no binding", self.0)
+    }
+}
+
+impl std::error::Error for MissingCv {}
+
 /// A value description.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ValDesc {
@@ -88,21 +102,25 @@ impl ValDesc {
     /// `D[·]`-lifting: the residual expression that rebuilds this value
     /// at runtime.  `σ` maps configuration variables to their residual
     /// expressions.
-    pub fn residualize(&self, sigma: &HashMap<CvId, S0Simple>) -> S0Simple {
+    ///
+    /// # Errors
+    ///
+    /// [`MissingCv`] if a configuration variable has no σ binding.
+    pub fn residualize(&self, sigma: &HashMap<CvId, S0Simple>) -> Result<S0Simple, MissingCv> {
         match self {
-            ValDesc::Quote(k) => S0Simple::Const(k.clone()),
-            ValDesc::Cons { car, cdr, .. } => S0Simple::Prim(
+            ValDesc::Quote(k) => Ok(S0Simple::Const(k.clone())),
+            ValDesc::Cons { car, cdr, .. } => Ok(S0Simple::Prim(
                 pe_frontend::Prim::Cons,
-                vec![car.residualize(sigma), cdr.residualize(sigma)],
-            ),
-            ValDesc::Clos { lam, freevals } => S0Simple::MakeClosure(
+                vec![car.residualize(sigma)?, cdr.residualize(sigma)?],
+            )),
+            ValDesc::Clos { lam, freevals } => Ok(S0Simple::MakeClosure(
                 lam.0,
-                freevals.iter().map(|d| d.residualize(sigma)).collect(),
-            ),
-            ValDesc::Cv { id, .. } => sigma
-                .get(id)
-                .cloned()
-                .unwrap_or_else(|| panic!("cv {id} has no residual binding")),
+                freevals
+                    .iter()
+                    .map(|d| d.residualize(sigma))
+                    .collect::<Result<Vec<_>, _>>()?,
+            )),
+            ValDesc::Cv { id, .. } => sigma.get(id).cloned().ok_or(MissingCv(*id)),
         }
     }
 
@@ -158,22 +176,29 @@ impl ValDesc {
     /// Rewrites configuration variables through `map` (used when a memo
     /// entry's descriptions are renamed to the residual procedure's
     /// parameters).
-    pub fn rename_cvs(&self, map: &HashMap<CvId, CvId>) -> ValDesc {
+    ///
+    /// # Errors
+    ///
+    /// [`MissingCv`] if a configuration variable is absent from `map`.
+    pub fn rename_cvs(&self, map: &HashMap<CvId, CvId>) -> Result<ValDesc, MissingCv> {
         match self {
-            ValDesc::Quote(_) => self.clone(),
-            ValDesc::Cons { site, car, cdr } => ValDesc::Cons {
+            ValDesc::Quote(_) => Ok(self.clone()),
+            ValDesc::Cons { site, car, cdr } => Ok(ValDesc::Cons {
                 site: *site,
-                car: Rc::new(car.rename_cvs(map)),
-                cdr: Rc::new(cdr.rename_cvs(map)),
-            },
-            ValDesc::Clos { lam, freevals } => ValDesc::Clos {
+                car: Rc::new(car.rename_cvs(map)?),
+                cdr: Rc::new(cdr.rename_cvs(map)?),
+            }),
+            ValDesc::Clos { lam, freevals } => Ok(ValDesc::Clos {
                 lam: *lam,
-                freevals: freevals.iter().map(|f| f.rename_cvs(map)).collect(),
-            },
-            ValDesc::Cv { id, cands } => ValDesc::Cv {
-                id: *map.get(id).unwrap_or_else(|| panic!("cv {id} missing in renaming")),
+                freevals: freevals
+                    .iter()
+                    .map(|f| f.rename_cvs(map))
+                    .collect::<Result<Vec<_>, _>>()?,
+            }),
+            ValDesc::Cv { id, cands } => Ok(ValDesc::Cv {
+                id: *map.get(id).ok_or(MissingCv(*id))?,
                 cands: cands.clone(),
-            },
+            }),
         }
     }
 
@@ -190,7 +215,11 @@ impl ValDesc {
             ValDesc::Clos { lam, freevals } => {
                 DescShape::Clos(*lam, freevals.iter().map(|f| f.shape(index)).collect())
             }
-            ValDesc::Cv { id, cands } => DescShape::Cv(index[id], cands.clone()),
+            // `index` is always built from this very description set, so
+            // a miss cannot happen; the sentinel keeps shape() total.
+            ValDesc::Cv { id, cands } => {
+                DescShape::Cv(index.get(id).copied().unwrap_or(u32::MAX), cands.clone())
+            }
         }
     }
 
@@ -269,21 +298,29 @@ mod tests {
     }
 
     #[test]
-    fn residualize_lifts_structure() {
+    fn residualize_lifts_structure() -> Result<(), MissingCv> {
         let mut sigma = HashMap::new();
         sigma.insert(0, S0Simple::Var("cv-vals-$1".into()));
         let d = cons(1, ValDesc::Quote(Constant::Sym("foo".into())), cv(0));
-        let e = d.residualize(&sigma);
+        let e = d.residualize(&sigma)?;
         let s = format!("{:?}", e);
         assert!(s.contains("Cons") || matches!(e, S0Simple::Prim(pe_frontend::Prim::Cons, _)));
         let d = clos(5, vec![cv(0), kint(3)]);
-        match d.residualize(&sigma) {
-            S0Simple::MakeClosure(5, args) => {
-                assert_eq!(args.len(), 2);
-                assert_eq!(args[0], S0Simple::Var("cv-vals-$1".into()));
-            }
-            other => panic!("expected make-closure, got {other:?}"),
-        }
+        let e = d.residualize(&sigma)?;
+        assert!(
+            matches!(&e, S0Simple::MakeClosure(5, args)
+                if args.len() == 2 && args[0] == S0Simple::Var("cv-vals-$1".into())),
+            "expected make-closure, got {e:?}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn missing_cv_is_an_error_not_a_panic() {
+        let sigma = HashMap::new();
+        assert_eq!(cv(9).residualize(&sigma), Err(MissingCv(9)));
+        let map = HashMap::new();
+        assert_eq!(cv(9).rename_cvs(&map), Err(MissingCv(9)));
     }
 
     #[test]

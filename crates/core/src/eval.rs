@@ -8,7 +8,8 @@
 
 use crate::s0::{S0Program, S0Simple, S0Tail};
 use pe_interp::value::{apply_prim, Value};
-use pe_interp::{Datum, InterpError, Limits};
+use pe_interp::{Datum, Fuel, InterpError, Limits};
+use pe_frontend::Prim;
 use std::rc::Rc;
 
 /// A runtime closure: flat vector of label + captured values.
@@ -22,7 +23,11 @@ pub struct S0Closure {
 
 type V = Value<S0Closure>;
 
-fn eval_simple(s: &S0Simple, frame: &[(String, V)]) -> Result<V, InterpError> {
+fn eval_simple(
+    s: &S0Simple,
+    frame: &[(String, V)],
+    fuel: &mut Fuel,
+) -> Result<V, InterpError> {
     match s {
         S0Simple::Var(v) => frame
             .iter()
@@ -34,22 +39,26 @@ fn eval_simple(s: &S0Simple, frame: &[(String, V)]) -> Result<V, InterpError> {
         S0Simple::Prim(op, args) => {
             let vals = args
                 .iter()
-                .map(|a| eval_simple(a, frame))
+                .map(|a| eval_simple(a, frame, fuel))
                 .collect::<Result<Vec<_>, _>>()?;
+            if matches!(op, Prim::Cons) {
+                fuel.alloc(1)?;
+            }
             Ok(apply_prim(*op, &vals)?)
         }
         S0Simple::MakeClosure(l, args) => {
+            fuel.alloc(1)?;
             let vals = args
                 .iter()
-                .map(|a| eval_simple(a, frame))
+                .map(|a| eval_simple(a, frame, fuel))
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Value::Closure(S0Closure { label: *l, freevals: Rc::new(vals) }))
         }
-        S0Simple::ClosureLabel(a) => match eval_simple(a, frame)? {
+        S0Simple::ClosureLabel(a) => match eval_simple(a, frame, fuel)? {
             Value::Closure(c) => Ok(Value::Int(i64::from(c.label))),
             v => Err(InterpError::NotAProcedure(v.to_string())),
         },
-        S0Simple::ClosureFreeval(a, i) => match eval_simple(a, frame)? {
+        S0Simple::ClosureFreeval(a, i) => match eval_simple(a, frame, fuel)? {
             Value::Closure(c) => c
                 .freevals
                 .get(*i)
@@ -88,19 +97,18 @@ pub fn run(
         .zip(args.iter().map(Datum::embed))
         .collect();
     let mut body = &entry.body;
-    let mut fuel = limits.fuel;
+    // A flat loop (tail calls never recurse into the host stack), so
+    // only the fuel and heap budgets apply here.
+    let mut fuel = Fuel::new(&limits);
     loop {
-        if fuel == 0 {
-            return Err(InterpError::FuelExhausted);
-        }
-        fuel -= 1;
+        fuel.step()?;
         match body {
             S0Tail::Return(s) => {
-                let v = eval_simple(s, &frame)?;
+                let v = eval_simple(s, &frame, &mut fuel)?;
                 return v.to_datum().ok_or(InterpError::ResultNotFirstOrder);
             }
             S0Tail::If(c, t, e) => {
-                body = if eval_simple(c, &frame)?.is_truthy() { t } else { e };
+                body = if eval_simple(c, &frame, &mut fuel)?.is_truthy() { t } else { e };
             }
             S0Tail::TailCall(callee, cargs) => {
                 let def = p
@@ -108,7 +116,7 @@ pub fn run(
                     .ok_or_else(|| InterpError::NoSuchProc(callee.clone()))?;
                 let vals = cargs
                     .iter()
-                    .map(|a| eval_simple(a, &frame))
+                    .map(|a| eval_simple(a, &frame, &mut fuel))
                     .collect::<Result<Vec<_>, _>>()?;
                 frame = def.params.iter().cloned().zip(vals).collect();
                 body = &def.body;

@@ -39,7 +39,8 @@ pub mod post;
 pub mod s0;
 pub mod spec;
 
-pub use desc::{CvId, DescShape, ValDesc};
+pub use desc::{CvId, DescShape, MissingCv, ValDesc};
+pub use pe_governor::{Fuel, Limits, Trap};
 pub use s0::{S0Proc, S0Program, S0Simple, S0Tail};
 pub use spec::{CompileOptions, GenStrategy, Spec, SpecError};
 
@@ -93,158 +94,166 @@ mod tests {
     use pe_frontend::{desugar, parse_source};
     use pe_interp::Limits;
 
+    type R = Result<(), Box<dyn std::error::Error>>;
+
     const CPS_APPEND: &str = "(define (append x y) (cps-append x y (lambda (v) v)))
          (define (cps-append x y c)
            (if (null? x) (c y)
                (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
 
-    fn compile_src(src: &str, entry: &str, opts: &CompileOptions) -> S0Program {
-        let p = parse_source(src).expect("parse");
-        let d = desugar(&p).expect("desugar");
-        let s0 = compile(&d, entry, opts).expect("compile");
+    fn compile_src(
+        src: &str,
+        entry: &str,
+        opts: &CompileOptions,
+    ) -> Result<S0Program, Box<dyn std::error::Error>> {
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
+        let s0 = compile(&d, entry, opts)?;
         let errs = s0.check();
         assert!(errs.is_empty(), "ill-formed residual program: {errs:?}\n{s0}");
-        s0
+        Ok(s0)
     }
 
-    fn run_s0(p: &S0Program, args: &[Datum]) -> Datum {
-        eval::run(p, args, Limits::default()).expect("run")
+    fn run_s0(p: &S0Program, args: &[Datum]) -> Result<Datum, pe_interp::InterpError> {
+        eval::run(p, args, Limits::default())
     }
 
     #[test]
-    fn compile_cps_append_offline() {
-        let s0 = compile_src(CPS_APPEND, "append", &CompileOptions::default());
-        let r = run_s0(
-            &s0,
-            &[Datum::parse("(1 2 3)").unwrap(), Datum::parse("(4 5)").unwrap()],
-        );
+    fn compile_cps_append_offline() -> R {
+        let s0 = compile_src(CPS_APPEND, "append", &CompileOptions::default())?;
+        let r = run_s0(&s0, &[Datum::parse("(1 2 3)")?, Datum::parse("(4 5)")?])?;
         assert_eq!(r.to_string(), "(1 2 3 4 5)");
         // Closure conversion is visible in the residual code.
         let src = s0.to_source();
         assert!(src.contains("make-closure"), "{src}");
         assert!(src.contains("closure-label"), "{src}");
+        Ok(())
     }
 
     #[test]
-    fn compile_cps_append_online() {
+    fn compile_cps_append_online() -> R {
         let opts =
             CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
-        let s0 = compile_src(CPS_APPEND, "append", &opts);
-        let r = run_s0(
-            &s0,
-            &[Datum::parse("(1 2)").unwrap(), Datum::parse("(3)").unwrap()],
-        );
+        let s0 = compile_src(CPS_APPEND, "append", &opts)?;
+        let r = run_s0(&s0, &[Datum::parse("(1 2)")?, Datum::parse("(3)")?])?;
         assert_eq!(r.to_string(), "(1 2 3)");
+        Ok(())
     }
 
     #[test]
-    fn paper_section1_specialization() {
+    fn paper_section1_specialization() -> R {
         // (append '(foo bar) y) specializes to
         //   (define (append-$1 y) (cons 'foo (cons 'bar y)))
-        let p = parse_source(CPS_APPEND).unwrap();
-        let d = desugar(&p).unwrap();
+        let p = parse_source(CPS_APPEND)?;
+        let d = desugar(&p)?;
         // The online strategy propagates the most static information —
         // required to reproduce the paper's fully collapsed output.
         let opts =
             CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
-        let s0 =
-            specialize(&d, "append", &[Some(Datum::parse("(foo bar)").unwrap()), None], &opts)
-                .unwrap();
+        let s0 = specialize(&d, "append", &[Some(Datum::parse("(foo bar)")?), None], &opts)?;
         assert!(s0.check().is_empty(), "{s0}");
         assert_eq!(s0.procs.len(), 1, "fully collapsed:\n{s0}");
         let src = s0.to_source();
         assert!(src.contains("append-$1"), "{src}");
         assert!(src.contains("(cons (quote foo) (cons (quote bar) y))"), "{src}");
         // And it computes append.
-        let r = run_s0(&s0, &[Datum::parse("(baz)").unwrap()]);
+        let r = run_s0(&s0, &[Datum::parse("(baz)")?])?;
         assert_eq!(r.to_string(), "(foo bar baz)");
+        Ok(())
     }
 
     #[test]
-    fn compile_tak_both_strategies() {
+    fn compile_tak_both_strategies() -> R {
         let src = "(define (tak x y z)
              (if (not (< y x)) z
                  (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))";
         for strategy in [GenStrategy::Offline, GenStrategy::Online] {
             let opts = CompileOptions { strategy, ..CompileOptions::default() };
-            let s0 = compile_src(src, "tak", &opts);
-            let r = run_s0(&s0, &[Datum::Int(8), Datum::Int(4), Datum::Int(2)]);
+            let s0 = compile_src(src, "tak", &opts)?;
+            let r = run_s0(&s0, &[Datum::Int(8), Datum::Int(4), Datum::Int(2)])?;
             assert_eq!(r, Datum::Int(3), "{strategy:?}\n{s0}");
         }
+        Ok(())
     }
 
     #[test]
-    fn compile_fib_contexts_become_stack() {
+    fn compile_fib_contexts_become_stack() -> R {
         let src = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
-        let s0 = compile_src(src, "fib", &CompileOptions::default());
-        assert_eq!(run_s0(&s0, &[Datum::Int(15)]), Datum::Int(610));
+        let s0 = compile_src(src, "fib", &CompileOptions::default())?;
+        assert_eq!(run_s0(&s0, &[Datum::Int(15)])?, Datum::Int(610));
         // Non-tail recursion forces an explicit closure stack: the
         // residual program manipulates it with cons/car/cdr.
         let text = s0.to_source();
         assert!(text.contains("make-closure"), "{text}");
+        Ok(())
     }
 
     #[test]
-    fn constant_propagation_through_static_if() {
+    fn constant_propagation_through_static_if() -> R {
         let src = "(define (f x) (if (zero? 0) (+ x 1) (boom x)))
                    (define (boom x) (boom x))";
-        let s0 = compile_src(src, "f", &CompileOptions::default());
+        let s0 = compile_src(src, "f", &CompileOptions::default())?;
         // The dead diverging branch is gone.
         assert!(!s0.to_source().contains("boom"), "{s0}");
-        assert_eq!(run_s0(&s0, &[Datum::Int(41)]), Datum::Int(42));
+        assert_eq!(run_s0(&s0, &[Datum::Int(41)])?, Datum::Int(42));
+        Ok(())
     }
 
     #[test]
-    fn higher_order_removal_is_complete() {
+    fn higher_order_removal_is_complete() -> R {
         // Residual programs are first-order by the language preservation
         // property: only closure ADT operations remain, no lambdas.
         let src = "(define (main n)
                      (let ((add (lambda (a) (lambda (b) (+ a b))))
                            (twice (lambda (f) (lambda (x) (f (f x))))))
                        ((twice (add n)) 10)))";
-        let s0 = compile_src(src, "main", &CompileOptions::default());
-        assert_eq!(run_s0(&s0, &[Datum::Int(5)]), Datum::Int(20));
+        let s0 = compile_src(src, "main", &CompileOptions::default())?;
+        assert_eq!(run_s0(&s0, &[Datum::Int(5)])?, Datum::Int(20));
         assert!(!s0.to_source().contains("lambda"), "{s0}");
+        Ok(())
     }
 
     #[test]
-    fn omega_exhausts_depth() {
+    fn omega_exhausts_depth() -> R {
         let src = "(define (omega d) ((lambda (x) (x x)) (lambda (x) (x x))))";
-        let p = parse_source(src).unwrap();
-        let d = desugar(&p).unwrap();
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
         let r = compile(&d, "omega", &CompileOptions::default());
         assert!(
             matches!(r, Err(SpecError::DepthExceeded) | Err(SpecError::Budget { .. })),
             "specializing Ω must hit a budget, got {r:?}"
         );
+        Ok(())
     }
 
     #[test]
-    fn applying_a_non_procedure_residualizes_fail() {
+    fn applying_a_non_procedure_residualizes_fail() -> R {
         let src = "(define (f x) (if x ((g x) 1) 0)) (define (g x) 5)";
-        let p = parse_source(src).unwrap();
-        let d = desugar(&p).unwrap();
-        let s0 = compile(&d, "f", &CompileOptions::default()).unwrap();
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
+        let s0 = compile(&d, "f", &CompileOptions::default())?;
         // Taking the bad branch faults at run time; the good branch works.
         assert_eq!(
             eval::run(&s0, &[Datum::Bool(false)], Limits::default()),
             Ok(Datum::Int(0))
         );
         assert!(eval::run(&s0, &[Datum::Bool(true)], Limits::default()).is_err());
+        Ok(())
     }
 
     #[test]
-    fn entry_arity_is_checked() {
-        let p = parse_source("(define (f x) x)").unwrap();
-        let d = desugar(&p).unwrap();
+    fn entry_arity_is_checked() -> R {
+        let p = parse_source("(define (f x) x)")?;
+        let d = desugar(&p)?;
         let r = specialize(&d, "f", &[], &CompileOptions::default());
         assert!(matches!(r, Err(SpecError::EntryArity { .. })));
         let r = compile(&d, "nope", &CompileOptions::default());
         assert!(matches!(r, Err(SpecError::NoSuchProc(_))));
+        Ok(())
     }
 
     #[test]
-    fn deriv_like_symbolic_program() {
+    fn deriv_like_symbolic_program() -> R {
         let src = r"
 (define (deriv e)
   (if (symbol? e) (if (eq? e 'x) 1 0)
@@ -256,41 +265,41 @@ mod tests {
                   (cons (cons '* (cons (deriv (car (cdr e))) (cons (car (cdr (cdr e))) '())))
                     '())))
               e))))";
-        let s0 = compile_src(src, "deriv", &CompileOptions::default());
-        let input = Datum::parse("(+ (* x x) x)").unwrap();
-        let r = run_s0(&s0, std::slice::from_ref(&input));
+        let s0 = compile_src(src, "deriv", &CompileOptions::default())?;
+        let input = Datum::parse("(+ (* x x) x)")?;
+        let r = run_s0(&s0, std::slice::from_ref(&input))?;
         // Reference: the tail interpreter.
-        let p = parse_source(src).unwrap();
-        let d = desugar(&p).unwrap();
-        let expect = pe_interp::tail::run(&d, "deriv", &[input], Limits::default()).unwrap();
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
+        let expect = pe_interp::tail::run(&d, "deriv", &[input], Limits::default())?;
         assert_eq!(r, expect);
+        Ok(())
     }
 
     #[test]
-    fn specializer_unfolds_static_recursion() {
+    fn specializer_unfolds_static_recursion() -> R {
         // Power with static exponent: x^5 unfolds to straight-line code.
         let src = "(define (power x n) (if (zero? n) 1 (* x (power x (- n 1)))))";
-        let p = parse_source(src).unwrap();
-        let d = desugar(&p).unwrap();
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
         let opts =
             CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
-        let s0 = specialize(&d, "power", &[None, Some(Datum::Int(5))], &opts).unwrap();
+        let s0 = specialize(&d, "power", &[None, Some(Datum::Int(5))], &opts)?;
         assert!(s0.check().is_empty());
-        assert_eq!(run_s0(&s0, &[Datum::Int(2)]), Datum::Int(32));
+        assert_eq!(run_s0(&s0, &[Datum::Int(2)])?, Datum::Int(32));
         // No residual conditional or recursion: the loop is fully unrolled.
         let text = s0.to_source();
         assert!(!text.contains("(if "), "{text}");
+        Ok(())
     }
 
     #[test]
-    fn no_postprocess_keeps_sl_eval_chain() {
+    fn no_postprocess_keeps_sl_eval_chain() -> R {
         let opts = CompileOptions { postprocess: false, ..CompileOptions::default() };
-        let s0 = compile_src(CPS_APPEND, "append", &opts);
+        let s0 = compile_src(CPS_APPEND, "append", &opts)?;
         assert!(s0.to_source().contains("sl-eval-$"), "{s0}");
-        let r = run_s0(
-            &s0,
-            &[Datum::parse("(1)").unwrap(), Datum::parse("(2)").unwrap()],
-        );
+        let r = run_s0(&s0, &[Datum::parse("(1)")?, Datum::parse("(2)")?])?;
         assert_eq!(r.to_string(), "(1 2)");
+        Ok(())
     }
 }

@@ -23,8 +23,9 @@
 //!   context stack is split into a static prefix and a dynamic rest, the
 //!   latter an ordinary runtime list of closures.
 
-use crate::desc::{CvId, DescShape, ValDesc};
+use crate::desc::{CvId, DescShape, MissingCv, ValDesc};
 use crate::s0::{S0Proc, S0Program, S0Simple, S0Tail};
+use pe_governor::Limits;
 use pe_frontend::ast::{Constant, Prim};
 use pe_frontend::dast::{DLabel, DProgram, LamId, SimpleExpr, TailExpr, VarId};
 use pe_frontend::flow::{FlowAnalysis, LamSet};
@@ -56,10 +57,10 @@ pub struct CompileOptions {
     /// Restrict The Trick's dispatch candidates with the flow analysis;
     /// `false` dispatches over every context lambda (the ablation).
     pub trick_flow: bool,
-    /// Upper bound on residual procedures before giving up.
-    pub max_procs: usize,
-    /// Upper bound on static unfolding depth within one residual body.
-    pub max_inline_depth: usize,
+    /// Shared resource limits: `max_residual` bounds the residual
+    /// procedure count and `max_unfold_depth` the static unfolding depth
+    /// within one residual body.
+    pub limits: Limits,
     /// Descriptions larger than this are generalized (safety valve, far
     /// beyond anything the benchmark suite produces).
     pub max_desc_size: usize,
@@ -80,8 +81,7 @@ impl Default for CompileOptions {
             strategy: GenStrategy::Offline,
             postprocess: true,
             trick_flow: true,
-            max_procs: 50_000,
-            max_inline_depth: 300,
+            limits: Limits::default(),
             max_desc_size: 512,
             widen_threshold: 40,
         }
@@ -95,15 +95,30 @@ pub enum SpecError {
     NoSuchProc(String),
     /// Wrong number of static/dynamic argument slots for the entry.
     EntryArity { name: String, expected: usize, got: usize },
-    /// The residual program exceeded `max_procs` (specialization of a
-    /// program that diverges on its static data).
+    /// The residual program exceeded `limits.max_residual`
+    /// (specialization of a program that diverges on its static data).
     Budget { procs: usize },
-    /// Static unfolding exceeded `max_inline_depth` (e.g. the Ω
+    /// Static unfolding exceeded `limits.max_unfold_depth` (e.g. the Ω
     /// combinator, which also loops the paper's interpreter).
     DepthExceeded,
     /// Internal: a variable had no description (unreachable from the
     /// public API).
     UnboundVar(String),
+    /// Internal: a specializer invariant failed — reported instead of
+    /// panicking so embedders never lose their thread.
+    Internal(String),
+}
+
+impl SpecError {
+    /// True when specialization was stopped by a resource budget rather
+    /// than a genuine error in the subject program.  Callers can fall
+    /// back to interpreted execution in this case (the subject program
+    /// may still terminate at run time even though specializing it does
+    /// not).
+    #[must_use]
+    pub fn is_budget_exhaustion(&self) -> bool {
+        matches!(self, SpecError::Budget { .. } | SpecError::DepthExceeded)
+    }
 }
 
 impl fmt::Display for SpecError {
@@ -118,11 +133,18 @@ impl fmt::Display for SpecError {
             }
             SpecError::DepthExceeded => write!(f, "static unfolding depth exceeded"),
             SpecError::UnboundVar(v) => write!(f, "internal: unbound {v}"),
+            SpecError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
 }
 
 impl std::error::Error for SpecError {}
+
+impl From<MissingCv> for SpecError {
+    fn from(e: MissingCv) -> Self {
+        SpecError::Internal(e.to_string())
+    }
+}
 
 /// The environment ρ: variables → value descriptions.
 type Env = BTreeMap<VarId, ValDesc>;
@@ -291,8 +313,8 @@ impl<'p> Spec<'p> {
         let entry_proc = S0Proc { name: residual_name.clone(), params, body };
         let mut procs = vec![entry_proc];
         while let Some(p) = self.pending.pop_front() {
-            if procs.len() + self.done.len() >= self.opts.max_procs {
-                return Err(SpecError::Budget { procs: self.opts.max_procs });
+            if procs.len() + self.done.len() >= self.opts.limits.max_residual {
+                return Err(SpecError::Budget { procs: self.opts.limits.max_residual });
             }
             let mut sigma = p.sigma;
             let body = self.spec_tail(p.te, p.env, p.tau, &mut sigma, 0)?;
@@ -314,7 +336,7 @@ impl<'p> Spec<'p> {
         sigma: &mut Sigma,
         depth: usize,
     ) -> Result<S0Tail, SpecError> {
-        if depth > self.opts.max_inline_depth {
+        if depth > self.opts.limits.max_unfold_depth {
             return Err(SpecError::DepthExceeded);
         }
         match te {
@@ -333,8 +355,8 @@ impl<'p> Spec<'p> {
                         // conditional.  (Run in both modes; offline has
                         // already generalized at creation, so this is a
                         // cheap no-op backstop there.)
-                        self.generalize_state(&mut env, &mut tau, sigma);
-                        let cond = d.residualize(sigma);
+                        self.generalize_state(&mut env, &mut tau, sigma)?;
+                        let cond = d.residualize(sigma)?;
                         let tcall = self.spec_point(t, &env, &tau, sigma)?;
                         let ecall = self.spec_point(e, &env, &tau, sigma)?;
                         Ok(S0Tail::If(cond, Box::new(tcall), Box::new(ecall)))
@@ -361,7 +383,7 @@ impl<'p> Spec<'p> {
                         .any(|l| self.gen.lam_is_critical(l));
                 if critical {
                     tau.prefix.push(d);
-                    self.flush_stack(&mut tau, sigma);
+                    self.flush_stack(&mut tau, sigma)?;
                 } else {
                     tau.prefix.push(d);
                 }
@@ -381,7 +403,7 @@ impl<'p> Spec<'p> {
         sigma: &mut Sigma,
         depth: usize,
     ) -> Result<S0Tail, SpecError> {
-        if depth > self.opts.max_inline_depth {
+        if depth > self.opts.limits.max_unfold_depth {
             return Err(SpecError::DepthExceeded);
         }
         if let Some(ctx) = tau.prefix.pop() {
@@ -396,10 +418,7 @@ impl<'p> Spec<'p> {
                     self.spec_tail(&def.body, env, tau, sigma, depth + 1)
                 }
                 ValDesc::Cv { id, cands } => {
-                    let ctx_expr = sigma
-                        .get(&id)
-                        .cloned()
-                        .unwrap_or_else(|| panic!("cv {id} unbound"));
+                    let ctx_expr = sigma.get(&id).cloned().ok_or(MissingCv(id))?;
                     self.trick_dispatch(ctx_expr, &cands, value, tau, sigma)
                 }
                 ValDesc::Quote(_) | ValDesc::Cons { .. } => {
@@ -409,7 +428,7 @@ impl<'p> Spec<'p> {
         }
         if let Some(ValDesc::Cv { id, cands }) = tau.dyn_rest.clone() {
             // Pop from the dynamic context stack: an ordinary list.
-            let stack_expr = sigma.get(&id).cloned().expect("dyn stack cv bound");
+            let stack_expr = sigma.get(&id).cloned().ok_or(MissingCv(id))?;
             let ctx_cv = self.fresh_cv();
             sigma.insert(ctx_cv, S0Simple::Prim(Prim::Car, vec![stack_expr.clone()]));
             let rest_cv = self.fresh_cv();
@@ -422,11 +441,11 @@ impl<'p> Spec<'p> {
             let dispatch = self.trick_dispatch(ctx_expr, &cands, value.clone(), tau2, sigma)?;
             return Ok(S0Tail::If(
                 S0Simple::Prim(Prim::NullP, vec![stack_expr]),
-                Box::new(S0Tail::Return(value.residualize(sigma))),
+                Box::new(S0Tail::Return(value.residualize(sigma)?)),
                 Box::new(dispatch),
             ));
         }
-        Ok(S0Tail::Return(value.residualize(sigma)))
+        Ok(S0Tail::Return(value.residualize(sigma)?))
     }
 
     /// The Trick: a sequential dispatch over candidate lambdas,
@@ -465,7 +484,8 @@ impl<'p> Spec<'p> {
             });
             let _ = i;
         }
-        Ok(out.expect("nonempty candidate list"))
+        // `list` is non-empty (checked above), so the fold produced an arm.
+        out.ok_or_else(|| SpecError::Internal("empty dispatch chain".to_string()))
     }
 
     fn trick_arm(
@@ -486,7 +506,7 @@ impl<'p> Spec<'p> {
         // applications, which is where the specializer projections act.
         let value = match &value {
             ValDesc::Cv { .. } => value,
-            _ => self.generalize(value, sigma),
+            _ => self.generalize(value, sigma)?,
         };
         let def = self.dp.lambda(lam);
         let mut env = Env::new();
@@ -534,7 +554,7 @@ impl<'p> Spec<'p> {
         {
             let label = te.label();
             if self.widened_prefix.contains(&label) {
-                self.flush_stack(&mut tau, sigma);
+                self.flush_stack(&mut tau, sigma)?;
             } else if !tau.prefix.is_empty() {
                 let mut idx: HashMap<CvId, u32> = HashMap::new();
                 let mut next = 0u32;
@@ -554,7 +574,7 @@ impl<'p> Spec<'p> {
                 seen.insert(shape);
                 if seen.len() > self.opts.widen_threshold {
                     self.widened_prefix.insert(label);
-                    self.flush_stack(&mut tau, sigma);
+                    self.flush_stack(&mut tau, sigma)?;
                 }
             }
         }
@@ -573,7 +593,7 @@ impl<'p> Spec<'p> {
             let slot = (label, *v);
             if self.widened.contains(&slot) {
                 if !matches!(d, ValDesc::Cv { .. }) {
-                    *d = self.generalize(d.clone(), sigma);
+                    *d = self.generalize(d.clone(), sigma)?;
                 }
                 continue;
             }
@@ -582,7 +602,7 @@ impl<'p> Spec<'p> {
                 seen.insert(k);
                 if seen.len() > self.opts.widen_threshold {
                     self.widened.insert(slot);
-                    *d = self.generalize(d.clone(), sigma);
+                    *d = self.generalize(d.clone(), sigma)?;
                 }
             }
         }
@@ -609,8 +629,8 @@ impl<'p> Spec<'p> {
         };
         let args: Vec<S0Simple> = order
             .iter()
-            .map(|cv| sigma.get(cv).cloned().expect("cv bound at call"))
-            .collect();
+            .map(|cv| sigma.get(cv).cloned().ok_or(MissingCv(*cv)))
+            .collect::<Result<_, _>>()?;
         if let Some(name) = self.memo.get(&key) {
             return Ok(S0Tail::TailCall(name.clone(), args));
         }
@@ -620,8 +640,8 @@ impl<'p> Spec<'p> {
             eprintln!("[spec] {name} label={:?} params={} key={:?}", key.label, order.len(), key);
         }
         self.memo.insert(key, name.clone());
-        if self.memo.len() > self.opts.max_procs {
-            return Err(SpecError::Budget { procs: self.opts.max_procs });
+        if self.memo.len() > self.opts.limits.max_residual {
+            return Err(SpecError::Budget { procs: self.opts.limits.max_residual });
         }
 
         // Rename the state's cvs to fresh ones bound to the residual
@@ -636,11 +656,17 @@ impl<'p> Spec<'p> {
             new_sigma.insert(fresh, S0Simple::Var(pname.clone()));
             params.push(pname);
         }
-        let new_env: Env =
-            env_live.iter().map(|(v, d)| (*v, d.rename_cvs(&rename))).collect();
+        let new_env: Env = env_live
+            .iter()
+            .map(|(v, d)| Ok((*v, d.rename_cvs(&rename)?)))
+            .collect::<Result<_, MissingCv>>()?;
         let new_tau = CtxStack {
-            prefix: tau.prefix.iter().map(|d| d.rename_cvs(&rename)).collect(),
-            dyn_rest: tau.dyn_rest.as_ref().map(|d| d.rename_cvs(&rename)),
+            prefix: tau
+                .prefix
+                .iter()
+                .map(|d| d.rename_cvs(&rename))
+                .collect::<Result<_, _>>()?,
+            dyn_rest: tau.dyn_rest.as_ref().map(|d| d.rename_cvs(&rename)).transpose()?,
         };
         self.pending.push_back(PendingProc {
             name: name.clone(),
@@ -688,14 +714,14 @@ impl<'p> Spec<'p> {
                     && self.gen.lam_is_critical(*id)
                     && !d.is_fully_static())
                     || d.size() > self.opts.max_desc_size;
-                Ok(if must_gen { self.generalize(d, sigma) } else { d })
+                if must_gen { self.generalize(d, sigma) } else { Ok(d) }
             }
             SimpleExpr::Prim(l, op, args) => {
                 let descs = args
                     .iter()
                     .map(|a| self.spec_simple(a, env, sigma))
                     .collect::<Result<Vec<_>, _>>()?;
-                Ok(self.prim_on_descs(l.0, *op, descs, se, sigma))
+                self.prim_on_descs(l.0, *op, descs, se, sigma)
             }
         }
     }
@@ -711,9 +737,9 @@ impl<'p> Spec<'p> {
         descs: Vec<ValDesc>,
         se: &SimpleExpr,
         sigma: &mut Sigma,
-    ) -> ValDesc {
+    ) -> Result<ValDesc, SpecError> {
         use Prim::*;
-        let quote_bool = |b: bool| ValDesc::Quote(Constant::Bool(b));
+        let quote_bool = |b: bool| Ok(ValDesc::Quote(Constant::Bool(b)));
         match op {
             Cons => {
                 let d = ValDesc::Cons {
@@ -731,17 +757,17 @@ impl<'p> Spec<'p> {
                 if must_gen {
                     self.generalize(d, sigma)
                 } else {
-                    d
+                    Ok(d)
                 }
             }
             Car => match &descs[0] {
-                ValDesc::Cons { car, .. } => (**car).clone(),
-                ValDesc::Quote(Constant::Pair(a, _)) => ValDesc::Quote((**a).clone()),
+                ValDesc::Cons { car, .. } => Ok((**car).clone()),
+                ValDesc::Quote(Constant::Pair(a, _)) => Ok(ValDesc::Quote((**a).clone())),
                 _ => self.dynamic_prim(op, descs, se, sigma),
             },
             Cdr => match &descs[0] {
-                ValDesc::Cons { cdr, .. } => (**cdr).clone(),
-                ValDesc::Quote(Constant::Pair(_, d)) => ValDesc::Quote((**d).clone()),
+                ValDesc::Cons { cdr, .. } => Ok((**cdr).clone()),
+                ValDesc::Quote(Constant::Pair(_, d)) => Ok(ValDesc::Quote((**d).clone())),
                 _ => self.dynamic_prim(op, descs, se, sigma),
             },
             NullP => match &descs[0] {
@@ -788,7 +814,7 @@ impl<'p> Spec<'p> {
                 match (&descs[0], &descs[1]) {
                     (ValDesc::Quote(Constant::Int(a)), ValDesc::Quote(Constant::Int(b))) => {
                         match fold_arith(op, *a, *b) {
-                            Some(k) => ValDesc::Quote(k),
+                            Some(k) => Ok(ValDesc::Quote(k)),
                             // Overflow / division by zero: leave it to the
                             // runtime, faithfully.
                             None => self.dynamic_prim(op, descs, se, sigma),
@@ -801,11 +827,11 @@ impl<'p> Spec<'p> {
                 ValDesc::Quote(Constant::Int(n)) => match op {
                     ZeroP => quote_bool(*n == 0),
                     Add1 => match n.checked_add(1) {
-                        Some(m) => ValDesc::Quote(Constant::Int(m)),
+                        Some(m) => Ok(ValDesc::Quote(Constant::Int(m))),
                         None => self.dynamic_prim(op, descs, se, sigma),
                     },
                     _ => match n.checked_sub(1) {
-                        Some(m) => ValDesc::Quote(Constant::Int(m)),
+                        Some(m) => Ok(ValDesc::Quote(Constant::Int(m))),
                         None => self.dynamic_prim(op, descs, se, sigma),
                     },
                 },
@@ -820,12 +846,18 @@ impl<'p> Spec<'p> {
         descs: Vec<ValDesc>,
         se: &SimpleExpr,
         sigma: &mut Sigma,
-    ) -> ValDesc {
-        let expr = S0Simple::Prim(op, descs.iter().map(|d| d.residualize(sigma)).collect());
+    ) -> Result<ValDesc, SpecError> {
+        let expr = S0Simple::Prim(
+            op,
+            descs
+                .iter()
+                .map(|d| d.residualize(sigma))
+                .collect::<Result<_, _>>()?,
+        );
         let cv = self.fresh_cv();
         sigma.insert(cv, expr);
         let cands = if self.opts.trick_flow { self.flow.lambdas_of(se) } else { self.all_lams() };
-        ValDesc::Cv { id: cv, cands }
+        Ok(ValDesc::Cv { id: cv, cands })
     }
 
     // ------------------------------------------------------------------
@@ -834,29 +866,34 @@ impl<'p> Spec<'p> {
 
     /// Lifts a description to a fresh configuration variable whose
     /// runtime value is the `D[·]`-lifted residual expression.
-    fn generalize(&mut self, d: ValDesc, sigma: &mut Sigma) -> ValDesc {
-        let expr = d.residualize(sigma);
+    fn generalize(&mut self, d: ValDesc, sigma: &mut Sigma) -> Result<ValDesc, SpecError> {
+        let expr = d.residualize(sigma)?;
         let cv = self.fresh_cv();
         sigma.insert(cv, expr);
-        ValDesc::Cv { id: cv, cands: d.closure_candidates() }
+        Ok(ValDesc::Cv { id: cv, cands: d.closure_candidates() })
     }
 
     /// The online scan at a dynamic conditional: generalize
     /// self-embedding descriptions in ρ and τ, and split the stack when
     /// its static spine shows repetition.
-    fn generalize_state(&mut self, env: &mut Env, tau: &mut CtxStack, sigma: &mut Sigma) {
+    fn generalize_state(
+        &mut self,
+        env: &mut Env,
+        tau: &mut CtxStack,
+        sigma: &mut Sigma,
+    ) -> Result<(), SpecError> {
         let vars: Vec<VarId> = env.keys().copied().collect();
         for v in vars {
             let d = env[&v].clone();
             if d.is_self_embedding() || d.size() > self.opts.max_desc_size {
-                let g = self.generalize(d, sigma);
+                let g = self.generalize(d, sigma)?;
                 env.insert(v, g);
             }
         }
         for i in 0..tau.prefix.len() {
             let d = tau.prefix[i].clone();
             if d.is_self_embedding() || d.size() > self.opts.max_desc_size {
-                tau.prefix[i] = self.generalize(d, sigma);
+                tau.prefix[i] = self.generalize(d, sigma)?;
             }
         }
         // Spine repetition: the same lambda pushed twice, or unknown
@@ -878,19 +915,20 @@ impl<'p> Spec<'p> {
             }
         }
         if repeat {
-            self.flush_stack(tau, sigma);
+            self.flush_stack(tau, sigma)?;
         }
+        Ok(())
     }
 
     /// Moves the whole static prefix onto the dynamic context stack — an
     /// ordinary runtime list of closures, top at the car, terminated by
     /// the previous dynamic rest or `'()` (the halt context).
-    fn flush_stack(&mut self, tau: &mut CtxStack, sigma: &mut Sigma) {
+    fn flush_stack(&mut self, tau: &mut CtxStack, sigma: &mut Sigma) -> Result<(), SpecError> {
         if tau.prefix.is_empty() && tau.dyn_rest.is_some() {
-            return;
+            return Ok(());
         }
         let mut expr = match &tau.dyn_rest {
-            Some(d) => d.residualize(sigma),
+            Some(d) => d.residualize(sigma)?,
             None => S0Simple::Const(Constant::Nil),
         };
         let mut cands = match &tau.dyn_rest {
@@ -899,7 +937,7 @@ impl<'p> Spec<'p> {
         };
         for d in tau.prefix.drain(..) {
             cands = cands.union(&d.closure_candidates());
-            expr = S0Simple::Prim(Prim::Cons, vec![d.residualize(sigma), expr]);
+            expr = S0Simple::Prim(Prim::Cons, vec![d.residualize(sigma)?, expr]);
         }
         // Every lambda that may ever be pushed can be on the stack once
         // it is dynamic (pops lose the per-element provenance).
@@ -907,6 +945,7 @@ impl<'p> Spec<'p> {
         let cv = self.fresh_cv();
         sigma.insert(cv, expr);
         tau.dyn_rest = Some(ValDesc::Cv { id: cv, cands });
+        Ok(())
     }
 }
 

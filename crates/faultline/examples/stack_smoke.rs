@@ -1,0 +1,38 @@
+//! Debug-profile stack smoke: drives pathologically deep input through
+//! the entry points that historically recursed on the host stack.  Run
+//! by CI *without* `--release` so any recursion the governor fails to
+//! bound overflows loudly here instead of in a user's process.
+
+use pe_faultline::{deep_nest, deep_program, huge_quoted, no_panic};
+use pe_governor::Limits;
+
+fn main() {
+    // The reader scans iteratively: a 1M-deep nest must come back as a
+    // structured TooDeep error under default limits — the depth cap
+    // fires before any deep structure (or its drop glue) exists.  The
+    // old recursive reader aborted here in the debug profile.
+    let deep = deep_nest(1_000_000);
+    let r = no_panic(|| pe_sexpr::read(&deep)).expect("reader panicked on deep nesting");
+    assert!(r.is_err(), "reader accepted a 1M-deep nest");
+
+    // A raised-but-sane cap admits nests far beyond what a recursive
+    // descent could survive at this profile's frame sizes.
+    let lim = Limits { max_syntax_depth: 20_000, ..Limits::default() };
+    let r = no_panic(|| pe_sexpr::read_with(&deep_nest(10_000), &lim))
+        .expect("iterative reader overflowed");
+    assert!(r.is_ok(), "reader rejected a legal deep nest: {r:?}");
+
+    // Huge flat data: a node-budget error, not memory exhaustion.
+    let big = huge_quoted(2_000_000);
+    let small = Limits { max_heap: 100_000, ..Limits::default() };
+    let r = no_panic(|| pe_sexpr::read_with(&big, &small)).expect("reader panicked on huge data");
+    assert!(r.is_err(), "reader accepted data over its node budget");
+
+    // The parser and desugarer are recursive by design; the default
+    // syntax-depth cap must stop deep programs before reaching them.
+    let prog = deep_program(500_000);
+    let r = no_panic(|| pe_frontend::parse_source(&prog)).expect("parser panicked on deep input");
+    assert!(r.is_err(), "parser accepted a 500k-deep program");
+
+    println!("stack smoke: ok");
+}

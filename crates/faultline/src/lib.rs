@@ -1,0 +1,356 @@
+//! Fault-injection harness: adversarial inputs against every pipeline
+//! entry point.
+//!
+//! The resource governor (`pe-governor`) promises that no public entry
+//! point of the suite panics, overflows the host stack, or hangs on
+//! hostile input — divergence, pathological nesting, huge quoted data,
+//! and malformed syntax must all come back as structured `Err` values
+//! (or as a `Degraded` outcome from the robust pipeline) within a
+//! bounded number of steps.  This crate is the test bed for that
+//! promise: generators for each class of hostile input, and a test per
+//! entry point that drives them through under `catch_unwind`.
+//!
+//! Nothing here is used by the pipeline itself; the crate exists so CI
+//! exercises the failure paths as systematically as the success paths.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The Ω combinator: every engine diverges on it, and the specializing
+/// compiler diverges *at compile time* unless its unfolding budget cuts
+/// it off.
+#[must_use]
+pub fn omega_src() -> &'static str {
+    "(define (omega) ((lambda (x) (x x)) (lambda (x) (x x))))"
+}
+
+/// Mutual divergence through top-level recursion — exercises the
+/// call-depth cap of the host-stack engines and the fuel meter of the
+/// flat ones.
+#[must_use]
+pub fn mutual_divergence_src() -> &'static str {
+    "(define (ping n) (pong (+ n 1)))
+     (define (pong n) (ping (+ n 1)))
+     (define (main n) (ping n))"
+}
+
+/// A first-order program whose specialization diverges (growing static
+/// data: every recursive call has a fresh memo key) although it is a
+/// perfectly good program dynamically.
+#[must_use]
+pub fn static_divergence_src() -> &'static str {
+    "(define (f x n) (if (zero? n) x (f x (+ n 1))))"
+}
+
+/// An expression nested `n` parens deep — hostile to any recursive
+/// reader or evaluator.
+#[must_use]
+pub fn deep_nest(n: usize) -> String {
+    let mut s = String::with_capacity(2 * n + 16);
+    for _ in 0..n {
+        s.push('(');
+    }
+    s.push('x');
+    for _ in 0..n {
+        s.push(')');
+    }
+    s
+}
+
+/// A deeply nested *program*: `(define (f x) (add1 (add1 … x)))`.
+#[must_use]
+pub fn deep_program(n: usize) -> String {
+    let mut s = String::from("(define (f x) ");
+    for _ in 0..n {
+        s.push_str("(add1 ");
+    }
+    s.push('x');
+    for _ in 0..n {
+        s.push(')');
+    }
+    s.push(')');
+    s
+}
+
+/// A quoted list of `n` atoms — hostile to any reader without a node
+/// budget.
+#[must_use]
+pub fn huge_quoted(n: usize) -> String {
+    let mut s = String::with_capacity(2 * n + 8);
+    s.push_str("'(");
+    for _ in 0..n {
+        s.push_str("1 ");
+    }
+    s.push(')');
+    s
+}
+
+/// Malformed concrete syntax covering every reader error class.
+#[must_use]
+pub fn hostile_inputs() -> Vec<&'static str> {
+    vec![
+        "(",                       // unexpected EOF
+        ")",                       // unbalanced close
+        "(a (b c)",                // unbalanced open
+        "\"no closing quote",      // unterminated string
+        "#bogus",                  // bad hash token
+        "99999999999999999999999", // fixnum overflow
+        "(a . b)",                 // dotted pair (unsupported)
+        "'",                       // quote with nothing to quote
+        "(define (f x)",           // truncated definition
+        "\u{0}\u{1}\u{2}",         // control characters
+    ]
+}
+
+/// Runs `f` under `catch_unwind`, turning a panic into a test-friendly
+/// `Err(message)`.  The harness asserts entry points *return* errors
+/// rather than unwinding.
+///
+/// # Errors
+///
+/// The panic payload's message, if `f` panicked.
+pub fn no_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|e| {
+        e.downcast_ref::<&str>().map(|s| (*s).to_string()).unwrap_or_else(|| {
+            e.downcast_ref::<String>().cloned().unwrap_or_else(|| "panic".to_string())
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_core::{CompileOptions, Limits, SpecError, Trap};
+    use pe_interp::{closconv, standard, tail, Datum, InterpError};
+    use pe_unmix::{specialize, UnmixError, UnmixOptions};
+    use realistic_pe::{Pipeline, PipelineError};
+
+    type R = Result<(), Box<dyn std::error::Error>>;
+
+    /// Limits small enough that every divergence test finishes in
+    /// milliseconds.
+    fn tight() -> Limits {
+        Limits { fuel: 100_000, max_call_depth: 256, max_heap: 100_000, ..Limits::default() }
+    }
+
+    // ---- reader ----------------------------------------------------
+
+    #[test]
+    fn reader_survives_hostile_syntax() -> R {
+        for src in hostile_inputs() {
+            let r = no_panic(|| pe_sexpr::read(src))?;
+            // The reader is lenient about atom spelling (control
+            // characters read as symbols — the parser rejects them);
+            // everything structurally malformed must error.
+            if src.chars().any(char::is_control) {
+                continue;
+            }
+            assert!(r.is_err(), "reader accepted hostile input {src:?}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn reader_bounds_nesting_and_size() -> R {
+        // 1M-deep nesting: a structured TooDeep error, no stack overflow.
+        let deep = deep_nest(1_000_000);
+        let r = no_panic(|| pe_sexpr::read(&deep))?;
+        assert!(
+            matches!(r, Err(ref e) if matches!(e.kind, pe_sexpr::ReadErrorKind::TooDeep { .. })),
+            "got {r:?}"
+        );
+        // Huge quoted data against a small node budget: TooLarge.
+        let big = huge_quoted(100_000);
+        let lim = Limits { max_heap: 1_000, ..Limits::default() };
+        let r = no_panic(|| pe_sexpr::read_with(&big, &lim))?;
+        assert!(
+            matches!(r, Err(ref e) if matches!(e.kind, pe_sexpr::ReadErrorKind::TooLarge { .. })),
+            "got {r:?}"
+        );
+        Ok(())
+    }
+
+    // ---- frontend --------------------------------------------------
+
+    #[test]
+    fn parser_survives_hostile_syntax() -> R {
+        for src in hostile_inputs() {
+            let r = no_panic(|| pe_frontend::parse_source(src))?;
+            assert!(r.is_err(), "parser accepted hostile input {src:?}");
+        }
+        // Deep nesting is cut off by the reader's syntax-depth cap
+        // *before* it can reach the recursive parser and desugarer —
+        // that cap is what protects the recursive layers' host stack,
+        // so it must fire under default limits.
+        let deep = deep_program(50_000);
+        let r = no_panic(|| pe_frontend::parse_source(&deep))?;
+        assert!(
+            matches!(r, Err(pe_frontend::ParseError::Read(ref e))
+                if matches!(e.kind, pe_sexpr::ReadErrorKind::TooDeep { .. })),
+            "expected the syntax-depth cap, got {r:?}"
+        );
+        // Within the cap, deep programs still parse.
+        let ok = deep_program(200);
+        assert!(no_panic(|| pe_frontend::parse_source(&ok))?.is_ok());
+        Ok(())
+    }
+
+    // ---- the interpreter family ------------------------------------
+
+    #[test]
+    fn interpreters_trap_divergence() -> R {
+        let omega = pe_frontend::parse_source(omega_src())?;
+        let mutual = pe_frontend::parse_source(mutual_divergence_src())?;
+        let lim = tight();
+
+        // Host-stack engines: the depth cap fires before the native
+        // stack can overflow.
+        for run in [standard::run, closconv::run] {
+            let r = no_panic(|| run(&omega, "omega", &[], lim))?;
+            assert_eq!(r, Err(InterpError::Trap(Trap::CallDepth { limit: 256 })));
+            let r = no_panic(|| run(&mutual, "main", &[Datum::Int(0)], lim))?;
+            assert_eq!(r, Err(InterpError::Trap(Trap::CallDepth { limit: 256 })));
+        }
+
+        // The flat tail machine burns fuel instead.
+        let domega = pe_frontend::desugar(&omega)?;
+        let r = no_panic(|| tail::run(&domega, "omega", &[], lim))?;
+        assert_eq!(r, Err(InterpError::FuelExhausted));
+        let dmutual = pe_frontend::desugar(&mutual)?;
+        let r = no_panic(|| tail::run(&dmutual, "main", &[Datum::Int(0)], lim))?;
+        assert_eq!(r, Err(InterpError::FuelExhausted));
+        Ok(())
+    }
+
+    #[test]
+    fn interpreters_trap_heap_growth() -> R {
+        // Unbounded consing against a small heap budget.
+        // The heap budget stays small so the host-stack engine traps
+        // long before its (debug-profile) thread stack fills up.
+        let src = "(define (grow l) (grow (cons 1 l)))
+                   (define (main) (grow '()))";
+        let p = pe_frontend::parse_source(src)?;
+        let lim = Limits { max_heap: 100, max_call_depth: 1_000_000, ..Limits::default() };
+        let r = no_panic(|| standard::run(&p, "main", &[], lim))?;
+        assert_eq!(r, Err(InterpError::Trap(Trap::Heap { limit: 100 })));
+        let d = pe_frontend::desugar(&p)?;
+        let r = no_panic(|| tail::run(&d, "main", &[], lim))?;
+        assert_eq!(r, Err(InterpError::Trap(Trap::Heap { limit: 100 })));
+        Ok(())
+    }
+
+    // ---- the specializing compiler + S₀ engines --------------------
+
+    #[test]
+    fn compiler_traps_static_divergence() -> R {
+        let omega = pe_frontend::parse_source(omega_src())?;
+        let d = pe_frontend::desugar(&omega)?;
+        let r = no_panic(|| pe_core::compile(&d, "omega", &CompileOptions::default()))?;
+        assert!(
+            matches!(r, Err(ref e) if e.is_budget_exhaustion()),
+            "expected budget exhaustion, got {r:?}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn s0_engines_trap_divergence() -> R {
+        // A compilable divergent program (dynamic condition, so the
+        // specializer terminates but the residual program loops).
+        let src = "(define (spin n) (if (zero? n) (spin 1) (spin 2)))";
+        let p = pe_frontend::parse_source(src)?;
+        let d = pe_frontend::desugar(&p)?;
+        let s0 = pe_core::compile(&d, "spin", &CompileOptions::default())
+            .map_err(|e| e.to_string())?;
+        let lim = tight();
+        let r = no_panic(|| pe_core::eval::run(&s0, &[Datum::Int(0)], lim))?;
+        assert_eq!(r, Err(InterpError::FuelExhausted));
+        let vm = pe_vm::Vm::compile(&s0).map_err(|e| e.to_string())?;
+        let r = no_panic(|| vm.run(&[Datum::Int(0)], lim))?;
+        assert_eq!(r, Err(InterpError::FuelExhausted));
+        Ok(())
+    }
+
+    // ---- unmix -----------------------------------------------------
+
+    #[test]
+    fn unmix_traps_static_divergence() -> R {
+        let p = pe_frontend::parse_source(static_divergence_src())?;
+        let r = no_panic(|| {
+            specialize(&p, "f", &[None, Some(Datum::Int(1))], &UnmixOptions::default())
+        })?;
+        assert!(
+            matches!(r, Err(UnmixError::Budget { .. }) | Err(UnmixError::DepthExceeded)),
+            "expected a budget error, got {r:?}"
+        );
+        Ok(())
+    }
+
+    // ---- hobbit ----------------------------------------------------
+
+    #[test]
+    fn hobbit_traps_divergence() -> R {
+        let p = pe_frontend::parse_source(mutual_divergence_src())?;
+        let h = pe_hobbit::Hobbit::compile(&p)?;
+        let r = no_panic(|| h.run("main", &[Datum::Int(0)], tight()))?;
+        assert_eq!(r, Err(InterpError::Trap(Trap::CallDepth { limit: 256 })));
+        Ok(())
+    }
+
+    // ---- the whole pipeline ----------------------------------------
+
+    #[test]
+    fn pipeline_survives_hostile_syntax() -> R {
+        for src in hostile_inputs() {
+            let r = no_panic(|| Pipeline::new(src).map(|_| ()))?;
+            assert!(r.is_err(), "pipeline accepted hostile input {src:?}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn pipeline_degrades_instead_of_failing_on_budget() -> R {
+        // A specialization-hostile budget on a benign program: the
+        // robust path must degrade to interpreted execution, not error.
+        let pipe = Pipeline::new(
+            "(define (main n) (even-p n))
+             (define (even-p n) (if (zero? n) 1 (odd-p (- n 1))))
+             (define (odd-p n) (if (zero? n) 0 (even-p (- n 1))))",
+        )?;
+        let opts = CompileOptions {
+            limits: Limits { max_residual: 1, ..Limits::default() },
+            ..CompileOptions::default()
+        };
+        let (v, why) = no_panic(|| {
+            pipe.run_robust("main", &[Datum::Int(4)], &opts, Limits::default())
+        })??;
+        assert_eq!(v, Datum::Int(1));
+        assert!(why.is_some_and(|e| e.is_budget_exhaustion()));
+        Ok(())
+    }
+
+    #[test]
+    fn pipeline_robust_run_bounds_runtime_divergence() -> R {
+        // Ω through the robust path: the compile stage degrades (its
+        // unfolding budget fires) and the interpreted fallback then
+        // traps on fuel — a structured error, not a hang.
+        let pipe = Pipeline::new(omega_src())?;
+        let r = no_panic(|| {
+            pipe.run_robust("omega", &[], &CompileOptions::default(), tight())
+        })?;
+        assert!(
+            matches!(r, Err(PipelineError::Run(InterpError::FuelExhausted))),
+            "got {r:?}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn genuine_errors_are_not_masked() -> R {
+        // The harness must not be so lenient that real errors vanish:
+        // a missing entry point is an error on every path.
+        let pipe = Pipeline::new("(define (f x) x)")?;
+        let r = no_panic(|| pipe.compile_robust("ghost", &CompileOptions::default()))?;
+        assert!(matches!(r, Err(PipelineError::Spec(SpecError::NoSuchProc(_)))));
+        Ok(())
+    }
+}

@@ -8,7 +8,7 @@
 //! of the pipeline can assume a valid program.
 
 use crate::ast::{Constant, Definition, Expr, Label, Prim, Program};
-use pe_sexpr::Sexpr;
+use pe_sexpr::{Pos, Sexpr};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::rc::Rc;
@@ -16,6 +16,12 @@ use std::rc::Rc;
 /// An error produced while parsing or validating a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
+    /// The reader rejected the input before parsing began; the inner
+    /// error carries the exact source position.
+    Read(pe_sexpr::ReadError),
+    /// A parse error located at the top-level form starting at
+    /// `line:col` (errors from [`parse_source`] are wrapped in this).
+    At { line: u32, col: u32, cause: Box<ParseError> },
     /// The input was not a well-formed `(define (P V*) E)` form.
     BadDefinition(String),
     /// Two definitions share a name.
@@ -44,6 +50,8 @@ pub enum ParseError {
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ParseError::Read(e) => write!(f, "{e}"),
+            ParseError::At { line, col, cause } => write!(f, "{line}:{col}: {cause}"),
             ParseError::BadDefinition(d) => write!(f, "malformed definition: {d}"),
             ParseError::DuplicateDefinition(n) => write!(f, "duplicate definition of {n}"),
             ParseError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
@@ -265,18 +273,24 @@ impl Parser {
             .map(|a| self.parse_expr(a, bound))
             .collect::<Result<Vec<_>, _>>()?;
         // Variadic lowering: (+ a b c) → (+ (+ a b) c), (- a) → (- 0 a).
+        // The guards guarantee the iterators are nonempty, so the
+        // `ok_or` error paths below are unreachable; they exist so this
+        // function stays panic-free even if a guard is edited.
+        let empty = |p: Prim| ParseError::PrimArity {
+            name: p.name().to_string(),
+            expected: p.arity(),
+            got: 0,
+        };
         match p {
             Prim::Add | Prim::Mul if parsed.len() >= 2 => {
                 let mut it = parsed.into_iter();
-                let mut acc = it.next().expect("len >= 2");
-                for next in it {
-                    acc = Expr::Prim(self.fresh(), p, vec![acc, next]);
-                }
-                return Ok(acc);
+                let first = it.next().ok_or(empty(p))?;
+                return Ok(it.fold(first, |acc, next| {
+                    Expr::Prim(self.fresh(), p, vec![acc, next])
+                }));
             }
             Prim::Sub if parsed.len() == 1 => {
-                let mut it = parsed.into_iter();
-                let a = it.next().expect("len == 1");
+                let a = parsed.into_iter().next().ok_or(empty(p))?;
                 return Ok(Expr::Prim(
                     self.fresh(),
                     Prim::Sub,
@@ -285,11 +299,10 @@ impl Parser {
             }
             Prim::Sub if parsed.len() > 2 => {
                 let mut it = parsed.into_iter();
-                let mut acc = it.next().expect("len > 2");
-                for next in it {
-                    acc = Expr::Prim(self.fresh(), Prim::Sub, vec![acc, next]);
-                }
-                return Ok(acc);
+                let first = it.next().ok_or(empty(p))?;
+                return Ok(it.fold(first, |acc, next| {
+                    Expr::Prim(self.fresh(), Prim::Sub, vec![acc, next])
+                }));
             }
             _ => {}
         }
@@ -386,66 +399,98 @@ mod im_set {
 /// Returns the first [`ParseError`] encountered; the program is fully
 /// scope- and arity-checked on success.
 pub fn parse_program(forms: &[Sexpr]) -> Result<Program, ParseError> {
+    parse_forms(forms, None)
+}
+
+/// Wraps a per-form error with the form's source position, when known.
+fn locate(poss: Option<&[Pos]>, i: usize, e: ParseError) -> ParseError {
+    match poss.and_then(|p| p.get(i)) {
+        Some(pos) => ParseError::At { line: pos.line, col: pos.col, cause: Box::new(e) },
+        None => e,
+    }
+}
+
+/// A definition signature: name, parameters, and unparsed body form.
+type Sig<'a> = (Rc<str>, Vec<Rc<str>>, &'a Sexpr);
+
+/// Pass 1 for one form: extract its `(define (P V*) E)` signature.
+fn collect_sig<'a>(
+    form: &'a Sexpr,
+    procs: &mut HashMap<Rc<str>, usize>,
+) -> Result<Sig<'a>, ParseError> {
+    let Some(args) = form.form_args("define") else {
+        return Err(ParseError::BadDefinition(form.to_string()));
+    };
+    let [header, body] = args else {
+        return Err(ParseError::BadDefinition(form.to_string()));
+    };
+    let Some(header) = header.list() else {
+        return Err(ParseError::BadDefinition(form.to_string()));
+    };
+    let Some(name) = header.first().and_then(Sexpr::sym) else {
+        return Err(ParseError::BadDefinition(form.to_string()));
+    };
+    check_binder(name)?;
+    let mut params = Vec::new();
+    let mut seen = HashSet::new();
+    for p in &header[1..] {
+        let Some(p) = p.sym() else {
+            return Err(ParseError::BadDefinition(form.to_string()));
+        };
+        check_binder(p)?;
+        if !seen.insert(p) {
+            return Err(ParseError::BadDefinition(format!("duplicate parameter {p} in {name}")));
+        }
+        params.push(Rc::<str>::from(p));
+    }
+    if procs.insert(name.into(), params.len()).is_some() {
+        return Err(ParseError::DuplicateDefinition(name.to_string()));
+    }
+    Ok((Rc::<str>::from(name), params, body))
+}
+
+fn parse_forms(forms: &[Sexpr], poss: Option<&[Pos]>) -> Result<Program, ParseError> {
     if forms.is_empty() {
         return Err(ParseError::EmptyProgram);
     }
     // Pass 1: collect procedure signatures (procedures may call forward).
     let mut procs: HashMap<Rc<str>, usize> = HashMap::new();
     let mut sigs = Vec::new();
-    for form in forms {
-        let Some(args) = form.form_args("define") else {
-            return Err(ParseError::BadDefinition(form.to_string()));
-        };
-        let [header, body] = args else {
-            return Err(ParseError::BadDefinition(form.to_string()));
-        };
-        let Some(header) = header.list() else {
-            return Err(ParseError::BadDefinition(form.to_string()));
-        };
-        let Some(name) = header.first().and_then(Sexpr::sym) else {
-            return Err(ParseError::BadDefinition(form.to_string()));
-        };
-        check_binder(name)?;
-        let mut params = Vec::new();
-        let mut seen = HashSet::new();
-        for p in &header[1..] {
-            let Some(p) = p.sym() else {
-                return Err(ParseError::BadDefinition(form.to_string()));
-            };
-            check_binder(p)?;
-            if !seen.insert(p) {
-                return Err(ParseError::BadDefinition(format!(
-                    "duplicate parameter {p} in {name}"
-                )));
-            }
-            params.push(Rc::<str>::from(p));
-        }
-        if procs.insert(name.into(), params.len()).is_some() {
-            return Err(ParseError::DuplicateDefinition(name.to_string()));
-        }
-        sigs.push((Rc::<str>::from(name), params, body));
+    for (i, form) in forms.iter().enumerate() {
+        sigs.push(collect_sig(form, &mut procs).map_err(|e| locate(poss, i, e))?);
     }
     // Pass 2: parse bodies.
     let mut parser = Parser { next_label: 0, procs };
     let mut defs = Vec::new();
-    for (name, params, body) in sigs {
+    for (i, (name, params, body)) in sigs.into_iter().enumerate() {
         let bound = im_set::Set::from_iter(params.iter().map(|p| &**p));
-        let body = parser.parse_expr(body, &bound)?;
+        let body = parser.parse_expr(body, &bound).map_err(|e| locate(poss, i, e))?;
         defs.push(Definition { name, params, body });
     }
     Ok(Program { defs })
 }
 
-/// Parses a whole program from source text.
+/// Parses a whole program from source text under default [`pe_sexpr::Limits`].
 ///
 /// # Errors
 ///
-/// Returns a reader error rendered through [`ParseError::BadDefinition`]
-/// or a genuine [`ParseError`].
+/// Returns [`ParseError::Read`] (with exact position) if the reader
+/// rejects the input, otherwise any [`ParseError`] wrapped in
+/// [`ParseError::At`] with the position of the offending top-level form.
 pub fn parse_source(src: &str) -> Result<Program, ParseError> {
-    let forms =
-        pe_sexpr::read(src).map_err(|e| ParseError::BadDefinition(format!("reader: {e}")))?;
-    parse_program(&forms)
+    parse_source_with(src, &pe_sexpr::Limits::default())
+}
+
+/// [`parse_source`] under explicit reader [`pe_sexpr::Limits`] (nesting
+/// depth, node budget).
+///
+/// # Errors
+///
+/// See [`parse_source`].
+pub fn parse_source_with(src: &str, limits: &pe_sexpr::Limits) -> Result<Program, ParseError> {
+    let forms = pe_sexpr::read_positioned_with(src, limits).map_err(ParseError::Read)?;
+    let (exprs, poss): (Vec<Sexpr>, Vec<Pos>) = forms.into_iter().unzip();
+    parse_forms(&exprs, Some(&poss))
 }
 
 #[cfg(test)]
@@ -456,8 +501,12 @@ mod tests {
         parse_source(src).expect("parse")
     }
 
+    /// The underlying error, with any position wrapper stripped.
     fn perr(src: &str) -> ParseError {
-        parse_source(src).expect_err("should not parse")
+        match parse_source(src).expect_err("should not parse") {
+            ParseError::At { cause, .. } => *cause,
+            e => e,
+        }
     }
 
     #[test]
@@ -588,5 +637,37 @@ mod tests {
     #[test]
     fn empty_application_is_error() {
         assert!(matches!(perr("(define (f x) ())"), ParseError::BadDatum(_)));
+    }
+
+    #[test]
+    fn errors_carry_form_positions() {
+        // The bad form is the second top-level definition, on line 2.
+        let e = parse_source("(define (f x) x)\n  (define (g y) z)").expect_err("unbound");
+        let ParseError::At { line, col, cause } = e else {
+            panic!("expected positioned error, got {e:?}");
+        };
+        assert_eq!((line, col), (2, 3));
+        assert!(matches!(*cause, ParseError::UnboundVariable(ref v) if v == "z"));
+        // Rendered message leads with the position.
+        let e = parse_source("(define (f x) x)\n(define (g y) z)").expect_err("unbound");
+        assert!(e.to_string().starts_with("2:1: "), "{e}");
+    }
+
+    #[test]
+    fn reader_errors_surface_with_positions() {
+        let e = parse_source("(define (f x)\n  (car x").expect_err("truncated");
+        let ParseError::Read(re) = e else {
+            panic!("expected reader error, got {e:?}");
+        };
+        assert_eq!(re.pos.line, 2);
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_by_reader_limits() {
+        let deep = format!("(define (f x) {}", "(".repeat(100_000));
+        assert!(matches!(
+            parse_source(&deep),
+            Err(ParseError::Read(e)) if matches!(e.kind, pe_sexpr::ReadErrorKind::TooDeep { .. })
+        ));
     }
 }

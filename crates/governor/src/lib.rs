@@ -1,0 +1,313 @@
+//! The pipeline-wide resource governor.
+//!
+//! Partial evaluation runs programs *at compile time* — the reducer
+//! unfolds calls, the specializer enumerates configurations, the VM and
+//! the interpreter family execute residual and subject code — so any
+//! divergent, deeply recursive or adversarial input can hang or abort
+//! compilation unless every engine is metered.  This crate is the one
+//! shared vocabulary for that metering:
+//!
+//! * [`Limits`] — the budgets themselves: evaluation steps, host-stack
+//!   call depth, syntactic nesting, static unfolding depth, heap cells,
+//!   residual program size.  Every public entry point in the workspace
+//!   accepts a `Limits` (directly or via an options struct).
+//! * [`Fuel`] — a running meter over one `Limits`, shared by the engines
+//!   that need incremental accounting.
+//! * [`Trap`] — the structured error raised when a budget is exhausted
+//!   or an execution-model invariant is violated, designed so callers
+//!   can distinguish "the input diverges" from "the engine is broken".
+//!
+//! The crate sits below `pe-sexpr` in the dependency graph (the reader
+//! is itself a governed entry point) and is re-exported by `pe-interp`
+//! and `pe-core`, so downstream users never import it directly.
+
+use std::fmt;
+
+/// Resource budgets shared by every pipeline entry point.
+///
+/// The defaults are generous enough for the full benchmark suite at
+/// test sizes; adversarial callers tighten the relevant field (struct
+/// update syntax keeps call sites stable):
+///
+/// ```
+/// use pe_governor::Limits;
+/// let strict = Limits { fuel: 10_000, max_call_depth: 1_000, ..Limits::default() };
+/// assert!(strict.fuel < Limits::default().fuel);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of evaluation steps (calls / machine transitions).
+    pub fuel: u64,
+    /// Maximum host-stack recursion depth for the engines that model a
+    /// native stack (the Fig. 3/Fig. 4 interpreters, the Hobbit-like
+    /// baseline).  The flat machines (tail interpreter, S₀ evaluator,
+    /// VM) never grow the host stack and ignore this field.  A trap at
+    /// this depth is only useful if the host stack can actually hold
+    /// that many frames — run deep programs under a big-stack worker or
+    /// lower the cap to match the thread you are on.
+    pub max_call_depth: usize,
+    /// Maximum syntactic nesting depth accepted by the S-expression
+    /// reader (and hence by every parser above it).
+    pub max_syntax_depth: usize,
+    /// Maximum static unfolding depth in the specializers (`pe-core`'s
+    /// inlining and `pe-unmix`'s call unfolding).
+    pub max_unfold_depth: usize,
+    /// Maximum heap cells (pairs, closures, reader nodes) an engine may
+    /// allocate on behalf of the subject program.
+    pub max_heap: u64,
+    /// Maximum residual output size (residual procedures) a specializer
+    /// may emit before giving up.
+    pub max_residual: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            fuel: 500_000_000,
+            max_call_depth: 500_000,
+            max_syntax_depth: 1_000,
+            max_unfold_depth: 300,
+            max_heap: 100_000_000,
+            max_residual: 50_000,
+        }
+    }
+}
+
+impl Limits {
+    /// A tight budget for adversarial or untrusted input: everything is
+    /// small enough that a divergent program traps in well under a
+    /// second without exhausting memory or the host stack of an
+    /// ordinary thread.
+    #[must_use]
+    pub fn strict() -> Limits {
+        Limits {
+            fuel: 1_000_000,
+            max_call_depth: 2_000,
+            max_syntax_depth: 200,
+            max_unfold_depth: 100,
+            max_heap: 1_000_000,
+            max_residual: 1_000,
+        }
+    }
+}
+
+/// A structured resource/execution trap.
+///
+/// The budget variants (`OutOfFuel`, `CallDepth`, `SyntaxDepth`,
+/// `UnfoldDepth`, `Heap`, `Residual`) mean the *input* exceeded a
+/// configured bound; the machine variants (`UnboundLabel`,
+/// `BadDispatch`) mean a compiled program broke an execution-model
+/// invariant and carry the program counter for diagnosis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trap {
+    /// The step budget ([`Limits::fuel`]) was exhausted.
+    OutOfFuel { budget: u64 },
+    /// Host-stack recursion exceeded [`Limits::max_call_depth`].
+    CallDepth { limit: usize },
+    /// Syntactic nesting exceeded [`Limits::max_syntax_depth`].
+    SyntaxDepth { limit: usize },
+    /// Static unfolding exceeded [`Limits::max_unfold_depth`].
+    UnfoldDepth { limit: usize },
+    /// Heap allocation exceeded [`Limits::max_heap`] cells.
+    Heap { limit: u64 },
+    /// Residual output exceeded [`Limits::max_residual`] procedures.
+    Residual { limit: usize },
+    /// A jump targeted a label that is not defined in the loaded
+    /// program (`pc` is the block the machine was executing).
+    UnboundLabel { label: String, pc: usize },
+    /// A closure dispatch found something other than a well-formed
+    /// closure (`pc` is the block the machine was executing).
+    BadDispatch { pc: usize, detail: String },
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::OutOfFuel { budget } => {
+                write!(f, "step budget of {budget} exhausted")
+            }
+            Trap::CallDepth { limit } => {
+                write!(f, "call depth limit of {limit} exceeded")
+            }
+            Trap::SyntaxDepth { limit } => {
+                write!(f, "syntax nesting limit of {limit} exceeded")
+            }
+            Trap::UnfoldDepth { limit } => {
+                write!(f, "static unfolding limit of {limit} exceeded")
+            }
+            Trap::Heap { limit } => {
+                write!(f, "heap limit of {limit} cells exceeded")
+            }
+            Trap::Residual { limit } => {
+                write!(f, "residual output limit of {limit} procedures exceeded")
+            }
+            Trap::UnboundLabel { label, pc } => {
+                write!(f, "jump to unbound label {label} (pc {pc})")
+            }
+            Trap::BadDispatch { pc, detail } => {
+                write!(f, "bad closure dispatch at pc {pc}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Trap {}
+
+/// A running meter over one [`Limits`].
+///
+/// Engines call [`Fuel::step`] per machine transition, [`Fuel::alloc`]
+/// per heap cell, and bracket host-stack recursion with
+/// [`Fuel::enter_call`] / [`Fuel::exit_call`]; the first exceeded
+/// budget surfaces as a [`Trap`].
+#[derive(Debug, Clone)]
+pub struct Fuel {
+    limits: Limits,
+    steps: u64,
+    cells: u64,
+    depth: usize,
+}
+
+impl Fuel {
+    /// Starts a fresh meter against `limits`.
+    #[must_use]
+    pub fn new(limits: &Limits) -> Fuel {
+        Fuel { limits: *limits, steps: 0, cells: 0, depth: 0 }
+    }
+
+    /// The limits this meter enforces.
+    #[must_use]
+    pub fn limits(&self) -> &Limits {
+        &self.limits
+    }
+
+    /// Charges one evaluation step.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::OutOfFuel`] once [`Limits::fuel`] steps have been spent.
+    #[inline]
+    pub fn step(&mut self) -> Result<(), Trap> {
+        if self.steps >= self.limits.fuel {
+            return Err(Trap::OutOfFuel { budget: self.limits.fuel });
+        }
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Charges `cells` heap cells.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::Heap`] once [`Limits::max_heap`] cells are live-charged.
+    #[inline]
+    pub fn alloc(&mut self, cells: u64) -> Result<(), Trap> {
+        self.cells = self.cells.saturating_add(cells);
+        if self.cells > self.limits.max_heap {
+            return Err(Trap::Heap { limit: self.limits.max_heap });
+        }
+        Ok(())
+    }
+
+    /// Enters one level of host-stack recursion.
+    ///
+    /// # Errors
+    ///
+    /// [`Trap::CallDepth`] beyond [`Limits::max_call_depth`] levels.
+    #[inline]
+    pub fn enter_call(&mut self) -> Result<(), Trap> {
+        if self.depth >= self.limits.max_call_depth {
+            return Err(Trap::CallDepth { limit: self.limits.max_call_depth });
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Leaves one level of host-stack recursion.
+    #[inline]
+    pub fn exit_call(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Steps spent so far.
+    #[must_use]
+    pub fn steps_used(&self) -> u64 {
+        self.steps
+    }
+
+    /// Heap cells charged so far.
+    #[must_use]
+    pub fn cells_used(&self) -> u64 {
+        self.cells
+    }
+
+    /// Current host-stack recursion depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuel_meters_steps() {
+        let mut f = Fuel::new(&Limits { fuel: 3, ..Limits::default() });
+        assert!(f.step().is_ok());
+        assert!(f.step().is_ok());
+        assert!(f.step().is_ok());
+        assert_eq!(f.step(), Err(Trap::OutOfFuel { budget: 3 }));
+        assert_eq!(f.steps_used(), 3);
+    }
+
+    #[test]
+    fn fuel_meters_heap() {
+        let mut f = Fuel::new(&Limits { max_heap: 10, ..Limits::default() });
+        assert!(f.alloc(10).is_ok());
+        assert_eq!(f.alloc(1), Err(Trap::Heap { limit: 10 }));
+    }
+
+    #[test]
+    fn fuel_meters_depth() {
+        let mut f = Fuel::new(&Limits { max_call_depth: 2, ..Limits::default() });
+        assert!(f.enter_call().is_ok());
+        assert!(f.enter_call().is_ok());
+        assert_eq!(f.enter_call(), Err(Trap::CallDepth { limit: 2 }));
+        f.exit_call();
+        assert!(f.enter_call().is_ok());
+        // exit never underflows
+        f.exit_call();
+        f.exit_call();
+        f.exit_call();
+        assert_eq!(f.depth(), 0);
+    }
+
+    #[test]
+    fn traps_render() {
+        let cases: &[(Trap, &str)] = &[
+            (Trap::OutOfFuel { budget: 5 }, "step budget"),
+            (Trap::CallDepth { limit: 5 }, "call depth"),
+            (Trap::SyntaxDepth { limit: 5 }, "syntax nesting"),
+            (Trap::UnfoldDepth { limit: 5 }, "unfolding"),
+            (Trap::Heap { limit: 5 }, "heap"),
+            (Trap::Residual { limit: 5 }, "residual"),
+            (Trap::UnboundLabel { label: "f".into(), pc: 3 }, "unbound label f"),
+            (Trap::BadDispatch { pc: 3, detail: "int 5".into() }, "dispatch"),
+        ];
+        for (t, needle) in cases {
+            assert!(t.to_string().contains(needle), "{t}");
+        }
+    }
+
+    #[test]
+    fn strict_is_tighter_than_default() {
+        let s = Limits::strict();
+        let d = Limits::default();
+        assert!(s.fuel < d.fuel);
+        assert!(s.max_call_depth < d.max_call_depth);
+        assert!(s.max_syntax_depth < d.max_syntax_depth);
+        assert!(s.max_heap < d.max_heap);
+        assert!(s.max_residual < d.max_residual);
+    }
+}

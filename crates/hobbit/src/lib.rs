@@ -21,7 +21,7 @@
 
 use pe_frontend::ast::{Expr, Prim, Program};
 use pe_interp::value::{apply_prim, Value};
-use pe_interp::{Datum, InterpError, Limits};
+use pe_interp::{Datum, Fuel, InterpError, Limits};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -178,13 +178,14 @@ impl Compiler<'_> {
                 // Only variables actually in scope are captured (free
                 // names that are top-level procs were rejected earlier by
                 // the parser).
-                let captured: Vec<String> = fv
-                    .into_iter()
-                    .filter(|n| scope.slot(n).is_some())
-                    .map(str::to_string)
-                    .collect();
-                let capture_slots: Vec<usize> =
-                    captured.iter().map(|n| scope.slot(n).expect("checked")).collect();
+                let mut captured: Vec<String> = Vec::new();
+                let mut capture_slots: Vec<usize> = Vec::new();
+                for n in fv {
+                    if let Some(s) = scope.slot(n) {
+                        captured.push(n.to_string());
+                        capture_slots.push(s);
+                    }
+                }
                 let mut inner = Scope { names: Vec::with_capacity(1 + captured.len()) };
                 inner.names.push(v.to_string());
                 inner.names.extend(captured.iter().cloned());
@@ -290,12 +291,14 @@ impl Hobbit {
             });
         }
         let mut frame: Vec<V> = args.iter().map(Datum::embed).collect();
-        let mut fuel = limits.fuel;
+        // Calls recurse on the host stack (the point of this baseline),
+        // so the call-depth cap applies in addition to fuel and heap.
+        let mut fuel = Fuel::new(&limits);
         let v = self.exec(&def.body, &mut frame, &mut fuel)?;
         v.to_datum().ok_or(InterpError::ResultNotFirstOrder)
     }
 
-    fn exec(&self, code: &Code, frame: &mut Vec<V>, fuel: &mut u64) -> Result<V, InterpError> {
+    fn exec(&self, code: &Code, frame: &mut Vec<V>, fuel: &mut Fuel) -> Result<V, InterpError> {
         match code {
             Code::Const(v) => Ok(v.clone()),
             Code::Slot(i) => Ok(frame[*i].clone()),
@@ -311,31 +314,32 @@ impl Hobbit {
                 for a in args {
                     vals.push(self.exec(a, frame, fuel)?);
                 }
+                if matches!(op, Prim::Cons) {
+                    fuel.alloc(1)?;
+                }
                 Ok(apply_prim(*op, &vals)?)
             }
             Code::Call(idx, args) => {
-                if *fuel == 0 {
-                    return Err(InterpError::FuelExhausted);
-                }
-                *fuel -= 1;
+                fuel.step()?;
                 let mut next = Vec::with_capacity(args.len());
                 for a in args {
                     next.push(self.exec(a, frame, fuel)?);
                 }
                 // Native-stack recursion: this is the whole point of the
                 // baseline.
-                self.exec(&self.procs[*idx].body, &mut next, fuel)
+                fuel.enter_call()?;
+                let r = self.exec(&self.procs[*idx].body, &mut next, fuel);
+                fuel.exit_call();
+                r
             }
             Code::MakeClosure { lam, capture_slots } => {
+                fuel.alloc(1)?;
                 let captures: Vec<V> =
                     capture_slots.iter().map(|&s| frame[s].clone()).collect();
                 Ok(Value::Closure(HobClosure { lam: *lam, captures: captures.into() }))
             }
             Code::CallClosure(f, a) => {
-                if *fuel == 0 {
-                    return Err(InterpError::FuelExhausted);
-                }
-                *fuel -= 1;
+                fuel.step()?;
                 let fv = self.exec(f, frame, fuel)?;
                 let av = self.exec(a, frame, fuel)?;
                 match fv {
@@ -344,7 +348,10 @@ impl Hobbit {
                         let mut next = Vec::with_capacity(1 + c.captures.len());
                         next.push(av);
                         next.extend(c.captures.iter().cloned());
-                        self.exec(&lam.body, &mut next, fuel)
+                        fuel.enter_call()?;
+                        let r = self.exec(&lam.body, &mut next, fuel);
+                        fuel.exit_call();
+                        r
                     }
                     v => Err(InterpError::NotAProcedure(v.to_string())),
                 }
@@ -364,76 +371,103 @@ impl Hobbit {
 mod tests {
     use super::*;
     use pe_frontend::parse_source;
+    use pe_interp::Trap;
 
-    fn go(src: &str, entry: &str, args: &[Datum]) -> Result<Datum, InterpError> {
-        Hobbit::compile(&parse_source(src).unwrap()).unwrap().run(entry, args, Limits::default())
+    type R = Result<(), Box<dyn std::error::Error>>;
+
+    fn go(src: &str, entry: &str, args: &[Datum]) -> Result<Datum, Box<dyn std::error::Error>> {
+        Ok(Hobbit::compile(&parse_source(src)?)?.run(entry, args, Limits::default())?)
     }
 
     #[test]
-    fn first_order_recursion() {
+    fn first_order_recursion() -> R {
         let src = "(define (fact n) (if (zero? n) 1 (* n (fact (- n 1)))))";
-        assert_eq!(go(src, "fact", &[Datum::Int(12)]), Ok(Datum::Int(479_001_600)));
+        assert_eq!(go(src, "fact", &[Datum::Int(12)])?, Datum::Int(479_001_600));
+        Ok(())
     }
 
     #[test]
-    fn closures_capture_correctly() {
+    fn closures_capture_correctly() -> R {
         let src = "(define (main a)
                      (let ((adda (lambda (b) (+ a b))))
                        (let ((a 100)) (adda 1))))";
-        assert_eq!(go(src, "main", &[Datum::Int(5)]), Ok(Datum::Int(6)));
+        assert_eq!(go(src, "main", &[Datum::Int(5)])?, Datum::Int(6));
+        Ok(())
     }
 
     #[test]
-    fn cps_append_runs() {
+    fn cps_append_runs() -> R {
         let src = "(define (append x y) (cps-append x y (lambda (v) v)))
                    (define (cps-append x y c)
                      (if (null? x) (c y)
                          (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
-        let r = go(
-            src,
-            "append",
-            &[Datum::parse("(1 2)").unwrap(), Datum::parse("(3)").unwrap()],
-        )
-        .unwrap();
+        let r = go(src, "append", &[Datum::parse("(1 2)")?, Datum::parse("(3)")?])?;
         assert_eq!(r.to_string(), "(1 2 3)");
+        Ok(())
     }
 
     #[test]
-    fn constant_folding_happens_at_compile_time() {
-        let prog = parse_source("(define (f) (+ 1 (* 2 3)))").unwrap();
-        let h = Hobbit::compile(&prog).unwrap();
+    fn constant_folding_happens_at_compile_time() -> R {
+        let prog = parse_source("(define (f) (+ 1 (* 2 3)))")?;
+        let h = Hobbit::compile(&prog)?;
         assert!(matches!(h.procs[0].body, Code::Const(Value::Int(7))));
+        Ok(())
     }
 
     #[test]
-    fn faulting_constants_are_not_folded() {
+    fn faulting_constants_are_not_folded() -> R {
         // (car 5) as a "constant" must fault at run time, not compile time.
-        let prog = parse_source("(define (f) (car 5))").unwrap();
-        let h = Hobbit::compile(&prog).unwrap();
+        let prog = parse_source("(define (f) (car 5))")?;
+        let h = Hobbit::compile(&prog)?;
         assert!(matches!(h.procs[0].body, Code::Prim(Prim::Car, _)));
         assert!(h.run("f", &[], Limits::default()).is_err());
+        Ok(())
     }
 
     #[test]
-    fn agreement_with_reference_interpreter() {
+    fn agreement_with_reference_interpreter() -> R {
         let src = "(define (map-sq l) (if (null? l) '() (cons (* (car l) (car l)) (map-sq (cdr l)))))";
-        let p = parse_source(src).unwrap();
-        let h = Hobbit::compile(&p).unwrap();
-        let input = Datum::parse("(1 2 3 4)").unwrap();
-        let a = h.run("map-sq", std::slice::from_ref(&input), Limits::default()).unwrap();
-        let b = pe_interp::standard::run(&p, "map-sq", &[input], Limits::default()).unwrap();
+        let p = parse_source(src)?;
+        let h = Hobbit::compile(&p)?;
+        let input = Datum::parse("(1 2 3 4)")?;
+        let a = h.run("map-sq", std::slice::from_ref(&input), Limits::default())?;
+        let b = pe_interp::standard::run(&p, "map-sq", &[input], Limits::default())?;
         assert_eq!(a, b);
         assert_eq!(a.to_string(), "(1 4 9 16)");
+        Ok(())
     }
 
     #[test]
-    fn fuel_limits_divergence() {
-        // Small fuel: the baseline recurses on the host stack.
+    fn fuel_limits_divergence() -> R {
+        // Small fuel: divergence is cut off before the depth cap bites.
         let src = "(define (f x) (f x))";
-        let h = Hobbit::compile(&parse_source(src).unwrap()).unwrap();
+        let h = Hobbit::compile(&parse_source(src)?)?;
         assert_eq!(
-            h.run("f", &[Datum::Int(0)], Limits { fuel: 200 }),
+            h.run(
+                "f",
+                &[Datum::Int(0)],
+                Limits { fuel: 200, max_call_depth: 1_000_000, ..Limits::default() },
+            ),
             Err(InterpError::FuelExhausted)
         );
+        Ok(())
+    }
+
+    #[test]
+    fn depth_cap_traps_host_stack_recursion() -> R {
+        // The baseline recurses on the host stack, so a divergent program
+        // with plenty of fuel must hit the call-depth cap instead of
+        // overflowing the native stack.
+        let src = "(define (f x) (f x))";
+        let h = Hobbit::compile(&parse_source(src)?)?;
+        assert_eq!(
+            h.run(
+                "f",
+                &[Datum::Int(0)],
+                Limits { max_call_depth: 50, ..Limits::default() },
+            ),
+            Err(InterpError::Trap(Trap::CallDepth { limit: 50 }))
+        );
+        Ok(())
     }
 }

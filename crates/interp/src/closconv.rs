@@ -9,8 +9,8 @@
 //! code of the specializer first-order.
 
 use crate::value::{apply_prim, Value};
-use crate::{Datum, InterpError, Limits};
-use pe_frontend::ast::{Expr, Label, Program};
+use crate::{Datum, Fuel, InterpError, Limits, Trap};
+use pe_frontend::ast::{Expr, Label, Prim, Program};
 use std::collections::{BTreeSet, HashMap};
 /// A flat closure record `(ℓ, v₁ … vₙ)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -132,16 +132,36 @@ impl<'p> Env<'p> {
 struct Interp<'p> {
     prog: &'p Program,
     lambdas: LambdaTable<'p>,
-    fuel: u64,
+    fuel: Fuel,
 }
 
 impl<'p> Interp<'p> {
     fn spend(&mut self) -> Result<(), InterpError> {
-        if self.fuel == 0 {
-            return Err(InterpError::FuelExhausted);
+        Ok(self.fuel.step()?)
+    }
+
+    /// Looks a lambda up by label; a miss means the closure record was
+    /// not produced by this program (hand-built AST), which surfaces as
+    /// a dispatch trap rather than a panic.
+    fn lambda(&self, l: &Label) -> Result<&LambdaInfo<'p>, InterpError> {
+        self.lambdas.0.get(l).ok_or_else(|| {
+            InterpError::Trap(Trap::BadDispatch {
+                pc: l.0 as usize,
+                detail: format!("no lambda with label {}", l.0),
+            })
+        })
+    }
+
+    /// E[(E₁ E₂)]ρ: look the body up by the label and rebuild the
+    /// environment from the closure record.
+    fn apply_closure(&mut self, c: FlatClosure, av: V) -> Result<V, InterpError> {
+        let info = self.lambda(&c.label)?;
+        let mut callee = Env::default();
+        callee.bind(info.param, av);
+        for (fv, val) in info.freevars.iter().zip(c.freevals) {
+            callee.bind(fv, val);
         }
-        self.fuel -= 1;
-        Ok(())
+        self.eval(info.body, &callee)
     }
 
     fn eval(&mut self, e: &'p Expr, env: &Env<'p>) -> Result<V, InterpError> {
@@ -164,6 +184,9 @@ impl<'p> Interp<'p> {
                     .iter()
                     .map(|a| self.eval(a, env))
                     .collect::<Result<Vec<_>, _>>()?;
+                if matches!(op, Prim::Cons) {
+                    self.fuel.alloc(1)?;
+                }
                 Ok(apply_prim(*op, &vals)?)
             }
             Expr::Call(_, p, args) => {
@@ -180,7 +203,11 @@ impl<'p> Interp<'p> {
                 for (param, val) in def.params.iter().zip(vals) {
                     callee.bind(param, val);
                 }
-                self.eval(&def.body, &callee)
+                // Like Fig. 3, callees run on the host stack: cap depth.
+                self.fuel.enter_call()?;
+                let r = self.eval(&def.body, &callee);
+                self.fuel.exit_call();
+                r
             }
             Expr::Let(_, v, rhs, body) => {
                 let rhs = self.eval(rhs, env)?;
@@ -190,7 +217,8 @@ impl<'p> Interp<'p> {
             }
             Expr::Lambda(l, _, _) => {
                 // E[(lambda_ℓ (V) E)]ρ = let V₁…Vₙ = freevars(ℓ) in (ℓ, ρV₁…ρVₙ)
-                let info = &self.lambdas.0[l];
+                self.fuel.alloc(1)?;
+                let info = self.lambda(l)?;
                 let freevals = info
                     .freevars
                     .iter()
@@ -208,15 +236,10 @@ impl<'p> Interp<'p> {
                 let av = self.eval(a, env)?;
                 match fv {
                     Value::Closure(c) => {
-                        // E[(E₁ E₂)]ρ: look the body up by the label and
-                        // rebuild the environment from the record.
-                        let info = &self.lambdas.0[&c.label];
-                        let mut callee = Env::default();
-                        callee.bind(info.param, av);
-                        for (fv, val) in info.freevars.iter().zip(c.freevals) {
-                            callee.bind(fv, val);
-                        }
-                        self.eval(info.body, &callee)
+                        self.fuel.enter_call()?;
+                        let r = self.apply_closure(c, av);
+                        self.fuel.exit_call();
+                        r
                     }
                     v => Err(InterpError::NotAProcedure(v.to_string())),
                 }
@@ -252,7 +275,7 @@ pub fn run(
     for (param, arg) in def.params.iter().zip(args) {
         env.bind(param, arg.embed());
     }
-    let mut interp = Interp { prog, lambdas: LambdaTable::build(prog), fuel: limits.fuel };
+    let mut interp = Interp { prog, lambdas: LambdaTable::build(prog), fuel: Fuel::new(&limits) };
     let result = interp.eval(&def.body, &env)?;
     result.to_datum().ok_or(InterpError::ResultNotFirstOrder)
 }

@@ -20,6 +20,7 @@ pub mod standard;
 pub mod tail;
 pub mod value;
 
+pub use pe_governor::{Fuel, Limits, Trap};
 pub use value::{apply_prim, Datum, NoClosure, PrimError, Value};
 
 use std::fmt;
@@ -42,6 +43,8 @@ pub enum InterpError {
     /// The program's result contains a closure and cannot be rendered as
     /// first-order data.
     ResultNotFirstOrder,
+    /// A non-fuel resource trap (call depth, heap, machine invariant).
+    Trap(Trap),
 }
 
 impl fmt::Display for InterpError {
@@ -58,6 +61,7 @@ impl fmt::Display for InterpError {
             InterpError::ResultNotFirstOrder => {
                 write!(f, "result contains a closure")
             }
+            InterpError::Trap(t) => write!(f, "{t}"),
         }
     }
 }
@@ -70,17 +74,14 @@ impl From<PrimError> for InterpError {
     }
 }
 
-/// Evaluation limits shared by all engines.
-#[derive(Debug, Clone, Copy)]
-pub struct Limits {
-    /// Maximum number of evaluation steps (calls / machine transitions).
-    pub fuel: u64,
-}
-
-impl Default for Limits {
-    fn default() -> Self {
-        // Generous enough for the full benchmark suite at test sizes.
-        Limits { fuel: 500_000_000 }
+impl From<Trap> for InterpError {
+    /// Fuel exhaustion keeps its historical variant (callers match on
+    /// it); every other trap surfaces structurally.
+    fn from(t: Trap) -> Self {
+        match t {
+            Trap::OutOfFuel { .. } => InterpError::FuelExhausted,
+            t => InterpError::Trap(t),
+        }
     }
 }
 
@@ -175,10 +176,45 @@ mod equivalence_tests {
         let src = "(define (f x) (f x))";
         let p = parse_source(src).unwrap();
         let d = desugar(&p).unwrap();
-        let lim = Limits { fuel: 200 }; // small: recursive engines use the host stack
+        // Small budget: the recursive engines use the host stack.
+        let lim = Limits { fuel: 200, ..Limits::default() };
         assert_eq!(standard::run(&p, "f", &[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
         assert_eq!(closconv::run(&p, "f", &[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
         assert_eq!(tail::run(&d, "f", &[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
+    }
+
+    #[test]
+    fn call_depth_traps_recursive_engines() {
+        use pe_governor::Trap;
+        // Non-tail recursion grows the host stack in Fig. 3 / Fig. 4:
+        // the depth cap must fire long before fuel does.
+        let src = "(define (f x) (cons (f x) '()))";
+        let p = parse_source(src).unwrap();
+        let lim = Limits { max_call_depth: 50, ..Limits::default() };
+        for r in [
+            standard::run(&p, "f", &[Datum::Int(0)], lim),
+            closconv::run(&p, "f", &[Datum::Int(0)], lim),
+        ] {
+            assert_eq!(r, Err(InterpError::Trap(Trap::CallDepth { limit: 50 })));
+        }
+    }
+
+    #[test]
+    fn heap_limit_traps_all_engines() {
+        use pe_governor::Trap;
+        // An infinite cons-builder: each engine charges heap cells and
+        // traps on the heap budget (fuel is left high on purpose).
+        let src = "(define (g x) (g (cons x x)))";
+        let p = parse_source(src).unwrap();
+        let d = desugar(&p).unwrap();
+        let lim = Limits { max_heap: 100, max_call_depth: 1_000_000, ..Limits::default() };
+        for r in [
+            standard::run(&p, "g", &[Datum::Int(0)], lim),
+            closconv::run(&p, "g", &[Datum::Int(0)], lim),
+            tail::run(&d, "g", &[Datum::Int(0)], lim),
+        ] {
+            assert_eq!(r, Err(InterpError::Trap(Trap::Heap { limit: 100 })));
+        }
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! parameter, the body, and the captured environment.
 
 use crate::value::{apply_prim, Value};
-use crate::{Datum, InterpError, Limits};
-use pe_frontend::ast::{Expr, Program};
+use crate::{Datum, Fuel, InterpError, Limits};
+use pe_frontend::ast::{Expr, Prim, Program};
 use std::rc::Rc;
 
 /// A Fig. 3 closure: parameter, body, and the whole captured environment.
@@ -62,16 +62,12 @@ impl<'p> Env<'p> {
 
 struct Interp<'p> {
     prog: &'p Program,
-    fuel: u64,
+    fuel: Fuel,
 }
 
 impl<'p> Interp<'p> {
     fn spend(&mut self) -> Result<(), InterpError> {
-        if self.fuel == 0 {
-            return Err(InterpError::FuelExhausted);
-        }
-        self.fuel -= 1;
-        Ok(())
+        Ok(self.fuel.step()?)
     }
 
     fn eval(&mut self, e: &'p Expr, env: &Env<'p>) -> Result<V<'p>, InterpError> {
@@ -94,6 +90,9 @@ impl<'p> Interp<'p> {
                     .iter()
                     .map(|a| self.eval(a, env))
                     .collect::<Result<Vec<_>, _>>()?;
+                if matches!(op, Prim::Cons) {
+                    self.fuel.alloc(1)?;
+                }
                 Ok(apply_prim(*op, &vals)?)
             }
             Expr::Call(_, p, args) => {
@@ -110,13 +109,19 @@ impl<'p> Interp<'p> {
                 for (param, val) in def.params.iter().zip(vals) {
                     callee = callee.bind(param, val);
                 }
-                self.eval(&def.body, &callee)
+                // This engine runs callees on the host stack (Fig. 3 has
+                // no explicit stack), so recursion depth is capped.
+                self.fuel.enter_call()?;
+                let r = self.eval(&def.body, &callee);
+                self.fuel.exit_call();
+                r
             }
             Expr::Let(_, v, rhs, body) => {
                 let rhs = self.eval(rhs, env)?;
                 self.eval(body, &env.bind(v, rhs))
             }
             Expr::Lambda(_, v, body) => {
+                self.fuel.alloc(1)?;
                 Ok(Value::Closure(EnvClosure { param: v, body, env: env.clone() }))
             }
             Expr::App(_, f, a) => {
@@ -124,7 +129,12 @@ impl<'p> Interp<'p> {
                 let fv = self.eval(f, env)?;
                 let av = self.eval(a, env)?;
                 match fv {
-                    Value::Closure(c) => self.eval(c.body, &c.env.bind(c.param, av)),
+                    Value::Closure(c) => {
+                        self.fuel.enter_call()?;
+                        let r = self.eval(c.body, &c.env.bind(c.param, av));
+                        self.fuel.exit_call();
+                        r
+                    }
                     v => Err(InterpError::NotAProcedure(v.to_string())),
                 }
             }
@@ -158,7 +168,7 @@ pub fn run(
     for (param, arg) in def.params.iter().zip(args) {
         env = env.bind(param, arg.embed());
     }
-    let mut interp = Interp { prog, fuel: limits.fuel };
+    let mut interp = Interp { prog, fuel: Fuel::new(&limits) };
     let result = interp.eval(&def.body, &env)?;
     result.to_datum().ok_or(InterpError::ResultNotFirstOrder)
 }

@@ -14,7 +14,8 @@
 //! matter how deep the subject program's recursion is.
 
 use crate::value::{apply_prim, Value};
-use crate::{Datum, InterpError, Limits};
+use crate::{Datum, Fuel, InterpError, Limits};
+use pe_frontend::ast::Prim;
 use pe_frontend::dast::{DProgram, LamId, SimpleExpr, TailExpr, VarId};
 
 /// A context/function closure of the tail machine: `(ℓ, v₁ … vₙ)`.
@@ -43,7 +44,12 @@ impl Env {
 }
 
 /// `S[SE]ρ` — simple-expression evaluation.
-fn eval_simple(p: &DProgram, se: &SimpleExpr, env: &Env) -> Result<V, InterpError> {
+fn eval_simple(
+    p: &DProgram,
+    se: &SimpleExpr,
+    env: &Env,
+    fuel: &mut Fuel,
+) -> Result<V, InterpError> {
     match se {
         SimpleExpr::Var(_, v) => env
             .lookup(*v)
@@ -53,11 +59,15 @@ fn eval_simple(p: &DProgram, se: &SimpleExpr, env: &Env) -> Result<V, InterpErro
         SimpleExpr::Prim(_, op, args) => {
             let vals = args
                 .iter()
-                .map(|a| eval_simple(p, a, env))
+                .map(|a| eval_simple(p, a, env, fuel))
                 .collect::<Result<Vec<_>, _>>()?;
+            if matches!(op, Prim::Cons) {
+                fuel.alloc(1)?;
+            }
             Ok(apply_prim(*op, &vals)?)
         }
         SimpleExpr::Lambda(_, id) => {
+            fuel.alloc(1)?;
             let lam = p.lambda(*id);
             let freevals = lam
                 .freevars
@@ -101,20 +111,20 @@ pub fn run(
         env.bind(*param, arg.embed());
     }
 
-    let mut fuel = limits.fuel;
+    // The machine is a flat loop (no host recursion), so only fuel and
+    // the heap budget apply; `max_call_depth` is for the Fig. 3/Fig. 4
+    // engines that model the stack with host recursion.
+    let mut fuel = Fuel::new(&limits);
     // τ — the stack of pending evaluation contexts.
     let mut stack: Vec<TailClosure> = Vec::new();
     let mut cur: &TailExpr = &def.body;
 
     loop {
-        if fuel == 0 {
-            return Err(InterpError::FuelExhausted);
-        }
-        fuel -= 1;
+        fuel.step()?;
         match cur {
             // E*[SE]ρτ = C (S[SE]ρ) τ
             TailExpr::Simple(se) => {
-                let v = eval_simple(p, se, &env)?;
+                let v = eval_simple(p, se, &env, &mut fuel)?;
                 match stack.pop() {
                     // C v [] = v
                     None => return v.to_datum().ok_or(InterpError::ResultNotFirstOrder),
@@ -132,7 +142,7 @@ pub fn run(
                 }
             }
             TailExpr::If(_, c, t, e) => {
-                let cv = eval_simple(p, c, &env)?;
+                let cv = eval_simple(p, c, &env, &mut fuel)?;
                 cur = if cv.is_truthy() { t } else { e };
             }
             // E*[(P SE₁…SEₙ)]ρτ = E*[φ(P)][Vᵢ ↦ S[SEᵢ]ρ]τ
@@ -140,7 +150,7 @@ pub fn run(
                 let def = p.proc(*pid);
                 let mut next = Env::default();
                 for (param, arg) in def.params.iter().zip(args) {
-                    let v = eval_simple(p, arg, &env)?;
+                    let v = eval_simple(p, arg, &env, &mut fuel)?;
                     next.bind(*param, v);
                 }
                 env = next;
@@ -148,8 +158,13 @@ pub fn run(
             }
             // E*[(SE E)]ρτ = E*[E]ρ (S[SE]ρ : τ)
             TailExpr::PushApp(_, ctx, body) => {
-                match eval_simple(p, ctx, &env)? {
-                    Value::Closure(c) => stack.push(c),
+                match eval_simple(p, ctx, &env, &mut fuel)? {
+                    // Pending contexts live on the (heap-allocated)
+                    // machine stack: charge them to the heap budget.
+                    Value::Closure(c) => {
+                        fuel.alloc(1)?;
+                        stack.push(c);
+                    }
                     v => return Err(InterpError::NotAProcedure(v.to_string())),
                 }
                 cur = body;

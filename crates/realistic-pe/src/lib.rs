@@ -48,13 +48,13 @@ pub use pe_backend_c::{emit_c, COptions, CProgram};
 pub use pe_core::{compile, specialize, CompileOptions, GenStrategy, S0Program, SpecError};
 pub use pe_frontend::{desugar, parse_source, DProgram, Program};
 pub use pe_hobbit::Hobbit;
-pub use pe_interp::{Datum, InterpError, Limits};
+pub use pe_interp::{Datum, Fuel, InterpError, Limits, Trap};
 pub use pe_unmix::{compile_by_futamura, encode_program, UnmixOptions, FUTAMURA_ENTRY, SINT};
 pub use pe_verify::{
     verify, verify_division, verify_program, verify_source, Diagnostic, Report, Severity,
 };
 pub use pe_vm::{Vm, VmStats};
-pub use pipeline::{Pipeline, PipelineError};
+pub use pipeline::{Pipeline, PipelineError, RobustExec};
 pub use suite::{benchmark, Benchmark, SUITE};
 
 /// Runs `f` on a worker thread with a large stack and returns its
@@ -136,5 +136,94 @@ mod tests {
         let pipe = Pipeline::new("(define (f x) x)").unwrap();
         let e = pipe.compile("ghost", &CompileOptions::default()).unwrap_err();
         assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn pipeline_parse_errors_carry_source_positions() {
+        // The offending form starts on line 2: the error message leads
+        // with its line:col.
+        let Err(e) = Pipeline::new("(define (f x) x)\n(define (g y) z)") else {
+            panic!("unbound variable must not parse");
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("2:"), "expected a position prefix, got: {msg}");
+    }
+
+    /// Ω under every engine: divergence is always cut off by a specific
+    /// structured trap, never a host stack overflow or a hang.
+    #[test]
+    fn omega_traps_on_every_engine() {
+        let pipe = Pipeline::new(
+            "(define (omega) ((lambda (x) (x x)) (lambda (x) (x x))))",
+        )
+        .unwrap();
+        // Host-stack engines: the call-depth cap fires first.
+        let depth = Limits { max_call_depth: 64, ..Limits::default() };
+        assert!(matches!(
+            pipe.run_standard("omega", &[], depth),
+            Err(PipelineError::Run(InterpError::Trap(Trap::CallDepth { limit: 64 })))
+        ));
+        assert!(matches!(
+            pipe.run_closconv("omega", &[], depth),
+            Err(PipelineError::Run(InterpError::Trap(Trap::CallDepth { limit: 64 })))
+        ));
+        // The flat tail machine never grows the host stack: fuel fires.
+        let fuel = Limits { fuel: 10_000, ..Limits::default() };
+        assert!(matches!(
+            pipe.run_tail("omega", &[], fuel),
+            Err(PipelineError::Run(InterpError::FuelExhausted))
+        ));
+        // The specializing compiler unfolds Ω statically and hits its
+        // own unfolding budget at compile time.
+        assert!(matches!(
+            pipe.run_compiled("omega", &[], &CompileOptions::default(), Limits::default()),
+            Err(PipelineError::Spec(e)) if e.is_budget_exhaustion()
+        ));
+    }
+
+    /// Graceful degradation: when specialization exhausts its residual
+    /// budget, the pipeline falls back to interpreter-packaged execution
+    /// and reports the reason instead of failing.
+    #[test]
+    fn budget_exhaustion_degrades_to_interpreted_run() {
+        let pipe = Pipeline::new(
+            "(define (main n) (even-p n))
+             (define (even-p n) (if (zero? n) 1 (odd-p (- n 1))))
+             (define (odd-p n) (if (zero? n) 0 (even-p (- n 1))))",
+        )
+        .unwrap();
+        let opts = CompileOptions {
+            limits: Limits { max_residual: 1, ..Limits::default() },
+            ..CompileOptions::default()
+        };
+        // Plain compilation refuses under this budget…
+        assert!(matches!(
+            pipe.compile("main", &opts),
+            Err(PipelineError::Spec(e)) if e.is_budget_exhaustion()
+        ));
+        // …the robust path degrades instead…
+        let exec = pipe.compile_robust("main", &opts).unwrap();
+        assert!(exec.is_degraded(), "expected Degraded, got {exec:?}");
+        // …and still computes the right answer, flagging the fallback.
+        let (v, why) =
+            pipe.run_robust("main", &[Datum::Int(6)], &opts, Limits::default()).unwrap();
+        assert_eq!(v, Datum::Int(1));
+        assert!(why.is_some_and(|e| e.is_budget_exhaustion()));
+        // With an adequate budget the same call runs compiled.
+        let (v, why) = pipe
+            .run_robust("main", &[Datum::Int(6)], &CompileOptions::default(), Limits::default())
+            .unwrap();
+        assert_eq!(v, Datum::Int(1));
+        assert!(why.is_none());
+    }
+
+    /// Genuine errors are NOT degraded: only budget exhaustion is.
+    #[test]
+    fn robust_compile_still_reports_genuine_errors() {
+        let pipe = Pipeline::new("(define (f x) x)").unwrap();
+        assert!(matches!(
+            pipe.compile_robust("ghost", &CompileOptions::default()),
+            Err(PipelineError::Spec(SpecError::NoSuchProc(_)))
+        ));
     }
 }

@@ -70,6 +70,29 @@ impl From<InterpError> for PipelineError {
     }
 }
 
+/// The outcome of [`Pipeline::compile_robust`]: either a loaded VM or a
+/// marker that specialization was cut off by its resource budget and
+/// the program should run interpreted instead.
+#[derive(Debug)]
+pub enum RobustExec {
+    /// Specialization finished within budget; run compiled.
+    Compiled(Box<Vm>),
+    /// Specialization exhausted its budget (the subject program may
+    /// still terminate at run time); run the tail interpreter.
+    Degraded {
+        /// The budget error that stopped specialization.
+        reason: SpecError,
+    },
+}
+
+impl RobustExec {
+    /// True when this outcome is the degraded (interpreted) fallback.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RobustExec::Degraded { .. })
+    }
+}
+
 /// A parsed and desugared program, ready for any engine.
 pub struct Pipeline {
     /// The surface program (Fig. 2).
@@ -206,6 +229,55 @@ impl Pipeline {
     ) -> Result<(Datum, VmStats), PipelineError> {
         let vm = self.compile_vm(entry, opts)?;
         Ok(vm.run(args, limits)?)
+    }
+
+    /// Compiles `entry` for the VM, degrading gracefully when the
+    /// specializer runs out of budget: a [`SpecError::Budget`] or
+    /// [`SpecError::DepthExceeded`] outcome becomes
+    /// [`RobustExec::Degraded`] instead of an error, since the subject
+    /// program can still be executed by an interpreter.  Genuine
+    /// compile-time errors (missing entry, arity, internal faults) are
+    /// still reported as errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`]; budget exhaustion is *not* an error here.
+    pub fn compile_robust(
+        &self,
+        entry: &str,
+        opts: &CompileOptions,
+    ) -> Result<RobustExec, PipelineError> {
+        match self.compile_vm(entry, opts) {
+            Ok(vm) => Ok(RobustExec::Compiled(Box::new(vm))),
+            Err(PipelineError::Spec(e)) if e.is_budget_exhaustion() => {
+                Ok(RobustExec::Degraded { reason: e })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Runs `entry`, preferring compiled execution and falling back to
+    /// the tail interpreter when specialization exhausts its budget.
+    /// Returns the result together with the degradation reason, if any
+    /// (`None` means the program ran compiled).
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run_robust(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        opts: &CompileOptions,
+        limits: Limits,
+    ) -> Result<(Datum, Option<SpecError>), PipelineError> {
+        match self.compile_robust(entry, opts)? {
+            RobustExec::Compiled(vm) => Ok((vm.run(args, limits)?.0, None)),
+            RobustExec::Degraded { reason } => {
+                let v = pe_interp::tail::run(&self.dprog, entry, args, limits)?;
+                Ok((v, Some(reason)))
+            }
+        }
     }
 
     /// Emits the §5.1 C translation of the compiled program, with `args`

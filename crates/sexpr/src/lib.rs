@@ -20,8 +20,12 @@
 mod print;
 mod reader;
 
+pub use pe_governor::Limits;
 pub use print::{pretty, pretty_width};
-pub use reader::{read, read_one, ReadError};
+pub use reader::{
+    read, read_one, read_one_with, read_positioned, read_positioned_with, read_with, ReadError,
+    ReadErrorKind,
+};
 
 use std::fmt;
 use std::rc::Rc;

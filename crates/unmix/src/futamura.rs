@@ -154,7 +154,7 @@ pub fn compile_by_futamura(
     opts: &UnmixOptions,
 ) -> Result<Program, UnmixError> {
     let sint = pe_frontend::parse_source(SINT)
-        .expect("SINT is well-formed (tested)");
+        .map_err(|e| UnmixError::StaticError(format!("SINT failed to parse: {e}")))?;
     let encoded = encode_program(subject)?;
     specialize(&sint, "sint", &[Some(encoded), None], opts)
 }
@@ -169,47 +169,48 @@ mod tests {
     use pe_frontend::parse_source;
     use pe_interp::{standard, Limits};
 
+    type R = Result<(), Box<dyn std::error::Error>>;
+
     fn dint(n: i64) -> Datum {
         Datum::Int(n)
     }
 
     #[test]
-    fn sint_parses_and_interprets() {
+    fn sint_parses_and_interprets() -> R {
         // sint running an encoded program agrees with direct evaluation.
-        let sint = parse_source(SINT).unwrap();
+        let sint = parse_source(SINT)?;
         let subject =
-            parse_source("(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))").unwrap();
-        let encoded = encode_program(&subject).unwrap();
-        let input = Datum::parse("(1 2 3 4)").unwrap();
+            parse_source("(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))")?;
+        let encoded = encode_program(&subject)?;
+        let input = Datum::parse("(1 2 3 4)")?;
         let direct =
-            standard::run(&subject, "sum", std::slice::from_ref(&input), Limits::default()).unwrap();
+            standard::run(&subject, "sum", std::slice::from_ref(&input), Limits::default())?;
         let via_sint = standard::run(
             &sint,
             "sint",
             &[encoded, Value::list([input])],
             Limits::default(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(direct, via_sint);
         assert_eq!(direct, dint(10));
+        Ok(())
     }
 
     #[test]
-    fn futamura_projection_compiles() {
+    fn futamura_projection_compiles() -> R {
         let subject =
-            parse_source("(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))").unwrap();
-        let compiled = compile_by_futamura(&subject, &UnmixOptions::default()).unwrap();
+            parse_source("(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))")?;
+        let compiled = compile_by_futamura(&subject, &UnmixOptions::default())?;
         // The compiled program computes the same function…
-        let input = Datum::parse("(5 6 7)").unwrap();
+        let input = Datum::parse("(5 6 7)")?;
         let direct =
-            standard::run(&subject, "sum", std::slice::from_ref(&input), Limits::default()).unwrap();
+            standard::run(&subject, "sum", std::slice::from_ref(&input), Limits::default())?;
         let via = standard::run(
             &compiled,
             FUTAMURA_ENTRY,
             &[Value::list([input])],
             Limits::default(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(direct, via);
         // …and the interpretive overhead is gone: no `ev` dispatch on
         // expression tags survives (every (eq? (car e) 'var) test was
@@ -217,19 +218,19 @@ mod tests {
         let text = compiled.to_source();
         assert!(!text.contains("bad-expression"), "{text}");
         assert!(!text.contains("'var"), "{text}");
+        Ok(())
     }
 
     #[test]
-    fn futamura_identity_effect_on_self_interpreter_scale() {
+    fn futamura_identity_effect_on_self_interpreter_scale() -> R {
         // Compilation of a two-procedure program yields a residual
         // program of comparable (small) size — the "essentially the
         // identity" observation, not an interpreter-sized blowup.
         let subject = parse_source(
             "(define (main n) (double (add1 n)))
              (define (double x) (* 2 x))",
-        )
-        .unwrap();
-        let compiled = compile_by_futamura(&subject, &UnmixOptions::default()).unwrap();
+        )?;
+        let compiled = compile_by_futamura(&subject, &UnmixOptions::default())?;
         let sint_size = SINT.len();
         let out_size = compiled.to_source().len();
         assert!(
@@ -242,8 +243,8 @@ mod tests {
             FUTAMURA_ENTRY,
             &[Value::list([dint(20)])],
             Limits::default(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(via, dint(42));
+        Ok(())
     }
 }

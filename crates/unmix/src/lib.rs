@@ -24,11 +24,12 @@
 //! // Specialize power to the exponent 3: x³ as straight-line code.
 //! let p = parse_source(
 //!     "(define (power x n) (if (zero? n) 1 (* x (power x (- n 1)))))",
-//! ).unwrap();
+//! )?;
 //! let r = specialize(&p, "power", &[None, Some(Datum::Int(3))],
-//!                    &UnmixOptions::default()).unwrap();
+//!                    &UnmixOptions::default())?;
 //! let text = r.to_source();
 //! assert!(!text.contains("if"), "fully unfolded: {text}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod bta;
@@ -46,37 +47,37 @@ mod tests {
     use pe_frontend::parse_source;
     use pe_interp::{standard, Datum, Limits};
 
+    type R = Result<(), Box<dyn std::error::Error>>;
+
     #[test]
-    fn power_specializes_to_straight_line() {
+    fn power_specializes_to_straight_line() -> R {
         let p = parse_source(
             "(define (power x n) (if (zero? n) 1 (* x (power x (- n 1)))))",
-        )
-        .unwrap();
+        )?;
         let r =
-            specialize(&p, "power", &[None, Some(Datum::Int(5))], &UnmixOptions::default())
-                .unwrap();
+            specialize(&p, "power", &[None, Some(Datum::Int(5))], &UnmixOptions::default())?;
         let out =
-            standard::run(&r, "power-$1", &[Datum::Int(2)], Limits::default()).unwrap();
+            standard::run(&r, "power-$1", &[Datum::Int(2)], Limits::default())?;
         assert_eq!(out, Datum::Int(32));
         assert!(!r.to_source().contains("(if"), "{}", r.to_source());
+        Ok(())
     }
 
     #[test]
-    fn residual_agrees_with_source_on_mixed_inputs() {
+    fn residual_agrees_with_source_on_mixed_inputs() -> R {
         let src = "(define (assoc-nth k alist d)
                      (if (null? alist) d
                          (if (eq? k (car (car alist)))
                              (cdr (car alist))
                              (assoc-nth k (cdr alist) d))))";
-        let p = parse_source(src).unwrap();
+        let p = parse_source(src)?;
         // Static key, dynamic association list.
         let r = specialize(
             &p,
             "assoc-nth",
-            &[Some(Datum::parse("b").unwrap()), None, None],
+            &[Some(Datum::parse("b")?), None, None],
             &UnmixOptions::default(),
-        )
-        .unwrap();
+        )?;
         let alist = Datum::parse("((a . 1) (b . 2))").err().map(|_| ());
         // Dotted pairs are not readable; build the alist with cons cells.
         let _ = alist;
@@ -91,26 +92,25 @@ mod tests {
         let direct = standard::run(
             &p,
             "assoc-nth",
-            &[Datum::parse("b").unwrap(), alist.clone(), Datum::Int(0)],
+            &[Datum::parse("b")?, alist.clone(), Datum::Int(0)],
             Limits::default(),
-        )
-        .unwrap();
+        )?;
         let via = standard::run(
             &r,
             "assoc-nth-$1",
             &[alist, Datum::Int(0)],
             Limits::default(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(direct, via);
         assert_eq!(direct, Datum::Int(2));
+        Ok(())
     }
 
     #[test]
-    fn dynamic_loop_stays_a_loop() {
+    fn dynamic_loop_stays_a_loop() -> R {
         let src = "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))";
-        let p = parse_source(src).unwrap();
-        let r = specialize(&p, "len", &[None], &UnmixOptions::default()).unwrap();
+        let p = parse_source(src)?;
+        let r = specialize(&p, "len", &[None], &UnmixOptions::default())?;
         // A dynamic-input loop cannot be unfolded: the residual program
         // must still be recursive.
         let mut recursive = false;
@@ -125,35 +125,35 @@ mod tests {
         let out = standard::run(
             &r,
             "len-$1",
-            &[Datum::parse("(a b c)").unwrap()],
+            &[Datum::parse("(a b c)")?],
             Limits::default(),
-        )
-        .unwrap();
+        )?;
         assert_eq!(out, Datum::Int(3));
+        Ok(())
     }
 
     #[test]
-    fn static_divergence_is_reported() {
+    fn static_divergence_is_reported() -> R {
         // Growing static data: each recursive call has a fresh memo key,
         // so specialization itself diverges and must hit a budget.
         let src = "(define (f x n) (if (zero? n) x (f x (+ n 1))))";
-        let p = parse_source(src).unwrap();
+        let p = parse_source(src)?;
         let r = specialize(&p, "f", &[None, Some(Datum::Int(1))], &UnmixOptions::default());
         assert!(
             matches!(r, Err(UnmixError::DepthExceeded) | Err(UnmixError::Budget { .. })),
             "got {r:?}"
         );
+        Ok(())
     }
 
     #[test]
-    fn unchanging_static_loop_memoizes_to_residual_loop() {
+    fn unchanging_static_loop_memoizes_to_residual_loop() -> R {
         // With unchanging static data, memoization ties the knot: the
         // divergence is *preserved* in residual code, not replayed at
         // specialization time.
         let src = "(define (f x n) (if (zero? n) x (f x n)))";
-        let p = parse_source(src).unwrap();
-        let r = specialize(&p, "f", &[None, Some(Datum::Int(1))], &UnmixOptions::default())
-            .unwrap();
+        let p = parse_source(src)?;
+        let r = specialize(&p, "f", &[None, Some(Datum::Int(1))], &UnmixOptions::default())?;
         let mut recursive = false;
         for d in &r.defs {
             d.body.walk(&mut |e| {
@@ -163,31 +163,32 @@ mod tests {
             });
         }
         assert!(recursive, "{}", r.to_source());
+        Ok(())
     }
 
     #[test]
-    fn higher_order_input_is_rejected() {
-        let p = parse_source("(define (f x) ((lambda (y) y) x))").unwrap();
+    fn higher_order_input_is_rejected() -> R {
+        let p = parse_source("(define (f x) ((lambda (y) y) x))")?;
         let r = specialize(&p, "f", &[None], &UnmixOptions::default());
         assert!(matches!(r, Err(UnmixError::NotFirstOrder(_))));
+        Ok(())
     }
 
     #[test]
-    fn language_preservation_property() {
+    fn language_preservation_property() -> R {
         // §3: residual programs stay inside the sublanguage of the
         // dynamic expressions — here, first-order recursion equations
         // (trivially) and, more interestingly, the residual program of a
         // tail-recursive subject is tail-recursive.
         let src = "(define (drive s d)
                      (if (null? d) s (drive (cons (car d) s) (cdr d))))";
-        let p = parse_source(src).unwrap();
+        let p = parse_source(src)?;
         let r = specialize(
             &p,
             "drive",
-            &[Some(Datum::parse("()").unwrap()), None],
+            &[Some(Datum::parse("()")?), None],
             &UnmixOptions::default(),
-        )
-        .unwrap();
+        )?;
         // Tail position check: every call in the residual body is in
         // tail position (the body is a call, or an if whose branches
         // are).
@@ -208,11 +209,12 @@ mod tests {
         for d in &r.defs {
             assert!(tail_ok(&d.body), "not tail-recursive: {}", r.to_source());
         }
+        Ok(())
     }
 
     #[test]
-    fn entry_errors() {
-        let p = parse_source("(define (f x) x)").unwrap();
+    fn entry_errors() -> R {
+        let p = parse_source("(define (f x) x)")?;
         assert!(matches!(
             specialize(&p, "g", &[None], &UnmixOptions::default()),
             Err(UnmixError::NoSuchProc(_))
@@ -221,5 +223,6 @@ mod tests {
             specialize(&p, "f", &[], &UnmixOptions::default()),
             Err(UnmixError::EntryArity { .. })
         ));
+        Ok(())
     }
 }

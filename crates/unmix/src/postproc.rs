@@ -426,66 +426,82 @@ mod tests {
     use super::*;
     use pe_frontend::parse_source;
 
+    type R = Result<(), Box<dyn std::error::Error>>;
+
+    fn def_named<'p>(
+        p: &'p pe_frontend::ast::Program,
+        name: &str,
+    ) -> Result<&'p pe_frontend::ast::Definition, String> {
+        p.def(name).ok_or_else(|| format!("no def named {name} in:\n{}", p.to_source()))
+    }
+
     #[test]
-    fn simplify_car_of_cons() {
-        let p = parse_source("(define (f x) (car (cons (+ x 1) '())))").unwrap();
+    fn simplify_car_of_cons() -> R {
+        let p = parse_source("(define (f x) (car (cons (+ x 1) '())))")?;
         let p = simplify(p);
         assert_eq!(p.defs[0].body.to_sexpr().to_string(), "(+ x 1)");
+        Ok(())
     }
 
     #[test]
-    fn simplify_keeps_faulting_discards() {
-        let p = parse_source("(define (f x) (car (cons 1 (car 5))))").unwrap();
+    fn simplify_keeps_faulting_discards() -> R {
+        let p = parse_source("(define (f x) (car (cons 1 (car 5))))")?;
         let p = simplify(p);
         assert!(p.defs[0].body.to_sexpr().to_string().contains("car"), "fault preserved");
+        Ok(())
     }
 
     #[test]
-    fn arity_raising_splits_cons_arguments() {
+    fn arity_raising_splits_cons_arguments() -> R {
         let src = "(define (main a b) (worker (cons a b)))
                    (define (worker env) (+ (car env) (cdr env)))";
-        let p = raise_arity(parse_source(src).unwrap());
-        let w = p.def("worker").unwrap();
+        let p = raise_arity(parse_source(src)?);
+        let w = def_named(&p, "worker")?;
         assert_eq!(w.params.len(), 2, "{}", p.to_source());
         assert_eq!(w.body.to_sexpr().to_string(), "(+ env-hd env-tl)");
-        let m = p.def("main").unwrap();
+        let m = def_named(&p, "main")?;
         assert_eq!(m.body.to_sexpr().to_string(), "(worker a b)");
+        Ok(())
     }
 
     #[test]
-    fn arity_raising_iterates_through_nested_env() {
+    fn arity_raising_iterates_through_nested_env() -> R {
         // Environments encoded as nested conses flatten completely.
         let src = "(define (main a b c) (worker (cons a (cons b c))))
                    (define (worker env) (+ (car env) (+ (car (cdr env)) (cdr (cdr env)))))";
-        let p = postprocess(parse_source(src).unwrap());
-        let m = p.def("main").unwrap();
+        let p = postprocess(parse_source(src)?);
+        let m = def_named(&p, "main")?;
         // Fully inlined or flattened: no cons left anywhere.
         assert!(!m.body.to_sexpr().to_string().contains("cons"), "{}", p.to_source());
+        Ok(())
     }
 
     #[test]
-    fn bare_use_blocks_raising() {
+    fn bare_use_blocks_raising() -> R {
         let src = "(define (main a b) (worker (cons a b)))
                    (define (worker env) (cons (car env) env))";
-        let p = raise_arity(parse_source(src).unwrap());
-        assert_eq!(p.def("worker").unwrap().params.len(), 1);
+        let p = raise_arity(parse_source(src)?);
+        assert_eq!(def_named(&p, "worker")?.params.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn inline_once_and_compress() {
+    fn inline_once_and_compress() -> R {
         let src = "(define (main x) (step1 x))
                    (define (step1 y) (step2 (+ y 1)))
                    (define (step2 z) (* z z))";
-        let p = postprocess(parse_source(src).unwrap());
+        let p = postprocess(parse_source(src)?);
         assert_eq!(p.defs.len(), 1, "{}", p.to_source());
         assert_eq!(p.defs[0].name.as_ref(), "main");
+        Ok(())
     }
 
     #[test]
-    fn recursive_loops_survive() {
+    fn recursive_loops_survive() -> R {
         let src = "(define (main x) (loop x))
                    (define (loop n) (if (zero? n) 0 (loop (- n 1))))";
-        let p = postprocess(parse_source(src).unwrap());
+        let p = postprocess(parse_source(src)?);
         assert!(p.def("loop").is_some());
+        Ok(())
     }
 }

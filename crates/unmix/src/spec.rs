@@ -10,6 +10,7 @@
 use crate::bta::{Bt, Division};
 use pe_frontend::ast::{Constant, Expr, Label, Prim, Program};
 use pe_frontend::Definition;
+use pe_governor::Limits;
 use pe_interp::value::apply_prim;
 use pe_interp::Datum;
 use std::collections::{HashMap, VecDeque};
@@ -21,15 +22,19 @@ use std::rc::Rc;
 pub struct UnmixOptions {
     /// Run post-unfolding, dead-parameter elimination and arity raising.
     pub postprocess: bool,
-    /// Upper bound on residual procedures.
-    pub max_procs: usize,
-    /// Upper bound on unfolding depth.
-    pub max_unfold_depth: usize,
+    /// Shared resource limits: `max_residual` bounds the residual
+    /// procedure count and `max_unfold_depth` the call-unfolding depth.
+    pub limits: Limits,
 }
 
 impl Default for UnmixOptions {
     fn default() -> Self {
-        UnmixOptions { postprocess: true, max_procs: 20_000, max_unfold_depth: 300 }
+        UnmixOptions {
+            postprocess: true,
+            // First-order residual programs are small; a tighter residual
+            // budget than the pipeline default catches divergence sooner.
+            limits: Limits { max_residual: 20_000, ..Limits::default() },
+        }
     }
 }
 
@@ -140,7 +145,7 @@ impl Unmix<'_> {
         env: &HashMap<Rc<str>, Pv>,
         depth: usize,
     ) -> Result<Pv, UnmixError> {
-        if depth > self.opts.max_unfold_depth {
+        if depth > self.opts.limits.max_unfold_depth {
             return Err(UnmixError::DepthExceeded);
         }
         match e {
@@ -325,8 +330,8 @@ impl Unmix<'_> {
                 *n += 1;
                 let name: Rc<str> = Rc::from(format!("{p}-${n}").as_str());
                 self.memo.insert((p.clone(), key), name.clone());
-                if self.memo.len() > self.opts.max_procs {
-                    return Err(UnmixError::Budget { procs: self.opts.max_procs });
+                if self.memo.len() > self.opts.limits.max_residual {
+                    return Err(UnmixError::Budget { procs: self.opts.limits.max_residual });
                 }
                 let dyn_params: Vec<Rc<str>> = static_args
                     .iter()
@@ -485,13 +490,23 @@ pub fn specialize(
     let seed = u.spec_call(&def.name, entry_pvs)?;
     let entry_name = match &seed {
         Pv::Dyn(Expr::Call(_, n, _)) => n.clone(),
-        _ => unreachable!("spec_call returns a call"),
+        _ => {
+            return Err(UnmixError::StaticError(
+                "entry specialization did not produce a residual call".to_string(),
+            ))
+        }
     };
     while let Some(pp) = u.pending.pop_front() {
-        if u.done.len() >= u.opts.max_procs {
-            return Err(UnmixError::Budget { procs: u.opts.max_procs });
+        if u.done.len() >= u.opts.limits.max_residual {
+            return Err(UnmixError::Budget { procs: u.opts.limits.max_residual });
         }
-        let def = u.prog.def(&pp.proc_name).expect("known proc");
+        // Pending procedures only come from spec_call, which resolved
+        // the definition — a miss here means the program changed under
+        // us, which must surface as an error, not a panic.
+        let def = u
+            .prog
+            .def(&pp.proc_name)
+            .ok_or_else(|| UnmixError::NoSuchProc(pp.proc_name.to_string()))?;
         let mut env = HashMap::new();
         let mut dyn_iter = pp.dyn_params.iter();
         for (param, sa) in def.params.iter().zip(&pp.static_args) {
@@ -500,7 +515,12 @@ pub fn specialize(
                     env.insert(param.clone(), Pv::Sta(d.clone()));
                 }
                 None => {
-                    let fv = dyn_iter.next().expect("one fresh var per dynamic param");
+                    let fv = dyn_iter.next().ok_or_else(|| {
+                        UnmixError::StaticError(format!(
+                            "missing fresh variable for dynamic parameter {param} of {}",
+                            pp.proc_name
+                        ))
+                    })?;
                     env.insert(
                         param.clone(),
                         Pv::Dyn(Expr::Var(fresh(&mut u.labels), fv.clone())),

@@ -27,8 +27,9 @@
 
 use pe_core::{S0Program, S0Simple, S0Tail};
 use pe_frontend::ast::{Constant, Prim};
+use pe_governor::Trap;
 use pe_interp::value::{apply_prim, Value};
-use pe_interp::{Datum, InterpError, Limits};
+use pe_interp::{Datum, Fuel, InterpError, Limits};
 use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
@@ -106,14 +107,18 @@ enum RTail {
     Fail(String),
 }
 
+#[derive(Debug)]
 struct Block {
     arity: usize,
     body: RTail,
 }
 
 /// A compiled S₀ program, ready to run.
+#[derive(Debug)]
 pub struct Vm {
     blocks: Vec<Block>,
+    /// Block names, parallel to `blocks` — kept for trap diagnostics.
+    names: Vec<String>,
     entry: usize,
     entry_name: String,
 }
@@ -129,13 +134,15 @@ impl Vm {
             p.procs.iter().enumerate().map(|(i, q)| (q.name.as_str(), i)).collect();
         let entry = *index.get(p.entry.as_str()).ok_or_else(|| VmError::NoEntry(p.entry.clone()))?;
         let mut blocks = Vec::with_capacity(p.procs.len());
+        let mut names = Vec::with_capacity(p.procs.len());
         for q in &p.procs {
             let slots: HashMap<&str, usize> =
                 q.params.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
             let body = resolve_tail(&q.body, &q.name, &slots, &index, p)?;
             blocks.push(Block { arity: q.params.len(), body });
+            names.push(q.name.clone());
         }
-        Ok(Vm { blocks, entry, entry_name: p.entry.clone() })
+        Ok(Vm { blocks, names, entry, entry_name: p.entry.clone() })
     }
 
     /// The number of compiled blocks (procedures).
@@ -143,15 +150,26 @@ impl Vm {
         self.blocks.len()
     }
 
+    /// The name of the block at `pc`, as reported in traps.
+    pub fn block_name(&self, pc: usize) -> Option<&str> {
+        self.names.get(pc).map(String::as_str)
+    }
+
     /// Runs the program on first-order inputs, returning the result and
     /// the execution counters.
     ///
     /// # Errors
     ///
-    /// Returns an [`InterpError`] on dynamic faults, `%fail`, fuel
-    /// exhaustion or a closure-valued result.
+    /// Returns an [`InterpError`] on dynamic faults, `%fail`, exhausted
+    /// budgets ([`Limits::fuel`], [`Limits::max_heap`]) or a
+    /// closure-valued result.  Machine-invariant violations surface as
+    /// [`Trap::UnboundLabel`] / [`Trap::BadDispatch`] carrying the
+    /// program counter (block index) — never as a panic.
     pub fn run(&self, args: &[Datum], limits: Limits) -> Result<(Datum, VmStats), InterpError> {
-        let entry = &self.blocks[self.entry];
+        let mut pc = self.entry;
+        let entry = self.blocks.get(pc).ok_or_else(|| {
+            InterpError::Trap(Trap::UnboundLabel { label: self.entry_name.clone(), pc })
+        })?;
         if entry.arity != args.len() {
             return Err(InterpError::EntryArity {
                 name: self.entry_name.clone(),
@@ -163,23 +181,26 @@ impl Vm {
         // The "global parameter variables" of the C translation.
         let mut frame: Vec<V> = args.iter().map(Datum::embed).collect();
         let mut body = &entry.body;
-        let mut fuel = limits.fuel;
+        // The machine is a flat goto loop: fuel and the heap budget
+        // apply; `max_call_depth` does not (the host stack never grows).
+        let mut fuel = Fuel::new(&limits);
         loop {
-            if fuel == 0 {
-                return Err(InterpError::FuelExhausted);
-            }
-            fuel -= 1;
+            fuel.step()?;
             stats.steps += 1;
             match body {
                 RTail::Return(s) => {
-                    let v = eval(s, &frame, &mut stats)?;
+                    let v = eval(s, &frame, pc, &mut stats, &mut fuel)?;
                     return Ok((
                         v.to_datum().ok_or(InterpError::ResultNotFirstOrder)?,
                         stats,
                     ));
                 }
                 RTail::If(c, t, e) => {
-                    body = if eval(c, &frame, &mut stats)?.is_truthy() { t } else { e };
+                    body = if eval(c, &frame, pc, &mut stats, &mut fuel)?.is_truthy() {
+                        t
+                    } else {
+                        e
+                    };
                 }
                 RTail::Goto(target, args) => {
                     stats.calls += 1;
@@ -188,10 +209,17 @@ impl Vm {
                     // C translation's assign-then-goto discipline.
                     let mut next = Vec::with_capacity(args.len());
                     for a in args {
-                        next.push(eval(a, &frame, &mut stats)?);
+                        next.push(eval(a, &frame, pc, &mut stats, &mut fuel)?);
                     }
+                    let block = self.blocks.get(*target).ok_or_else(|| {
+                        InterpError::Trap(Trap::UnboundLabel {
+                            label: format!("block {target}"),
+                            pc,
+                        })
+                    })?;
                     frame = next;
-                    body = &self.blocks[*target].body;
+                    body = &block.body;
+                    pc = *target;
                 }
                 RTail::Fail(m) => return Err(InterpError::NotAProcedure(m.clone())),
             }
@@ -199,39 +227,62 @@ impl Vm {
     }
 }
 
-fn eval(s: &RSimple, frame: &[V], stats: &mut VmStats) -> Result<V, InterpError> {
+fn eval(
+    s: &RSimple,
+    frame: &[V],
+    pc: usize,
+    stats: &mut VmStats,
+    fuel: &mut Fuel,
+) -> Result<V, InterpError> {
     match s {
-        RSimple::Slot(i) => Ok(frame[*i].clone()),
+        RSimple::Slot(i) => frame.get(*i).cloned().ok_or_else(|| {
+            InterpError::Trap(Trap::BadDispatch {
+                pc,
+                detail: format!("frame slot {i} out of range ({} slots)", frame.len()),
+            })
+        }),
         RSimple::Const(v) => Ok(v.clone()),
         RSimple::Prim(op, args) => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval(a, frame, stats)?);
+                vals.push(eval(a, frame, pc, stats, fuel)?);
             }
             if *op == Prim::Cons {
                 stats.allocs += 1;
+                fuel.alloc(1)?;
             }
             Ok(apply_prim(*op, &vals)?)
         }
         RSimple::MakeClosure(label, args) => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval(a, frame, stats)?);
+                vals.push(eval(a, frame, pc, stats, fuel)?);
             }
             stats.allocs += 1;
+            fuel.alloc(1)?;
             Ok(Value::Closure(VmClosure { label: *label, freevals: vals.into() }))
         }
-        RSimple::ClosureLabel(a) => match eval(a, frame, stats)? {
+        RSimple::ClosureLabel(a) => match eval(a, frame, pc, stats, fuel)? {
             Value::Closure(c) => Ok(Value::Int(i64::from(c.label))),
-            v => Err(InterpError::NotAProcedure(v.to_string())),
+            v => Err(InterpError::Trap(Trap::BadDispatch {
+                pc,
+                detail: format!("closure-label of non-closure {v}"),
+            })),
         },
-        RSimple::ClosureFreeval(a, i) => match eval(a, frame, stats)? {
-            Value::Closure(c) => c
-                .freevals
-                .get(*i)
-                .cloned()
-                .ok_or_else(|| InterpError::Unbound(format!("freeval {i}"))),
-            v => Err(InterpError::NotAProcedure(v.to_string())),
+        RSimple::ClosureFreeval(a, i) => match eval(a, frame, pc, stats, fuel)? {
+            Value::Closure(c) => c.freevals.get(*i).cloned().ok_or_else(|| {
+                InterpError::Trap(Trap::BadDispatch {
+                    pc,
+                    detail: format!(
+                        "closure-freeval {i} out of range ({} captured)",
+                        c.freevals.len()
+                    ),
+                })
+            }),
+            v => Err(InterpError::Trap(Trap::BadDispatch {
+                pc,
+                detail: format!("closure-freeval of non-closure {v}"),
+            })),
         },
     }
 }
@@ -330,57 +381,58 @@ mod tests {
     use pe_core::{compile, specialize, CompileOptions, GenStrategy};
     use pe_frontend::{desugar, parse_source};
 
-    fn compile_to_vm(src: &str, entry: &str) -> Vm {
-        let p = parse_source(src).unwrap();
-        let d = desugar(&p).unwrap();
-        let s0 = compile(&d, entry, &CompileOptions::default()).unwrap();
-        Vm::compile(&s0).unwrap()
+    type R = Result<(), Box<dyn std::error::Error>>;
+
+    fn compile_to_vm(src: &str, entry: &str) -> Result<Vm, Box<dyn std::error::Error>> {
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
+        let s0 = compile(&d, entry, &CompileOptions::default())?;
+        Ok(Vm::compile(&s0)?)
     }
 
     #[test]
-    fn vm_matches_interpreters_on_cps_append() {
+    fn vm_matches_interpreters_on_cps_append() -> R {
         let src = "(define (append x y) (cps-append x y (lambda (v) v)))
                    (define (cps-append x y c)
                      (if (null? x) (c y)
                          (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
-        let vm = compile_to_vm(src, "append");
-        let (r, stats) = vm
-            .run(
-                &[Datum::parse("(a b)").unwrap(), Datum::parse("(c)").unwrap()],
-                Limits::default(),
-            )
-            .unwrap();
+        let vm = compile_to_vm(src, "append")?;
+        let (r, stats) =
+            vm.run(&[Datum::parse("(a b)")?, Datum::parse("(c)")?], Limits::default())?;
         assert_eq!(r.to_string(), "(a b c)");
         assert!(stats.allocs >= 3, "conses + continuation closures: {stats:?}");
+        Ok(())
     }
 
     #[test]
-    fn vm_runs_tak() {
+    fn vm_runs_tak() -> R {
         let src = "(define (tak x y z)
                      (if (not (< y x)) z
                          (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))";
-        let vm = compile_to_vm(src, "tak");
+        let vm = compile_to_vm(src, "tak")?;
         let (r, stats) =
-            vm.run(&[Datum::Int(14), Datum::Int(7), Datum::Int(3)], Limits::default()).unwrap();
+            vm.run(&[Datum::Int(14), Datum::Int(7), Datum::Int(3)], Limits::default())?;
         assert_eq!(r, Datum::Int(7));
         // tak's contexts are heap-allocated closures in our model — the
         // §8 observation that Hobbit's native stack wins on this code.
         assert!(stats.allocs > 1000, "{stats:?}");
+        Ok(())
     }
 
     #[test]
-    fn counters_are_deterministic() {
+    fn counters_are_deterministic() -> R {
         let src = "(define (loop n) (if (zero? n) 0 (loop (- n 1))))";
-        let vm = compile_to_vm(src, "loop");
-        let (_, s1) = vm.run(&[Datum::Int(1000)], Limits::default()).unwrap();
-        let (_, s2) = vm.run(&[Datum::Int(1000)], Limits::default()).unwrap();
+        let vm = compile_to_vm(src, "loop")?;
+        let (_, s1) = vm.run(&[Datum::Int(1000)], Limits::default())?;
+        let (_, s2) = vm.run(&[Datum::Int(1000)], Limits::default())?;
         assert_eq!(s1, s2);
         assert!(s1.calls >= 1000);
         assert_eq!(s1.allocs, 0, "a first-order tail loop allocates nothing");
+        Ok(())
     }
 
     #[test]
-    fn specialized_code_is_cheaper() {
+    fn specialized_code_is_cheaper() -> R {
         // The interpretive-overhead claim in miniature: append
         // specialized to its first argument does fewer steps than the
         // general compiled version.
@@ -388,22 +440,21 @@ mod tests {
                    (define (cps-append x y c)
                      (if (null? x) (c y)
                          (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
-        let p = parse_source(src).unwrap();
-        let d = desugar(&p).unwrap();
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
         let opts = CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
-        let gen_p = compile(&d, "append", &opts).unwrap();
-        let spec_p =
-            specialize(&d, "append", &[Some(Datum::parse("(a b c d)").unwrap()), None], &opts)
-                .unwrap();
-        let y = Datum::parse("(e f)").unwrap();
-        let x = Datum::parse("(a b c d)").unwrap();
-        let (r1, s1) = run_s0(&gen_p, &[x, y.clone()], Limits::default()).unwrap();
-        let (r2, s2) = run_s0(&spec_p, &[y], Limits::default()).unwrap();
+        let gen_p = compile(&d, "append", &opts)?;
+        let spec_p = specialize(&d, "append", &[Some(Datum::parse("(a b c d)")?), None], &opts)?;
+        let y = Datum::parse("(e f)")?;
+        let x = Datum::parse("(a b c d)")?;
+        let (r1, s1) = run_s0(&gen_p, &[x, y.clone()], Limits::default())?;
+        let (r2, s2) = run_s0(&spec_p, &[y], Limits::default())?;
         assert_eq!(r1, r2);
         assert!(
             s2.steps < s1.steps,
             "specialized {s2:?} must beat general {s1:?}"
         );
+        Ok(())
     }
 
     #[test]
@@ -432,9 +483,52 @@ mod tests {
     }
 
     #[test]
-    fn deep_tail_recursion_is_flat() {
-        let vm = compile_to_vm("(define (loop n) (if (zero? n) 'ok (loop (- n 1))))", "loop");
-        let (r, _) = vm.run(&[Datum::Int(3_000_000)], Limits::default()).unwrap();
+    fn deep_tail_recursion_is_flat() -> R {
+        let vm = compile_to_vm("(define (loop n) (if (zero? n) 'ok (loop (- n 1))))", "loop")?;
+        let (r, _) = vm.run(&[Datum::Int(3_000_000)], Limits::default())?;
         assert_eq!(r, Datum::Sym("ok".into()));
+        Ok(())
+    }
+
+    #[test]
+    fn fuel_and_heap_budgets_trap() -> R {
+        // A divergent loop traps on fuel …
+        let vm = compile_to_vm("(define (f n) (f n))", "f")?;
+        let lim = Limits { fuel: 100, ..Limits::default() };
+        assert_eq!(vm.run(&[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
+        // … and a cons-builder traps on the heap budget first.
+        let vm = compile_to_vm("(define (g x) (g (cons x x)))", "g")?;
+        let lim = Limits { max_heap: 50, ..Limits::default() };
+        assert_eq!(
+            vm.run(&[Datum::Int(0)], lim),
+            Err(InterpError::Trap(Trap::Heap { limit: 50 }))
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn closure_misuse_is_a_dispatch_trap() -> R {
+        use pe_core::{S0Proc, S0Program};
+        // closure-freeval on an int: compiles (S₀ is untyped) but must
+        // trap with a pc, not panic.
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![S0Proc {
+                name: "main".into(),
+                params: vec!["x".into()],
+                body: S0Tail::Return(S0Simple::ClosureFreeval(
+                    Box::new(S0Simple::Var("x".into())),
+                    0,
+                )),
+            }],
+        };
+        let vm = Vm::compile(&p)?;
+        let r = vm.run(&[Datum::Int(7)], Limits::default());
+        assert!(
+            matches!(r, Err(InterpError::Trap(Trap::BadDispatch { pc: 0, .. }))),
+            "got {r:?}"
+        );
+        assert_eq!(vm.block_name(0), Some("main"));
+        Ok(())
     }
 }

@@ -9,9 +9,15 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo run --release -p realistic-pe --example verify
 
-# Fault injection: hostile input against every entry point, then the
+# Fault injection: hostile input against every entry point (including
+# the printer-totality and pretty/read round-trip tests), then the
 # deep-input stack smoke in the DEBUG profile (unoptimized frames are
 # the worst case for host-stack recursion, so unbounded recursion
 # aborts here rather than in a user's process).
 cargo test -q -p pe-faultline
 cargo run -p pe-faultline --example stack_smoke
+
+# The offline benchmark harness in quick mode: compiles and times the
+# whole Gabriel suite on every engine (small inputs, few reps) so each
+# CI run checks the harness end to end and leaves BENCH_pe.json behind.
+cargo run --release -p pe-bench -- --quick

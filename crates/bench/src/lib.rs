@@ -1,16 +1,354 @@
-//! The benchmark harness regenerating the paper's evaluation.
+//! The offline benchmark harness regenerating the paper's §8 evaluation.
 //!
-//! Criterion benches (run with `cargo bench -p pe-bench`):
+//! The previous harness depended on criterion from the registry, so it
+//! was excluded from the workspace and never ran in offline CI.  This
+//! one is dependency-free: a `std::time::Instant` min-of-N timer, a
+//! parallel compile phase over `std::thread::scope`, and a hand-rolled
+//! deterministic JSON writer.  Every PR leaves a bench data point.
 //!
-//! * `fig8` — the Figure 8 table: every benchmark, ours (PE → S₀ VM,
-//!   offline generalization) vs the Hobbit-like baseline;
-//! * `generalization` — the §8 online-vs-offline comparison (the paper:
-//!   cpstak ≈3× faster with the online strategy);
-//! * `speedup` — the §2 interpretive-overhead claim: compiled code vs
-//!   the Fig. 6 interpreter, plus compile-time costs.
+//! Per [`SUITE`] benchmark (in the fixed Fig. 8 row order) it measures:
 //!
-//! The human-readable row printer for every table and figure — including
-//! the code-size table and the ablations — is
-//! `cargo run --release --example figures` in the `realistic-pe` crate.
+//! * `vm` — "ours": the specializing compiler's S₀ residual on the
+//!   goto-machine (the §5.1 execution model);
+//! * `tail` — the Fig. 6 tail-recursive interpreter, the engine the
+//!   compiler is a specializer-projection of (the interpretive
+//!   overhead the paper's §2 speedup claim is measured against);
+//! * `hobbit` — the §6 Hobbit-like native-stack baseline.
+//!
+//! Use `cargo run --release -p pe-bench` (full mode: `bench_args`) or
+//! `-- --quick` (test-sized inputs, for CI).  The output schema is
+//! documented in the workspace README ("Benchmark harness").
 
-pub use realistic_pe::{Benchmark, SUITE};
+use realistic_pe::{with_big_stack, Benchmark, CompileOptions, Datum, Limits, Pipeline, SUITE};
+use std::time::Instant;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Quick mode uses the fast `test_args` inputs; full mode uses the
+    /// measured `bench_args` configuration.
+    pub quick: bool,
+    /// Timing runs per engine; the minimum is reported.
+    pub reps: u32,
+}
+
+impl BenchConfig {
+    /// CI-sized configuration: test inputs, min of 3.
+    #[must_use]
+    pub fn quick() -> BenchConfig {
+        BenchConfig { quick: true, reps: 3 }
+    }
+
+    /// The measured configuration: bench inputs, min of 5.
+    #[must_use]
+    pub fn full() -> BenchConfig {
+        BenchConfig { quick: false, reps: 5 }
+    }
+
+    fn mode(&self) -> &'static str {
+        if self.quick {
+            "quick"
+        } else {
+            "full"
+        }
+    }
+}
+
+/// One engine's timing on one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineTiming {
+    /// Best wall-clock time over `runs` repetitions, in milliseconds.
+    pub min_ms: f64,
+    /// How many repetitions were timed.
+    pub runs: u32,
+}
+
+/// One row of the output: a benchmark measured on every engine.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// The Fig. 8 row name.
+    pub name: &'static str,
+    /// True if the source program is higher-order (the paper's axis).
+    pub higher_order: bool,
+    /// The inputs that were timed (printed form).
+    pub args: Vec<String>,
+    /// Best wall-clock time of `compile_vm` (specialize + verify +
+    /// load) over the same number of repetitions as the runs.
+    pub compile_ms: f64,
+    /// The S₀ VM ("ours").
+    pub vm: EngineTiming,
+    /// The Fig. 6 tail interpreter.
+    pub tail: EngineTiming,
+    /// The Hobbit-like baseline.
+    pub hobbit: EngineTiming,
+    /// The paper's Fig. 8 "ours" timing (ms on a PowerPC/250).
+    pub paper_ours_ms: u32,
+    /// The paper's Fig. 8 Hobbit timing (ms).
+    pub paper_hobbit_ms: u32,
+}
+
+/// Best-of-`reps` wall-clock time of `f`, in milliseconds.
+pub fn time_min_ms(reps: u32, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64() * 1000.0);
+    }
+    best
+}
+
+/// Runs the whole suite: a parallel compile-and-check phase followed by
+/// a sequential timing phase (timing is serialized so runs never compete
+/// for cores).
+///
+/// # Errors
+///
+/// Returns a message naming the benchmark if compilation fails or any
+/// engine disagrees with the expected result — a benchmark that computes
+/// the wrong answer must never be timed.
+pub fn run_suite(cfg: &BenchConfig) -> Result<Vec<BenchRow>, String> {
+    // Phase 1 — compile every benchmark in parallel and gate on
+    // correctness (each engine must reproduce `test_expect`).  Compiled
+    // artifacts hold `Rc` internals, so they stay on their thread; no
+    // timing happens here — parallel workers compete for cores, so
+    // anything measured in this phase would be contention noise.
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = SUITE
+            .iter()
+            .map(|b| {
+                std::thread::Builder::new()
+                    .name(format!("pe-bench-compile-{}", b.name))
+                    // Host-stack engines (Hobbit) recurse by design.
+                    .stack_size(1 << 28)
+                    .spawn_scoped(scope, move || compile_and_check(b))
+                    .expect("spawn compile worker")
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("compile worker panicked"))
+            .collect::<Result<Vec<()>, String>>()
+    })?;
+
+    // Phase 2 — every timed number (compile and run) is measured
+    // sequentially on one big-stack worker, min of `reps`.
+    let cfg = cfg.clone();
+    with_big_stack(move || SUITE.iter().map(|b| time_benchmark(b, &cfg)).collect())
+}
+
+/// Phase 1 body: compile for every engine and check every engine
+/// against `test_expect`.
+fn compile_and_check(b: &Benchmark) -> Result<(), String> {
+    let fail = |stage: &str, e: &dyn std::fmt::Display| format!("{}: {stage}: {e}", b.name);
+    let pipe = Pipeline::new(b.source).map_err(|e| fail("parse", &e))?;
+    let opts = CompileOptions::default();
+    let vm = pipe.compile_vm(b.entry, &opts).map_err(|e| fail("compile", &e))?;
+    let hob = pipe.compile_hobbit().map_err(|e| fail("hobbit", &e))?;
+
+    let args = b.test_inputs();
+    let expect = Datum::parse(b.test_expect).expect("parseable expectation");
+    let lim = Limits::default();
+    let check = |engine: &str, got: Datum| {
+        if got == expect {
+            Ok(())
+        } else {
+            Err(format!("{}: {engine} computed {got}, expected {expect}", b.name))
+        }
+    };
+    check("vm", vm.run(&args, lim).map_err(|e| fail("vm run", &e))?.0)?;
+    check("tail", pipe.run_tail(b.entry, &args, lim).map_err(|e| fail("tail run", &e))?)?;
+    check("hobbit", hob.run(b.entry, &args, lim).map_err(|e| fail("hobbit run", &e))?)?;
+    Ok(())
+}
+
+/// Phase 2 body: min-of-N timing of every engine on one benchmark.
+fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> {
+    let fail = |stage: &str, e: &dyn std::fmt::Display| format!("{}: {stage}: {e}", b.name);
+    let pipe = Pipeline::new(b.source).map_err(|e| fail("parse", &e))?;
+    let opts = CompileOptions::default();
+    // Compile time (specialize + verify + VM load) is as much a
+    // measured quantity as the runs: min of `reps`, sequential.
+    let compile_ms = time_min_ms(cfg.reps, || {
+        pipe.compile_vm(b.entry, &opts).expect("compile rep");
+    });
+    let vm = pipe.compile_vm(b.entry, &opts).map_err(|e| fail("compile", &e))?;
+    let hob = pipe.compile_hobbit().map_err(|e| fail("hobbit", &e))?;
+    let (arg_texts, args) = if cfg.quick {
+        (b.test_args, b.test_inputs())
+    } else {
+        (b.bench_args, b.bench_inputs())
+    };
+    let lim = Limits::default();
+
+    // Warm-up runs double as an engine-agreement check on the timed
+    // input size.
+    let expect = vm.run(&args, lim).map_err(|e| fail("vm run", &e))?.0;
+    let tail0 = pipe.run_tail(b.entry, &args, lim).map_err(|e| fail("tail run", &e))?;
+    let hob0 = hob.run(b.entry, &args, lim).map_err(|e| fail("hobbit run", &e))?;
+    if tail0 != expect || hob0 != expect {
+        return Err(format!("{}: engines disagree on timed inputs", b.name));
+    }
+
+    let reps = cfg.reps;
+    let vm_t = time_min_ms(reps, || {
+        vm.run(&args, lim).expect("vm rep");
+    });
+    let tail_t = time_min_ms(reps, || {
+        pipe.run_tail(b.entry, &args, lim).expect("tail rep");
+    });
+    let hob_t = time_min_ms(reps, || {
+        hob.run(b.entry, &args, lim).expect("hobbit rep");
+    });
+
+    Ok(BenchRow {
+        name: b.name,
+        higher_order: b.higher_order,
+        args: arg_texts.iter().map(|s| (*s).to_string()).collect(),
+        compile_ms,
+        vm: EngineTiming { min_ms: vm_t, runs: reps },
+        tail: EngineTiming { min_ms: tail_t, runs: reps },
+        hobbit: EngineTiming { min_ms: hob_t, runs: reps },
+        paper_ours_ms: b.paper_ours_ms,
+        paper_hobbit_ms: b.paper_hobbit_ms,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Deterministic JSON
+// ----------------------------------------------------------------------
+
+/// Renders the result as JSON with a deterministic shape: object keys
+/// are alphabetically sorted at every level, benchmarks appear in the
+/// fixed Fig. 8 order, and floats use a fixed precision — so two runs
+/// differ only in the measured digits and diffs stay reviewable.
+#[must_use]
+pub fn to_json(cfg: &BenchConfig, rows: &[BenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"benchmarks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str("      \"args\": [");
+        for (j, a) in r.args.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(a));
+        }
+        s.push_str("],\n");
+        s.push_str(&format!("      \"compile_ms\": {:.3},\n", r.compile_ms));
+        s.push_str("      \"engines\": {\n");
+        let engines = [("hobbit", r.hobbit), ("tail", r.tail), ("vm", r.vm)];
+        for (j, (name, t)) in engines.iter().enumerate() {
+            s.push_str(&format!(
+                "        \"{name}\": {{\"min_ms\": {:.3}, \"runs\": {}}}{}\n",
+                t.min_ms,
+                t.runs,
+                if j + 1 < engines.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      },\n");
+        s.push_str(&format!("      \"higher_order\": {},\n", r.higher_order));
+        s.push_str(&format!("      \"name\": {},\n", json_str(r.name)));
+        s.push_str(&format!("      \"paper_hobbit_ms\": {},\n", r.paper_hobbit_ms));
+        s.push_str(&format!("      \"paper_ours_ms\": {}\n", r.paper_ours_ms));
+        s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"mode\": \"{}\",\n", cfg.mode()));
+    s.push_str(&format!("  \"reps\": {},\n", cfg.reps));
+    s.push_str("  \"schema\": \"pe-bench/1\"\n}\n");
+    s
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_row(name: &'static str) -> BenchRow {
+        BenchRow {
+            name,
+            higher_order: false,
+            args: vec!["(a \"b\")".to_string(), "3".to_string()],
+            compile_ms: 1.5,
+            vm: EngineTiming { min_ms: 0.25, runs: 3 },
+            tail: EngineTiming { min_ms: 0.75, runs: 3 },
+            hobbit: EngineTiming { min_ms: 0.5, runs: 3 },
+            paper_ours_ms: 100,
+            paper_hobbit_ms: 200,
+        }
+    }
+
+    #[test]
+    fn json_shape_is_deterministic_and_sorted() {
+        let cfg = BenchConfig::quick();
+        let rows = vec![fake_row("tak"), fake_row("queens")];
+        let a = to_json(&cfg, &rows);
+        let b = to_json(&cfg, &rows);
+        assert_eq!(a, b, "identical inputs must render identically");
+        // Keys appear in alphabetical order at every level.
+        for keys in [
+            vec!["\"benchmarks\"", "\"mode\"", "\"reps\"", "\"schema\""],
+            vec![
+                "\"args\"",
+                "\"compile_ms\"",
+                "\"engines\"",
+                "\"higher_order\"",
+                "\"name\"",
+                "\"paper_hobbit_ms\"",
+                "\"paper_ours_ms\"",
+            ],
+            vec!["\"hobbit\"", "\"tail\"", "\"vm\""],
+        ] {
+            let idx: Vec<usize> =
+                keys.iter().map(|k| a.find(k).unwrap_or_else(|| panic!("missing {k}"))).collect();
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "keys out of order: {keys:?}");
+        }
+        // Rows keep their given order (callers pass SUITE order).
+        assert!(a.find("\"tak\"").unwrap() < a.find("\"queens\"").unwrap());
+        // Strings are escaped.
+        assert!(a.contains(r#""(a \"b\")""#));
+    }
+
+    #[test]
+    fn time_min_ms_takes_the_minimum() {
+        let mut calls = 0;
+        let t = time_min_ms(4, || calls += 1);
+        assert_eq!(calls, 4);
+        assert!(t >= 0.0 && t.is_finite());
+    }
+
+    #[test]
+    fn quick_suite_measures_every_benchmark_on_three_engines() {
+        let cfg = BenchConfig { quick: true, reps: 1 };
+        let rows = run_suite(&cfg).expect("quick suite runs");
+        assert_eq!(rows.len(), SUITE.len());
+        for (row, b) in rows.iter().zip(SUITE) {
+            assert_eq!(row.name, b.name, "fixed Fig. 8 order");
+            for t in [row.vm, row.tail, row.hobbit] {
+                assert!(t.min_ms.is_finite() && t.min_ms >= 0.0, "{}", row.name);
+                assert_eq!(t.runs, 1);
+            }
+            assert!(row.compile_ms > 0.0, "{}", row.name);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! `pe-bench` — offline benchmark runner.
+//!
+//! ```text
+//! cargo run --release -p pe-bench                # full mode, bench_args
+//! cargo run --release -p pe-bench -- --quick     # CI mode, test_args
+//! cargo run --release -p pe-bench -- --out x.json --reps 7
+//! ```
+//!
+//! Writes `BENCH_pe.json` (deterministic shape: sorted keys, fixed
+//! Fig. 8 benchmark order) and prints a Fig. 8-style table.
+
+use pe_bench::{run_suite, to_json, BenchConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut cfg: Option<BenchConfig> = None;
+    let mut out = String::from("BENCH_pe.json");
+    let mut reps: Option<u32> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = Some(BenchConfig::quick()),
+            "--full" => cfg = Some(BenchConfig::full()),
+            "--out" => match args.next() {
+                Some(p) => out = p,
+                None => return usage("--out needs a path"),
+            },
+            "--reps" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => reps = Some(n),
+                _ => return usage("--reps needs a positive integer"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: pe-bench [--quick | --full] [--reps N] [--out PATH]\n\
+                     Times every Fig. 8 benchmark on the S0 VM, the tail\n\
+                     interpreter and the Hobbit baseline; writes PATH\n\
+                     (default BENCH_pe.json)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    let mut cfg = cfg.unwrap_or_else(BenchConfig::full);
+    if let Some(n) = reps {
+        cfg.reps = n;
+    }
+
+    let rows = match run_suite(&cfg) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("pe-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "{:<11} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "benchmark", "compile", "vm ms", "tail ms", "hobbit ms", "tail/vm"
+    );
+    for r in &rows {
+        println!(
+            "{:<11} {:>10.2} {:>10.3} {:>10.3} {:>10.3} {:>9.2}",
+            r.name,
+            r.compile_ms,
+            r.vm.min_ms,
+            r.tail.min_ms,
+            r.hobbit.min_ms,
+            r.tail.min_ms / r.vm.min_ms
+        );
+    }
+
+    let json = to_json(&cfg, &rows);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("pe-bench: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out} ({} mode, min of {} runs)", if cfg.quick { "quick" } else { "full" }, cfg.reps);
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("pe-bench: {msg} (try --help)");
+    ExitCode::FAILURE
+}

@@ -17,7 +17,7 @@ use crate::s0::S0Simple;
 use pe_frontend::ast::Constant;
 use pe_frontend::dast::LamId;
 use pe_frontend::flow::LamSet;
-use std::collections::HashMap;
+use pe_intern::FxHashMap;
 use std::rc::Rc;
 
 /// A configuration variable identifier (paper: `cv(i)`).
@@ -106,7 +106,7 @@ impl ValDesc {
     /// # Errors
     ///
     /// [`MissingCv`] if a configuration variable has no σ binding.
-    pub fn residualize(&self, sigma: &HashMap<CvId, S0Simple>) -> Result<S0Simple, MissingCv> {
+    pub fn residualize(&self, sigma: &FxHashMap<CvId, S0Simple>) -> Result<S0Simple, MissingCv> {
         match self {
             ValDesc::Quote(k) => Ok(S0Simple::Const(k.clone())),
             ValDesc::Cons { car, cdr, .. } => Ok(S0Simple::Prim(
@@ -180,7 +180,7 @@ impl ValDesc {
     /// # Errors
     ///
     /// [`MissingCv`] if a configuration variable is absent from `map`.
-    pub fn rename_cvs(&self, map: &HashMap<CvId, CvId>) -> Result<ValDesc, MissingCv> {
+    pub fn rename_cvs(&self, map: &FxHashMap<CvId, CvId>) -> Result<ValDesc, MissingCv> {
         match self {
             ValDesc::Quote(_) => Ok(self.clone()),
             ValDesc::Cons { site, car, cdr } => Ok(ValDesc::Cons {
@@ -204,7 +204,7 @@ impl ValDesc {
 
     /// The canonical shape of this description with configuration
     /// variables replaced by their canonical index from `index`.
-    pub fn shape(&self, index: &HashMap<CvId, u32>) -> DescShape {
+    pub fn shape(&self, index: &FxHashMap<CvId, u32>) -> DescShape {
         match self {
             ValDesc::Quote(k) => DescShape::Quote(k.clone()),
             ValDesc::Cons { site, car, cdr } => DescShape::Cons(
@@ -299,7 +299,7 @@ mod tests {
 
     #[test]
     fn residualize_lifts_structure() -> Result<(), MissingCv> {
-        let mut sigma = HashMap::new();
+        let mut sigma = FxHashMap::default();
         sigma.insert(0, S0Simple::Var("cv-vals-$1".into()));
         let d = cons(1, ValDesc::Quote(Constant::Sym("foo".into())), cv(0));
         let e = d.residualize(&sigma)?;
@@ -317,9 +317,9 @@ mod tests {
 
     #[test]
     fn missing_cv_is_an_error_not_a_panic() {
-        let sigma = HashMap::new();
+        let sigma = FxHashMap::default();
         assert_eq!(cv(9).residualize(&sigma), Err(MissingCv(9)));
-        let map = HashMap::new();
+        let map = FxHashMap::default();
         assert_eq!(cv(9).rename_cvs(&map), Err(MissingCv(9)));
     }
 
@@ -335,12 +335,12 @@ mod tests {
     fn shapes_identify_states_up_to_renaming() {
         let d1 = cons(1, cv(10), cv(11));
         let d2 = cons(1, cv(99), cv(3));
-        let idx1: HashMap<CvId, u32> = [(10, 0), (11, 1)].into();
-        let idx2: HashMap<CvId, u32> = [(99, 0), (3, 1)].into();
+        let idx1: FxHashMap<CvId, u32> = [(10, 0), (11, 1)].into_iter().collect();
+        let idx2: FxHashMap<CvId, u32> = [(99, 0), (3, 1)].into_iter().collect();
         assert_eq!(d1.shape(&idx1), d2.shape(&idx2));
         // Sharing matters: (cv a, cv a) ≠ (cv a, cv b).
         let d3 = cons(1, cv(7), cv(7));
-        let idx3: HashMap<CvId, u32> = [(7, 0)].into();
+        let idx3: FxHashMap<CvId, u32> = [(7, 0)].into_iter().collect();
         assert_ne!(d3.shape(&idx3), d1.shape(&idx1));
     }
 

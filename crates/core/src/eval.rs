@@ -7,6 +7,7 @@
 //! crate, and the C back end in `pe-backend-c`.
 
 use crate::s0::{S0Program, S0Simple, S0Tail};
+use pe_intern::FxHashMap;
 use pe_interp::value::{apply_prim, Value};
 use pe_interp::{Datum, Fuel, InterpError, Limits};
 use pe_frontend::Prim;
@@ -23,17 +24,20 @@ pub struct S0Closure {
 
 type V = Value<S0Closure>;
 
-fn eval_simple(
-    s: &S0Simple,
-    frame: &[(String, V)],
-    fuel: &mut Fuel,
-) -> Result<V, InterpError> {
+/// The frame is the current procedure's parameter names (borrowed from
+/// the program — never cloned per call) beside their values.
+struct Frame<'p> {
+    params: &'p [String],
+    vals: Vec<V>,
+}
+
+fn eval_simple(s: &S0Simple, frame: &Frame<'_>, fuel: &mut Fuel) -> Result<V, InterpError> {
     match s {
         S0Simple::Var(v) => frame
+            .params
             .iter()
-            .rev()
-            .find(|(n, _)| n == v)
-            .map(|(_, val)| val.clone())
+            .rposition(|n| n == v)
+            .and_then(|i| frame.vals.get(i).cloned())
             .ok_or_else(|| InterpError::Unbound(v.clone())),
         S0Simple::Const(k) => Ok(Value::from_constant(k)),
         S0Simple::Prim(op, args) => {
@@ -90,12 +94,16 @@ pub fn run(
             got: args.len(),
         });
     }
-    let mut frame: Vec<(String, V)> = entry
-        .params
-        .iter()
-        .cloned()
-        .zip(args.iter().map(Datum::embed))
-        .collect();
+    // Resolve callee names once up front: a tail call then costs one
+    // hash lookup instead of a string-comparing scan over every proc,
+    // and the frame borrows the callee's parameter names rather than
+    // cloning them on each call.
+    let index: FxHashMap<&str, &crate::s0::S0Proc> =
+        p.procs.iter().map(|q| (q.name.as_str(), q)).collect();
+    let mut frame = Frame {
+        params: &entry.params,
+        vals: args.iter().map(Datum::embed).collect(),
+    };
     let mut body = &entry.body;
     // A flat loop (tail calls never recurse into the host stack), so
     // only the fuel and heap budgets apply here.
@@ -111,14 +119,14 @@ pub fn run(
                 body = if eval_simple(c, &frame, &mut fuel)?.is_truthy() { t } else { e };
             }
             S0Tail::TailCall(callee, cargs) => {
-                let def = p
-                    .proc(callee)
+                let def = *index
+                    .get(callee.as_str())
                     .ok_or_else(|| InterpError::NoSuchProc(callee.clone()))?;
                 let vals = cargs
                     .iter()
                     .map(|a| eval_simple(a, &frame, &mut fuel))
                     .collect::<Result<Vec<_>, _>>()?;
-                frame = def.params.iter().cloned().zip(vals).collect();
+                frame = Frame { params: &def.params, vals };
                 body = &def.body;
             }
             S0Tail::Fail(msg) => return Err(InterpError::NotAProcedure(msg.clone())),

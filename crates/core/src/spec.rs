@@ -30,8 +30,9 @@ use pe_frontend::ast::{Constant, Prim};
 use pe_frontend::dast::{DLabel, DProgram, LamId, SimpleExpr, TailExpr, VarId};
 use pe_frontend::flow::{FlowAnalysis, LamSet};
 use pe_frontend::gen_analysis::GenAnalysis;
+use pe_intern::{FxHashMap, FxHashSet};
 use pe_interp::Datum;
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::rc::Rc;
 
@@ -149,8 +150,10 @@ impl From<MissingCv> for SpecError {
 /// The environment ρ: variables → value descriptions.
 type Env = BTreeMap<VarId, ValDesc>;
 
-/// σ: configuration variables → residual expressions.
-type Sigma = HashMap<CvId, S0Simple>;
+/// σ: configuration variables → residual expressions.  Looked up on
+/// every residualization, so the DoS-resistant default hasher is traded
+/// for the Fx hash ([`pe_intern`] module docs explain why that is safe).
+type Sigma = FxHashMap<CvId, S0Simple>;
 
 /// The context stack τ, split into a static prefix (top at the end) and
 /// an optional dynamic rest — a runtime list of closures, car = top.
@@ -186,20 +189,23 @@ pub struct Spec<'p> {
     flow: &'p FlowAnalysis,
     gen: &'p GenAnalysis,
     opts: CompileOptions,
-    memo: HashMap<Key, String>,
+    memo: FxHashMap<Key, String>,
     pending: VecDeque<PendingProc<'p>>,
     done: Vec<S0Proc>,
     next_cv: CvId,
     next_proc: u32,
     /// Bounded-static-variation tracking: distinct fully static values
     /// seen per (point, variable), and slots already widened.
-    static_variety: HashMap<(DLabel, VarId), std::collections::HashSet<Constant>>,
-    widened: std::collections::HashSet<(DLabel, VarId)>,
+    static_variety: FxHashMap<(DLabel, VarId), FxHashSet<Constant>>,
+    widened: FxHashSet<(DLabel, VarId)>,
     /// The same widening for the static context-stack prefix: distinct
     /// prefix shapes seen per point; a point that shows too many flushes
-    /// its stack to the dynamic representation from then on.
-    prefix_variety: HashMap<DLabel, std::collections::HashSet<String>>,
-    widened_prefix: std::collections::HashSet<DLabel>,
+    /// its stack to the dynamic representation from then on.  Keyed by
+    /// the structural shape vector itself — the previous implementation
+    /// rendered a `format!("{:?}")` string per visit, allocating and
+    /// hashing a long string at every specialization point.
+    prefix_variety: FxHashMap<DLabel, FxHashSet<Vec<DescShape>>>,
+    widened_prefix: FxHashSet<DLabel>,
 }
 
 impl<'p> Spec<'p> {
@@ -215,15 +221,15 @@ impl<'p> Spec<'p> {
             flow,
             gen,
             opts,
-            memo: HashMap::new(),
+            memo: FxHashMap::default(),
             pending: VecDeque::new(),
             done: Vec::new(),
             next_cv: 0,
             next_proc: 0,
-            static_variety: HashMap::new(),
-            widened: std::collections::HashSet::new(),
-            prefix_variety: HashMap::new(),
-            widened_prefix: std::collections::HashSet::new(),
+            static_variety: FxHashMap::default(),
+            widened: FxHashSet::default(),
+            prefix_variety: FxHashMap::default(),
+            widened_prefix: FxHashSet::default(),
         }
     }
 
@@ -286,7 +292,7 @@ impl<'p> Spec<'p> {
             });
         }
         let mut env = Env::new();
-        let mut sigma = Sigma::new();
+        let mut sigma = Sigma::default();
         let mut params = Vec::new();
         for (&param, slot) in def.params.iter().zip(slots) {
             match slot {
@@ -556,7 +562,7 @@ impl<'p> Spec<'p> {
             if self.widened_prefix.contains(&label) {
                 self.flush_stack(&mut tau, sigma)?;
             } else if !tau.prefix.is_empty() {
-                let mut idx: HashMap<CvId, u32> = HashMap::new();
+                let mut idx: FxHashMap<CvId, u32> = FxHashMap::default();
                 let mut next = 0u32;
                 let mut cvs = Vec::new();
                 for d in &tau.prefix {
@@ -568,8 +574,7 @@ impl<'p> Spec<'p> {
                         next - 1
                     });
                 }
-                let shape =
-                    format!("{:?}", tau.prefix.iter().map(|d| d.shape(&idx)).collect::<Vec<_>>());
+                let shape: Vec<DescShape> = tau.prefix.iter().map(|d| d.shape(&idx)).collect();
                 let seen = self.prefix_variety.entry(label).or_default();
                 seen.insert(shape);
                 if seen.len() > self.opts.widen_threshold {
@@ -619,7 +624,7 @@ impl<'p> Spec<'p> {
         if let Some(d) = &tau.dyn_rest {
             d.collect_cvs(&mut order);
         }
-        let index: HashMap<CvId, u32> =
+        let index: FxHashMap<CvId, u32> =
             order.iter().enumerate().map(|(i, &cv)| (cv, i as u32)).collect();
         let key = Key {
             label,
@@ -646,8 +651,8 @@ impl<'p> Spec<'p> {
 
         // Rename the state's cvs to fresh ones bound to the residual
         // procedure's parameters.
-        let mut rename: HashMap<CvId, CvId> = HashMap::new();
-        let mut new_sigma = Sigma::new();
+        let mut rename: FxHashMap<CvId, CvId> = FxHashMap::default();
+        let mut new_sigma = Sigma::default();
         let mut params = Vec::new();
         for (i, &old) in order.iter().enumerate() {
             let fresh = self.fresh_cv();

@@ -296,6 +296,62 @@ mod tests {
         Ok(())
     }
 
+    // ---- printer ---------------------------------------------------
+
+    #[test]
+    fn printer_is_total_on_deep_values() {
+        // The reader refuses deep structure (its syntax-depth cap), but
+        // nothing stops the *pipeline* from building deep residuals in
+        // memory — printing them must not be the recursive layer that
+        // overflows.  A 150k-deep value on a 512 KiB stack proves the
+        // printer, `Display`, and the drop glue are all iterative.
+        std::thread::Builder::new()
+            .name("small-stack-printer".into())
+            .stack_size(512 * 1024)
+            .spawn(|| {
+                let n = 150_000;
+                let mut e = pe_sexpr::Sexpr::sym_of("x");
+                for _ in 0..n {
+                    e = pe_sexpr::Sexpr::List(vec![e]);
+                }
+                let flat = e.to_string();
+                assert_eq!(flat.len(), 2 * n + 1);
+                let p = pe_sexpr::pretty(&e);
+                assert_eq!(p.len(), 2 * n + 1, "single-child lists print flat");
+                let narrow = pe_sexpr::pretty_width(&e, 4);
+                assert!(narrow.len() > 2 * n);
+            })
+            .expect("spawn")
+            .join()
+            .expect("deep printing must not overflow a small stack");
+    }
+
+    #[test]
+    fn residual_pretty_roundtrips_through_the_reader() -> R {
+        // read ∘ pretty = id over every residual the Gabriel suite
+        // produces, at several widths: breaking lines and indenting must
+        // never change what the reader sees.
+        realistic_pe::with_big_stack(|| -> Result<(), String> {
+            for b in realistic_pe::SUITE {
+                let pipe = Pipeline::new(b.source).map_err(|e| e.to_string())?;
+                let s0 = pipe
+                    .compile(b.entry, &CompileOptions::default())
+                    .map_err(|e| e.to_string())?;
+                for p in &s0.procs {
+                    let e = p.to_sexpr();
+                    for width in [10, 40, 80] {
+                        let printed = pe_sexpr::pretty_width(&e, width);
+                        let back = pe_sexpr::read_one(&printed)
+                            .map_err(|err| format!("{} / {}: {err}", b.name, p.name))?;
+                        assert_eq!(back, e, "width {width}, proc {} of {}", p.name, b.name);
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        Ok(())
+    }
+
     // ---- the whole pipeline ----------------------------------------
 
     #[test]

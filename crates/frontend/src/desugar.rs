@@ -24,7 +24,7 @@ use crate::dast::{
     free_tail, DDef, DLabel, DProgram, LamId, LambdaDef, ProcId, SimpleExpr, TailExpr, VarId,
 };
 use std::collections::BTreeSet;
-use std::collections::HashMap;
+use pe_intern::FxHashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -53,14 +53,14 @@ impl std::error::Error for DesugarError {}
 
 /// Lexical environment: surface name → unique id.  Cloned at binders;
 /// scopes are small.
-type Scope = HashMap<Rc<str>, VarId>;
+type Scope = FxHashMap<Rc<str>, VarId>;
 
 struct Ctx {
     next_label: u32,
     next_var: u32,
     var_names: Vec<Rc<str>>,
     lambdas: Vec<LambdaDef>,
-    procs: HashMap<Rc<str>, ProcId>,
+    procs: FxHashMap<Rc<str>, ProcId>,
 }
 
 impl Ctx {
@@ -289,7 +289,7 @@ fn hole_expr(hole: &SimpleExpr) -> Expr {
 /// Only programmatically constructed (non-parser) ASTs can fail, with
 /// [`DesugarError::UnboundVariable`] or [`DesugarError::UnknownProcedure`].
 pub fn desugar(p: &Program) -> Result<DProgram, DesugarError> {
-    let procs: HashMap<Rc<str>, ProcId> = p
+    let procs: FxHashMap<Rc<str>, ProcId> = p
         .defs
         .iter()
         .enumerate()
@@ -304,7 +304,7 @@ pub fn desugar(p: &Program) -> Result<DProgram, DesugarError> {
     };
     let mut defs = Vec::new();
     for d in &p.defs {
-        let mut scope: Scope = HashMap::new();
+        let mut scope: Scope = FxHashMap::default();
         let params: Vec<VarId> = d
             .params
             .iter()

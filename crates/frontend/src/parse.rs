@@ -9,7 +9,8 @@
 
 use crate::ast::{Constant, Definition, Expr, Label, Prim, Program};
 use pe_sexpr::{Pos, Sexpr};
-use std::collections::{HashMap, HashSet};
+use pe_intern::FxHashMap;
+use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -82,7 +83,7 @@ impl std::error::Error for ParseError {}
 struct Parser {
     next_label: u32,
     /// name → arity of every top-level procedure.
-    procs: HashMap<Rc<str>, usize>,
+    procs: FxHashMap<Rc<str>, usize>,
 }
 
 impl Parser {
@@ -416,7 +417,7 @@ type Sig<'a> = (Rc<str>, Vec<Rc<str>>, &'a Sexpr);
 /// Pass 1 for one form: extract its `(define (P V*) E)` signature.
 fn collect_sig<'a>(
     form: &'a Sexpr,
-    procs: &mut HashMap<Rc<str>, usize>,
+    procs: &mut FxHashMap<Rc<str>, usize>,
 ) -> Result<Sig<'a>, ParseError> {
     let Some(args) = form.form_args("define") else {
         return Err(ParseError::BadDefinition(form.to_string()));
@@ -454,7 +455,7 @@ fn parse_forms(forms: &[Sexpr], poss: Option<&[Pos]>) -> Result<Program, ParseEr
         return Err(ParseError::EmptyProgram);
     }
     // Pass 1: collect procedure signatures (procedures may call forward).
-    let mut procs: HashMap<Rc<str>, usize> = HashMap::new();
+    let mut procs: FxHashMap<Rc<str>, usize> = FxHashMap::default();
     let mut sigs = Vec::new();
     for (i, form) in forms.iter().enumerate() {
         sigs.push(collect_sig(form, &mut procs).map_err(|e| locate(poss, i, e))?);

@@ -20,9 +20,9 @@
 //! paper's Fig. 8.
 
 use pe_frontend::ast::{Expr, Prim, Program};
+use pe_intern::FxHashMap;
 use pe_interp::value::{apply_prim, Value};
 use pe_interp::{Datum, Fuel, InterpError, Limits};
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -86,7 +86,7 @@ struct ProcDef {
 pub struct Hobbit {
     procs: Vec<ProcDef>,
     lambdas: Vec<LiftedLambda>,
-    names: HashMap<String, usize>,
+    names: FxHashMap<String, usize>,
 }
 
 /// Compile-time scope: name → frame slot.
@@ -102,7 +102,7 @@ impl Scope {
 
 struct Compiler<'p> {
     prog: &'p Program,
-    proc_index: HashMap<&'p str, usize>,
+    proc_index: FxHashMap<&'p str, usize>,
     lambdas: Vec<LiftedLambda>,
 }
 
@@ -244,7 +244,7 @@ impl Hobbit {
     ///
     /// Returns a [`HobError`] only for hand-built (non-parser) ASTs.
     pub fn compile(prog: &Program) -> Result<Hobbit, HobError> {
-        let proc_index: HashMap<&str, usize> =
+        let proc_index: FxHashMap<&str, usize> =
             prog.defs.iter().enumerate().map(|(i, d)| (&*d.name, i)).collect();
         let mut c = Compiler { prog, proc_index, lambdas: Vec::new() };
         let _ = c.prog;

@@ -1,0 +1,305 @@
+//! Symbol interning and fast hashing for the compiler suite's hot paths.
+//!
+//! The §8 comparison between PE-compiled code and the baseline is only
+//! meaningful when neither engine pays accidental interpretation
+//! overheads — and the biggest such overhead in a name-based pipeline is
+//! repeated string hashing: every `HashMap<String, _>` lookup re-hashes
+//! the full name with the standard library's DoS-resistant SipHash.
+//! This crate provides the two tools that remove it:
+//!
+//! * [`SymbolTable`] — interning: each distinct name is hashed **once**
+//!   and mapped to a dense [`Symbol`] (`u32`); all later comparisons and
+//!   lookups are integer operations.  [`SymbolMap`] is the matching
+//!   dense `Symbol → T` map (a plain vector, no hashing at all).
+//! * [`FxHashMap`]/[`FxHashSet`] — for keys that are already structural
+//!   (memo keys, ids), the rustc/Firefox "Fx" multiply-xor hash, which
+//!   is several times faster than SipHash on short keys.  Nothing in
+//!   this pipeline hashes attacker-controlled keys into long-lived
+//!   tables (names come from the subject program the user chose to
+//!   compile, and every table dies with its compilation), so the
+//!   HashDoS resistance being traded away buys nothing here.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::rc::Rc;
+
+// ----------------------------------------------------------------------
+// Fx hashing
+// ----------------------------------------------------------------------
+
+/// The rustc / Firefox "Fx" hash: a multiply-xor loop over 8-byte words.
+/// Not DoS-resistant; see the module docs for why that is acceptable.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// The Fx multiplier (the 64-bit golden-ratio constant).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Length in the top byte so "a" and "a\0" differ.
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using the Fx hash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using the Fx hash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+// ----------------------------------------------------------------------
+// Symbols
+// ----------------------------------------------------------------------
+
+/// An interned name: a dense `u32` id handed out by a [`SymbolTable`].
+///
+/// Comparison, hashing and [`SymbolMap`] lookup are all integer
+/// operations; the spelling lives in the table that interned it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The dense index of this symbol (0-based interning order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An interning table: names in, dense [`Symbol`] ids out.
+///
+/// ```
+/// use pe_intern::SymbolTable;
+///
+/// let mut t = SymbolTable::new();
+/// let a = t.intern("append");
+/// let b = t.intern("cps-append");
+/// assert_eq!(t.intern("append"), a);
+/// assert_ne!(a, b);
+/// assert_eq!(t.resolve(a), "append");
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    names: Vec<Rc<str>>,
+    map: FxHashMap<Rc<str>, Symbol>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, hashing it at most once per distinct spelling.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("fewer than 2^32 symbols"));
+        let shared: Rc<str> = name.into();
+        self.names.push(shared.clone());
+        self.map.insert(shared, sym);
+        sym
+    }
+
+    /// The symbol for `name`, if it has been interned.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The spelling of an interned symbol.
+    ///
+    /// # Panics
+    ///
+    /// If `sym` was not produced by this table.
+    #[must_use]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// The number of distinct symbols interned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A dense map from [`Symbol`] to `T`: lookup is a vector index — no
+/// hashing at all.  Built for the per-program tables whose key space is
+/// exactly one [`SymbolTable`]'s output.
+#[derive(Debug, Clone)]
+pub struct SymbolMap<T> {
+    slots: Vec<Option<T>>,
+}
+
+impl<T> Default for SymbolMap<T> {
+    fn default() -> Self {
+        SymbolMap { slots: Vec::new() }
+    }
+}
+
+impl<T> SymbolMap<T> {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> SymbolMap<T> {
+        SymbolMap::default()
+    }
+
+    /// An empty map with room for `n` symbols.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> SymbolMap<T> {
+        SymbolMap { slots: Vec::with_capacity(n) }
+    }
+
+    /// Inserts a value, returning the previous one if present.
+    pub fn insert(&mut self, sym: Symbol, value: T) -> Option<T> {
+        let i = sym.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i].replace(value)
+    }
+
+    /// The value for `sym`, if any.
+    #[must_use]
+    pub fn get(&self, sym: Symbol) -> Option<&T> {
+        self.slots.get(sym.index()).and_then(Option::as_ref)
+    }
+
+    /// True if `sym` has a value.
+    #[must_use]
+    pub fn contains(&self, sym: Symbol) -> bool {
+        self.get(sym).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut t = SymbolTable::new();
+        let syms: Vec<Symbol> = ["car", "cdr", "cons", "car", "cdr"]
+            .iter()
+            .map(|n| t.intern(n))
+            .collect();
+        assert_eq!(syms[0], syms[3]);
+        assert_eq!(syms[1], syms[4]);
+        assert_eq!(t.len(), 3, "three distinct names");
+        assert_eq!(syms[0].index(), 0);
+        assert_eq!(syms[2].index(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let mut t = SymbolTable::new();
+        for name in ["sl-eval-$1", "cv-vals-$2", "x", ""] {
+            let s = t.intern(name);
+            assert_eq!(t.resolve(s), name);
+            assert_eq!(t.get(name), Some(s));
+        }
+        assert_eq!(t.get("ghost"), None);
+    }
+
+    #[test]
+    fn symbol_map_is_a_dense_store() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("a");
+        let b = t.intern("b");
+        let mut m: SymbolMap<usize> = SymbolMap::with_capacity(t.len());
+        assert_eq!(m.insert(b, 7), None);
+        assert_eq!(m.get(b), Some(&7));
+        assert_eq!(m.get(a), None);
+        assert!(!m.contains(a));
+        assert_eq!(m.insert(b, 9), Some(7));
+        assert_eq!(m.get(b), Some(&9));
+    }
+
+    #[test]
+    fn fx_hash_distinguishes_lengths_and_content() {
+        fn h(s: &str) -> u64 {
+            FxBuildHasher::default().hash_one(s)
+        }
+        assert_ne!(h("a"), h("b"));
+        assert_ne!(h("a"), h("a\0"));
+        assert_ne!(h("sl-eval-$1"), h("sl-eval-$2"));
+        assert_eq!(h("cv-vals-$1"), h("cv-vals-$1"));
+    }
+
+    #[test]
+    fn fx_maps_behave_like_maps() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        m.insert("x".to_string(), 1);
+        m.insert("y".to_string(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(4));
+        assert!(!s.insert(4));
+    }
+}

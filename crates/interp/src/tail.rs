@@ -30,6 +30,11 @@ pub struct TailClosure {
 type V = Value<TailClosure>;
 
 /// A per-activation environment (small; linear lookup).
+///
+/// Lookup is already symbol-free — keys are dense [`VarId`]s, never
+/// strings — so the remaining per-call cost is allocation.  The run
+/// loop double-buffers two `Env`s and swaps them on each call, so the
+/// backing vectors are reused for the whole run.
 #[derive(Debug, Clone, Default)]
 struct Env(Vec<(VarId, V)>);
 
@@ -117,6 +122,9 @@ pub fn run(
     let mut fuel = Fuel::new(&limits);
     // τ — the stack of pending evaluation contexts.
     let mut stack: Vec<TailClosure> = Vec::new();
+    // The spare environment buffer: the next frame is built here (args
+    // are still evaluated against `env`), then the two are swapped.
+    let mut scratch = Env::default();
     let mut cur: &TailExpr = &def.body;
 
     loop {
@@ -131,12 +139,12 @@ pub fn run(
                     // C v ((ℓ, v₁…vₙ) : τ): bind param and freevars, run body.
                     Some(ctx) => {
                         let lam = p.lambda(ctx.lam);
-                        let mut next = Env::default();
-                        next.bind(lam.param, v);
+                        scratch.0.clear();
+                        scratch.bind(lam.param, v);
                         for (fv, val) in lam.freevars.iter().zip(ctx.freevals) {
-                            next.bind(*fv, val);
+                            scratch.bind(*fv, val);
                         }
-                        env = next;
+                        std::mem::swap(&mut env, &mut scratch);
                         cur = &lam.body;
                     }
                 }
@@ -148,12 +156,12 @@ pub fn run(
             // E*[(P SE₁…SEₙ)]ρτ = E*[φ(P)][Vᵢ ↦ S[SEᵢ]ρ]τ
             TailExpr::CallProc(_, pid, args) => {
                 let def = p.proc(*pid);
-                let mut next = Env::default();
+                scratch.0.clear();
                 for (param, arg) in def.params.iter().zip(args) {
                     let v = eval_simple(p, arg, &env, &mut fuel)?;
-                    next.bind(*param, v);
+                    scratch.bind(*param, v);
                 }
-                env = next;
+                std::mem::swap(&mut env, &mut scratch);
                 cur = &def.body;
             }
             // E*[(SE E)]ρτ = E*[E]ρ (S[SE]ρ : τ)

@@ -123,12 +123,22 @@ impl Pipeline {
     ///
     /// See [`PipelineError`].
     pub fn compile(&self, entry: &str, opts: &CompileOptions) -> Result<S0Program, PipelineError> {
+        self.compile_verified(entry, opts).map(|(s0, _)| s0)
+    }
+
+    /// Compiles and verifies, returning the report beside the program so
+    /// callers that need both never run the verifier a second time.
+    fn compile_verified(
+        &self,
+        entry: &str,
+        opts: &CompileOptions,
+    ) -> Result<(S0Program, pe_verify::Report), PipelineError> {
         let s0 = pe_core::compile(&self.dprog, entry, opts)?;
         let report = pe_verify::verify(&s0);
         if report.has_errors() {
             return Err(PipelineError::IllFormed(report.error_messages()));
         }
-        Ok(s0)
+        Ok((s0, report))
     }
 
     /// Compiles `entry` to S₀ and returns the full verification report,
@@ -153,14 +163,14 @@ impl Pipeline {
     ///
     /// See [`PipelineError`].
     pub fn compile_vm(&self, entry: &str, opts: &CompileOptions) -> Result<Vm, PipelineError> {
-        let s0 = self.compile(entry, opts)?;
+        let (s0, report) = self.compile_verified(entry, opts)?;
         let vm = Vm::compile(&s0).map_err(PipelineError::Vm)?;
         // The loader and the verifier must agree on what is acceptable:
-        // anything the VM takes must already have verified clean.
-        debug_assert!(
-            pe_verify::verify(&s0).is_clean(),
-            "VM accepted a program the verifier rejects"
-        );
+        // anything the VM takes must already have verified clean.  The
+        // report is the one `compile_verified` produced — verification
+        // runs once per compilation, even in debug builds.
+        debug_assert!(report.is_clean(), "VM accepted a program the verifier rejects");
+        let _ = report;
         Ok(vm)
     }
 

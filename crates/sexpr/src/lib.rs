@@ -135,6 +135,22 @@ impl Sexpr {
     }
 }
 
+impl Drop for Sexpr {
+    fn drop(&mut self) {
+        // Flatten nested lists iteratively before the automatic drop
+        // glue runs: a 100k-deep residual must be droppable, not just
+        // printable, without overflowing the host stack.
+        if let Sexpr::List(xs) = self {
+            let mut stack = std::mem::take(xs);
+            while let Some(mut e) = stack.pop() {
+                if let Sexpr::List(inner) = &mut e {
+                    stack.append(inner);
+                }
+            }
+        }
+    }
+}
+
 impl fmt::Debug for Sexpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Display::fmt(self, f)
@@ -143,41 +159,66 @@ impl fmt::Debug for Sexpr {
 
 impl fmt::Display for Sexpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Sexpr::Sym(s) => write!(f, "{s}"),
-            Sexpr::Int(n) => write!(f, "{n}"),
-            Sexpr::Bool(true) => write!(f, "#t"),
-            Sexpr::Bool(false) => write!(f, "#f"),
+        write_flat(self, f)
+    }
+}
+
+/// Writes the single-line form of `e` using an explicit work stack, so
+/// printing is total: residual programs from the specializer can nest
+/// hundreds of thousands of levels deep, and a recursive `Display` would
+/// overflow the host stack exactly where the reader (iterative since the
+/// governor change) no longer does.  `Display` and the pretty printer
+/// both funnel through here.
+pub(crate) fn write_flat<W: fmt::Write>(e: &Sexpr, f: &mut W) -> fmt::Result {
+    enum Step<'a> {
+        Node(&'a Sexpr),
+        Text(&'static str),
+    }
+    let mut work = vec![Step::Node(e)];
+    while let Some(step) = work.pop() {
+        let e = match step {
+            Step::Text(s) => {
+                f.write_str(s)?;
+                continue;
+            }
+            Step::Node(e) => e,
+        };
+        match e {
+            Sexpr::Sym(s) => f.write_str(s)?,
+            Sexpr::Int(n) => write!(f, "{n}")?,
+            Sexpr::Bool(true) => f.write_str("#t")?,
+            Sexpr::Bool(false) => f.write_str("#f")?,
             Sexpr::Char(c) => match c {
-                ' ' => write!(f, "#\\space"),
-                '\n' => write!(f, "#\\newline"),
-                '\t' => write!(f, "#\\tab"),
-                c => write!(f, "#\\{c}"),
+                ' ' => f.write_str("#\\space")?,
+                '\n' => f.write_str("#\\newline")?,
+                '\t' => f.write_str("#\\tab")?,
+                c => write!(f, "#\\{c}")?,
             },
             Sexpr::Str(s) => {
-                write!(f, "\"")?;
+                f.write_str("\"")?;
                 for c in s.chars() {
                     match c {
-                        '"' => write!(f, "\\\"")?,
-                        '\\' => write!(f, "\\\\")?,
-                        '\n' => write!(f, "\\n")?,
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
                         c => write!(f, "{c}")?,
                     }
                 }
-                write!(f, "\"")
+                f.write_str("\"")?;
             }
             Sexpr::List(xs) => {
-                write!(f, "(")?;
-                for (i, x) in xs.iter().enumerate() {
+                f.write_str("(")?;
+                work.push(Step::Text(")"));
+                for (i, x) in xs.iter().enumerate().rev() {
+                    work.push(Step::Node(x));
                     if i > 0 {
-                        write!(f, " ")?;
+                        work.push(Step::Text(" "));
                     }
-                    write!(f, "{x}")?;
                 }
-                write!(f, ")")
             }
         }
     }
+    Ok(())
 }
 
 impl From<i64> for Sexpr {
@@ -236,6 +277,20 @@ mod tests {
         let args = e.form_args("define").unwrap();
         assert_eq!(args.len(), 2);
         assert_eq!(args[1].sym(), Some("x"));
+    }
+
+    #[test]
+    fn display_is_total_on_deep_trees() {
+        // 200k nested lists: a recursive Display would overflow the
+        // host stack long before this depth.
+        let mut e = Sexpr::Int(7);
+        for _ in 0..200_000 {
+            e = Sexpr::list_of([e]);
+        }
+        let s = e.to_string();
+        assert_eq!(s.len(), 2 * 200_000 + 1);
+        assert!(s.starts_with("((") && s.ends_with("))"));
+        assert!(s.contains('7'));
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //!
 //! Residual programs produced by the specializer can be deeply nested;
 //! the pretty printer keeps them readable in golden tests, examples and
-//! `EXPERIMENTS.md` listings.
+//! `EXPERIMENTS.md` listings.  Like the reader, it is fully iterative:
+//! layout decisions and emission run over explicit work stacks, so a
+//! 100k-deep residual pretty-prints without touching the host stack.
 
-use crate::Sexpr;
+use crate::{write_flat, Sexpr};
 
 /// Pretty-prints `e` with the default line width of 78 columns.
 pub fn pretty(e: &Sexpr) -> String {
@@ -28,34 +30,108 @@ fn head_args_on_line(head: &str) -> usize {
     }
 }
 
-fn flat_len(e: &Sexpr) -> usize {
-    e.to_string().len()
+/// Printed width of an integer, matching `Display` byte-for-byte.
+fn int_len(n: i64) -> usize {
+    let mag = n.unsigned_abs();
+    let digits = if mag == 0 { 1 } else { mag.ilog10() as usize + 1 };
+    usize::from(n < 0) + digits
 }
 
-fn go(e: &Sexpr, indent: usize, width: usize, out: &mut String) {
-    match e {
-        Sexpr::List(xs) if !xs.is_empty() && indent + flat_len(e) > width => {
-            out.push('(');
-            go(&xs[0], indent + 1, width, out);
-            let keep = xs[0]
-                .sym()
-                .map(head_args_on_line)
-                .unwrap_or(0)
-                .min(xs.len() - 1);
-            for x in &xs[1..=keep] {
-                out.push(' ');
-                // Keep header arguments flat; they are small in practice.
-                out.push_str(&x.to_string());
+/// True if the flat printing of `e` fits within `budget` columns.
+///
+/// The scan walks an explicit stack and stops as soon as the running
+/// length exceeds the budget, so each call costs O(min(size, budget)).
+/// The previous `flat_len` re-rendered the whole subtree with the
+/// recursive `to_string` at every node, which both overflowed the host
+/// stack on deep trees and made the printer O(n²).
+fn fits_flat(e: &Sexpr, budget: usize) -> bool {
+    let mut len = 0usize;
+    let mut work = vec![e];
+    while let Some(e) = work.pop() {
+        len += match e {
+            Sexpr::Sym(s) => s.len(),
+            Sexpr::Int(n) => int_len(*n),
+            Sexpr::Bool(_) => 2,
+            Sexpr::Char(' ') => "#\\space".len(),
+            Sexpr::Char('\n') => "#\\newline".len(),
+            Sexpr::Char('\t') => "#\\tab".len(),
+            Sexpr::Char(c) => 2 + c.len_utf8(),
+            Sexpr::Str(s) => {
+                2 + s
+                    .chars()
+                    .map(|c| match c {
+                        '"' | '\\' | '\n' => 2,
+                        c => c.len_utf8(),
+                    })
+                    .sum::<usize>()
             }
-            let child_indent = indent + 2;
-            for x in &xs[1 + keep..] {
-                out.push('\n');
-                out.push_str(&" ".repeat(child_indent));
-                go(x, child_indent, width, out);
+            Sexpr::List(xs) => {
+                work.extend(xs.iter());
+                // Parens plus the spaces between elements.
+                2 + xs.len().saturating_sub(1)
             }
-            out.push(')');
+        };
+        if len > budget {
+            return false;
         }
-        _ => out.push_str(&e.to_string()),
+    }
+    true
+}
+
+fn go(root: &Sexpr, indent: usize, width: usize, out: &mut String) {
+    enum Step<'a> {
+        /// Lay out a node at the given indentation.
+        Node(&'a Sexpr, usize),
+        /// Emit a node flat (header arguments; they are small in practice).
+        Flat(&'a Sexpr),
+        /// Emit literal text.
+        Text(&'static str),
+        /// Emit a newline followed by this much indentation.
+        Break(usize),
+    }
+    let mut work = vec![Step::Node(root, indent)];
+    while let Some(step) = work.pop() {
+        match step {
+            Step::Text(s) => out.push_str(s),
+            Step::Break(ind) => {
+                out.push('\n');
+                for _ in 0..ind {
+                    out.push(' ');
+                }
+            }
+            Step::Flat(e) => {
+                let _ = write_flat(e, out); // writing to a String cannot fail
+            }
+            Step::Node(e, indent) => match e {
+                Sexpr::List(xs)
+                    if !xs.is_empty() && !fits_flat(e, width.saturating_sub(indent)) =>
+                {
+                    out.push('(');
+                    let keep = xs[0]
+                        .sym()
+                        .map(head_args_on_line)
+                        .unwrap_or(0)
+                        .min(xs.len() - 1);
+                    // Clamp runaway indentation: past `width` columns the
+                    // indent no longer aids readability, and letting it
+                    // grow makes output size quadratic in nesting depth.
+                    let child_indent = (indent + 2).min(width);
+                    work.push(Step::Text(")"));
+                    for x in xs[1 + keep..].iter().rev() {
+                        work.push(Step::Node(x, child_indent));
+                        work.push(Step::Break(child_indent));
+                    }
+                    for x in xs[1..=keep].iter().rev() {
+                        work.push(Step::Flat(x));
+                        work.push(Step::Text(" "));
+                    }
+                    work.push(Step::Node(&xs[0], (indent + 1).min(width)));
+                }
+                e => {
+                    let _ = write_flat(e, out); // writing to a String cannot fail
+                }
+            },
+        }
     }
 }
 
@@ -94,5 +170,50 @@ mod tests {
             let p = pretty_width(&e, 20);
             assert_eq!(read_one(&p).unwrap(), e, "roundtrip failed for {src}");
         }
+    }
+
+    #[test]
+    fn fits_flat_matches_display_length() {
+        for src in [
+            "(+ 1 2)",
+            "()",
+            "(a (b -10 0 1024) #t #f #\\x #\\space \"a\\\"b\\\\c\\nd\")",
+            "(define (f x) (if (null? x) y (g x 1)))",
+        ] {
+            let e = read_one(src).unwrap();
+            let n = e.to_string().len();
+            assert!(fits_flat(&e, n), "{src} should fit in its own length");
+            assert!(!fits_flat(&e, n - 1), "{src} should not fit in one less");
+        }
+    }
+
+    #[test]
+    fn pretty_is_total_on_deep_trees() {
+        // 100k nested single-element lists: the recursive printer
+        // overflowed the stack here, and the O(n²) flat_len made it
+        // quadratic well before that.
+        let mut e = Sexpr::Int(1);
+        for _ in 0..100_000 {
+            e = Sexpr::list_of([e]);
+        }
+        let p = pretty_width(&e, 10);
+        assert_eq!(p.len(), 2 * 100_000 + 1);
+        assert!(p.starts_with('(') && p.ends_with(')'));
+    }
+
+    #[test]
+    fn deep_defines_break_without_recursion() {
+        // Nested defines force the "broken list" path at every level.
+        let mut e = read_one("(f x)").unwrap();
+        for _ in 0..50_000 {
+            e = Sexpr::list_of([
+                Sexpr::sym_of("begin"),
+                Sexpr::sym_of("this-symbol-is-long-enough-to-break-lines"),
+                e,
+            ]);
+        }
+        let p = pretty_width(&e, 30);
+        assert!(p.contains('\n'));
+        assert!(p.ends_with(')'));
     }
 }

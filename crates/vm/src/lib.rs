@@ -28,9 +28,9 @@
 use pe_core::{S0Program, S0Simple, S0Tail};
 use pe_frontend::ast::{Constant, Prim};
 use pe_governor::Trap;
+use pe_intern::{Symbol, SymbolMap, SymbolTable};
 use pe_interp::value::{apply_prim, Value};
 use pe_interp::{Datum, Fuel, InterpError, Limits};
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
 
@@ -130,15 +130,29 @@ impl Vm {
     ///
     /// Returns a [`VmError`] naming the first violation.
     pub fn compile(p: &S0Program) -> Result<Vm, VmError> {
-        let index: HashMap<&str, usize> =
-            p.procs.iter().enumerate().map(|(i, q)| (q.name.as_str(), i)).collect();
-        let entry = *index.get(p.entry.as_str()).ok_or_else(|| VmError::NoEntry(p.entry.clone()))?;
+        // Every name is interned exactly once; from then on, procedure
+        // and parameter resolution is integer-indexed ([`SymbolMap`] /
+        // [`SlotFrame`]) and never re-hashes a string.  Residual
+        // programs repeat the same specialized names thousands of
+        // times, so this is the resolver's hot path.
+        let mut syms = SymbolTable::new();
+        let mut index: SymbolMap<usize> = SymbolMap::with_capacity(p.procs.len());
+        for (i, q) in p.procs.iter().enumerate() {
+            index.insert(syms.intern(&q.name), i);
+        }
+        let entry = syms
+            .get(p.entry.as_str())
+            .and_then(|s| index.get(s).copied())
+            .ok_or_else(|| VmError::NoEntry(p.entry.clone()))?;
         let mut blocks = Vec::with_capacity(p.procs.len());
         let mut names = Vec::with_capacity(p.procs.len());
+        let mut slots = SlotFrame::default();
         for q in &p.procs {
-            let slots: HashMap<&str, usize> =
-                q.params.iter().enumerate().map(|(i, v)| (v.as_str(), i)).collect();
-            let body = resolve_tail(&q.body, &q.name, &slots, &index, p)?;
+            slots.begin();
+            for (i, v) in q.params.iter().enumerate() {
+                slots.set(syms.intern(v), i);
+            }
+            let body = resolve_tail(&q.body, &q.name, &syms, &slots, &index, p)?;
             blocks.push(Block { arity: q.params.len(), body });
             names.push(q.name.clone());
         }
@@ -287,33 +301,75 @@ fn eval(
     }
 }
 
+/// The parameter slots of the procedure currently being resolved, keyed
+/// by interned [`Symbol`].  One allocation serves every procedure:
+/// [`SlotFrame::begin`] bumps an epoch instead of clearing, so per-proc
+/// setup costs only its own parameter count.
+#[derive(Default)]
+struct SlotFrame {
+    stamp: Vec<u32>,
+    slot: Vec<usize>,
+    epoch: u32,
+}
+
+impl SlotFrame {
+    fn begin(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn set(&mut self, sym: Symbol, slot: usize) {
+        let i = sym.index();
+        if i >= self.stamp.len() {
+            self.stamp.resize(i + 1, 0);
+            self.slot.resize(i + 1, 0);
+        }
+        self.stamp[i] = self.epoch;
+        self.slot[i] = slot;
+    }
+
+    fn get(&self, sym: Symbol) -> Option<usize> {
+        let i = sym.index();
+        if self.stamp.get(i) == Some(&self.epoch) {
+            Some(self.slot[i])
+        } else {
+            None
+        }
+    }
+}
+
 fn resolve_simple(
     s: &S0Simple,
     owner: &str,
-    slots: &HashMap<&str, usize>,
+    syms: &SymbolTable,
+    slots: &SlotFrame,
 ) -> Result<RSimple, VmError> {
     Ok(match s {
-        S0Simple::Var(v) => RSimple::Slot(*slots.get(v.as_str()).ok_or_else(|| {
-            VmError::UnboundVar { proc_name: owner.to_string(), var: v.clone() }
-        })?),
+        S0Simple::Var(v) => RSimple::Slot(
+            syms.get(v)
+                .and_then(|sym| slots.get(sym))
+                .ok_or_else(|| VmError::UnboundVar {
+                    proc_name: owner.to_string(),
+                    var: v.clone(),
+                })?,
+        ),
         S0Simple::Const(k) => RSimple::Const(constant_value(k)),
         S0Simple::Prim(op, args) => RSimple::Prim(
             *op,
             args.iter()
-                .map(|a| resolve_simple(a, owner, slots))
+                .map(|a| resolve_simple(a, owner, syms, slots))
                 .collect::<Result<_, _>>()?,
         ),
         S0Simple::MakeClosure(l, args) => RSimple::MakeClosure(
             *l,
             args.iter()
-                .map(|a| resolve_simple(a, owner, slots))
+                .map(|a| resolve_simple(a, owner, syms, slots))
                 .collect::<Result<_, _>>()?,
         ),
         S0Simple::ClosureLabel(a) => {
-            RSimple::ClosureLabel(Box::new(resolve_simple(a, owner, slots)?))
+            RSimple::ClosureLabel(Box::new(resolve_simple(a, owner, syms, slots)?))
         }
         S0Simple::ClosureFreeval(a, i) => {
-            RSimple::ClosureFreeval(Box::new(resolve_simple(a, owner, slots)?), *i)
+            RSimple::ClosureFreeval(Box::new(resolve_simple(a, owner, syms, slots)?), *i)
         }
     })
 }
@@ -321,20 +377,22 @@ fn resolve_simple(
 fn resolve_tail(
     t: &S0Tail,
     owner: &str,
-    slots: &HashMap<&str, usize>,
-    index: &HashMap<&str, usize>,
+    syms: &SymbolTable,
+    slots: &SlotFrame,
+    index: &SymbolMap<usize>,
     p: &S0Program,
 ) -> Result<RTail, VmError> {
     Ok(match t {
-        S0Tail::Return(s) => RTail::Return(resolve_simple(s, owner, slots)?),
+        S0Tail::Return(s) => RTail::Return(resolve_simple(s, owner, syms, slots)?),
         S0Tail::If(c, a, b) => RTail::If(
-            resolve_simple(c, owner, slots)?,
-            Box::new(resolve_tail(a, owner, slots, index, p)?),
-            Box::new(resolve_tail(b, owner, slots, index, p)?),
+            resolve_simple(c, owner, syms, slots)?,
+            Box::new(resolve_tail(a, owner, syms, slots, index, p)?),
+            Box::new(resolve_tail(b, owner, syms, slots, index, p)?),
         ),
         S0Tail::TailCall(callee, args) => {
-            let target = *index
-                .get(callee.as_str())
+            let target = *syms
+                .get(callee)
+                .and_then(|sym| index.get(sym))
                 .ok_or_else(|| VmError::UndefinedProc(callee.clone()))?;
             let expected = p.procs[target].params.len();
             if expected != args.len() {
@@ -347,7 +405,7 @@ fn resolve_tail(
             RTail::Goto(
                 target,
                 args.iter()
-                    .map(|a| resolve_simple(a, owner, slots))
+                    .map(|a| resolve_simple(a, owner, syms, slots))
                     .collect::<Result<_, _>>()?,
             )
         }
@@ -359,20 +417,61 @@ fn constant_value(k: &Constant) -> V {
     Value::from_constant(k)
 }
 
+/// An error from [`run_s0`], keeping the two failure phases apart: a
+/// program that does not compile is not the same fault as a compiled
+/// program that traps at run time, and callers can now match on which.
+#[derive(Debug, Clone, PartialEq)]
+pub enum S0RunError {
+    /// The S₀ program failed to compile to the register machine.
+    Compile(VmError),
+    /// The compiled program faulted while running.
+    Run(InterpError),
+}
+
+impl fmt::Display for S0RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S0RunError::Compile(e) => write!(f, "compile: {e}"),
+            S0RunError::Run(e) => write!(f, "run: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for S0RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            S0RunError::Compile(e) => Some(e),
+            S0RunError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<VmError> for S0RunError {
+    fn from(e: VmError) -> S0RunError {
+        S0RunError::Compile(e)
+    }
+}
+
+impl From<InterpError> for S0RunError {
+    fn from(e: InterpError) -> S0RunError {
+        S0RunError::Run(e)
+    }
+}
+
 /// Compiles and runs in one call (convenience for tests and benches).
 ///
 /// # Errors
 ///
-/// Compilation errors surface as [`InterpError::NoSuchProc`]-style
-/// messages via [`InterpError::Unbound`]; prefer [`Vm::compile`] +
-/// [`Vm::run`] for precise errors.
+/// [`S0RunError::Compile`] wraps the precise [`VmError`] when the
+/// program is ill-formed; [`S0RunError::Run`] wraps the [`InterpError`]
+/// from execution.
 pub fn run_s0(
     p: &S0Program,
     args: &[Datum],
     limits: Limits,
-) -> Result<(Datum, VmStats), InterpError> {
-    let vm = Vm::compile(p).map_err(|e| InterpError::Unbound(e.to_string()))?;
-    vm.run(args, limits)
+) -> Result<(Datum, VmStats), S0RunError> {
+    let vm = Vm::compile(p)?;
+    Ok(vm.run(args, limits)?)
 }
 
 #[cfg(test)]
@@ -480,6 +579,29 @@ mod tests {
         assert!(matches!(Vm::compile(&bad), Err(VmError::UnboundVar { .. })));
         let bad = S0Program { entry: "nope".into(), procs: vec![] };
         assert!(matches!(Vm::compile(&bad), Err(VmError::NoEntry(_))));
+    }
+
+    #[test]
+    fn run_s0_separates_compile_and_run_errors() {
+        use pe_core::{S0Proc, S0Program};
+        let bad = S0Program { entry: "nope".into(), procs: vec![] };
+        assert!(matches!(
+            run_s0(&bad, &[], Limits::default()),
+            Err(S0RunError::Compile(VmError::NoEntry(_)))
+        ));
+        let diverge = S0Program {
+            entry: "f".into(),
+            procs: vec![S0Proc {
+                name: "f".into(),
+                params: vec![],
+                body: S0Tail::TailCall("f".into(), vec![]),
+            }],
+        };
+        let lim = Limits { fuel: 100, ..Limits::default() };
+        assert_eq!(
+            run_s0(&diverge, &[], lim),
+            Err(S0RunError::Run(InterpError::FuelExhausted))
+        );
     }
 
     #[test]

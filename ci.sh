@@ -17,6 +17,13 @@ cargo run --release -p realistic-pe --example verify
 cargo test -q -p pe-faultline
 cargo run -p pe-faultline --example stack_smoke
 
+# Trace smoke: pe-explain in JSONL mode self-validates its own stream
+# (schema, span balance) and exits non-zero on any violation; the
+# human-readable report and the trap census must render without error.
+cargo run --release -p realistic-pe --example pe-explain -- --json tak > /dev/null
+cargo run --release -p realistic-pe --example pe-explain -- deriv fibclos > /dev/null
+cargo run --release -p pe-faultline --example trap_census > /dev/null
+
 # The offline benchmark harness in quick mode: compiles and times the
 # whole Gabriel suite on every engine (small inputs, few reps) so each
 # CI run checks the harness end to end and leaves BENCH_pe.json behind.

@@ -85,6 +85,13 @@ pub struct BenchRow {
     pub paper_ours_ms: u32,
     /// The paper's Fig. 8 Hobbit timing (ms).
     pub paper_hobbit_ms: u32,
+    /// Per-phase compile durations (phase name → ms) from one traced
+    /// compilation, alphabetically sorted.  Not a min-of-N: a single
+    /// instrumented run breaking `compile_ms` down by phase.
+    pub phases: Vec<(String, f64)>,
+    /// Specializer/size counters from the same traced compilation,
+    /// alphabetically sorted.  These are exact and deterministic.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Best-of-`reps` wall-clock time of `f`, in milliseconds.
@@ -172,7 +179,21 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
     let compile_ms = time_min_ms(cfg.reps, || {
         pipe.compile_vm(b.entry, &opts).expect("compile rep");
     });
-    let vm = pipe.compile_vm(b.entry, &opts).map_err(|e| fail("compile", &e))?;
+    // One traced compilation (after the timed reps, so the tracing
+    // can't perturb them) supplies the per-phase breakdown and the
+    // specializer counters.
+    let (vm, report) = pipe
+        .compile_vm_traced(b.entry, &opts, &mut realistic_pe::NullSink)
+        .map_err(|e| fail("compile", &e))?;
+    let mut phases: Vec<(String, f64)> = report
+        .phases
+        .iter()
+        .map(|&(p, ns)| (p.name().to_string(), ns as f64 / 1e6))
+        .collect();
+    phases.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut counters: Vec<(String, u64)> =
+        report.counters.iter().map(|&(c, n)| (c.name().to_string(), n)).collect();
+    counters.sort_by(|a, b| a.0.cmp(&b.0));
     let hob = pipe.compile_hobbit().map_err(|e| fail("hobbit", &e))?;
     let (arg_texts, args) = if cfg.quick {
         (b.test_args, b.test_inputs())
@@ -211,6 +232,8 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
         hobbit: EngineTiming { min_ms: hob_t, runs: reps },
         paper_ours_ms: b.paper_ours_ms,
         paper_hobbit_ms: b.paper_hobbit_ms,
+        phases,
+        counters,
     })
 }
 
@@ -237,6 +260,14 @@ pub fn to_json(cfg: &BenchConfig, rows: &[BenchRow]) -> String {
         }
         s.push_str("],\n");
         s.push_str(&format!("      \"compile_ms\": {:.3},\n", r.compile_ms));
+        s.push_str("      \"counters\": {");
+        for (j, (name, n)) in r.counters.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{name}\": {n}"));
+        }
+        s.push_str("},\n");
         s.push_str("      \"engines\": {\n");
         let engines = [("hobbit", r.hobbit), ("tail", r.tail), ("vm", r.vm)];
         for (j, (name, t)) in engines.iter().enumerate() {
@@ -251,13 +282,21 @@ pub fn to_json(cfg: &BenchConfig, rows: &[BenchRow]) -> String {
         s.push_str(&format!("      \"higher_order\": {},\n", r.higher_order));
         s.push_str(&format!("      \"name\": {},\n", json_str(r.name)));
         s.push_str(&format!("      \"paper_hobbit_ms\": {},\n", r.paper_hobbit_ms));
-        s.push_str(&format!("      \"paper_ours_ms\": {}\n", r.paper_ours_ms));
+        s.push_str(&format!("      \"paper_ours_ms\": {},\n", r.paper_ours_ms));
+        s.push_str("      \"phases\": {");
+        for (j, (name, ms)) in r.phases.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{name}\": {ms:.3}"));
+        }
+        s.push_str("}\n");
         s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
     }
     s.push_str("  ],\n");
     s.push_str(&format!("  \"mode\": \"{}\",\n", cfg.mode()));
     s.push_str(&format!("  \"reps\": {},\n", cfg.reps));
-    s.push_str("  \"schema\": \"pe-bench/1\"\n}\n");
+    s.push_str("  \"schema\": \"pe-bench/2\"\n}\n");
     s
 }
 
@@ -295,6 +334,8 @@ mod tests {
             hobbit: EngineTiming { min_ms: 0.5, runs: 3 },
             paper_ours_ms: 100,
             paper_hobbit_ms: 200,
+            phases: vec![("cfa".to_string(), 0.1), ("specialize".to_string(), 0.4)],
+            counters: vec![("memo_hits".to_string(), 2), ("memo_lookups".to_string(), 5)],
         }
     }
 
@@ -311,13 +352,16 @@ mod tests {
             vec![
                 "\"args\"",
                 "\"compile_ms\"",
+                "\"counters\"",
                 "\"engines\"",
                 "\"higher_order\"",
                 "\"name\"",
                 "\"paper_hobbit_ms\"",
                 "\"paper_ours_ms\"",
+                "\"phases\"",
             ],
             vec!["\"hobbit\"", "\"tail\"", "\"vm\""],
+            vec!["\"memo_hits\"", "\"memo_lookups\""],
         ] {
             let idx: Vec<usize> =
                 keys.iter().map(|k| a.find(k).unwrap_or_else(|| panic!("missing {k}"))).collect();
@@ -349,6 +393,15 @@ mod tests {
                 assert_eq!(t.runs, 1);
             }
             assert!(row.compile_ms > 0.0, "{}", row.name);
+            // The traced compilation populated the breakdown.
+            assert!(!row.phases.is_empty(), "{}", row.name);
+            assert!(
+                row.counters.iter().any(|(n, v)| n == "memo_lookups" && *v > 0),
+                "{}: no memo counters",
+                row.name
+            );
+            assert!(row.phases.windows(2).all(|w| w[0].0 < w[1].0), "phases sorted");
+            assert!(row.counters.windows(2).all(|w| w[0].0 < w[1].0), "counters sorted");
         }
     }
 }

@@ -84,6 +84,35 @@ pub fn run(
     args: &[Datum],
     limits: Limits,
 ) -> Result<Datum, InterpError> {
+    run_with(p, args, limits, &mut pe_trace::NullSink)
+}
+
+/// Like [`run`], reporting step/alloc counters — and the governor
+/// meter snapshot on a trap — to `sink`.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with(
+    p: &S0Program,
+    args: &[Datum],
+    limits: Limits,
+    sink: &mut dyn pe_trace::Sink,
+) -> Result<Datum, InterpError> {
+    let mut fuel = Fuel::new(&limits);
+    let result = exec(p, args, &mut fuel);
+    if sink.enabled() {
+        sink.counter(pe_trace::Counter::EvalSteps, fuel.steps_used());
+        sink.counter(pe_trace::Counter::EvalAllocs, fuel.cells_used());
+        if result.is_err() {
+            let snap = fuel.snapshot();
+            pe_trace::trap_gauges(sink, snap.steps, snap.cells, snap.peak_depth as u64);
+        }
+    }
+    result
+}
+
+fn exec(p: &S0Program, args: &[Datum], fuel: &mut Fuel) -> Result<Datum, InterpError> {
     let entry = p
         .proc(&p.entry)
         .ok_or_else(|| InterpError::NoSuchProc(p.entry.clone()))?;
@@ -107,16 +136,15 @@ pub fn run(
     let mut body = &entry.body;
     // A flat loop (tail calls never recurse into the host stack), so
     // only the fuel and heap budgets apply here.
-    let mut fuel = Fuel::new(&limits);
     loop {
         fuel.step()?;
         match body {
             S0Tail::Return(s) => {
-                let v = eval_simple(s, &frame, &mut fuel)?;
+                let v = eval_simple(s, &frame, fuel)?;
                 return v.to_datum().ok_or(InterpError::ResultNotFirstOrder);
             }
             S0Tail::If(c, t, e) => {
-                body = if eval_simple(c, &frame, &mut fuel)?.is_truthy() { t } else { e };
+                body = if eval_simple(c, &frame, fuel)?.is_truthy() { t } else { e };
             }
             S0Tail::TailCall(callee, cargs) => {
                 let def = *index
@@ -124,7 +152,7 @@ pub fn run(
                     .ok_or_else(|| InterpError::NoSuchProc(callee.clone()))?;
                 let vals = cargs
                     .iter()
-                    .map(|a| eval_simple(a, &frame, &mut fuel))
+                    .map(|a| eval_simple(a, &frame, fuel))
                     .collect::<Result<Vec<_>, _>>()?;
                 frame = Frame { params: &def.params, vals };
                 body = &def.body;

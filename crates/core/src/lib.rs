@@ -42,12 +42,13 @@ pub mod spec;
 pub use desc::{CvId, DescShape, MissingCv, ValDesc};
 pub use pe_governor::{Fuel, Limits, Trap};
 pub use s0::{S0Proc, S0Program, S0Simple, S0Tail};
-pub use spec::{CompileOptions, GenStrategy, Spec, SpecError};
+pub use spec::{CompileOptions, GenStrategy, Spec, SpecCounters, SpecError};
 
 use pe_frontend::dast::DProgram;
 use pe_frontend::flow::FlowAnalysis;
 use pe_frontend::gen_analysis::GenAnalysis;
 use pe_interp::Datum;
+use pe_trace::{Counter, Phase, Sink};
 
 /// Compiles `entry` (all parameters dynamic): closure conversion + tail
 /// conversion + constant folding, then post-processing if enabled.
@@ -60,11 +61,30 @@ pub fn compile(
     entry: &str,
     opts: &CompileOptions,
 ) -> Result<S0Program, SpecError> {
+    compile_with(dp, entry, opts, &mut pe_trace::NullSink)
+}
+
+/// Like [`compile`], emitting cfa/specialize/post phase spans, the
+/// specializer's event counters, and residual size counters to `sink`.
+///
+/// # Errors
+///
+/// See [`SpecError`].
+pub fn compile_with(
+    dp: &DProgram,
+    entry: &str,
+    opts: &CompileOptions,
+    sink: &mut dyn Sink,
+) -> Result<S0Program, SpecError> {
+    let t = pe_trace::begin(sink, Phase::Cfa);
     let flow = FlowAnalysis::analyze(dp);
     let gen = GenAnalysis::analyze(dp, &flow);
+    pe_trace::end(sink, t);
+    let t = pe_trace::begin(sink, Phase::Specialize);
     let spec = Spec::new(dp, &flow, &gen, opts.clone());
-    let p = spec.compile(entry)?;
-    Ok(if opts.postprocess { post::postprocess(p) } else { p })
+    let p = spec.compile_with(entry, sink);
+    pe_trace::end(sink, t);
+    finish_traced(p?, opts, sink)
 }
 
 /// Specializes `entry` with respect to the static argument slots — the
@@ -80,11 +100,52 @@ pub fn specialize(
     slots: &[Option<Datum>],
     opts: &CompileOptions,
 ) -> Result<S0Program, SpecError> {
+    specialize_with(dp, entry, slots, opts, &mut pe_trace::NullSink)
+}
+
+/// Like [`specialize`], emitting phase spans and event counters to
+/// `sink`.
+///
+/// # Errors
+///
+/// See [`SpecError`].
+pub fn specialize_with(
+    dp: &DProgram,
+    entry: &str,
+    slots: &[Option<Datum>],
+    opts: &CompileOptions,
+    sink: &mut dyn Sink,
+) -> Result<S0Program, SpecError> {
+    let t = pe_trace::begin(sink, Phase::Cfa);
     let flow = FlowAnalysis::analyze(dp);
     let gen = GenAnalysis::analyze(dp, &flow);
+    pe_trace::end(sink, t);
+    let t = pe_trace::begin(sink, Phase::Specialize);
     let spec = Spec::new(dp, &flow, &gen, opts.clone());
-    let p = spec.specialize(entry, slots)?;
-    Ok(if opts.postprocess { post::postprocess(p) } else { p })
+    let p = spec.specialize_with(entry, slots, sink);
+    pe_trace::end(sink, t);
+    finish_traced(p?, opts, sink)
+}
+
+/// Post-processes under a `post` span and reports residual size.
+fn finish_traced(
+    p: S0Program,
+    opts: &CompileOptions,
+    sink: &mut dyn Sink,
+) -> Result<S0Program, SpecError> {
+    let p = if opts.postprocess {
+        let t = pe_trace::begin(sink, Phase::Post);
+        let q = post::postprocess(p);
+        pe_trace::end(sink, t);
+        q
+    } else {
+        p
+    };
+    if sink.enabled() {
+        sink.counter(Counter::ResidualProcs, p.procs.len() as u64);
+        sink.counter(Counter::ResidualNodes, p.size() as u64);
+    }
+    Ok(p)
 }
 
 #[cfg(test)]

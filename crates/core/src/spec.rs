@@ -183,6 +183,51 @@ struct PendingProc<'p> {
     sigma: Sigma,
 }
 
+/// Event totals from one specialization run.
+///
+/// The specializer bumps plain integers on its hot paths and flushes
+/// them to a [`pe_trace::Sink`] once at the end of the run, so tracing
+/// costs nothing per event — and the totals survive budget errors,
+/// which is exactly when they are most interesting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SpecCounters {
+    /// Specialization-point memo lookups.
+    pub memo_lookups: u64,
+    /// Lookups answered from the memo table.
+    pub memo_hits: u64,
+    /// Lookups that created a new residual procedure.
+    pub memo_misses: u64,
+    /// `spec_tail` unfolding steps.
+    pub unfold_steps: u64,
+    /// Generalization firings (§4.5).
+    pub generalizations: u64,
+    /// Widening firings: bounded-static-variation caps, prefix caps,
+    /// and context-stack flushes.
+    pub widenings: u64,
+    /// The-Trick dispatch expansions.
+    pub trick_dispatches: u64,
+    /// Total arms across all Trick dispatches.
+    pub trick_arms: u64,
+}
+
+impl SpecCounters {
+    /// Emits every non-zero total to `sink`.
+    pub fn flush(&self, sink: &mut dyn pe_trace::Sink) {
+        if !sink.enabled() {
+            return;
+        }
+        use pe_trace::Counter;
+        sink.counter(Counter::MemoLookups, self.memo_lookups);
+        sink.counter(Counter::MemoHits, self.memo_hits);
+        sink.counter(Counter::MemoMisses, self.memo_misses);
+        sink.counter(Counter::UnfoldSteps, self.unfold_steps);
+        sink.counter(Counter::Generalizations, self.generalizations);
+        sink.counter(Counter::Widenings, self.widenings);
+        sink.counter(Counter::TrickDispatches, self.trick_dispatches);
+        sink.counter(Counter::TrickArms, self.trick_arms);
+    }
+}
+
 /// The specializer engine.
 pub struct Spec<'p> {
     dp: &'p DProgram,
@@ -206,6 +251,7 @@ pub struct Spec<'p> {
     /// hashing a long string at every specialization point.
     prefix_variety: FxHashMap<DLabel, FxHashSet<Vec<DescShape>>>,
     widened_prefix: FxHashSet<DLabel>,
+    counters: SpecCounters,
 }
 
 impl<'p> Spec<'p> {
@@ -230,6 +276,7 @@ impl<'p> Spec<'p> {
             widened: FxHashSet::default(),
             prefix_variety: FxHashMap::default(),
             widened_prefix: FxHashSet::default(),
+            counters: SpecCounters::default(),
         }
     }
 
@@ -245,7 +292,28 @@ impl<'p> Spec<'p> {
     /// # Errors
     ///
     /// See [`SpecError`].
-    pub fn compile(mut self, entry: &str) -> Result<S0Program, SpecError> {
+    pub fn compile(self, entry: &str) -> Result<S0Program, SpecError> {
+        self.compile_with(entry, &mut pe_trace::NullSink)
+    }
+
+    /// Like [`Spec::compile`], flushing the run's [`SpecCounters`] to
+    /// `sink` — on success *and* on budget errors, where the totals
+    /// explain what blew up.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn compile_with(
+        mut self,
+        entry: &str,
+        sink: &mut dyn pe_trace::Sink,
+    ) -> Result<S0Program, SpecError> {
+        let r = self.compile_inner(entry);
+        self.counters.flush(sink);
+        r
+    }
+
+    fn compile_inner(&mut self, entry: &str) -> Result<S0Program, SpecError> {
         let slots: Vec<Option<Datum>> = {
             let pid = self
                 .dp
@@ -265,12 +333,29 @@ impl<'p> Spec<'p> {
     ///
     /// See [`SpecError`].
     pub fn specialize(
-        mut self,
+        self,
         entry: &str,
         slots: &[Option<Datum>],
     ) -> Result<S0Program, SpecError> {
+        self.specialize_with(entry, slots, &mut pe_trace::NullSink)
+    }
+
+    /// Like [`Spec::specialize`], flushing the run's [`SpecCounters`]
+    /// to `sink` even when specialization fails.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn specialize_with(
+        mut self,
+        entry: &str,
+        slots: &[Option<Datum>],
+        sink: &mut dyn pe_trace::Sink,
+    ) -> Result<S0Program, SpecError> {
         let name = format!("{entry}-$1");
-        self.run(entry, slots, name)
+        let r = self.run(entry, slots, name);
+        self.counters.flush(sink);
+        r
     }
 
     fn run(
@@ -345,6 +430,7 @@ impl<'p> Spec<'p> {
         if depth > self.opts.limits.max_unfold_depth {
             return Err(SpecError::DepthExceeded);
         }
+        self.counters.unfold_steps += 1;
         match te {
             TailExpr::Simple(se) => {
                 let d = self.spec_simple(se, &env, sigma)?;
@@ -469,6 +555,8 @@ impl<'p> Spec<'p> {
         if list.is_empty() {
             return Ok(S0Tail::Fail("application of a non-procedure".to_string()));
         }
+        self.counters.trick_dispatches += 1;
+        self.counters.trick_arms += list.len() as u64;
         let mut out: Option<S0Tail> = None;
         // Build from the last candidate backwards; the final candidate
         // needs no test (sequential dispatch, as in the paper's output).
@@ -579,6 +667,7 @@ impl<'p> Spec<'p> {
                 seen.insert(shape);
                 if seen.len() > self.opts.widen_threshold {
                     self.widened_prefix.insert(label);
+                    self.counters.widenings += 1;
                     self.flush_stack(&mut tau, sigma)?;
                 }
             }
@@ -607,6 +696,7 @@ impl<'p> Spec<'p> {
                 seen.insert(k);
                 if seen.len() > self.opts.widen_threshold {
                     self.widened.insert(slot);
+                    self.counters.widenings += 1;
                     *d = self.generalize(d.clone(), sigma)?;
                 }
             }
@@ -636,9 +726,12 @@ impl<'p> Spec<'p> {
             .iter()
             .map(|cv| sigma.get(cv).cloned().ok_or(MissingCv(*cv)))
             .collect::<Result<_, _>>()?;
+        self.counters.memo_lookups += 1;
         if let Some(name) = self.memo.get(&key) {
+            self.counters.memo_hits += 1;
             return Ok(S0Tail::TailCall(name.clone(), args));
         }
+        self.counters.memo_misses += 1;
         self.next_proc += 1;
         let name = format!("sl-eval-${}", self.next_proc);
         if std::env::var("PE_SPEC_DEBUG").is_ok() {
@@ -872,6 +965,7 @@ impl<'p> Spec<'p> {
     /// Lifts a description to a fresh configuration variable whose
     /// runtime value is the `D[·]`-lifted residual expression.
     fn generalize(&mut self, d: ValDesc, sigma: &mut Sigma) -> Result<ValDesc, SpecError> {
+        self.counters.generalizations += 1;
         let expr = d.residualize(sigma)?;
         let cv = self.fresh_cv();
         sigma.insert(cv, expr);
@@ -932,6 +1026,9 @@ impl<'p> Spec<'p> {
         if tau.prefix.is_empty() && tau.dyn_rest.is_some() {
             return Ok(());
         }
+        // A flush is a widening: the stack representation goes from
+        // fully static to the dynamic runtime list for good.
+        self.counters.widenings += 1;
         let mut expr = match &tau.dyn_rest {
             Some(d) => d.residualize(sigma)?,
             None => S0Simple::Const(Constant::Nil),

@@ -1,0 +1,23 @@
+//! `trap-census` — runs every divergence scenario against the engine
+//! whose governor should cut it off and prints the trap-time meter
+//! snapshots as a table.
+//!
+//! ```text
+//! cargo run --release -p pe-faultline --example trap_census
+//! ```
+
+use pe_faultline::{render_census, trap_census};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match trap_census() {
+        Ok(rows) => {
+            print!("{}", render_census(&rows));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trap-census: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

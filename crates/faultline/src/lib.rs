@@ -116,6 +116,140 @@ pub fn no_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
     })
 }
 
+/// One row of the [`trap_census`]: a hostile case, the structured
+/// outcome it produced, and the governor meters at the moment the trap
+/// fired (flushed as pe-trace gauges by the engine's `run_with`).
+#[derive(Debug, Clone)]
+pub struct TrapRecord {
+    /// Which hostile scenario ran, as `input/engine` .
+    pub case: &'static str,
+    /// The structured outcome (the trap or degradation reason).
+    pub outcome: String,
+    /// Fuel steps consumed when the trap fired.
+    pub fuel_steps: u64,
+    /// Heap cells allocated when the trap fired.
+    pub heap_cells: u64,
+    /// Peak call depth reached (host-stack engines; 0 for flat ones).
+    pub peak_depth: u64,
+}
+
+/// Runs every divergence scenario against the engine whose governor
+/// should cut it off and collects the trap-time meter snapshots — the
+/// observability half of the fault-injection story: not just *that*
+/// hostile inputs come back as structured errors, but *what the meters
+/// read* when they did.
+///
+/// # Errors
+///
+/// A message naming the case, if an engine returned success (or the
+/// wrong error class) on input that must trap.
+pub fn trap_census() -> Result<Vec<TrapRecord>, String> {
+    use pe_trace::{CollectingSink, Gauge};
+    use realistic_pe::{CompileOptions, Datum, Limits, Pipeline, RobustExec};
+
+    let tight =
+        Limits { fuel: 100_000, max_call_depth: 256, max_heap: 100_000, ..Limits::default() };
+    let gauges = |sink: &CollectingSink| {
+        (
+            sink.gauge_last(Gauge::FuelUsed).unwrap_or(0),
+            sink.gauge_last(Gauge::HeapUsed).unwrap_or(0),
+            sink.gauge_last(Gauge::CallDepth).unwrap_or(0),
+        )
+    };
+    let record = |case: &'static str,
+                  sink: &CollectingSink,
+                  r: Result<(), String>|
+     -> Result<TrapRecord, String> {
+        let outcome = r.err().ok_or_else(|| format!("{case}: expected a trap, got success"))?;
+        let (fuel_steps, heap_cells, peak_depth) = gauges(sink);
+        Ok(TrapRecord { case, outcome, fuel_steps, heap_cells, peak_depth })
+    };
+    let mut rows = Vec::new();
+
+    // Ω on the flat tail machine: fuel fires, the host stack never grows.
+    let omega = pe_frontend::parse_source(omega_src()).map_err(|e| e.to_string())?;
+    let domega = pe_frontend::desugar(&omega).map_err(|e| e.to_string())?;
+    let mut sink = CollectingSink::new();
+    let r = pe_interp::tail::run_with(&domega, "omega", &[], tight, &mut sink);
+    rows.push(record("omega/tail", &sink, r.map(|_| ()).map_err(|e| e.to_string()))?);
+
+    // Mutual divergence on the host-stack engine: the depth cap fires.
+    let mutual = pe_frontend::parse_source(mutual_divergence_src()).map_err(|e| e.to_string())?;
+    let mut sink = CollectingSink::new();
+    let r = pe_interp::standard::run_with(&mutual, "main", &[Datum::Int(0)], tight, &mut sink);
+    rows.push(record("mutual/standard", &sink, r.map(|_| ()).map_err(|e| e.to_string()))?);
+
+    // Unbounded consing: the heap meter fires on the flat machine.
+    let grow = pe_frontend::parse_source(
+        "(define (grow l) (grow (cons 1 l))) (define (main) (grow '()))",
+    )
+    .map_err(|e| e.to_string())?;
+    let dgrow = pe_frontend::desugar(&grow).map_err(|e| e.to_string())?;
+    let heap_lim = Limits { max_heap: 100, ..tight };
+    let mut sink = CollectingSink::new();
+    let r = pe_interp::tail::run_with(&dgrow, "main", &[], heap_lim, &mut sink);
+    rows.push(record("heap-growth/tail", &sink, r.map(|_| ()).map_err(|e| e.to_string()))?);
+
+    // A compilable divergent program on the VM: fuel fires at run time.
+    let spin = Pipeline::new("(define (spin n) (if (zero? n) (spin 1) (spin 2)))")
+        .map_err(|e| e.to_string())?;
+    let vm = spin.compile_vm("spin", &CompileOptions::default()).map_err(|e| e.to_string())?;
+    let mut sink = CollectingSink::new();
+    let r = vm.run_with(&[Datum::Int(0)], tight, &mut sink);
+    rows.push(record("spin/vm", &sink, r.map(|_| ()).map_err(|e| e.to_string()))?);
+
+    // Mutual divergence on the Hobbit baseline: native recursion, depth
+    // cap fires.
+    let hob = pe_hobbit::Hobbit::compile(&mutual).map_err(|e| e.to_string())?;
+    let mut sink = CollectingSink::new();
+    let r = hob.run_with("main", &[Datum::Int(0)], tight, &mut sink);
+    rows.push(record("mutual/hobbit", &sink, r.map(|_| ()).map_err(|e| e.to_string()))?);
+
+    // Graceful degradation: a hostile residual budget on a benign
+    // program.  No governor gauges here — the snapshot is the
+    // specializer's own work counter at cut-off.
+    let pipe = Pipeline::new(
+        "(define (main n) (even-p n))
+         (define (even-p n) (if (zero? n) 1 (odd-p (- n 1))))
+         (define (odd-p n) (if (zero? n) 0 (even-p (- n 1))))",
+    )
+    .map_err(|e| e.to_string())?;
+    let opts = CompileOptions {
+        limits: Limits { max_residual: 1, ..Limits::default() },
+        ..CompileOptions::default()
+    };
+    let mut sink = CollectingSink::new();
+    match pipe.compile_robust_traced("main", &opts, &mut sink) {
+        Ok(RobustExec::Degraded { reason }) => rows.push(TrapRecord {
+            case: "budget/robust",
+            outcome: format!("degraded: {reason}"),
+            fuel_steps: sink.counter_total(pe_trace::Counter::MemoLookups),
+            heap_cells: 0,
+            peak_depth: 0,
+        }),
+        other => return Err(format!("budget/robust: expected Degraded, got {other:?}")),
+    }
+
+    Ok(rows)
+}
+
+/// Renders the census as an aligned table.
+#[must_use]
+pub fn render_census(rows: &[TrapRecord]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<18} {:>10} {:>10} {:>10}  outcome\n",
+        "case", "fuel", "heap", "depth"
+    ));
+    for r in rows {
+        s.push_str(&format!(
+            "{:<18} {:>10} {:>10} {:>10}  {}\n",
+            r.case, r.fuel_steps, r.heap_cells, r.peak_depth, r.outcome
+        ));
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +531,34 @@ mod tests {
             matches!(r, Err(PipelineError::Run(InterpError::FuelExhausted))),
             "got {r:?}"
         );
+        Ok(())
+    }
+
+    // ---- trap census -----------------------------------------------
+
+    #[test]
+    fn trap_census_snapshots_the_meters() -> R {
+        let rows = trap_census()?;
+        let by_case = |c: &str| {
+            rows.iter().find(|r| r.case == c).unwrap_or_else(|| panic!("missing case {c}"))
+        };
+        // Fuel traps read the exhausted meter exactly.
+        assert_eq!(by_case("omega/tail").fuel_steps, 100_000);
+        assert_eq!(by_case("spin/vm").fuel_steps, 100_000);
+        // Depth traps report the peak depth — the cap itself.
+        assert_eq!(by_case("mutual/standard").peak_depth, 256);
+        assert_eq!(by_case("mutual/hobbit").peak_depth, 256);
+        // The heap trap fired at (or just past) its budget.
+        assert!(by_case("heap-growth/tail").heap_cells >= 100);
+        // Degradation reports the specializer's work at cut-off.
+        let deg = by_case("budget/robust");
+        assert!(deg.outcome.starts_with("degraded:"), "{}", deg.outcome);
+        assert!(deg.fuel_steps > 0, "no memo work recorded");
+        // Every row rendered; the table mentions every case.
+        let table = render_census(&rows);
+        for r in &rows {
+            assert!(table.contains(r.case));
+        }
         Ok(())
     }
 

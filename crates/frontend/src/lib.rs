@@ -25,4 +25,6 @@ pub use dast::{DDef, DLabel, DProgram, LamId, LambdaDef, ProcId, SimpleExpr, Tai
 pub use desugar::{desugar, DesugarError};
 pub use flow::{FlowAnalysis, LamSet};
 pub use gen_analysis::GenAnalysis;
-pub use parse::{parse_program, parse_source, parse_source_with, ParseError};
+pub use parse::{
+    parse_program, parse_program_positioned, parse_source, parse_source_with, ParseError,
+};

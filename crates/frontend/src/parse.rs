@@ -403,6 +403,19 @@ pub fn parse_program(forms: &[Sexpr]) -> Result<Program, ParseError> {
     parse_forms(forms, None)
 }
 
+/// [`parse_program`], but errors carry the matching form's [`Pos`].
+///
+/// Lets callers that have already run the reader (and so hold positions)
+/// parse as a separate step — e.g. to time reading and parsing
+/// independently — without losing error locations.
+///
+/// # Errors
+///
+/// See [`parse_program`]; errors are wrapped in [`ParseError::At`].
+pub fn parse_program_positioned(forms: &[Sexpr], poss: &[Pos]) -> Result<Program, ParseError> {
+    parse_forms(forms, Some(poss))
+}
+
 /// Wraps a per-form error with the form's source position, when known.
 fn locate(poss: Option<&[Pos]>, i: usize, e: ParseError) -> ParseError {
     match poss.and_then(|p| p.get(i)) {

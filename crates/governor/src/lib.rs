@@ -165,13 +165,29 @@ pub struct Fuel {
     steps: u64,
     cells: u64,
     depth: usize,
+    peak_depth: usize,
+}
+
+/// A point-in-time reading of one [`Fuel`] meter — the "metrics at
+/// trap time" payload attached to observability gauges.  Depth is the
+/// *high-water* mark, not the current depth: by the time a trap has
+/// propagated out of a host-stack engine the live depth has already
+/// unwound to zero, but the peak is what explains the trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeterSnapshot {
+    /// Steps spent so far.
+    pub steps: u64,
+    /// Heap cells charged so far.
+    pub cells: u64,
+    /// Deepest host-stack recursion reached.
+    pub peak_depth: usize,
 }
 
 impl Fuel {
     /// Starts a fresh meter against `limits`.
     #[must_use]
     pub fn new(limits: &Limits) -> Fuel {
-        Fuel { limits: *limits, steps: 0, cells: 0, depth: 0 }
+        Fuel { limits: *limits, steps: 0, cells: 0, depth: 0, peak_depth: 0 }
     }
 
     /// The limits this meter enforces.
@@ -219,6 +235,9 @@ impl Fuel {
             return Err(Trap::CallDepth { limit: self.limits.max_call_depth });
         }
         self.depth += 1;
+        if self.depth > self.peak_depth {
+            self.peak_depth = self.depth;
+        }
         Ok(())
     }
 
@@ -244,6 +263,18 @@ impl Fuel {
     #[must_use]
     pub fn depth(&self) -> usize {
         self.depth
+    }
+
+    /// Deepest host-stack recursion reached over the meter's life.
+    #[must_use]
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// The current meter readings as one value.
+    #[must_use]
+    pub fn snapshot(&self) -> MeterSnapshot {
+        MeterSnapshot { steps: self.steps, cells: self.cells, peak_depth: self.peak_depth }
     }
 }
 
@@ -281,6 +312,22 @@ mod tests {
         f.exit_call();
         f.exit_call();
         assert_eq!(f.depth(), 0);
+    }
+
+    #[test]
+    fn snapshot_reports_peak_depth() {
+        let mut f = Fuel::new(&Limits::default());
+        f.enter_call().unwrap();
+        f.enter_call().unwrap();
+        f.step().unwrap();
+        f.alloc(7).unwrap();
+        f.exit_call();
+        f.exit_call();
+        assert_eq!(f.depth(), 0);
+        assert_eq!(
+            f.snapshot(),
+            MeterSnapshot { steps: 1, cells: 7, peak_depth: 2 }
+        );
     }
 
     #[test]

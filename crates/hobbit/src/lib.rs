@@ -278,6 +278,22 @@ impl Hobbit {
         args: &[Datum],
         limits: Limits,
     ) -> Result<Datum, InterpError> {
+        self.run_with(entry, args, limits, &mut pe_trace::NullSink)
+    }
+
+    /// Like [`Hobbit::run`], but reports step/alloc counters (and, on a
+    /// trap, the meter gauges) to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Hobbit::run`].
+    pub fn run_with(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        limits: Limits,
+        sink: &mut dyn pe_trace::Sink,
+    ) -> Result<Datum, InterpError> {
         let idx = *self
             .names
             .get(entry)
@@ -294,8 +310,18 @@ impl Hobbit {
         // Calls recurse on the host stack (the point of this baseline),
         // so the call-depth cap applies in addition to fuel and heap.
         let mut fuel = Fuel::new(&limits);
-        let v = self.exec(&def.body, &mut frame, &mut fuel)?;
-        v.to_datum().ok_or(InterpError::ResultNotFirstOrder)
+        let result = self
+            .exec(&def.body, &mut frame, &mut fuel)
+            .and_then(|v| v.to_datum().ok_or(InterpError::ResultNotFirstOrder));
+        if sink.enabled() {
+            sink.counter(pe_trace::Counter::EvalSteps, fuel.steps_used());
+            sink.counter(pe_trace::Counter::EvalAllocs, fuel.cells_used());
+            if result.is_err() {
+                let snap = fuel.snapshot();
+                pe_trace::trap_gauges(sink, snap.steps, snap.cells, snap.peak_depth as u64);
+            }
+        }
+        result
     }
 
     fn exec(&self, code: &Code, frame: &mut Vec<V>, fuel: &mut Fuel) -> Result<V, InterpError> {

@@ -261,6 +261,22 @@ pub fn run(
     args: &[Datum],
     limits: Limits,
 ) -> Result<Datum, InterpError> {
+    run_with(prog, entry, args, limits, &mut pe_trace::NullSink)
+}
+
+/// Like [`run`], reporting step/alloc counters — and the governor
+/// meter snapshot on a trap — to `sink`.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with(
+    prog: &Program,
+    entry: &str,
+    args: &[Datum],
+    limits: Limits,
+    sink: &mut dyn pe_trace::Sink,
+) -> Result<Datum, InterpError> {
     let def = prog
         .def(entry)
         .ok_or_else(|| InterpError::NoSuchProc(entry.to_string()))?;
@@ -276,8 +292,11 @@ pub fn run(
         env.bind(param, arg.embed());
     }
     let mut interp = Interp { prog, lambdas: LambdaTable::build(prog), fuel: Fuel::new(&limits) };
-    let result = interp.eval(&def.body, &env)?;
-    result.to_datum().ok_or(InterpError::ResultNotFirstOrder)
+    let result = interp
+        .eval(&def.body, &env)
+        .and_then(|v| v.to_datum().ok_or(InterpError::ResultNotFirstOrder));
+    crate::flush_run(sink, &interp.fuel, result.is_err());
+    result
 }
 
 #[cfg(test)]

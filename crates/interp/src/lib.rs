@@ -25,6 +25,20 @@ pub use value::{apply_prim, Datum, NoClosure, PrimError, Value};
 
 use std::fmt;
 
+/// Flushes one finished interpreter run to a trace sink: step/alloc
+/// totals always, plus the governor gauge snapshot when the run ended
+/// in an error so the trap carries its metrics.
+pub(crate) fn flush_run(sink: &mut dyn pe_trace::Sink, fuel: &Fuel, errored: bool) {
+    if sink.enabled() {
+        sink.counter(pe_trace::Counter::EvalSteps, fuel.steps_used());
+        sink.counter(pe_trace::Counter::EvalAllocs, fuel.cells_used());
+        if errored {
+            let snap = fuel.snapshot();
+            pe_trace::trap_gauges(sink, snap.steps, snap.cells, snap.peak_depth as u64);
+        }
+    }
+}
+
 /// An error raised during evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InterpError {

@@ -100,6 +100,34 @@ pub fn run(
     args: &[Datum],
     limits: Limits,
 ) -> Result<Datum, InterpError> {
+    run_with(p, entry, args, limits, &mut pe_trace::NullSink)
+}
+
+/// Like [`run`], reporting step/alloc counters — and the governor
+/// meter snapshot on a trap — to `sink`.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with(
+    p: &DProgram,
+    entry: &str,
+    args: &[Datum],
+    limits: Limits,
+    sink: &mut dyn pe_trace::Sink,
+) -> Result<Datum, InterpError> {
+    let mut fuel = Fuel::new(&limits);
+    let result = exec(p, entry, args, &mut fuel);
+    crate::flush_run(sink, &fuel, result.is_err());
+    result
+}
+
+fn exec(
+    p: &DProgram,
+    entry: &str,
+    args: &[Datum],
+    fuel: &mut Fuel,
+) -> Result<Datum, InterpError> {
     let pid = p
         .proc_id(entry)
         .ok_or_else(|| InterpError::NoSuchProc(entry.to_string()))?;
@@ -119,7 +147,6 @@ pub fn run(
     // The machine is a flat loop (no host recursion), so only fuel and
     // the heap budget apply; `max_call_depth` is for the Fig. 3/Fig. 4
     // engines that model the stack with host recursion.
-    let mut fuel = Fuel::new(&limits);
     // τ — the stack of pending evaluation contexts.
     let mut stack: Vec<TailClosure> = Vec::new();
     // The spare environment buffer: the next frame is built here (args
@@ -132,7 +159,7 @@ pub fn run(
         match cur {
             // E*[SE]ρτ = C (S[SE]ρ) τ
             TailExpr::Simple(se) => {
-                let v = eval_simple(p, se, &env, &mut fuel)?;
+                let v = eval_simple(p, se, &env, fuel)?;
                 match stack.pop() {
                     // C v [] = v
                     None => return v.to_datum().ok_or(InterpError::ResultNotFirstOrder),
@@ -150,7 +177,7 @@ pub fn run(
                 }
             }
             TailExpr::If(_, c, t, e) => {
-                let cv = eval_simple(p, c, &env, &mut fuel)?;
+                let cv = eval_simple(p, c, &env, fuel)?;
                 cur = if cv.is_truthy() { t } else { e };
             }
             // E*[(P SE₁…SEₙ)]ρτ = E*[φ(P)][Vᵢ ↦ S[SEᵢ]ρ]τ
@@ -158,7 +185,7 @@ pub fn run(
                 let def = p.proc(*pid);
                 scratch.0.clear();
                 for (param, arg) in def.params.iter().zip(args) {
-                    let v = eval_simple(p, arg, &env, &mut fuel)?;
+                    let v = eval_simple(p, arg, &env, fuel)?;
                     scratch.bind(*param, v);
                 }
                 std::mem::swap(&mut env, &mut scratch);
@@ -166,7 +193,7 @@ pub fn run(
             }
             // E*[(SE E)]ρτ = E*[E]ρ (S[SE]ρ : τ)
             TailExpr::PushApp(_, ctx, body) => {
-                match eval_simple(p, ctx, &env, &mut fuel)? {
+                match eval_simple(p, ctx, &env, fuel)? {
                     // Pending contexts live on the (heap-allocated)
                     // machine stack: charge them to the heap budget.
                     Value::Closure(c) => {

@@ -1,0 +1,97 @@
+//! `pe-explain` — per-phase, per-counter observability report for the
+//! whole pipeline.
+//!
+//! For each requested benchmark (default: the whole Fig. 8 suite) the
+//! program is read, parsed, desugared, compiled for the VM, and run on
+//! its test inputs with a tracing sink attached, then a human-readable
+//! report is printed: a span tree with wall-clock durations and the
+//! specializer/VM counters.
+//!
+//! ```text
+//! cargo run --release -p realistic-pe --example pe-explain            # all, human
+//! cargo run --release -p realistic-pe --example pe-explain -- tak     # one benchmark
+//! cargo run --release -p realistic-pe --example pe-explain -- --json  # JSONL stream
+//! ```
+//!
+//! With `--json`, the full event stream is emitted as JSON Lines —
+//! one `{"type":"run","benchmark":...}` header per benchmark followed
+//! by its `span_open`/`span_close`/`counter`/`gauge` events — after
+//! being validated against the pe-trace schema.
+
+use pe_trace::{jsonl, report, CollectingSink, JsonlSink, Sink};
+use realistic_pe::{benchmark, Benchmark, CompileOptions, Limits, Pipeline, SUITE};
+use std::process::ExitCode;
+
+/// Traces one benchmark end to end into `sink`.
+fn trace_one(b: &Benchmark, sink: &mut dyn Sink) -> Result<(), String> {
+    let pipe = Pipeline::new_traced(b.source, sink).map_err(|e| format!("{}: {e}", b.name))?;
+    let (vm, _report) = pipe
+        .compile_vm_traced(b.entry, &CompileOptions::default(), sink)
+        .map_err(|e| format!("{}: {e}", b.name))?;
+    vm.run_with(&b.test_inputs(), Limits::default(), sink)
+        .map_err(|e| format!("{}: {e}", b.name))?;
+    Ok(())
+}
+
+fn human(benches: &[&Benchmark]) -> Result<(), String> {
+    for b in benches {
+        let mut sink = CollectingSink::new();
+        trace_one(b, &mut sink)?;
+        sink.check_balanced().map_err(|e| format!("{}: unbalanced spans: {e}", b.name))?;
+        println!("== {} ==", b.name);
+        println!("{}", report::render(sink.events()));
+    }
+    Ok(())
+}
+
+fn json(benches: &[&Benchmark]) -> Result<(), String> {
+    let mut stream = String::new();
+    for b in benches {
+        stream.push_str(&format!("{{\"type\":\"run\",\"benchmark\":\"{}\"}}\n", b.name));
+        let mut sink = JsonlSink::new(Vec::new());
+        trace_one(b, &mut sink)?;
+        let bytes = sink.finish().map_err(|e| format!("{}: {e}", b.name))?;
+        stream.push_str(&String::from_utf8(bytes).expect("jsonl is ascii"));
+    }
+    // Self-check the stream against the schema before emitting it.
+    let summary = jsonl::validate(&stream)?;
+    print!("{stream}");
+    eprintln!(
+        "pe-explain: {} lines, {} spans, max depth {}",
+        summary.lines, summary.spans_closed, summary.max_depth
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let as_json = args.iter().any(|a| a == "--json");
+    let names: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let mut benches: Vec<&Benchmark> = Vec::new();
+    if names.is_empty() {
+        benches.extend(SUITE);
+    } else {
+        for n in names {
+            match benchmark(n) {
+                Some(b) => benches.push(b),
+                None => {
+                    eprintln!("pe-explain: no benchmark named {n:?}");
+                    eprintln!(
+                        "  available: {}",
+                        SUITE.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let run = if as_json { json(&benches) } else { human(&benches) };
+    match run {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pe-explain: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

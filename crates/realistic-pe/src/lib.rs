@@ -53,8 +53,11 @@ pub use pe_unmix::{compile_by_futamura, encode_program, UnmixOptions, FUTAMURA_E
 pub use pe_verify::{
     verify, verify_division, verify_program, verify_source, Diagnostic, Report, Severity,
 };
+pub use pe_trace::{
+    Aggregator, CollectingSink, Counter, Event, Gauge, JsonlSink, NullSink, Phase, Sink,
+};
 pub use pe_vm::{Vm, VmStats};
-pub use pipeline::{Pipeline, PipelineError, RobustExec};
+pub use pipeline::{CompileReport, Pipeline, PipelineError, RobustExec};
 pub use suite::{benchmark, Benchmark, SUITE};
 
 /// Runs `f` on a worker thread with a large stack and returns its

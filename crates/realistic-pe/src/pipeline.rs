@@ -9,9 +9,10 @@
 //! Hobbit-like baseline.
 
 use pe_core::{CompileOptions, S0Program, SpecError};
-use pe_frontend::{desugar, parse_source, DProgram, ParseError, Program};
+use pe_frontend::{desugar, parse_program_positioned, DProgram, ParseError, Program};
 use pe_hobbit::Hobbit;
 use pe_interp::{Datum, InterpError, Limits};
+use pe_trace::{Aggregator, Counter, NullSink, Phase, Sink};
 use pe_vm::{Vm, VmStats};
 use std::fmt;
 
@@ -93,6 +94,38 @@ impl RobustExec {
     }
 }
 
+/// Everything a traced compilation produced: the residual program, the
+/// verification report, and the aggregated observability data.
+///
+/// Returned by [`Pipeline::compile_traced`] and
+/// [`Pipeline::compile_vm_traced`].  Phase durations appear in the
+/// order the phases finished; counters in the order first emitted.
+#[derive(Debug)]
+pub struct CompileReport {
+    /// The compiled (and verified) residual S₀ program.
+    pub s0: S0Program,
+    /// The full verification report, warnings included.
+    pub verify: pe_verify::Report,
+    /// Wall-clock nanoseconds per pipeline phase.
+    pub phases: Vec<(Phase, u64)>,
+    /// Summed specializer/size counters.
+    pub counters: Vec<(Counter, u64)>,
+}
+
+impl CompileReport {
+    /// Total nanoseconds across all recorded phases.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        self.phases.iter().map(|&(_, ns)| ns).sum()
+    }
+
+    /// The summed value of `counter`, zero if never emitted.
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters.iter().find(|&&(c, _)| c == counter).map_or(0, |&(_, n)| n)
+    }
+}
+
 /// A parsed and desugared program, ready for any engine.
 pub struct Pipeline {
     /// The surface program (Fig. 2).
@@ -108,9 +141,30 @@ impl Pipeline {
     ///
     /// See [`PipelineError`].
     pub fn new(source: &str) -> Result<Pipeline, PipelineError> {
-        let program = parse_source(source)?;
-        let dprog = desugar(&program).map_err(PipelineError::Desugar)?;
-        Ok(Pipeline { program, dprog })
+        Pipeline::new_traced(source, &mut NullSink)
+    }
+
+    /// Like [`Pipeline::new`], emitting `read`, `parse`, and `desugar`
+    /// phase spans to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn new_traced(source: &str, sink: &mut dyn Sink) -> Result<Pipeline, PipelineError> {
+        let t = pe_trace::begin(sink, Phase::Read);
+        let forms = pe_sexpr::read_positioned(source);
+        pe_trace::end(sink, t);
+        let forms = forms.map_err(|e| PipelineError::Parse(ParseError::Read(e)))?;
+        let (exprs, poss): (Vec<pe_sexpr::Sexpr>, Vec<pe_sexpr::Pos>) =
+            forms.into_iter().unzip();
+        let t = pe_trace::begin(sink, Phase::Parse);
+        let program = parse_program_positioned(&exprs, &poss);
+        pe_trace::end(sink, t);
+        let program = program?;
+        let t = pe_trace::begin(sink, Phase::Desugar);
+        let dprog = desugar(&program).map_err(PipelineError::Desugar);
+        pe_trace::end(sink, t);
+        Ok(Pipeline { program, dprog: dprog? })
     }
 
     /// Compiles `entry` to S₀ and verifies it with every
@@ -123,22 +177,46 @@ impl Pipeline {
     ///
     /// See [`PipelineError`].
     pub fn compile(&self, entry: &str, opts: &CompileOptions) -> Result<S0Program, PipelineError> {
-        self.compile_verified(entry, opts).map(|(s0, _)| s0)
+        self.compile_verified(entry, opts, &mut NullSink).map(|(s0, _)| s0)
     }
 
     /// Compiles and verifies, returning the report beside the program so
     /// callers that need both never run the verifier a second time.
+    /// Phase spans and specializer counters go to `sink`.
     fn compile_verified(
         &self,
         entry: &str,
         opts: &CompileOptions,
+        sink: &mut dyn Sink,
     ) -> Result<(S0Program, pe_verify::Report), PipelineError> {
-        let s0 = pe_core::compile(&self.dprog, entry, opts)?;
+        let s0 = pe_core::compile_with(&self.dprog, entry, opts, sink)?;
+        let t = pe_trace::begin(sink, Phase::Verify);
         let report = pe_verify::verify(&s0);
+        pe_trace::end(sink, t);
         if report.has_errors() {
             return Err(PipelineError::IllFormed(report.error_messages()));
         }
         Ok((s0, report))
+    }
+
+    /// Compiles and verifies `entry` under an [`Aggregator`], returning
+    /// the program, the verification report, and the aggregated
+    /// phase/counter data as a [`CompileReport`].  Spans and counters
+    /// also stream to `sink` as they happen.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn compile_traced(
+        &self,
+        entry: &str,
+        opts: &CompileOptions,
+        sink: &mut dyn Sink,
+    ) -> Result<CompileReport, PipelineError> {
+        let mut agg = Aggregator::new(sink);
+        let (s0, verify) = self.compile_verified(entry, opts, &mut agg)?;
+        let (phases, counters, _) = agg.into_parts();
+        Ok(CompileReport { s0, verify, phases, counters })
     }
 
     /// Compiles `entry` to S₀ and returns the full verification report,
@@ -163,15 +241,34 @@ impl Pipeline {
     ///
     /// See [`PipelineError`].
     pub fn compile_vm(&self, entry: &str, opts: &CompileOptions) -> Result<Vm, PipelineError> {
-        let (s0, report) = self.compile_verified(entry, opts)?;
-        let vm = Vm::compile(&s0).map_err(PipelineError::Vm)?;
+        self.compile_vm_traced(entry, opts, &mut NullSink).map(|(vm, _)| vm)
+    }
+
+    /// [`Pipeline::compile_vm`] under an [`Aggregator`]: the report
+    /// additionally covers the `vm-load` phase.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn compile_vm_traced(
+        &self,
+        entry: &str,
+        opts: &CompileOptions,
+        sink: &mut dyn Sink,
+    ) -> Result<(Vm, CompileReport), PipelineError> {
+        let mut agg = Aggregator::new(sink);
+        let (s0, report) = self.compile_verified(entry, opts, &mut agg)?;
+        let t = pe_trace::begin(&mut agg, Phase::VmLoad);
+        let vm = Vm::compile(&s0).map_err(PipelineError::Vm);
+        pe_trace::end(&mut agg, t);
+        let vm = vm?;
         // The loader and the verifier must agree on what is acceptable:
         // anything the VM takes must already have verified clean.  The
         // report is the one `compile_verified` produced — verification
         // runs once per compilation, even in debug builds.
         debug_assert!(report.is_clean(), "VM accepted a program the verifier rejects");
-        let _ = report;
-        Ok(vm)
+        let (phases, counters, _) = agg.into_parts();
+        Ok((vm, CompileReport { s0, verify: report, phases, counters }))
     }
 
     /// Compiles the whole program with the Hobbit-like baseline.
@@ -257,8 +354,25 @@ impl Pipeline {
         entry: &str,
         opts: &CompileOptions,
     ) -> Result<RobustExec, PipelineError> {
-        match self.compile_vm(entry, opts) {
-            Ok(vm) => Ok(RobustExec::Compiled(Box::new(vm))),
+        self.compile_robust_traced(entry, opts, &mut NullSink)
+    }
+
+    /// [`Pipeline::compile_robust`] with phase spans and specializer
+    /// counters streaming to `sink`.  On the degraded path the sink has
+    /// still seen every event up to the budget cut-off (counters flush
+    /// even when specialization errors).
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`]; budget exhaustion is *not* an error here.
+    pub fn compile_robust_traced(
+        &self,
+        entry: &str,
+        opts: &CompileOptions,
+        sink: &mut dyn Sink,
+    ) -> Result<RobustExec, PipelineError> {
+        match self.compile_vm_traced(entry, opts, sink) {
+            Ok((vm, _)) => Ok(RobustExec::Compiled(Box::new(vm))),
             Err(PipelineError::Spec(e)) if e.is_budget_exhaustion() => {
                 Ok(RobustExec::Degraded { reason: e })
             }
@@ -302,12 +416,31 @@ impl Pipeline {
         args: &[Datum],
         opts: &CompileOptions,
     ) -> Result<pe_backend_c::CProgram, PipelineError> {
-        let s0 = self.compile(entry, opts)?;
+        self.emit_c_traced(entry, args, opts, &mut NullSink)
+    }
+
+    /// [`Pipeline::emit_c`] with phase spans (including `emit-c`) and
+    /// specializer counters streaming to `sink`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn emit_c_traced(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        opts: &CompileOptions,
+        sink: &mut dyn Sink,
+    ) -> Result<pe_backend_c::CProgram, PipelineError> {
+        let (s0, _) = self.compile_verified(entry, opts, sink)?;
         // Re-certify the exact concrete syntax the C emitter consumes.
         debug_assert!(
             pe_verify::verify_source(&s0.to_source()).is_clean(),
             "emit_c input fails the language-preservation certificate"
         );
-        Ok(pe_backend_c::emit_c(&s0, args, &pe_backend_c::COptions::default()))
+        let t = pe_trace::begin(sink, Phase::EmitC);
+        let c = pe_backend_c::emit_c(&s0, args, &pe_backend_c::COptions::default());
+        pe_trace::end(sink, t);
+        Ok(c)
     }
 }

@@ -1,0 +1,313 @@
+//! Validation for the JSONL trace stream emitted by
+//! [`JsonlSink`](crate::JsonlSink).
+//!
+//! The stream schema is deliberately flat — one JSON object per line,
+//! string and unsigned-integer values only — so this module carries
+//! its own ~100-line parser instead of a JSON dependency.  The `ci.sh`
+//! trace-smoke step and the golden schema test both funnel through
+//! [`validate`], so the emitter and the checker cannot drift apart
+//! silently.
+
+/// Summary of a validated stream.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Total lines validated.
+    pub lines: usize,
+    /// `span_open` lines seen.
+    pub spans_opened: usize,
+    /// `span_close` lines seen.
+    pub spans_closed: usize,
+    /// Deepest nesting reached.
+    pub max_depth: usize,
+    /// Counter totals by name, in first-emission order.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl Summary {
+    /// Total for a counter name, 0 when absent.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+}
+
+/// Validates a whole JSONL stream: every line parses as a flat JSON
+/// object, carries the fields its `type` requires, names come from the
+/// published vocabulary, and spans open/close in balanced LIFO order
+/// with consistent depths.
+///
+/// Besides the four event types, a `{"type":"run",...}` header line is
+/// accepted — `pe-explain --json` writes one per benchmark so streams
+/// for several programs can share a file.
+///
+/// # Errors
+///
+/// A message naming the first offending line (1-based) and why.
+pub fn validate(stream: &str) -> Result<Summary, String> {
+    let mut summary = Summary::default();
+    let mut stack: Vec<String> = Vec::new();
+    for (i, line) in stream.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields =
+            parse_flat_object(line).map_err(|e| format!("line {lineno}: {e}"))?;
+        summary.lines += 1;
+        let ty = match field_str(&fields, "type") {
+            Some(t) => t,
+            None => return Err(format!("line {lineno}: missing string field \"type\"")),
+        };
+        match ty {
+            "span_open" => {
+                let phase = require_str(&fields, "phase", lineno)?;
+                require_phase(phase, lineno)?;
+                let depth = require_u64(&fields, "depth", lineno)? as usize;
+                if depth != stack.len() {
+                    return Err(format!(
+                        "line {lineno}: span_open depth {depth}, expected {}",
+                        stack.len()
+                    ));
+                }
+                stack.push(phase.to_string());
+                summary.spans_opened += 1;
+                summary.max_depth = summary.max_depth.max(stack.len());
+            }
+            "span_close" => {
+                let phase = require_str(&fields, "phase", lineno)?;
+                require_phase(phase, lineno)?;
+                let depth = require_u64(&fields, "depth", lineno)? as usize;
+                require_u64(&fields, "dur_ns", lineno)?;
+                match stack.pop() {
+                    Some(open) if open == phase => {
+                        if depth != stack.len() {
+                            return Err(format!(
+                                "line {lineno}: span_close depth {depth}, expected {}",
+                                stack.len()
+                            ));
+                        }
+                    }
+                    Some(open) => {
+                        return Err(format!(
+                            "line {lineno}: span_close {phase} while {open} open"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {lineno}: span_close {phase} with no span open"
+                        ))
+                    }
+                }
+                summary.spans_closed += 1;
+            }
+            "counter" => {
+                let name = require_str(&fields, "name", lineno)?;
+                if !crate::Counter::ALL.iter().any(|c| c.name() == name) {
+                    return Err(format!("line {lineno}: unknown counter \"{name}\""));
+                }
+                let delta = require_u64(&fields, "delta", lineno)?;
+                match summary.counters.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, v)) => *v += delta,
+                    None => summary.counters.push((name.to_string(), delta)),
+                }
+            }
+            "gauge" => {
+                let name = require_str(&fields, "name", lineno)?;
+                if !crate::Gauge::ALL.iter().any(|g| g.name() == name) {
+                    return Err(format!("line {lineno}: unknown gauge \"{name}\""));
+                }
+                require_u64(&fields, "value", lineno)?;
+            }
+            "run" => {
+                // Benchmark header written by pe-explain; only legal
+                // between balanced groups of spans.
+                if !stack.is_empty() {
+                    return Err(format!(
+                        "line {lineno}: run header while span {} open",
+                        stack[stack.len() - 1]
+                    ));
+                }
+            }
+            other => return Err(format!("line {lineno}: unknown type \"{other}\"")),
+        }
+    }
+    if let Some(open) = stack.pop() {
+        return Err(format!("span {open} never closed"));
+    }
+    Ok(summary)
+}
+
+/// One parsed field value: this schema only ever uses strings and
+/// unsigned integers.
+#[derive(Debug, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Num(u64),
+}
+
+fn field_str<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+    fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
+        Value::Str(s) => Some(s.as_str()),
+        Value::Num(_) => None,
+    })
+}
+
+fn require_str<'a>(
+    fields: &'a [(String, Value)],
+    key: &str,
+    lineno: usize,
+) -> Result<&'a str, String> {
+    field_str(fields, key)
+        .ok_or_else(|| format!("line {lineno}: missing string field \"{key}\""))
+}
+
+fn require_u64(fields: &[(String, Value)], key: &str, lineno: usize) -> Result<u64, String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            Value::Num(n) => Some(*n),
+            Value::Str(_) => None,
+        })
+        .ok_or_else(|| format!("line {lineno}: missing numeric field \"{key}\""))
+}
+
+fn require_phase(phase: &str, lineno: usize) -> Result<(), String> {
+    if crate::Phase::ALL.iter().any(|p| p.name() == phase) {
+        Ok(())
+    } else {
+        Err(format!("line {lineno}: unknown phase \"{phase}\""))
+    }
+}
+
+/// Parses one flat JSON object: `{"k":"v","n":123,...}`.  No nesting,
+/// no floats, no booleans, no escapes beyond `\"` and `\\` — exactly
+/// what the emitter produces.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".to_string());
+    }
+    let mut fields = Vec::new();
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            Some(c) => return Err(format!("expected '\"' or '}}', found {c:?}")),
+            None => return Err("unterminated object".to_string()),
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        let value = match chars.peek() {
+            Some('"') => Value::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut n: u64 = 0;
+                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+                    chars.next();
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(u64::from(d)))
+                        .ok_or_else(|| format!("number overflow in field {key:?}"))?;
+                }
+                Value::Num(n)
+            }
+            Some(c) => return Err(format!("unsupported value start {c:?} for key {key:?}")),
+            None => return Err("unterminated object".to_string()),
+        };
+        fields.push((key, value));
+        match chars.next() {
+            Some(',') => {}
+            Some('}') => break,
+            Some(c) => return Err(format!("expected ',' or '}}', found {c:?}")),
+            None => return Err("unterminated object".to_string()),
+        }
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after object".to_string());
+    }
+    Ok(fields)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".to_string());
+    }
+    let mut s = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(s),
+            Some('\\') => match chars.next() {
+                Some('"') => s.push('"'),
+                Some('\\') => s.push('\\'),
+                Some(c) => return Err(format!("unsupported escape \\{c}")),
+                None => return Err("unterminated string".to_string()),
+            },
+            Some(c) => s.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{begin, end, Counter, Gauge, JsonlSink, Phase, Sink};
+
+    #[test]
+    fn validates_emitter_output_round_trip() {
+        let mut s = JsonlSink::new(Vec::new());
+        let outer = begin(&mut s, Phase::Specialize);
+        let inner = begin(&mut s, Phase::Post);
+        s.counter(Counter::MemoHits, 4);
+        s.counter(Counter::MemoHits, 6);
+        end(&mut s, inner);
+        s.gauge(Gauge::CallDepth, 12);
+        end(&mut s, outer);
+        let text = String::from_utf8(s.finish().expect("vec")).expect("utf8");
+        let sum = validate(&text).expect("stream validates");
+        assert_eq!(sum.spans_opened, 2);
+        assert_eq!(sum.spans_closed, 2);
+        assert_eq!(sum.max_depth, 2);
+        assert_eq!(sum.counter("memo_hits"), 10);
+        assert_eq!(sum.counter("memo_misses"), 0);
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_unknown() {
+        assert!(validate("{\"type\":\"span_open\",\"phase\":\"read\",\"depth\":0}").is_err());
+        assert!(validate("{\"type\":\"span_close\",\"phase\":\"read\",\"depth\":0,\"dur_ns\":1}")
+            .is_err());
+        assert!(validate("{\"type\":\"counter\",\"name\":\"bogus\",\"delta\":1}").is_err());
+        assert!(validate("{\"type\":\"mystery\"}").is_err());
+        assert!(validate("not json").is_err());
+        let crossed = "{\"type\":\"span_open\",\"phase\":\"read\",\"depth\":0}\n\
+                       {\"type\":\"span_close\",\"phase\":\"parse\",\"depth\":0,\"dur_ns\":1}";
+        assert!(validate(crossed).is_err());
+    }
+
+    #[test]
+    fn accepts_run_headers_between_groups() {
+        let ok = "{\"type\":\"run\",\"benchmark\":\"tak\"}\n\
+                  {\"type\":\"span_open\",\"phase\":\"read\",\"depth\":0}\n\
+                  {\"type\":\"span_close\",\"phase\":\"read\",\"depth\":0,\"dur_ns\":5}\n\
+                  {\"type\":\"run\",\"benchmark\":\"deriv\"}";
+        assert!(validate(ok).is_ok());
+        let bad = "{\"type\":\"span_open\",\"phase\":\"read\",\"depth\":0}\n\
+                   {\"type\":\"run\",\"benchmark\":\"tak\"}";
+        assert!(validate(bad).is_err());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let sum = validate("\n\n").expect("empty ok");
+        assert_eq!(sum.lines, 0);
+    }
+}

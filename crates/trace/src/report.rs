@@ -1,0 +1,124 @@
+//! Human-readable rendering of a collected trace — the body of the
+//! `pe-explain` report.
+
+use crate::{Counter, Event, Gauge, Phase};
+
+/// Renders a recorded event stream as an indented per-phase timing
+/// table followed by counter totals and gauge snapshots.
+///
+/// Span rows appear in close order (a parent closes after its
+/// children) but are printed in *open* order with nesting shown by
+/// indentation, so the report reads like the pipeline runs.
+#[must_use]
+pub fn render(events: &[Event]) -> String {
+    let mut out = String::new();
+    render_into(&mut out, events);
+    out
+}
+
+fn render_into(out: &mut String, events: &[Event]) {
+    // Pair each open with its close duration by replaying the stack.
+    let mut rows: Vec<(Phase, u32, Option<u64>)> = Vec::new();
+    let mut open: Vec<usize> = Vec::new();
+    for ev in events {
+        match ev {
+            Event::SpanOpen { phase, depth } => {
+                rows.push((*phase, *depth, None));
+                open.push(rows.len() - 1);
+            }
+            Event::SpanClose { dur_ns, .. } => {
+                if let Some(i) = open.pop() {
+                    rows[i].2 = Some(*dur_ns);
+                }
+            }
+            _ => {}
+        }
+    }
+    if !rows.is_empty() {
+        let total: u64 = rows
+            .iter()
+            .filter(|(_, depth, _)| *depth == 0)
+            .map(|(_, _, ns)| ns.unwrap_or(0))
+            .sum();
+        out.push_str("phase                         ms      % of total\n");
+        for (phase, depth, ns) in &rows {
+            let ns = ns.unwrap_or(0);
+            let ms = ns as f64 / 1e6;
+            let pct = if total > 0 { ns as f64 * 100.0 / total as f64 } else { 0.0 };
+            let indent = "  ".repeat(*depth as usize);
+            let name = format!("{indent}{phase}");
+            out.push_str(&format!("  {name:<22} {ms:>10.3} {pct:>9.1}%\n"));
+        }
+        out.push_str(&format!(
+            "  {:<22} {:>10.3}\n",
+            "total (top-level)",
+            total as f64 / 1e6
+        ));
+    }
+
+    let mut counters: Vec<(Counter, u64)> = Vec::new();
+    let mut gauges: Vec<(Gauge, u64)> = Vec::new();
+    for ev in events {
+        match ev {
+            Event::Counter { counter, delta } => {
+                match counters.iter_mut().find(|(c, _)| c == counter) {
+                    Some((_, n)) => *n += delta,
+                    None => counters.push((*counter, *delta)),
+                }
+            }
+            Event::Gauge { gauge, value } => {
+                match gauges.iter_mut().find(|(g, _)| g == gauge) {
+                    Some((_, v)) => *v = *value,
+                    None => gauges.push((*gauge, *value)),
+                }
+            }
+            _ => {}
+        }
+    }
+    if !counters.is_empty() {
+        out.push_str("counters\n");
+        // Report in the published Counter::ALL order, not emission
+        // order, so reports for different benchmarks line up.
+        for c in Counter::ALL {
+            if let Some((_, n)) = counters.iter().find(|(k, _)| *k == c) {
+                out.push_str(&format!("  {:<22} {n:>10}\n", c.name()));
+            }
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("gauges (at trap)\n");
+        for g in Gauge::ALL {
+            if let Some((_, v)) = gauges.iter().find(|(k, _)| *k == g) {
+                out.push_str(&format!("  {:<22} {v:>10}\n", g.name()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CollectingSink, Sink};
+
+    #[test]
+    fn renders_nested_spans_and_counters() {
+        let mut s = CollectingSink::new();
+        s.span_open(Phase::Specialize);
+        s.span_open(Phase::Post);
+        s.span_close(Phase::Post, 1_000_000);
+        s.span_close(Phase::Specialize, 4_000_000);
+        s.counter(Counter::MemoHits, 9);
+        s.gauge(Gauge::FuelUsed, 77);
+        let text = render(s.events());
+        assert!(text.contains("specialize"), "{text}");
+        assert!(text.contains("  post"), "missing indented child:\n{text}");
+        assert!(text.contains("memo_hits"), "{text}");
+        assert!(text.contains("fuel_used"), "{text}");
+        assert!(text.contains("total (top-level)"), "{text}");
+    }
+
+    #[test]
+    fn empty_stream_renders_empty() {
+        assert_eq!(render(&[]), "");
+    }
+}

@@ -39,7 +39,7 @@ pub mod spec;
 
 pub use bta::{Bt, Division};
 pub use futamura::{compile_by_futamura, encode_program, FUTAMURA_ENTRY, SINT};
-pub use spec::{check_first_order, specialize, UnmixError, UnmixOptions};
+pub use spec::{check_first_order, specialize, specialize_with, UnmixError, UnmixOptions};
 
 #[cfg(test)]
 mod tests {

@@ -121,6 +121,28 @@ struct PendingProc {
     dyn_params: Vec<Rc<str>>,
 }
 
+/// Reducer event totals, accumulated as plain integers and flushed to
+/// the trace sink once per specialization run.
+#[derive(Debug, Default, Clone, Copy)]
+struct UStats {
+    memo_lookups: u64,
+    memo_hits: u64,
+    memo_misses: u64,
+    unfold_steps: u64,
+}
+
+impl UStats {
+    fn flush(&self, sink: &mut dyn pe_trace::Sink) {
+        if sink.enabled() {
+            use pe_trace::Counter;
+            sink.counter(Counter::MemoLookups, self.memo_lookups);
+            sink.counter(Counter::MemoHits, self.memo_hits);
+            sink.counter(Counter::MemoMisses, self.memo_misses);
+            sink.counter(Counter::UnfoldSteps, self.unfold_steps);
+        }
+    }
+}
+
 struct Unmix<'p> {
     prog: &'p Program,
     div: &'p Division,
@@ -131,6 +153,7 @@ struct Unmix<'p> {
     next_spec: HashMap<Rc<str>, u32>,
     pending: VecDeque<PendingProc>,
     done: Vec<Definition>,
+    stats: UStats,
 }
 
 impl Unmix<'_> {
@@ -259,6 +282,7 @@ impl Unmix<'_> {
         pvs: Vec<Pv>,
         depth: usize,
     ) -> Result<Pv, UnmixError> {
+        self.stats.unfold_steps += 1;
         let def = self
             .prog
             .def(p)
@@ -323,9 +347,15 @@ impl Unmix<'_> {
                 }
             }
         }
-        let name = match self.memo.get(&(p.clone(), key.clone())) {
-            Some(n) => n.clone(),
+        self.stats.memo_lookups += 1;
+        let hit = self.memo.get(&(p.clone(), key.clone())).cloned();
+        let name = match hit {
+            Some(n) => {
+                self.stats.memo_hits += 1;
+                n
+            }
             None => {
+                self.stats.memo_misses += 1;
                 let n = self.next_spec.entry(p.clone()).or_insert(0);
                 *n += 1;
                 let name: Rc<str> = Rc::from(format!("{p}-${n}").as_str());
@@ -444,6 +474,23 @@ pub fn specialize(
     slots: &[Option<Datum>],
     opts: &UnmixOptions,
 ) -> Result<Program, UnmixError> {
+    specialize_with(p, entry, slots, opts, &mut pe_trace::NullSink)
+}
+
+/// Like [`specialize`], emitting bta/specialize/post phase spans plus
+/// memo/unfold counters to `sink` (the counters flush even when the
+/// reducer fails on a budget).
+///
+/// # Errors
+///
+/// See [`UnmixError`].
+pub fn specialize_with(
+    p: &Program,
+    entry: &str,
+    slots: &[Option<Datum>],
+    opts: &UnmixOptions,
+    sink: &mut dyn pe_trace::Sink,
+) -> Result<Program, UnmixError> {
     check_first_order(p)?;
     let def = p
         .def(entry)
@@ -456,7 +503,9 @@ pub fn specialize(
         });
     }
     let static_flags: Vec<bool> = slots.iter().map(Option::is_some).collect();
+    let t = pe_trace::begin(sink, pe_trace::Phase::Bta);
     let div = Division::analyze(p, entry, &static_flags);
+    pe_trace::end(sink, t);
     #[cfg(debug_assertions)]
     {
         let violations = div.audit(p, entry);
@@ -476,7 +525,39 @@ pub fn specialize(
         next_spec: HashMap::new(),
         pending: VecDeque::new(),
         done: Vec::new(),
+        stats: UStats::default(),
     };
+    let t = pe_trace::begin(sink, pe_trace::Phase::Specialize);
+    let reduced = reduce(&mut u, def, slots);
+    u.stats.flush(sink);
+    pe_trace::end(sink, t);
+    let residual = Program { defs: reduced? };
+    let residual = if opts.postprocess {
+        let t = pe_trace::begin(sink, pe_trace::Phase::Post);
+        let q = crate::postproc::postprocess(residual);
+        pe_trace::end(sink, t);
+        q
+    } else {
+        residual
+    };
+    if sink.enabled() {
+        sink.counter(pe_trace::Counter::ResidualProcs, residual.defs.len() as u64);
+        let mut nodes = 0u64;
+        for d in &residual.defs {
+            d.body.walk(&mut |_| nodes += 1);
+        }
+        sink.counter(pe_trace::Counter::ResidualNodes, nodes);
+    }
+    Ok(residual)
+}
+
+/// The reducer loop: seeds the entry, drains the pending queue, and
+/// returns the residual definitions with the entry first.
+fn reduce(
+    u: &mut Unmix<'_>,
+    def: &Definition,
+    slots: &[Option<Datum>],
+) -> Result<Vec<Definition>, UnmixError> {
     // Seed with the entry itself.
     let entry_pvs: Vec<Pv> = slots
         .iter()
@@ -533,10 +614,9 @@ pub fn specialize(
         u.done.push(Definition { name: pp.name, params: pp.dyn_params, body });
     }
     // Present the entry first.
-    let mut defs = u.done;
+    let mut defs = std::mem::take(&mut u.done);
     if let Some(pos) = defs.iter().position(|d| d.name == entry_name) {
         defs.swap(0, pos);
     }
-    let residual = Program { defs };
-    Ok(if opts.postprocess { crate::postproc::postprocess(residual) } else { residual })
+    Ok(defs)
 }

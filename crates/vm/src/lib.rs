@@ -180,6 +180,47 @@ impl Vm {
     /// [`Trap::UnboundLabel`] / [`Trap::BadDispatch`] carrying the
     /// program counter (block index) — never as a panic.
     pub fn run(&self, args: &[Datum], limits: Limits) -> Result<(Datum, VmStats), InterpError> {
+        self.run_with(args, limits, &mut pe_trace::NullSink)
+    }
+
+    /// Like [`Vm::run`], under a `vm-run` span on `sink` with the
+    /// execution counters flushed at the end — and the governor meter
+    /// snapshot when the machine traps, so the trap carries its
+    /// metrics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::run`].
+    pub fn run_with(
+        &self,
+        args: &[Datum],
+        limits: Limits,
+        sink: &mut dyn pe_trace::Sink,
+    ) -> Result<(Datum, VmStats), InterpError> {
+        let t = pe_trace::begin(sink, pe_trace::Phase::VmRun);
+        let mut stats = VmStats::default();
+        let mut fuel = Fuel::new(&limits);
+        let result = self.exec(args, &mut stats, &mut fuel);
+        if sink.enabled() {
+            use pe_trace::Counter;
+            sink.counter(Counter::VmSteps, stats.steps);
+            sink.counter(Counter::VmAllocs, stats.allocs);
+            sink.counter(Counter::VmCalls, stats.calls);
+            if result.is_err() {
+                let snap = fuel.snapshot();
+                pe_trace::trap_gauges(sink, snap.steps, snap.cells, snap.peak_depth as u64);
+            }
+        }
+        pe_trace::end(sink, t);
+        result.map(|v| (v, stats))
+    }
+
+    fn exec(
+        &self,
+        args: &[Datum],
+        stats: &mut VmStats,
+        fuel: &mut Fuel,
+    ) -> Result<Datum, InterpError> {
         let mut pc = self.entry;
         let entry = self.blocks.get(pc).ok_or_else(|| {
             InterpError::Trap(Trap::UnboundLabel { label: self.entry_name.clone(), pc })
@@ -191,26 +232,21 @@ impl Vm {
                 got: args.len(),
             });
         }
-        let mut stats = VmStats::default();
         // The "global parameter variables" of the C translation.
         let mut frame: Vec<V> = args.iter().map(Datum::embed).collect();
         let mut body = &entry.body;
         // The machine is a flat goto loop: fuel and the heap budget
         // apply; `max_call_depth` does not (the host stack never grows).
-        let mut fuel = Fuel::new(&limits);
         loop {
             fuel.step()?;
             stats.steps += 1;
             match body {
                 RTail::Return(s) => {
-                    let v = eval(s, &frame, pc, &mut stats, &mut fuel)?;
-                    return Ok((
-                        v.to_datum().ok_or(InterpError::ResultNotFirstOrder)?,
-                        stats,
-                    ));
+                    let v = eval(s, &frame, pc, stats, fuel)?;
+                    return v.to_datum().ok_or(InterpError::ResultNotFirstOrder);
                 }
                 RTail::If(c, t, e) => {
-                    body = if eval(c, &frame, pc, &mut stats, &mut fuel)?.is_truthy() {
+                    body = if eval(c, &frame, pc, stats, fuel)?.is_truthy() {
                         t
                     } else {
                         e
@@ -223,7 +259,7 @@ impl Vm {
                     // C translation's assign-then-goto discipline.
                     let mut next = Vec::with_capacity(args.len());
                     for a in args {
-                        next.push(eval(a, &frame, pc, &mut stats, &mut fuel)?);
+                        next.push(eval(a, &frame, pc, stats, fuel)?);
                     }
                     let block = self.blocks.get(*target).ok_or_else(|| {
                         InterpError::Trap(Trap::UnboundLabel {

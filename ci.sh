@@ -9,6 +9,14 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 cargo run --release -p realistic-pe --example verify
 
+# pe-flow translation validation: the whole Gabriel suite is compiled
+# with the flow optimizer off and on, differentially executed on the
+# VM, and every optimized residual must re-pass verification with zero
+# flow lints (the `verify` example above exits non-zero on any).  The
+# --flow report must render and schema-validate its event stream.
+cargo test -q -p realistic-pe --test flow_integration
+cargo run --release -p realistic-pe --example pe-explain -- --flow > /dev/null
+
 # Fault injection: hostile input against every entry point (including
 # the printer-totality and pretty/read round-trip tests), then the
 # deep-input stack smoke in the DEBUG profile (unoptimized frames are

@@ -22,6 +22,7 @@
 
 use pe_core::{S0Program, S0Simple, S0Tail};
 use pe_frontend::ast::{Constant, Prim};
+use pe_governor::{Fuel, Limits};
 use pe_interp::Datum;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -31,11 +32,17 @@ use std::fmt::Write as _;
 pub struct COptions {
     /// Bytes of the bump arena in the emitted runtime.
     pub arena_bytes: usize,
+    /// Elide global-parameter moves that dataflow analysis proves
+    /// redundant: identity moves (`gᵢ = pᵢ` when argument *i* is the
+    /// caller's own *i*-th parameter, so the global already holds the
+    /// value), trivial moves into parameters the callee never reads, and
+    /// prologue copies of parameters `pe-flow` liveness proves dead.
+    pub elide_moves: bool,
 }
 
 impl Default for COptions {
     fn default() -> Self {
-        COptions { arena_bytes: 256 << 20 }
+        COptions { arena_bytes: 256 << 20, elide_moves: true }
     }
 }
 
@@ -44,6 +51,9 @@ impl Default for COptions {
 pub struct CProgram {
     /// The complete C source text.
     pub source: String,
+    /// Global-parameter moves and prologue copies elided because
+    /// liveness proved the value already in place or never read.
+    pub moves_elided: usize,
 }
 
 impl CProgram {
@@ -62,6 +72,18 @@ struct Emitter {
     strings: Vec<String>,
     next_temp: usize,
     max_arity: usize,
+    elide: bool,
+    moves_elided: usize,
+}
+
+/// Per-procedure dataflow facts driving move elision: which parameter
+/// positions of each procedure are dead (never read), per `pe-flow`
+/// liveness.
+struct MoveFacts<'a> {
+    /// Procedure name → one flag per parameter, `true` when dead.
+    dead: &'a HashMap<&'a str, Vec<bool>>,
+    /// The current procedure's parameters, in declaration order.
+    caller_params: &'a [String],
 }
 
 impl Emitter {
@@ -171,6 +193,7 @@ impl Emitter {
         &mut self,
         t: &S0Tail,
         params: &HashMap<&str, String>,
+        facts: &MoveFacts<'_>,
         temps: &mut Vec<String>,
         indent: usize,
         body: &mut String,
@@ -184,17 +207,38 @@ impl Emitter {
             S0Tail::If(c, a, b) => {
                 let e = self.simple(c, params, temps);
                 let _ = writeln!(body, "{pad}if (rt_truthy({e})) {{");
-                self.tail(a, params, temps, indent + 1, body);
+                self.tail(a, params, facts, temps, indent + 1, body);
                 let _ = writeln!(body, "{pad}}} else {{");
-                self.tail(b, params, temps, indent + 1, body);
+                self.tail(b, params, facts, temps, indent + 1, body);
                 let _ = writeln!(body, "{pad}}}");
             }
             S0Tail::TailCall(callee, args) => {
-                // Arguments are simple expressions over private variables,
-                // so they can be computed before touching the globals.
-                let xs: Vec<String> =
-                    args.iter().map(|a| self.simple(a, params, temps)).collect();
-                for (i, x) in xs.iter().enumerate() {
+                // Arguments are simple expressions over private variables
+                // (never over the globals), so computing and storing each
+                // one in turn is safe.  Two moves are provably redundant:
+                //
+                // * **identity** — argument *i* is the caller's own *i*-th
+                //   parameter.  Globals are written only at a tail call,
+                //   and each path through a body reaches exactly one, so
+                //   `gᵢ` still holds the entry value of `pᵢ`;
+                // * **dead target** — liveness shows the callee never
+                //   reads parameter *i*, and the argument is a variable or
+                //   constant, so skipping its evaluation cannot suppress a
+                //   runtime error.
+                let dead_target = facts.dead.get(callee.as_str());
+                for (i, a) in args.iter().enumerate() {
+                    if self.elide {
+                        let identity = matches!(a, S0Simple::Var(v)
+                            if facts.caller_params.get(i).map(String::as_str) == Some(v.as_str()));
+                        let dead = dead_target
+                            .is_some_and(|d| d.get(i).copied().unwrap_or(false))
+                            && matches!(a, S0Simple::Var(_) | S0Simple::Const(_));
+                        if identity || dead {
+                            self.moves_elided += 1;
+                            continue;
+                        }
+                    }
+                    let x = self.simple(a, params, temps);
                     let _ = writeln!(body, "{pad}g{i} = {x};");
                 }
                 let l = self.label_of(callee);
@@ -272,6 +316,28 @@ pub fn emit_c(p: &S0Program, args: &[Datum], opts: &COptions) -> CProgram {
         strings: Vec::new(),
         next_temp: 0,
         max_arity: p.procs.iter().map(|q| q.params.len()).max().unwrap_or(0),
+        elide: opts.elide_moves,
+        moves_elided: 0,
+    };
+
+    // Per-procedure liveness, computed once up front: parameter
+    // positions never read drive both prologue skipping and dead-target
+    // move elision.  A trapped analysis budget degrades to "all live"
+    // (no elision), never to a wrong answer.
+    let dead: HashMap<&str, Vec<bool>> = if opts.elide_moves {
+        let mut fuel = Fuel::new(&Limits::default());
+        p.procs
+            .iter()
+            .map(|q| {
+                let flags = match pe_flow::liveness::live_at_entry(q, &mut fuel) {
+                    Ok(live) => q.params.iter().map(|v| !live.contains(v)).collect(),
+                    Err(_) => vec![false; q.params.len()],
+                };
+                (q.name.as_str(), flags)
+            })
+            .collect()
+    } else {
+        HashMap::new()
     };
 
     // Bodies first, so the symbol/string tables fill up.
@@ -285,16 +351,25 @@ pub fn emit_c(p: &S0Program, args: &[Datum], opts: &COptions) -> CProgram {
             .enumerate()
             .map(|(i, v)| (v.as_str(), format!("p{i}")))
             .collect();
-        // Fresh scope: copy the globals into private parameter variables.
+        let facts = MoveFacts { dead: &dead, caller_params: &q.params };
+        // Fresh scope: copy the globals into private parameter
+        // variables — except the ones liveness proves are never read.
+        let dead_here = facts.dead.get(q.name.as_str());
+        let mut copied = 0usize;
         for i in 0..q.params.len() {
+            if e.elide && dead_here.is_some_and(|d| d[i]) {
+                e.moves_elided += 1;
+                continue;
+            }
             let _ = writeln!(bodies, "  Obj *p{i} = g{i};");
+            copied += 1;
         }
-        if q.params.is_empty() {
+        if copied == 0 {
             let _ = writeln!(bodies, "  ;");
         }
         let mut temps = Vec::new();
         let mut body = String::new();
-        e.tail(&q.body, &params, &mut temps, 1, &mut body);
+        e.tail(&q.body, &params, &facts, &mut temps, 1, &mut body);
         if !temps.is_empty() {
             let _ = writeln!(bodies, "  Obj *{};", temps.join(", *"));
         }
@@ -329,7 +404,7 @@ pub fn emit_c(p: &S0Program, args: &[Datum], opts: &COptions) -> CProgram {
     let _ = writeln!(out, "}}");
 
     let _ = &e.out;
-    CProgram { source: out }
+    CProgram { source: out, moves_elided: e.moves_elided }
 }
 
 fn runtime_header(opts: &COptions, symbols: &[String], strings: &[String]) -> String {
@@ -597,6 +672,67 @@ mod tests {
         let src = "(define (f) (cons 'alpha (cons #t (cons #\\x '()))))";
         let out = compile_and_run(src, "f", &[], "syms");
         assert_eq!(out, "(alpha #t #\\x)");
+    }
+
+    #[test]
+    fn identity_moves_are_elided() {
+        // `acc` rides along in its own position on the self call, so
+        // `g1` already holds it at the goto; the move disappears.
+        let src = "(define (count n acc) (if (zero? n) acc (count (- n 1) acc)))";
+        let p = parse_source(src).unwrap();
+        let d = desugar(&p).unwrap();
+        let s0 = compile(&d, "count", &CompileOptions::default()).unwrap();
+        let on = emit_c(&s0, &[Datum::Int(5), Datum::Int(0)], &COptions::default());
+        let off = emit_c(
+            &s0,
+            &[Datum::Int(5), Datum::Int(0)],
+            &COptions { elide_moves: false, ..COptions::default() },
+        );
+        assert!(on.moves_elided >= 1, "no move elided:\n{}", on.source);
+        assert_eq!(off.moves_elided, 0);
+        assert!(!on.source.contains("g1 = p1;"), "{}", on.source);
+        assert!(off.source.contains("g1 = p1;"), "{}", off.source);
+        assert!(on.size_bytes() < off.size_bytes());
+        if cc_available() {
+            assert_eq!(run_c(&on, "elide-on"), "0");
+            assert_eq!(run_c(&off, "elide-off"), "0");
+        }
+    }
+
+    #[test]
+    fn dead_parameter_prologue_and_moves_are_skipped() {
+        use pe_core::{S0Proc, S0Program};
+        // `sink`'s second parameter is never read: its prologue copy is
+        // skipped, and the constant argument's move is elided outright.
+        // The effectful `cons` argument still evaluates into the global.
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["x".into()],
+                    body: S0Tail::TailCall(
+                        "sink".into(),
+                        vec![
+                            S0Simple::Var("x".into()),
+                            S0Simple::Const(pe_frontend::ast::Constant::Int(9)),
+                        ],
+                    ),
+                },
+                S0Proc {
+                    name: "sink".into(),
+                    params: vec!["v".into(), "junk".into()],
+                    body: S0Tail::Return(S0Simple::Var("v".into())),
+                },
+            ],
+        };
+        let c = emit_c(&p, &[Datum::Int(1)], &COptions::default());
+        assert!(!c.source.contains("Obj *p1 = g1;"), "{}", c.source);
+        assert!(!c.source.contains("g1 = "), "{}", c.source);
+        assert!(c.moves_elided >= 2, "{}", c.source);
+        if cc_available() {
+            assert_eq!(run_c(&c, "dead-param"), "1");
+        }
     }
 
     #[test]

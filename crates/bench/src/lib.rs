@@ -19,7 +19,9 @@
 //! `-- --quick` (test-sized inputs, for CI).  The output schema is
 //! documented in the workspace README ("Benchmark harness").
 
-use realistic_pe::{with_big_stack, Benchmark, CompileOptions, Datum, Limits, Pipeline, SUITE};
+use realistic_pe::{
+    with_big_stack, Benchmark, COptions, CompileOptions, Datum, Limits, Pipeline, SUITE,
+};
 use std::time::Instant;
 
 /// Harness configuration.
@@ -52,6 +54,27 @@ impl BenchConfig {
             "full"
         }
     }
+}
+
+/// Residual-size measurements with and without the pe-flow optimizer
+/// (the §8 code-size axis, extended with the flow delta).
+#[derive(Debug, Clone, Copy)]
+pub struct ResidualSizes {
+    /// Residual S₀ procedures, flow optimizer disabled.
+    pub procs_base: usize,
+    /// Residual S₀ nodes, flow optimizer disabled.
+    pub nodes_base: usize,
+    /// Emitted C bytes (`CProgram::size_bytes`), flow and move elision
+    /// disabled.
+    pub c_bytes_base: usize,
+    /// Residual S₀ procedures after pe-flow optimization.
+    pub procs_flow: usize,
+    /// Residual S₀ nodes after pe-flow optimization.
+    pub nodes_flow: usize,
+    /// Emitted C bytes after pe-flow optimization and move elision.
+    pub c_bytes_flow: usize,
+    /// Global-parameter moves/prologue copies the C emitter elided.
+    pub moves_elided: usize,
 }
 
 /// One engine's timing on one benchmark.
@@ -92,6 +115,8 @@ pub struct BenchRow {
     /// Specializer/size counters from the same traced compilation,
     /// alphabetically sorted.  These are exact and deterministic.
     pub counters: Vec<(String, u64)>,
+    /// Residual sizes before/after pe-flow optimization.
+    pub residual: ResidualSizes,
 }
 
 /// Best-of-`reps` wall-clock time of `f`, in milliseconds.
@@ -194,6 +219,27 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
     let mut counters: Vec<(String, u64)> =
         report.counters.iter().map(|&(c, n)| (c.name().to_string(), n)).collect();
     counters.sort_by(|a, b| a.0.cmp(&b.0));
+    // Residual sizes with the flow optimizer off vs. on — exact,
+    // deterministic quantities, measured once.
+    let base_opts = CompileOptions { flow: false, ..CompileOptions::default() };
+    let s0_base = pipe.compile(b.entry, &base_opts).map_err(|e| fail("compile", &e))?;
+    let s0_flow = pipe.compile(b.entry, &opts).map_err(|e| fail("compile", &e))?;
+    let size_inputs = b.test_inputs();
+    let c_base = realistic_pe::emit_c(
+        &s0_base,
+        &size_inputs,
+        &COptions { elide_moves: false, ..COptions::default() },
+    );
+    let c_flow = realistic_pe::emit_c(&s0_flow, &size_inputs, &COptions::default());
+    let residual = ResidualSizes {
+        procs_base: s0_base.procs.len(),
+        nodes_base: s0_base.size(),
+        c_bytes_base: c_base.size_bytes(),
+        procs_flow: s0_flow.procs.len(),
+        nodes_flow: s0_flow.size(),
+        c_bytes_flow: c_flow.size_bytes(),
+        moves_elided: c_flow.moves_elided,
+    };
     let hob = pipe.compile_hobbit().map_err(|e| fail("hobbit", &e))?;
     let (arg_texts, args) = if cfg.quick {
         (b.test_args, b.test_inputs())
@@ -234,6 +280,7 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
         paper_hobbit_ms: b.paper_hobbit_ms,
         phases,
         counters,
+        residual,
     })
 }
 
@@ -290,7 +337,20 @@ pub fn to_json(cfg: &BenchConfig, rows: &[BenchRow]) -> String {
             }
             s.push_str(&format!("\"{name}\": {ms:.3}"));
         }
-        s.push_str("}\n");
+        s.push_str("},\n");
+        let z = &r.residual;
+        s.push_str(&format!(
+            "      \"residual\": {{\"c_bytes_base\": {}, \"c_bytes_flow\": {}, \
+             \"moves_elided\": {}, \"nodes_base\": {}, \"nodes_flow\": {}, \
+             \"procs_base\": {}, \"procs_flow\": {}}}\n",
+            z.c_bytes_base,
+            z.c_bytes_flow,
+            z.moves_elided,
+            z.nodes_base,
+            z.nodes_flow,
+            z.procs_base,
+            z.procs_flow
+        ));
         s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
     }
     s.push_str("  ],\n");
@@ -336,6 +396,15 @@ mod tests {
             paper_hobbit_ms: 200,
             phases: vec![("cfa".to_string(), 0.1), ("specialize".to_string(), 0.4)],
             counters: vec![("memo_hits".to_string(), 2), ("memo_lookups".to_string(), 5)],
+            residual: ResidualSizes {
+                procs_base: 4,
+                nodes_base: 40,
+                c_bytes_base: 900,
+                procs_flow: 3,
+                nodes_flow: 30,
+                c_bytes_flow: 800,
+                moves_elided: 2,
+            },
         }
     }
 
@@ -359,9 +428,19 @@ mod tests {
                 "\"paper_hobbit_ms\"",
                 "\"paper_ours_ms\"",
                 "\"phases\"",
+                "\"residual\"",
             ],
             vec!["\"hobbit\"", "\"tail\"", "\"vm\""],
             vec!["\"memo_hits\"", "\"memo_lookups\""],
+            vec![
+                "\"c_bytes_base\"",
+                "\"c_bytes_flow\"",
+                "\"moves_elided\"",
+                "\"nodes_base\"",
+                "\"nodes_flow\"",
+                "\"procs_base\"",
+                "\"procs_flow\"",
+            ],
         ] {
             let idx: Vec<usize> =
                 keys.iter().map(|k| a.find(k).unwrap_or_else(|| panic!("missing {k}"))).collect();
@@ -402,6 +481,19 @@ mod tests {
             );
             assert!(row.phases.windows(2).all(|w| w[0].0 < w[1].0), "phases sorted");
             assert!(row.counters.windows(2).all(|w| w[0].0 < w[1].0), "counters sorted");
+            // The flow optimizer never grows a residual.
+            let z = row.residual;
+            assert!(z.nodes_flow <= z.nodes_base, "{}: flow grew S0", row.name);
+            assert!(z.procs_flow <= z.procs_base, "{}: flow grew procs", row.name);
+            assert!(z.c_bytes_flow <= z.c_bytes_base, "{}: flow grew C", row.name);
+            assert!(z.procs_base > 0 && z.nodes_base > 0 && z.c_bytes_base > 0);
         }
+        // The ISSUE's acceptance bar: at least one benchmark records a
+        // measured residual-size reduction.
+        assert!(
+            rows.iter().any(|r| r.residual.nodes_flow < r.residual.nodes_base
+                || r.residual.c_bytes_flow < r.residual.c_bytes_base),
+            "no benchmark shrank under pe-flow"
+        );
     }
 }

@@ -56,18 +56,19 @@ fn main() -> ExitCode {
     };
 
     println!(
-        "{:<11} {:>10} {:>10} {:>10} {:>10} {:>9}",
-        "benchmark", "compile", "vm ms", "tail ms", "hobbit ms", "tail/vm"
+        "{:<11} {:>10} {:>10} {:>10} {:>10} {:>9} {:>12}",
+        "benchmark", "compile", "vm ms", "tail ms", "hobbit ms", "tail/vm", "s0 nodes"
     );
     for r in &rows {
         println!(
-            "{:<11} {:>10.2} {:>10.3} {:>10.3} {:>10.3} {:>9.2}",
+            "{:<11} {:>10.2} {:>10.3} {:>10.3} {:>10.3} {:>9.2} {:>12}",
             r.name,
             r.compile_ms,
             r.vm.min_ms,
             r.tail.min_ms,
             r.hobbit.min_ms,
-            r.tail.min_ms / r.vm.min_ms
+            r.tail.min_ms / r.vm.min_ms,
+            format!("{}→{}", r.residual.nodes_base, r.residual.nodes_flow)
         );
     }
 

@@ -35,9 +35,20 @@
 
 pub mod desc;
 pub mod eval;
-pub mod post;
-pub mod s0;
 pub mod spec;
+
+/// The residual optimizer, re-exported from [`pe_flow::opt`] under its
+/// historical path (the syntactic passes lived here before the flow
+/// framework subsumed them).
+pub mod post {
+    pub use pe_flow::opt::*;
+}
+
+/// The residual language S₀, re-exported from [`pe_flow::s0`] (the
+/// definition moved below pe-core so the dataflow crate can own it).
+pub mod s0 {
+    pub use pe_flow::s0::*;
+}
 
 pub use desc::{CvId, DescShape, MissingCv, ValDesc};
 pub use pe_governor::{Fuel, Limits, Trap};
@@ -127,7 +138,8 @@ pub fn specialize_with(
     finish_traced(p?, opts, sink)
 }
 
-/// Post-processes under a `post` span and reports residual size.
+/// Post-processes under a `post` span, runs the flow optimizer under a
+/// `flow` span, and reports residual size plus the flow counters.
 fn finish_traced(
     p: S0Program,
     opts: &CompileOptions,
@@ -141,6 +153,27 @@ fn finish_traced(
     } else {
         p
     };
+    let p = if opts.flow {
+        let t = pe_trace::begin(sink, Phase::Flow);
+        let mut fuel = Fuel::new(&opts.limits);
+        // Graceful degradation: an exhausted budget keeps the
+        // (already correct) unoptimized program instead of failing
+        // the compile.
+        let (q, stats) = pe_flow::optimize(p.clone(), &mut fuel)
+            .unwrap_or_else(|_| (p, pe_flow::FlowStats::default()));
+        pe_trace::end(sink, t);
+        if sink.enabled() {
+            sink.counter(Counter::CopiesPropagated, stats.copies_propagated as u64);
+            sink.counter(Counter::DeadBindings, stats.dead_bindings as u64);
+            sink.counter(Counter::SlotsPruned, stats.slots_pruned as u64);
+            sink.counter(Counter::ArmsFolded, stats.arms_folded as u64);
+            sink.counter(Counter::CfgNodes, stats.cfg_nodes as u64);
+            sink.counter(Counter::CfgEdges, stats.cfg_edges as u64);
+        }
+        q
+    } else {
+        p
+    };
     if sink.enabled() {
         sink.counter(Counter::ResidualProcs, p.procs.len() as u64);
         sink.counter(Counter::ResidualNodes, p.size() as u64);
@@ -149,13 +182,23 @@ fn finish_traced(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated S0Program::check shim
 mod tests {
     use super::*;
     use pe_frontend::{desugar, parse_source};
     use pe_interp::Limits;
 
     type R = Result<(), Box<dyn std::error::Error>>;
+
+    /// Asserts the flow verifier finds no errors in a residual program.
+    fn assert_flow_clean(s0: &S0Program) {
+        let mut fuel = Fuel::new(&pe_governor::Limits::default());
+        let diags = pe_flow::check(s0, &mut fuel).expect("flow check in budget");
+        let errs: Vec<_> = diags
+            .iter()
+            .filter(|d| d.severity == pe_flow::FlowSeverity::Error)
+            .collect();
+        assert!(errs.is_empty(), "ill-formed residual program: {errs:?}\n{s0}");
+    }
 
     const CPS_APPEND: &str = "(define (append x y) (cps-append x y (lambda (v) v)))
          (define (cps-append x y c)
@@ -170,8 +213,7 @@ mod tests {
         let p = parse_source(src)?;
         let d = desugar(&p)?;
         let s0 = compile(&d, entry, opts)?;
-        let errs = s0.check();
-        assert!(errs.is_empty(), "ill-formed residual program: {errs:?}\n{s0}");
+        assert_flow_clean(&s0);
         Ok(s0)
     }
 
@@ -212,7 +254,7 @@ mod tests {
         let opts =
             CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
         let s0 = specialize(&d, "append", &[Some(Datum::parse("(foo bar)")?), None], &opts)?;
-        assert!(s0.check().is_empty(), "{s0}");
+        assert_flow_clean(&s0);
         assert_eq!(s0.procs.len(), 1, "fully collapsed:\n{s0}");
         let src = s0.to_source();
         assert!(src.contains("append-$1"), "{src}");
@@ -346,7 +388,7 @@ mod tests {
         let opts =
             CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
         let s0 = specialize(&d, "power", &[None, Some(Datum::Int(5))], &opts)?;
-        assert!(s0.check().is_empty());
+        assert_flow_clean(&s0);
         assert_eq!(run_s0(&s0, &[Datum::Int(2)])?, Datum::Int(32));
         // No residual conditional or recursion: the loop is fully unrolled.
         let text = s0.to_source();

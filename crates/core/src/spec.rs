@@ -55,6 +55,10 @@ pub struct CompileOptions {
     /// Run the residual post-processor (transition compression,
     /// inline-once, dead parameter elimination).
     pub postprocess: bool,
+    /// Run the flow optimizer (copy/constant propagation, dead-binding
+    /// elimination, closure-slot pruning, dispatch-arm folding) over
+    /// the residual program.
+    pub flow: bool,
     /// Restrict The Trick's dispatch candidates with the flow analysis;
     /// `false` dispatches over every context lambda (the ablation).
     pub trick_flow: bool,
@@ -81,6 +85,7 @@ impl Default for CompileOptions {
         CompileOptions {
             strategy: GenStrategy::Offline,
             postprocess: true,
+            flow: true,
             trick_flow: true,
             limits: Limits::default(),
             max_desc_size: 512,

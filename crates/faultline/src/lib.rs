@@ -404,6 +404,47 @@ mod tests {
         Ok(())
     }
 
+    // ---- flow optimizer --------------------------------------------
+
+    #[test]
+    fn flow_optimizer_respects_the_governor() -> R {
+        // A real residual (closures, dispatch, prunable slots) as the
+        // optimization subject.
+        let src = "(define (append x y) (cps-append x y (lambda (v) v)))
+                   (define (cps-append x y c)
+                     (if (null? x) (c y)
+                         (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))";
+        let p = pe_frontend::parse_source(src)?;
+        let d = pe_frontend::desugar(&p)?;
+        let opts = CompileOptions { flow: false, ..CompileOptions::default() };
+        let s0 = pe_core::compile(&d, "append", &opts).map_err(|e| e.to_string())?;
+
+        // A starved budget is a structured trap — no panic, no hang,
+        // and never a silently wrong program.
+        let r = no_panic(|| {
+            let mut fuel = pe_governor::Fuel::new(&Limits { fuel: 1, ..Limits::default() });
+            pe_flow::optimize(s0.clone(), &mut fuel)
+        })?;
+        assert!(
+            matches!(r, Err(pe_governor::Trap::OutOfFuel { .. })),
+            "expected OutOfFuel, got {r:?}"
+        );
+
+        // The pipeline never *fails* because the flow budget trapped:
+        // `compile` degrades to the unoptimized residual instead, and
+        // the result still runs and verifies.  (With the default budget
+        // the optimizer simply finishes; either way compile succeeds.)
+        let compiled =
+            no_panic(|| pe_core::compile(&d, "append", &CompileOptions::default()))?;
+        let s0_opt = compiled.map_err(|e| e.to_string())?;
+        assert!(pe_verify::verify(&s0_opt).is_clean());
+        let args = [Datum::parse("(1 2)").unwrap(), Datum::parse("(3)").unwrap()];
+        let base = pe_core::eval::run(&s0, &args, Limits::default());
+        let flow = pe_core::eval::run(&s0_opt, &args, Limits::default());
+        assert_eq!(base, flow, "flow changed the program's meaning");
+        Ok(())
+    }
+
     // ---- unmix -----------------------------------------------------
 
     #[test]

@@ -1,4 +1,5 @@
-//! Residual-program post-processing.
+//! Residual-program optimization: syntactic post-processing plus the
+//! flow-based passes.
 //!
 //! Unmix's post-processor performs post-unfolding and arity raising; the
 //! equivalents on S₀ are:
@@ -8,18 +9,27 @@
 //!   tail call is inlined everywhere (classic Mix);
 //! * **inline-once** — a non-recursive procedure with exactly one call
 //!   site is inlined there (post-unfolding);
-//! * **dead-parameter elimination** — parameters unused by a body are
-//!   dropped, together with the corresponding (effect-free) arguments.
+//! * **dead-parameter elimination** — now driven by the interprocedural
+//!   liveness fixpoint in [`crate::liveness`], which also kills
+//!   parameters that merely circulate through recursive calls.
+//!
+//! On top of the syntactic fixpoint, [`optimize_with`] runs the
+//! dataflow passes — copy/constant propagation ([`crate::constprop`]),
+//! dispatch-arm folding and closure-slot pruning ([`crate::slots`]),
+//! dead-binding elimination — interleaved with clean-up rounds until
+//! nothing changes, reporting a [`FlowStats`] for the trace counters.
 //!
 //! All passes iterate to a fixpoint.  Inlining in S₀ is sound by
 //! construction: bodies only reference their own parameters, and calls
 //! are always in tail position, so substitution never captures and never
 //! changes evaluation order.
 
+use crate::cfg::ProgramCfg;
 use crate::s0::{S0Program, S0Simple, S0Tail};
+use pe_governor::{Fuel, Limits, Trap};
 use std::collections::{HashMap, HashSet};
 
-/// Runs all post passes to a fixpoint.
+/// Runs all syntactic post passes to a fixpoint.
 pub fn postprocess(mut p: S0Program) -> S0Program {
     loop {
         let before = fingerprint(&p);
@@ -34,6 +44,131 @@ pub fn postprocess(mut p: S0Program) -> S0Program {
             return p;
         }
     }
+}
+
+/// Which flow passes [`optimize_with`] runs.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Interprocedural copy/constant propagation.
+    pub copy_propagation: bool,
+    /// Liveness-based dead-parameter elimination.
+    pub dead_params: bool,
+    /// Dispatch-arm folding from closure-label sets.
+    pub fold_arms: bool,
+    /// Closure-slot pruning.
+    pub prune_slots: bool,
+    /// Upper bound on optimize rounds (each round runs every enabled
+    /// pass once); the fixpoint normally lands far below it.
+    pub max_rounds: usize,
+}
+
+impl Default for FlowOptions {
+    fn default() -> FlowOptions {
+        FlowOptions {
+            copy_propagation: true,
+            dead_params: true,
+            fold_arms: true,
+            prune_slots: true,
+            max_rounds: 32,
+        }
+    }
+}
+
+/// What the flow optimizer did — the source of the `flow` trace
+/// counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Variable occurrences replaced by known constants.
+    pub copies_propagated: usize,
+    /// Parameter bindings eliminated.
+    pub dead_bindings: usize,
+    /// Dispatch arms folded away.
+    pub arms_folded: usize,
+    /// `(label, slot)` capture pairs pruned.
+    pub slots_pruned: usize,
+    /// Optimize rounds executed.
+    pub rounds: usize,
+    /// CFG nodes of the final program.
+    pub cfg_nodes: usize,
+    /// CFG edges of the final program.
+    pub cfg_edges: usize,
+}
+
+impl FlowStats {
+    /// Total rewrites across all passes.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.copies_propagated + self.dead_bindings + self.arms_folded + self.slots_pruned
+    }
+}
+
+/// Runs the default flow passes to a fixpoint.
+///
+/// # Errors
+///
+/// [`Trap::OutOfFuel`] when the analysis budget is exhausted; the
+/// input program is consumed, so callers wanting graceful degradation
+/// should keep a clone (as [`crate::optimize`]'s pipeline callers do).
+pub fn optimize(p: S0Program, fuel: &mut Fuel) -> Result<(S0Program, FlowStats), Trap> {
+    optimize_with(p, &FlowOptions::default(), fuel)
+}
+
+/// Runs the enabled flow passes to a fixpoint (or `max_rounds`).
+///
+/// Pass order within a round: propagation first (it seeds constants),
+/// then arm folding and slot pruning (shape-based), then dead-binding
+/// elimination (it collects the parameters propagation just made
+/// dead), then a syntactic clean-up when anything changed.
+///
+/// # Errors
+///
+/// [`Trap::OutOfFuel`] when the analysis budget is exhausted.
+pub fn optimize_with(
+    mut p: S0Program,
+    opts: &FlowOptions,
+    fuel: &mut Fuel,
+) -> Result<(S0Program, FlowStats), Trap> {
+    let mut stats = FlowStats::default();
+    for _ in 0..opts.max_rounds {
+        fuel.step()?;
+        let mut round = 0usize;
+        if opts.copy_propagation {
+            let (q, n) = crate::constprop::propagate(p, fuel)?;
+            p = q;
+            stats.copies_propagated += n;
+            round += n;
+        }
+        if opts.fold_arms {
+            let (q, n) = crate::slots::fold_arms(p, fuel)?;
+            p = q;
+            stats.arms_folded += n;
+            round += n;
+        }
+        if opts.prune_slots {
+            let (q, n) = crate::slots::prune(p, fuel)?;
+            p = q;
+            stats.slots_pruned += n;
+            round += n;
+        }
+        if opts.dead_params {
+            let (q, n) = crate::liveness::prune_dead_params(p, fuel)?;
+            p = q;
+            stats.dead_bindings += n;
+            round += n;
+        }
+        stats.rounds += 1;
+        if round == 0 {
+            break;
+        }
+        // Clean up what the rewrites exposed: substituted constants
+        // feeding conditionals, dispatch targets now unreachable.
+        p = simplify(p);
+        p = drop_unreachable(p);
+    }
+    let pc = ProgramCfg::build(&p);
+    stats.cfg_nodes = pc.node_count();
+    stats.cfg_edges = pc.edge_count();
+    Ok((p, stats))
 }
 
 /// Inlines procedures whose whole body is a `Return` of a simple
@@ -335,76 +470,23 @@ pub fn inline_once(mut p: S0Program) -> S0Program {
     }
 }
 
-/// Removes parameters that no body uses, when every call site's
-/// corresponding argument is effect-free (cannot fault at runtime).
-pub fn drop_dead_params(mut p: S0Program) -> S0Program {
-    loop {
-        // For each proc (except the entry, whose signature is public):
-        // find dead parameter indices.
-        let mut dead: HashMap<String, Vec<usize>> = HashMap::new();
-        for q in &p.procs {
-            if q.name == p.entry {
-                continue;
-            }
-            let mut used = HashSet::new();
-            q.body.vars(&mut used);
-            let idxs: Vec<usize> = q
-                .params
-                .iter()
-                .enumerate()
-                .filter(|(_, pm)| !used.contains(*pm))
-                .map(|(i, _)| i)
-                .collect();
-            if !idxs.is_empty() {
-                dead.insert(q.name.clone(), idxs);
-            }
-        }
-        if dead.is_empty() {
-            return p;
-        }
-        // Only drop indices whose argument is effect-free at every site.
-        let mut droppable = dead.clone();
-        for q in &p.procs {
-            visit_calls(&q.body, &mut |callee, args| {
-                if let Some(idxs) = droppable.get_mut(callee) {
-                    idxs.retain(|&i| args.get(i).is_none_or(is_effect_free));
-                }
-            });
-        }
-        droppable.retain(|_, idxs| !idxs.is_empty());
-        if droppable.is_empty() {
-            return p;
-        }
-        for q in &mut p.procs {
-            if let Some(idxs) = droppable.get(&q.name) {
-                let keep: Vec<bool> =
-                    (0..q.params.len()).map(|i| !idxs.contains(&i)).collect();
-                q.params = q
-                    .params
-                    .iter()
-                    .zip(&keep)
-                    .filter(|(_, k)| **k)
-                    .map(|(p, _)| p.clone())
-                    .collect();
-            }
-            q.body = rewrite_calls(&q.body, &mut |callee, args| {
-                let args = match droppable.get(callee) {
-                    Some(idxs) => args
-                        .iter()
-                        .enumerate()
-                        .filter(|(i, _)| !idxs.contains(i))
-                        .map(|(_, a)| a.clone())
-                        .collect(),
-                    None => args.to_vec(),
-                };
-                S0Tail::TailCall(callee.to_string(), args)
-            });
-        }
+/// Removes parameters that cannot affect execution, when every call
+/// site's corresponding argument is effect-free (cannot fault at
+/// runtime).  Driven by the interprocedural liveness fixpoint — a
+/// parameter that only circulates through recursive calls is dead here
+/// even though a syntactic scan sees a "use".  Infallible: on a fuel
+/// trap the input program is returned unchanged.
+pub fn drop_dead_params(p: S0Program) -> S0Program {
+    let mut fuel = Fuel::new(&Limits::default());
+    match crate::liveness::prune_dead_params(p.clone(), &mut fuel) {
+        Ok((q, _)) => q,
+        Err(_) => p,
     }
 }
 
 /// A simple expression that can never fault at runtime.
-fn is_effect_free(s: &S0Simple) -> bool {
+#[must_use]
+pub fn is_effect_free(s: &S0Simple) -> bool {
     use pe_frontend::Prim::*;
     match s {
         S0Simple::Var(_) | S0Simple::Const(_) => true,
@@ -466,9 +548,9 @@ fn visit_calls(t: &S0Tail, f: &mut impl FnMut(&str, &[S0Simple])) {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated S0Program::check shim
 mod tests {
     use super::*;
+    use crate::check::{check, FlowSeverity};
     use crate::s0::S0Proc;
     use pe_frontend::ast::Constant;
     use pe_frontend::Prim;
@@ -479,6 +561,18 @@ mod tests {
 
     fn kint(n: i64) -> S0Simple {
         S0Simple::Const(Constant::Int(n))
+    }
+
+    fn fuel() -> Fuel {
+        Fuel::new(&Limits::default())
+    }
+
+    /// The flow verifier must report no errors on the program.
+    fn assert_wellformed(q: &S0Program) {
+        let diags = check(q, &mut fuel()).unwrap();
+        let errs: Vec<_> =
+            diags.iter().filter(|d| d.severity == FlowSeverity::Error).collect();
+        assert!(errs.is_empty(), "{errs:?}\n{q}");
     }
 
     #[test]
@@ -570,7 +664,7 @@ mod tests {
         };
         let before = p.size();
         let q = postprocess(p);
-        assert!(q.check().is_empty());
+        assert_wellformed(&q);
         // The cons argument appears once in the output program.
         assert!(q.size() <= before + 2, "no blowup: {} -> {}", before, q.size());
     }
@@ -638,34 +732,11 @@ mod tests {
         let mut recursive = false;
         survivor.body.calls(&mut |c| recursive |= c == survivor.name);
         assert!(recursive, "{q}");
-        assert!(q.check().is_empty());
+        assert_wellformed(&q);
     }
 
     #[test]
     fn dead_params_are_dropped_when_safe() {
-        let p = S0Program {
-            entry: "main".into(),
-            procs: vec![
-                S0Proc {
-                    name: "main".into(),
-                    params: vec!["x".into()],
-                    body: S0Tail::If(
-                        var("x"),
-                        // Safe dead arg: a constant.
-                        Box::new(S0Tail::TailCall("f".into(), vec![kint(1), var("x")])),
-                        // Unsafe dead arg would be (car x): keep it.
-                        Box::new(S0Tail::TailCall("f".into(), vec![kint(2), var("x")])),
-                    ),
-                },
-                S0Proc {
-                    name: "f".into(),
-                    params: vec!["dead".into(), "live".into()],
-                    body: S0Tail::TailCall("f".into(), vec![var("dead"), var("live")]),
-                },
-            ],
-        };
-        // `dead` is passed through recursively, so it IS used… make a
-        // genuinely dead one instead:
         let p2 = S0Program {
             entry: "main".into(),
             procs: vec![
@@ -684,7 +755,7 @@ mod tests {
         let q = drop_dead_params(p2);
         let f = q.proc("f").unwrap();
         assert_eq!(f.params, vec!["live".to_string()]);
-        assert!(q.check().is_empty());
+        assert_wellformed(&q);
 
         // The unsafe case: argument can fault, parameter must stay.
         let p3 = S0Program {
@@ -707,7 +778,6 @@ mod tests {
         };
         let q = drop_dead_params(p3);
         assert_eq!(q.proc("f").unwrap().params.len(), 2, "faulting arg must stay");
-        let _ = p;
     }
 
     #[test]
@@ -733,7 +803,60 @@ mod tests {
             ],
         };
         let q = postprocess(p);
-        assert!(q.check().is_empty(), "{:?}", q.check());
+        assert_wellformed(&q);
         assert_eq!(q.procs.len(), 1, "everything inlined into the entry");
+    }
+
+    /// A constant circulating through a recursive loop: propagation
+    /// substitutes it, liveness then kills the parameter, and the
+    /// clean-up pass folds the exposed constants.
+    #[test]
+    fn optimize_combines_propagation_and_dead_params() {
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![
+                S0Proc {
+                    name: "main".into(),
+                    params: vec!["n".into()],
+                    body: S0Tail::TailCall("loop".into(), vec![var("n"), kint(7)]),
+                },
+                S0Proc {
+                    name: "loop".into(),
+                    params: vec!["n".into(), "x".into()],
+                    body: S0Tail::If(
+                        S0Simple::Prim(Prim::ZeroP, vec![var("n")]),
+                        Box::new(S0Tail::Return(var("x"))),
+                        Box::new(S0Tail::TailCall(
+                            "loop".into(),
+                            vec![
+                                S0Simple::Prim(Prim::Sub, vec![var("n"), kint(1)]),
+                                var("x"),
+                            ],
+                        )),
+                    ),
+                },
+            ],
+        };
+        let (q, stats) = optimize(p, &mut fuel()).unwrap();
+        assert_eq!(stats.copies_propagated, 2, "{stats:?}");
+        assert_eq!(stats.dead_bindings, 1, "{stats:?}");
+        let lp = q.proc("loop").unwrap();
+        assert_eq!(lp.params, vec!["n".to_string()]);
+        assert_wellformed(&q);
+        assert!(stats.cfg_nodes > 0 && stats.cfg_edges > 0);
+    }
+
+    #[test]
+    fn optimize_respects_fuel() {
+        let p = S0Program {
+            entry: "main".into(),
+            procs: vec![S0Proc {
+                name: "main".into(),
+                params: vec![],
+                body: S0Tail::Return(kint(1)),
+            }],
+        };
+        let mut tiny = Fuel::new(&Limits { fuel: 1, ..Limits::default() });
+        assert!(matches!(optimize(p, &mut tiny), Err(Trap::OutOfFuel { .. })));
     }
 }

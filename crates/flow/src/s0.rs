@@ -13,6 +13,10 @@
 //! possible.  Closures are an abstract data type with `make-closure`,
 //! `closure-label` and `closure-freeval`; back ends pick the flat-vector
 //! representation.
+//!
+//! The definitions live in `pe-flow` (below `pe-core`) so the dataflow
+//! analyses can see them without a dependency cycle; `pe_core::s0`
+//! re-exports everything, so downstream code is unaffected.
 
 use pe_frontend::ast::{Constant, Prim};
 use pe_sexpr::Sexpr;
@@ -254,71 +258,6 @@ impl S0Program {
         }
         out
     }
-
-    /// Checks the S₀ well-formedness invariants: every called procedure
-    /// exists with the right arity, every variable is bound by its
-    /// procedure's parameter list, and the entry exists.  Returns a list
-    /// of violations (empty = well-formed).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `pe_verify::verify`, which subsumes this check and adds \
-                closure-shape analysis, the language-preservation certificate, \
-                and residual-quality lints"
-    )]
-    pub fn check(&self) -> Vec<String> {
-        let mut errs = Vec::new();
-        let arities: HashMap<&str, usize> =
-            self.procs.iter().map(|p| (p.name.as_str(), p.params.len())).collect();
-        if !arities.contains_key(self.entry.as_str()) {
-            errs.push(format!("entry {} is not defined", self.entry));
-        }
-        let mut seen = HashSet::new();
-        for p in &self.procs {
-            if !seen.insert(&p.name) {
-                errs.push(format!("duplicate procedure {}", p.name));
-            }
-            let params: HashSet<String> = p.params.iter().cloned().collect();
-            let mut used = HashSet::new();
-            p.body.vars(&mut used);
-            for v in used {
-                if !params.contains(&v) {
-                    errs.push(format!("{}: unbound variable {v}", p.name));
-                }
-            }
-            p.body.calls(&mut |callee| {
-                if !arities.contains_key(callee) {
-                    errs.push(format!("{}: call to undefined {callee}", p.name));
-                }
-            });
-            check_call_arities(&p.name, &p.body, &arities, &mut errs);
-        }
-        errs
-    }
-}
-
-fn check_call_arities(
-    owner: &str,
-    t: &S0Tail,
-    arities: &HashMap<&str, usize>,
-    errs: &mut Vec<String>,
-) {
-    match t {
-        S0Tail::Return(_) | S0Tail::Fail(_) => {}
-        S0Tail::If(_, a, b) => {
-            check_call_arities(owner, a, arities, errs);
-            check_call_arities(owner, b, arities, errs);
-        }
-        S0Tail::TailCall(p, args) => {
-            if let Some(&n) = arities.get(p.as_str()) {
-                if n != args.len() {
-                    errs.push(format!(
-                        "{owner}: call to {p} with {} args, expected {n}",
-                        args.len()
-                    ));
-                }
-            }
-        }
-    }
 }
 
 impl fmt::Display for S0Program {
@@ -328,7 +267,6 @@ impl fmt::Display for S0Program {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the deprecated S0Program::check shim
 mod tests {
     use super::*;
 
@@ -374,47 +312,6 @@ mod tests {
                 ]
             )
         );
-    }
-
-    #[test]
-    fn check_finds_violations() {
-        let prog = S0Program {
-            entry: "main".into(),
-            procs: vec![S0Proc {
-                name: "main".into(),
-                params: vec!["x".into()],
-                body: S0Tail::If(
-                    var("y"),
-                    Box::new(S0Tail::TailCall("nope".into(), vec![])),
-                    Box::new(S0Tail::TailCall("main".into(), vec![])),
-                ),
-            }],
-        };
-        let errs = prog.check();
-        assert_eq!(errs.len(), 3, "{errs:?}"); // unbound y, undefined nope, arity main/0
-    }
-
-    #[test]
-    fn check_accepts_wellformed() {
-        let prog = S0Program {
-            entry: "loop".into(),
-            procs: vec![S0Proc {
-                name: "loop".into(),
-                params: vec!["n".into()],
-                body: S0Tail::If(
-                    S0Simple::Prim(Prim::ZeroP, vec![var("n")]),
-                    Box::new(S0Tail::Return(S0Simple::Const(Constant::Sym("done".into())))),
-                    Box::new(S0Tail::TailCall(
-                        "loop".into(),
-                        vec![S0Simple::Prim(
-                            Prim::Sub,
-                            vec![var("n"), S0Simple::Const(Constant::Int(1))],
-                        )],
-                    )),
-                ),
-            }],
-        };
-        assert!(prog.check().is_empty());
     }
 
     #[test]

@@ -11,14 +11,22 @@
 //! cargo run --release -p realistic-pe --example pe-explain            # all, human
 //! cargo run --release -p realistic-pe --example pe-explain -- tak     # one benchmark
 //! cargo run --release -p realistic-pe --example pe-explain -- --json  # JSONL stream
+//! cargo run --release -p realistic-pe --example pe-explain -- --flow  # flow counters
 //! ```
 //!
 //! With `--json`, the full event stream is emitted as JSON Lines —
 //! one `{"type":"run","benchmark":...}` header per benchmark followed
 //! by its `span_open`/`span_close`/`counter`/`gauge` events — after
 //! being validated against the pe-trace schema.
+//!
+//! With `--flow`, a per-benchmark section reports the `pe-flow`
+//! optimizer's counters (copies propagated, dead bindings removed,
+//! closure slots pruned, dispatch arms folded, global-parameter moves
+//! elided by the C emitter, and residual CFG size).  The underlying
+//! event stream is validated against the JSONL schema before the
+//! section is rendered.
 
-use pe_trace::{jsonl, report, CollectingSink, JsonlSink, Sink};
+use pe_trace::{jsonl, report, CollectingSink, Counter, JsonlSink, Sink};
 use realistic_pe::{benchmark, Benchmark, CompileOptions, Limits, Pipeline, SUITE};
 use std::process::ExitCode;
 
@@ -63,9 +71,50 @@ fn json(benches: &[&Benchmark]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--flow` section: compile each benchmark with tracing, validate
+/// the JSONL event stream against the schema, then render the flow
+/// counters.
+fn flow(benches: &[&Benchmark]) -> Result<(), String> {
+    const FLOW_COUNTERS: [Counter; 6] = [
+        Counter::CopiesPropagated,
+        Counter::DeadBindings,
+        Counter::SlotsPruned,
+        Counter::ArmsFolded,
+        Counter::CfgNodes,
+        Counter::CfgEdges,
+    ];
+    for b in benches {
+        // Stream to a JSONL sink so the run is schema-checkable, and
+        // aggregate counters on top of the same stream.
+        let mut sink = JsonlSink::new(Vec::new());
+        let pipe =
+            Pipeline::new_traced(b.source, &mut sink).map_err(|e| format!("{}: {e}", b.name))?;
+        let rep = pipe
+            .compile_traced(b.entry, &CompileOptions::default(), &mut sink)
+            .map_err(|e| format!("{}: {e}", b.name))?;
+        let c = pipe
+            .emit_c_traced(b.entry, &b.test_inputs(), &CompileOptions::default(), &mut sink)
+            .map_err(|e| format!("{}: {e}", b.name))?;
+        let bytes = sink.finish().map_err(|e| format!("{}: {e}", b.name))?;
+        let stream = String::from_utf8(bytes).expect("jsonl is ascii");
+        jsonl::validate(&stream).map_err(|e| format!("{}: schema: {e}", b.name))?;
+
+        println!("== {} [flow] ==", b.name);
+        for k in FLOW_COUNTERS {
+            let total: u64 =
+                rep.counters.iter().filter(|&&(c, _)| c == k).map(|&(_, v)| v).sum();
+            println!("  {:<20} {total}", k.name());
+        }
+        println!("  {:<20} {}", "moves-elided", c.moves_elided);
+        println!("  {:<20} {}", "c-bytes", c.size_bytes());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let as_json = args.iter().any(|a| a == "--json");
+    let as_flow = args.iter().any(|a| a == "--flow");
     let names: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let mut benches: Vec<&Benchmark> = Vec::new();
@@ -86,7 +135,13 @@ fn main() -> ExitCode {
             }
         }
     }
-    let run = if as_json { json(&benches) } else { human(&benches) };
+    let run = if as_flow {
+        flow(&benches)
+    } else if as_json {
+        json(&benches)
+    } else {
+        human(&benches)
+    };
     match run {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

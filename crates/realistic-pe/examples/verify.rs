@@ -14,6 +14,7 @@
 //! ```
 
 use pe_unmix::Division;
+use pe_verify::Pass;
 use realistic_pe::{
     compile_by_futamura, encode_program, verify_division, CompileOptions, GenStrategy, Pipeline,
     Report, UnmixOptions, FUTAMURA_ENTRY, SINT, SUITE,
@@ -31,6 +32,21 @@ fn show(what: &str, report: &Report) -> usize {
     report.error_count()
 }
 
+/// The flow lints mirror the flow optimizer, so *optimized* pipeline
+/// output must carry zero flow-pass warnings: any that remain mean an
+/// optimization silently failed to run.  Treat them as errors.
+fn flow_strict(what: &str, report: &Report) -> usize {
+    let stuck: Vec<_> =
+        report.warnings().filter(|d| d.pass == Pass::Flow).collect();
+    for d in &stuck {
+        println!("    flow-strict: {d}");
+    }
+    if !stuck.is_empty() {
+        println!("{what:<28} {} unoptimized flow finding(s)", stuck.len());
+    }
+    stuck.len()
+}
+
 fn main() {
     let mut total_errors = 0;
     for b in SUITE {
@@ -38,7 +54,9 @@ fn main() {
         for strategy in [GenStrategy::Offline, GenStrategy::Online] {
             let opts = CompileOptions { strategy, ..CompileOptions::default() };
             let report = pipe.verify(b.entry, &opts).expect("suite programs compile");
-            total_errors += show(&format!("{} [{strategy:?}]", b.name), &report);
+            let what = format!("{} [{strategy:?}]", b.name);
+            total_errors += show(&what, &report);
+            total_errors += flow_strict(&what, &report);
         }
         if !b.higher_order {
             // First Futamura projection: specialize the self-interpreter
@@ -49,6 +67,18 @@ fn main() {
                 .expect("first-order benchmarks project");
             let report = realistic_pe::verify_program(&residual, FUTAMURA_ENTRY);
             total_errors += show(&format!("{} [Futamura]", b.name), &report);
+
+            // The Unmix residual is itself a compilable program: push it
+            // through the pipeline and run the S₀ passes — including the
+            // flow pass — over *its* residual too.
+            let repipe = Pipeline::new(&residual.to_source())
+                .expect("Futamura residuals re-parse");
+            let report = repipe
+                .verify(FUTAMURA_ENTRY, &CompileOptions::default())
+                .expect("Futamura residuals compile");
+            let what = format!("{} [Futamura→S₀]", b.name);
+            total_errors += show(&what, &report);
+            total_errors += flow_strict(&what, &report);
 
             let sint = realistic_pe::parse_source(SINT).expect("SINT parses");
             let _ = encode_program(&subject).expect("subjects encode");

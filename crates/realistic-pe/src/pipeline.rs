@@ -441,6 +441,9 @@ impl Pipeline {
         let t = pe_trace::begin(sink, Phase::EmitC);
         let c = pe_backend_c::emit_c(&s0, args, &pe_backend_c::COptions::default());
         pe_trace::end(sink, t);
+        if sink.enabled() {
+            sink.counter(Counter::MovesElided, c.moves_elided as u64);
+        }
         Ok(c)
     }
 }

@@ -39,6 +39,7 @@ fn suite_spans_balance_on_every_benchmark() -> R {
             Phase::Cfa,
             Phase::Specialize,
             Phase::Post,
+            Phase::Flow,
             Phase::Verify,
             Phase::VmLoad,
             Phase::VmRun,
@@ -94,7 +95,7 @@ fn compile_report_covers_compile_phases() -> R {
     let phases: Vec<Phase> = report.phases.iter().map(|&(p, _)| p).collect();
     assert_eq!(
         phases,
-        [Phase::Cfa, Phase::Specialize, Phase::Post, Phase::Verify, Phase::VmLoad]
+        [Phase::Cfa, Phase::Specialize, Phase::Post, Phase::Flow, Phase::Verify, Phase::VmLoad]
     );
     // Phase times are genuine measurements summing to the total.
     assert_eq!(report.total_ns(), report.phases.iter().map(|&(_, ns)| ns).sum::<u64>());
@@ -134,7 +135,7 @@ fn jsonl_stream_validates_against_schema() -> R {
     let text = String::from_utf8(sink.finish()?)?;
     let summary = jsonl::validate(&text).map_err(|e| format!("schema: {e}"))?;
     assert_eq!(summary.spans_opened, summary.spans_closed);
-    assert_eq!(summary.spans_closed, 9);
+    assert_eq!(summary.spans_closed, 10);
     assert_eq!(summary.max_depth, 1);
     assert!(summary.counter("vm_steps") > 0);
     Ok(())
@@ -159,6 +160,10 @@ fn golden_jsonl_shape_for_a_tiny_program() -> R {
         r#"{"type":"span_close","phase":"specialize","depth":0,"dur_ns":"#,
         r#"{"type":"span_open","phase":"post","depth":0}"#,
         r#"{"type":"span_close","phase":"post","depth":0,"dur_ns":"#,
+        r#"{"type":"span_open","phase":"flow","depth":0}"#,
+        r#"{"type":"span_close","phase":"flow","depth":0,"dur_ns":"#,
+        r#"{"type":"counter","name":"cfg_nodes","delta":2}"#,
+        r#"{"type":"counter","name":"cfg_edges","delta":1}"#,
         r#"{"type":"counter","name":"residual_procs","delta":1}"#,
         r#"{"type":"counter","name":"residual_nodes","delta":"#,
         r#"{"type":"span_open","phase":"verify","depth":0}"#,

@@ -6,13 +6,15 @@
 //! telemetry through one [`Sink`] trait:
 //!
 //! * **Spans** ([`Phase`]): one open/close pair per pipeline phase
-//!   (read, parse, desugar, cfa, bta, specialize, post, verify,
+//!   (read, parse, desugar, cfa, bta, specialize, post, flow, verify,
 //!   vm-load, emit-c, vm-run) with monotonic nanosecond durations and
 //!   parent nesting by depth.
 //! * **Counters** ([`Counter`]): monotone event totals from the
 //!   specializers (memo lookups/hits/misses, unfold steps,
 //!   generalizations, widenings, Trick dispatches/arms, residual
-//!   procedure and node counts) and the run-time engines (dispatch
+//!   procedure and node counts), the pe-flow optimizer (copies
+//!   propagated, dead bindings, slots pruned, arms folded, moves
+//!   elided, CFG nodes/edges) and the run-time engines (dispatch
 //!   steps, allocations, calls).
 //! * **Gauges** ([`Gauge`]): point-in-time snapshots of governor
 //!   meters (fuel, heap, peak call depth), emitted when an engine
@@ -54,6 +56,8 @@ pub enum Phase {
     Specialize,
     /// Residual post-processing (inlining, renaming).
     Post,
+    /// Dataflow optimization of the residual program (pe-flow).
+    Flow,
     /// Static verification of the residual program.
     Verify,
     /// Loading S₀ into the VM (resolver + code layout).
@@ -66,7 +70,7 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 11] = [
+    pub const ALL: [Phase; 12] = [
         Phase::Read,
         Phase::Parse,
         Phase::Desugar,
@@ -74,6 +78,7 @@ impl Phase {
         Phase::Bta,
         Phase::Specialize,
         Phase::Post,
+        Phase::Flow,
         Phase::Verify,
         Phase::VmLoad,
         Phase::EmitC,
@@ -91,6 +96,7 @@ impl Phase {
             Phase::Bta => "bta",
             Phase::Specialize => "specialize",
             Phase::Post => "post",
+            Phase::Flow => "flow",
             Phase::Verify => "verify",
             Phase::VmLoad => "vm-load",
             Phase::EmitC => "emit-c",
@@ -130,6 +136,21 @@ pub enum Counter {
     ResidualProcs,
     /// Syntax nodes in the residual S₀ program.
     ResidualNodes,
+    /// Variable occurrences replaced by known constants (pe-flow
+    /// copy/constant propagation).
+    CopiesPropagated,
+    /// Dead parameter bindings eliminated by interprocedural liveness.
+    DeadBindings,
+    /// Closure freeval slots pruned from flat closure vectors.
+    SlotsPruned,
+    /// Dispatch arms folded away by closure-label reachability.
+    ArmsFolded,
+    /// Identity global-parameter moves elided by the C backend.
+    MovesElided,
+    /// CFG nodes built over the final residual program.
+    CfgNodes,
+    /// CFG edges built over the final residual program.
+    CfgEdges,
     /// VM dispatch steps.
     VmSteps,
     /// VM heap cells allocated.
@@ -144,7 +165,7 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 22] = [
         Counter::MemoLookups,
         Counter::MemoHits,
         Counter::MemoMisses,
@@ -155,6 +176,13 @@ impl Counter {
         Counter::TrickArms,
         Counter::ResidualProcs,
         Counter::ResidualNodes,
+        Counter::CopiesPropagated,
+        Counter::DeadBindings,
+        Counter::SlotsPruned,
+        Counter::ArmsFolded,
+        Counter::MovesElided,
+        Counter::CfgNodes,
+        Counter::CfgEdges,
         Counter::VmSteps,
         Counter::VmAllocs,
         Counter::VmCalls,
@@ -176,6 +204,13 @@ impl Counter {
             Counter::TrickArms => "trick_arms",
             Counter::ResidualProcs => "residual_procs",
             Counter::ResidualNodes => "residual_nodes",
+            Counter::CopiesPropagated => "copies_propagated",
+            Counter::DeadBindings => "dead_bindings",
+            Counter::SlotsPruned => "slots_pruned",
+            Counter::ArmsFolded => "arms_folded",
+            Counter::MovesElided => "moves_elided",
+            Counter::CfgNodes => "cfg_nodes",
+            Counter::CfgEdges => "cfg_edges",
             Counter::VmSteps => "vm_steps",
             Counter::VmAllocs => "vm_allocs",
             Counter::VmCalls => "vm_calls",

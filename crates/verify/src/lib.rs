@@ -22,8 +22,14 @@
 //!    `%fail`-only bodies — warnings about residual quality.
 //! 5. **bta-congruence** ([`verify_division`]): audits an Unmix
 //!    [`Division`](pe_unmix::Division) against its subject program.
+//! 6. **flow** ([`flow`]): dataflow verification via `pe-flow` —
+//!    definite binding along all CFG paths, dispatch-arm reachability,
+//!    dead closure slots.  The two lint-grade checks mirror the flow
+//!    optimizer exactly, so optimized pipeline output passes them by
+//!    construction.
 //!
-//! [`verify`] runs passes 1–4 over an [`S0Program`]; [`verify_source`]
+//! [`verify`] runs passes 1–4 and 6 over an [`S0Program`];
+//! [`verify_source`]
 //! runs the preservation certificate over raw text (useful as a
 //! mutation oracle); [`residual::verify_program`] covers Unmix's
 //! surface-language residuals.  The pipeline and the specializer call
@@ -31,6 +37,7 @@
 //! `realistic-pe` crate audits the whole Gabriel suite.
 
 pub mod closure;
+pub mod flow;
 pub mod lints;
 pub mod preservation;
 pub mod report;
@@ -43,8 +50,8 @@ pub use residual::verify_program;
 use pe_core::S0Program;
 use pe_unmix::Division;
 
-/// Runs every S₀ pass (well-formed, closure-shape, preservation, lints)
-/// over `p` and collects the findings.
+/// Runs every S₀ pass (well-formed, closure-shape, preservation, lints,
+/// flow) over `p` and collects the findings.
 pub fn verify(p: &S0Program) -> Report {
     let mut diagnostics = wellformed::check(p);
     // The deeper passes assume basic well-formedness (e.g. bound
@@ -53,6 +60,7 @@ pub fn verify(p: &S0Program) -> Report {
     diagnostics.extend(closure::check(p));
     diagnostics.extend(preservation::check(p));
     diagnostics.extend(lints::check(p));
+    diagnostics.extend(flow::check(p));
     Report::new(diagnostics)
 }
 

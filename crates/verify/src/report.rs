@@ -17,6 +17,9 @@ pub enum Pass {
     Lint,
     /// The Unmix binding-time congruence audit (pass 5).
     BtaCongruence,
+    /// Dataflow verification via pe-flow: definite binding, dispatch-arm
+    /// reachability, dead closure slots (pass 6).
+    Flow,
 }
 
 impl Pass {
@@ -28,6 +31,7 @@ impl Pass {
             Pass::Preservation => "preservation",
             Pass::Lint => "lint",
             Pass::BtaCongruence => "bta-congruence",
+            Pass::Flow => "flow",
         }
     }
 }

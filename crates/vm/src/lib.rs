@@ -654,8 +654,10 @@ mod tests {
         let vm = compile_to_vm("(define (f n) (f n))", "f")?;
         let lim = Limits { fuel: 100, ..Limits::default() };
         assert_eq!(vm.run(&[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
-        // … and a cons-builder traps on the heap budget first.
-        let vm = compile_to_vm("(define (g x) (g (cons x x)))", "g")?;
+        // … and a cons-builder traps on the heap budget first.  The
+        // accumulator is tested so the flow optimizer cannot delete the
+        // (otherwise unobserved) allocation.
+        let vm = compile_to_vm("(define (g x) (if (pair? x) (g (cons x x)) (g (cons x x))))", "g")?;
         let lim = Limits { max_heap: 50, ..Limits::default() };
         assert_eq!(
             vm.run(&[Datum::Int(0)], lim),

@@ -6,7 +6,7 @@ set -eux
 
 cargo build --release
 cargo test -q
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 cargo run --release -p realistic-pe --example verify
 
 # pe-flow translation validation: the whole Gabriel suite is compiled
@@ -16,6 +16,13 @@ cargo run --release -p realistic-pe --example verify
 # --flow report must render and schema-validate its event stream.
 cargo test -q -p realistic-pe --test flow_integration
 cargo run --release -p realistic-pe --example pe-explain -- --flow > /dev/null
+
+# pe-sct termination analysis: every benchmark classified, sct on/off
+# differentially executed on the VM, zero pass-7 termination warnings,
+# and suite-wide dynamic widenings must drop under static control.  The
+# --sct report must render and schema-validate its event stream.
+cargo test -q -p realistic-pe --test sct_integration
+cargo run --release -p realistic-pe --example pe-explain -- --sct > /dev/null
 
 # Fault injection: hostile input against every entry point (including
 # the printer-totality and pretty/read round-trip tests), then the

@@ -77,6 +77,26 @@ pub struct ResidualSizes {
     pub moves_elided: usize,
 }
 
+/// Size-change termination measurements: the verdict census from the
+/// traced compilation plus the dynamic-control comparison against a
+/// compile with the analysis off (the §8 axis the pe-sct control adds:
+/// how much widening became statically anticipated generalization).
+#[derive(Debug, Clone, Copy)]
+pub struct SctNumbers {
+    /// Procedures classified bounded.
+    pub bounded: u64,
+    /// Procedures classified unbounded.
+    pub unbounded: u64,
+    /// Procedures the analysis could not classify.
+    pub unknown: u64,
+    /// Eager generalizations performed under static control.
+    pub eager_generalizations: u64,
+    /// Dynamic widenings with the analysis on (should be ~0).
+    pub widenings_on: u64,
+    /// Dynamic widenings with the analysis off (the baseline).
+    pub widenings_off: u64,
+}
+
 /// One engine's timing on one benchmark.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineTiming {
@@ -117,6 +137,8 @@ pub struct BenchRow {
     pub counters: Vec<(String, u64)>,
     /// Residual sizes before/after pe-flow optimization.
     pub residual: ResidualSizes,
+    /// Size-change termination verdicts and widening comparison.
+    pub sct: SctNumbers,
 }
 
 /// Best-of-`reps` wall-clock time of `f`, in milliseconds.
@@ -240,6 +262,22 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
         c_bytes_flow: c_flow.size_bytes(),
         moves_elided: c_flow.moves_elided,
     };
+    // The size-change verdict census comes from the traced compile's
+    // counters; the widening baseline from one compile with the
+    // analysis off.  Exact, deterministic quantities.
+    let sct_off = CompileOptions { sct: false, ..CompileOptions::default() };
+    let off_report = pipe
+        .compile_traced(b.entry, &sct_off, &mut realistic_pe::NullSink)
+        .map_err(|e| fail("compile", &e))?;
+    use realistic_pe::Counter;
+    let sct = SctNumbers {
+        bounded: report.counter(Counter::SctBounded),
+        unbounded: report.counter(Counter::SctUnbounded),
+        unknown: report.counter(Counter::SctUnknown),
+        eager_generalizations: report.counter(Counter::EagerGeneralizations),
+        widenings_on: report.counter(Counter::Widenings),
+        widenings_off: off_report.counter(Counter::Widenings),
+    };
     let hob = pipe.compile_hobbit().map_err(|e| fail("hobbit", &e))?;
     let (arg_texts, args) = if cfg.quick {
         (b.test_args, b.test_inputs())
@@ -281,6 +319,7 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
         phases,
         counters,
         residual,
+        sct,
     })
 }
 
@@ -342,7 +381,7 @@ pub fn to_json(cfg: &BenchConfig, rows: &[BenchRow]) -> String {
         s.push_str(&format!(
             "      \"residual\": {{\"c_bytes_base\": {}, \"c_bytes_flow\": {}, \
              \"moves_elided\": {}, \"nodes_base\": {}, \"nodes_flow\": {}, \
-             \"procs_base\": {}, \"procs_flow\": {}}}\n",
+             \"procs_base\": {}, \"procs_flow\": {}}},\n",
             z.c_bytes_base,
             z.c_bytes_flow,
             z.moves_elided,
@@ -351,12 +390,24 @@ pub fn to_json(cfg: &BenchConfig, rows: &[BenchRow]) -> String {
             z.procs_base,
             z.procs_flow
         ));
+        let t = &r.sct;
+        s.push_str(&format!(
+            "      \"sct\": {{\"bounded\": {}, \"eager_generalizations\": {}, \
+             \"unbounded\": {}, \"unknown\": {}, \"widenings_off\": {}, \
+             \"widenings_on\": {}}}\n",
+            t.bounded,
+            t.eager_generalizations,
+            t.unbounded,
+            t.unknown,
+            t.widenings_off,
+            t.widenings_on
+        ));
         s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
     }
     s.push_str("  ],\n");
     s.push_str(&format!("  \"mode\": \"{}\",\n", cfg.mode()));
     s.push_str(&format!("  \"reps\": {},\n", cfg.reps));
-    s.push_str("  \"schema\": \"pe-bench/2\"\n}\n");
+    s.push_str("  \"schema\": \"pe-bench/3\"\n}\n");
     s
 }
 
@@ -405,6 +456,14 @@ mod tests {
                 c_bytes_flow: 800,
                 moves_elided: 2,
             },
+            sct: SctNumbers {
+                bounded: 2,
+                unbounded: 0,
+                unknown: 1,
+                eager_generalizations: 4,
+                widenings_on: 0,
+                widenings_off: 4,
+            },
         }
     }
 
@@ -429,6 +488,7 @@ mod tests {
                 "\"paper_ours_ms\"",
                 "\"phases\"",
                 "\"residual\"",
+                "\"sct\"",
             ],
             vec!["\"hobbit\"", "\"tail\"", "\"vm\""],
             vec!["\"memo_hits\"", "\"memo_lookups\""],
@@ -440,6 +500,14 @@ mod tests {
                 "\"nodes_flow\"",
                 "\"procs_base\"",
                 "\"procs_flow\"",
+            ],
+            vec![
+                "\"bounded\"",
+                "\"eager_generalizations\"",
+                "\"unbounded\"",
+                "\"unknown\"",
+                "\"widenings_off\"",
+                "\"widenings_on\"",
             ],
         ] {
             let idx: Vec<usize> =
@@ -495,5 +563,15 @@ mod tests {
                 || r.residual.c_bytes_flow < r.residual.c_bytes_base),
             "no benchmark shrank under pe-flow"
         );
+        // Every benchmark is classified, and static control never adds
+        // dynamic widenings; suite-wide they must drop.
+        for row in &rows {
+            let t = row.sct;
+            assert!(t.bounded + t.unbounded + t.unknown > 0, "{}: unclassified", row.name);
+            assert!(t.widenings_on <= t.widenings_off, "{}: sct added widenings", row.name);
+        }
+        let on: u64 = rows.iter().map(|r| r.sct.widenings_on).sum();
+        let off: u64 = rows.iter().map(|r| r.sct.widenings_off).sum();
+        assert!(on < off, "suite-wide widenings did not drop ({off} → {on})");
     }
 }

@@ -53,13 +53,31 @@ pub mod s0 {
 pub use desc::{CvId, DescShape, MissingCv, ValDesc};
 pub use pe_governor::{Fuel, Limits, Trap};
 pub use s0::{S0Proc, S0Program, S0Simple, S0Tail};
-pub use spec::{CompileOptions, GenStrategy, Spec, SpecCounters, SpecError};
+pub use spec::{
+    CompileOptions, ControlEvent, ControlKind, GenStrategy, Spec, SpecCounters, SpecError,
+};
 
 use pe_frontend::dast::DProgram;
 use pe_frontend::flow::FlowAnalysis;
 use pe_frontend::gen_analysis::GenAnalysis;
 use pe_interp::Datum;
 use pe_trace::{Counter, Phase, Sink};
+
+/// The audit trail of one compile: what the size-change termination
+/// analysis predicted and what the dynamic control machinery actually
+/// did.  Pass 7 of `pe-verify` checks the two against each other.
+#[derive(Debug, Clone, Default)]
+pub struct CompileAudit {
+    /// False when [`CompileOptions::sct`] was off — the verdict tables
+    /// are then empty and there is nothing to audit.
+    pub enabled: bool,
+    /// Per-procedure/per-label verdicts and slot annotations.
+    pub verdicts: pe_sct::Verdicts,
+    /// Analysis effort and classification counts.
+    pub stats: pe_sct::SctStats,
+    /// The specializer's control log, in specialization order.
+    pub events: Vec<ControlEvent>,
+}
 
 /// Compiles `entry` (all parameters dynamic): closure conversion + tail
 /// conversion + constant folding, then post-processing if enabled.
@@ -87,15 +105,39 @@ pub fn compile_with(
     opts: &CompileOptions,
     sink: &mut dyn Sink,
 ) -> Result<S0Program, SpecError> {
+    compile_audited_with(dp, entry, opts, sink).map(|(p, _)| p)
+}
+
+/// Like [`compile_with`], additionally returning the [`CompileAudit`]:
+/// the SCT verdict tables plus the specializer's control log, ready for
+/// pass 7 of `pe-verify`.
+///
+/// # Errors
+///
+/// See [`SpecError`]; a program the termination analysis proves
+/// divergent is refused with [`SpecError::SctDiverges`] before
+/// specialization starts.
+pub fn compile_audited_with(
+    dp: &DProgram,
+    entry: &str,
+    opts: &CompileOptions,
+    sink: &mut dyn Sink,
+) -> Result<(S0Program, CompileAudit), SpecError> {
     let t = pe_trace::begin(sink, Phase::Cfa);
     let flow = FlowAnalysis::analyze(dp);
     let gen = GenAnalysis::analyze(dp, &flow);
     pe_trace::end(sink, t);
+    let sct = run_sct(dp, &flow, entry, opts, sink)?;
     let t = pe_trace::begin(sink, Phase::Specialize);
-    let spec = Spec::new(dp, &flow, &gen, opts.clone());
-    let p = spec.compile_with(entry, sink);
+    let mut spec = Spec::new(dp, &flow, &gen, opts.clone());
+    if let Some(a) = &sct {
+        spec = spec.with_sct(a.verdicts.clone());
+    }
+    let r = spec.compile_audited_with(entry, sink);
     pe_trace::end(sink, t);
-    finish_traced(p?, opts, sink)
+    let (p, events) = r?;
+    let p = finish_traced(p, opts, sink)?;
+    Ok((p, assemble_audit(sct, events)))
 }
 
 /// Specializes `entry` with respect to the static argument slots — the
@@ -127,15 +169,81 @@ pub fn specialize_with(
     opts: &CompileOptions,
     sink: &mut dyn Sink,
 ) -> Result<S0Program, SpecError> {
+    specialize_audited_with(dp, entry, slots, opts, sink).map(|(p, _)| p)
+}
+
+/// Like [`specialize_with`], additionally returning the
+/// [`CompileAudit`] (see [`compile_audited_with`]).
+///
+/// # Errors
+///
+/// See [`SpecError`].
+pub fn specialize_audited_with(
+    dp: &DProgram,
+    entry: &str,
+    slots: &[Option<Datum>],
+    opts: &CompileOptions,
+    sink: &mut dyn Sink,
+) -> Result<(S0Program, CompileAudit), SpecError> {
     let t = pe_trace::begin(sink, Phase::Cfa);
     let flow = FlowAnalysis::analyze(dp);
     let gen = GenAnalysis::analyze(dp, &flow);
     pe_trace::end(sink, t);
+    let sct = run_sct(dp, &flow, entry, opts, sink)?;
     let t = pe_trace::begin(sink, Phase::Specialize);
-    let spec = Spec::new(dp, &flow, &gen, opts.clone());
-    let p = spec.specialize_with(entry, slots, sink);
+    let mut spec = Spec::new(dp, &flow, &gen, opts.clone());
+    if let Some(a) = &sct {
+        spec = spec.with_sct(a.verdicts.clone());
+    }
+    let r = spec.specialize_audited_with(entry, slots, sink);
     pe_trace::end(sink, t);
-    finish_traced(p?, opts, sink)
+    let (p, events) = r?;
+    let p = finish_traced(p, opts, sink)?;
+    Ok((p, assemble_audit(sct, events)))
+}
+
+/// Runs pe-sct under its own phase span, reports its counters, and
+/// turns a proven divergence into the early-reject error.
+fn run_sct(
+    dp: &DProgram,
+    flow: &FlowAnalysis,
+    entry: &str,
+    opts: &CompileOptions,
+    sink: &mut dyn Sink,
+) -> Result<Option<pe_sct::SctAnalysis>, SpecError> {
+    if !opts.sct {
+        return Ok(None);
+    }
+    let t = pe_trace::begin(sink, Phase::Sct);
+    let a = pe_sct::analyze(dp, flow, entry);
+    pe_trace::end(sink, t);
+    if sink.enabled() {
+        for (c, v) in [
+            (Counter::SctGraphs, a.stats.graphs),
+            (Counter::SctCompositions, a.stats.compositions),
+            (Counter::SctBounded, a.stats.bounded),
+            (Counter::SctUnbounded, a.stats.unbounded),
+            (Counter::SctUnknown, a.stats.unknown),
+        ] {
+            if v > 0 {
+                sink.counter(c, v);
+            }
+        }
+    }
+    if let Some(trap) = &a.divergence {
+        if sink.enabled() {
+            sink.counter(Counter::SctEarlyRejects, 1);
+        }
+        return Err(SpecError::SctDiverges(trap.clone()));
+    }
+    Ok(Some(a))
+}
+
+fn assemble_audit(sct: Option<pe_sct::SctAnalysis>, events: Vec<ControlEvent>) -> CompileAudit {
+    match sct {
+        Some(a) => CompileAudit { enabled: true, verdicts: a.verdicts, stats: a.stats, events },
+        None => CompileAudit { events, ..CompileAudit::default() },
+    }
 }
 
 /// Post-processes under a `post` span, runs the flow optimizer under a
@@ -317,14 +425,81 @@ mod tests {
     }
 
     #[test]
-    fn omega_exhausts_depth() -> R {
+    fn omega_is_rejected_statically() -> R {
         let src = "(define (omega d) ((lambda (x) (x x)) (lambda (x) (x x))))";
         let p = parse_source(src)?;
         let d = desugar(&p)?;
         let r = compile(&d, "omega", &CompileOptions::default());
         assert!(
+            matches!(r, Err(SpecError::SctDiverges(Trap::StaticDivergence { .. }))),
+            "Ω must be refused before specialization, got {r:?}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn omega_exhausts_depth_without_sct() -> R {
+        // With the analysis off, Ω still cannot loop the compiler: the
+        // fuel-path backstops catch it, as before pe-sct existed.
+        let src = "(define (omega d) ((lambda (x) (x x)) (lambda (x) (x x))))";
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
+        let opts = CompileOptions { sct: false, ..CompileOptions::default() };
+        let r = compile(&d, "omega", &opts);
+        assert!(
             matches!(r, Err(SpecError::DepthExceeded) | Err(SpecError::Budget { .. })),
             "specializing Ω must hit a budget, got {r:?}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn sct_on_and_off_agree_semantically() -> R {
+        // The verdict tables only move *where* generalization happens;
+        // residual programs must compute the same function.
+        let srcs: &[(&str, &str, &[Datum])] = &[
+            (CPS_APPEND, "append", &[Datum::parse("(1 2)")?, Datum::parse("(3 4)")?]),
+            (
+                "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+                "fib",
+                &[Datum::Int(12)],
+            ),
+        ];
+        for (src, entry, args) in srcs {
+            let on = compile_src(src, entry, &CompileOptions::default())?;
+            let off = compile_src(
+                src,
+                entry,
+                &CompileOptions { sct: false, ..CompileOptions::default() },
+            )?;
+            assert_eq!(run_s0(&on, args)?, run_s0(&off, args)?, "{entry}");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn audit_reports_anticipated_flushes() -> R {
+        // fib's non-tail recursion flushes the context stack; with SCT
+        // on every flush lands at a statically annotated label.
+        let src = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+        let p = parse_source(src)?;
+        let d = desugar(&p)?;
+        let (_, audit) = compile_audited_with(
+            &d,
+            "fib",
+            &CompileOptions::default(),
+            &mut pe_trace::NullSink,
+        )?;
+        assert!(audit.enabled);
+        assert!(
+            audit.events.iter().any(|e| e.kind == spec::ControlKind::StackEager),
+            "{:?}",
+            audit.events
+        );
+        assert!(
+            !audit.events.iter().any(|e| e.kind == spec::ControlKind::StackFlush),
+            "every flush is anticipated: {:?}",
+            audit.events
         );
         Ok(())
     }

@@ -78,6 +78,13 @@ pub struct CompileOptions {
     /// creation sites.  Static unfolding below the threshold (the
     /// specializer projections' use case) is unaffected.
     pub widen_threshold: usize,
+    /// Run the size-change termination analysis (`pe-sct`) before
+    /// specializing: provably-divergent programs are refused with
+    /// [`SpecError::SctDiverges`] before any fuel is spent, slots with
+    /// provable structural descent skip variety tracking, and slots
+    /// with provable in-situ growth are generalized eagerly instead of
+    /// discovered at the widening cap.
+    pub sct: bool,
 }
 
 impl Default for CompileOptions {
@@ -90,6 +97,7 @@ impl Default for CompileOptions {
             limits: Limits::default(),
             max_desc_size: 512,
             widen_threshold: 40,
+            sct: true,
         }
     }
 }
@@ -113,6 +121,11 @@ pub enum SpecError {
     /// Internal: a specializer invariant failed — reported instead of
     /// panicking so embedders never lose their thread.
     Internal(String),
+    /// The size-change termination analysis proved the program diverges
+    /// on every input ([`CompileOptions::sct`]); specialization was
+    /// refused before burning any fuel.  The trap is always
+    /// [`pe_governor::Trap::StaticDivergence`].
+    SctDiverges(pe_governor::Trap),
 }
 
 impl SpecError {
@@ -124,6 +137,16 @@ impl SpecError {
     #[must_use]
     pub fn is_budget_exhaustion(&self) -> bool {
         matches!(self, SpecError::Budget { .. } | SpecError::DepthExceeded)
+    }
+
+    /// True when a caller with a runtime fallback should still try
+    /// executing the subject program directly: budget exhaustion (the
+    /// program may terminate at run time even though specializing it
+    /// does not), and static-divergence rejects (the interpreter's own
+    /// fuel then bounds the doomed run).
+    #[must_use]
+    pub fn is_degradable(&self) -> bool {
+        self.is_budget_exhaustion() || matches!(self, SpecError::SctDiverges(_))
     }
 }
 
@@ -140,6 +163,9 @@ impl fmt::Display for SpecError {
             SpecError::DepthExceeded => write!(f, "static unfolding depth exceeded"),
             SpecError::UnboundVar(v) => write!(f, "internal: unbound {v}"),
             SpecError::Internal(m) => write!(f, "internal: {m}"),
+            SpecError::SctDiverges(t) => {
+                write!(f, "rejected by termination analysis: {t}")
+            }
         }
     }
 }
@@ -206,9 +232,16 @@ pub struct SpecCounters {
     pub unfold_steps: u64,
     /// Generalization firings (§4.5).
     pub generalizations: u64,
-    /// Widening firings: bounded-static-variation caps, prefix caps,
-    /// and context-stack flushes.
+    /// Widening firings *discovered dynamically*: bounded-static-
+    /// variation caps, prefix caps, and context-stack flushes at points
+    /// the termination analysis did not flag.
     pub widenings: u64,
+    /// Generalizations performed because the termination analysis
+    /// pre-annotated the point: unbounded slots generalized on sight
+    /// and stack flushes at statically anticipated labels.  With
+    /// [`CompileOptions::sct`] off this is always zero — the same
+    /// events then surface as `widenings`.
+    pub eager_generalizations: u64,
     /// The-Trick dispatch expansions.
     pub trick_dispatches: u64,
     /// Total arms across all Trick dispatches.
@@ -228,9 +261,41 @@ impl SpecCounters {
         sink.counter(Counter::UnfoldSteps, self.unfold_steps);
         sink.counter(Counter::Generalizations, self.generalizations);
         sink.counter(Counter::Widenings, self.widenings);
+        sink.counter(Counter::EagerGeneralizations, self.eager_generalizations);
         sink.counter(Counter::TrickDispatches, self.trick_dispatches);
         sink.counter(Counter::TrickArms, self.trick_arms);
     }
+}
+
+/// What the dynamic control machinery did at one specialization point.
+/// The ordered log of these is the audit trail that pass 7 of
+/// `pe-verify` checks against the SCT verdict tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlKind {
+    /// A bounded-static-variation slot cap fired — a dynamic discovery.
+    SlotWiden,
+    /// The context-prefix shape cap fired — a dynamic discovery.
+    PrefixWiden,
+    /// The context stack was flushed to its dynamic representation at a
+    /// point the termination analysis had not flagged.
+    StackFlush,
+    /// A slot the termination analysis flagged unbounded was
+    /// generalized on sight instead of tracked to the cap.
+    SlotEager,
+    /// A stack flush at a label the analysis marked as stack-growing:
+    /// statically anticipated, not discovered.
+    StackEager,
+}
+
+/// One entry of the specialization control log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlEvent {
+    /// The `DLabel` of the subject-program point.
+    pub label: u32,
+    /// What happened there.
+    pub kind: ControlKind,
+    /// Source name of the variable, for slot events.
+    pub var: Option<String>,
 }
 
 /// The specializer engine.
@@ -257,6 +322,13 @@ pub struct Spec<'p> {
     prefix_variety: FxHashMap<DLabel, FxHashSet<Vec<DescShape>>>,
     widened_prefix: FxHashSet<DLabel>,
     counters: SpecCounters,
+    /// SCT verdict tables ([`Spec::with_sct`]): exempt slots skip
+    /// variety tracking, unbounded slots generalize on sight, and stack
+    /// flushes at annotated labels count as anticipated rather than
+    /// discovered.
+    sct: Option<pe_sct::Verdicts>,
+    /// The control log — what widened or generalized, where.
+    events: Vec<ControlEvent>,
 }
 
 impl<'p> Spec<'p> {
@@ -282,7 +354,19 @@ impl<'p> Spec<'p> {
             prefix_variety: FxHashMap::default(),
             widened_prefix: FxHashSet::default(),
             counters: SpecCounters::default(),
+            sct: None,
+            events: Vec::new(),
         }
+    }
+
+    /// Installs the size-change termination verdict tables (produced by
+    /// `pe_sct::analyze` over the same program).  Without this the
+    /// engine runs on purely dynamic control, as before the analysis
+    /// existed.
+    #[must_use]
+    pub fn with_sct(mut self, verdicts: pe_sct::Verdicts) -> Spec<'p> {
+        self.sct = Some(verdicts);
+        self
     }
 
     fn fresh_cv(&mut self) -> CvId {
@@ -309,13 +393,29 @@ impl<'p> Spec<'p> {
     ///
     /// See [`SpecError`].
     pub fn compile_with(
-        mut self,
+        self,
         entry: &str,
         sink: &mut dyn pe_trace::Sink,
     ) -> Result<S0Program, SpecError> {
+        self.compile_audited_with(entry, sink).map(|(p, _)| p)
+    }
+
+    /// Like [`Spec::compile_with`], additionally returning the control
+    /// log — the per-point record of widenings and eager
+    /// generalizations that pass 7 of `pe-verify` audits against the
+    /// SCT verdicts.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn compile_audited_with(
+        mut self,
+        entry: &str,
+        sink: &mut dyn pe_trace::Sink,
+    ) -> Result<(S0Program, Vec<ControlEvent>), SpecError> {
         let r = self.compile_inner(entry);
         self.counters.flush(sink);
-        r
+        r.map(|p| (p, self.events))
     }
 
     fn compile_inner(&mut self, entry: &str) -> Result<S0Program, SpecError> {
@@ -352,15 +452,30 @@ impl<'p> Spec<'p> {
     ///
     /// See [`SpecError`].
     pub fn specialize_with(
-        mut self,
+        self,
         entry: &str,
         slots: &[Option<Datum>],
         sink: &mut dyn pe_trace::Sink,
     ) -> Result<S0Program, SpecError> {
+        self.specialize_audited_with(entry, slots, sink).map(|(p, _)| p)
+    }
+
+    /// Like [`Spec::specialize_with`], additionally returning the
+    /// control log (see [`Spec::compile_audited_with`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    pub fn specialize_audited_with(
+        mut self,
+        entry: &str,
+        slots: &[Option<Datum>],
+        sink: &mut dyn pe_trace::Sink,
+    ) -> Result<(S0Program, Vec<ControlEvent>), SpecError> {
         let name = format!("{entry}-$1");
         let r = self.run(entry, slots, name);
         self.counters.flush(sink);
-        r
+        r.map(|p| (p, self.events))
     }
 
     fn run(
@@ -441,7 +556,7 @@ impl<'p> Spec<'p> {
                 let d = self.spec_simple(se, &env, sigma)?;
                 self.apply_ctx(d, tau, sigma, depth)
             }
-            TailExpr::If(_, c, t, e) => {
+            TailExpr::If(l, c, t, e) => {
                 let d = self.spec_simple(c, &env, sigma)?;
                 match d.truthiness() {
                     Some(true) => self.spec_tail(t, env, tau, sigma, depth + 1),
@@ -452,7 +567,7 @@ impl<'p> Spec<'p> {
                         // conditional.  (Run in both modes; offline has
                         // already generalized at creation, so this is a
                         // cheap no-op backstop there.)
-                        self.generalize_state(&mut env, &mut tau, sigma)?;
+                        self.generalize_state(&mut env, &mut tau, sigma, l.0)?;
                         let cond = d.residualize(sigma)?;
                         let tcall = self.spec_point(t, &env, &tau, sigma)?;
                         let ecall = self.spec_point(e, &env, &tau, sigma)?;
@@ -469,7 +584,7 @@ impl<'p> Spec<'p> {
                 }
                 Ok(self.spec_point(&def.body, &callee, &tau, sigma)?)
             }
-            TailExpr::PushApp(_, ctx, body) => {
+            TailExpr::PushApp(l, ctx, body) => {
                 let d = self.spec_simple(ctx, &env, sigma)?;
                 // Offline stack rule: pushing a context that may be a
                 // stack-critical lambda flushes τ to a dynamic list.
@@ -478,11 +593,9 @@ impl<'p> Spec<'p> {
                     && d.closure_candidates()
                         .iter()
                         .any(|l| self.gen.lam_is_critical(l));
+                tau.prefix.push(d);
                 if critical {
-                    tau.prefix.push(d);
-                    self.flush_stack(&mut tau, sigma)?;
-                } else {
-                    tau.prefix.push(d);
+                    self.flush_stack(&mut tau, sigma, l.0)?;
                 }
                 self.spec_tail(body, env, tau, sigma, depth + 1)
             }
@@ -653,7 +766,7 @@ impl<'p> Spec<'p> {
         {
             let label = te.label();
             if self.widened_prefix.contains(&label) {
-                self.flush_stack(&mut tau, sigma)?;
+                self.flush_stack(&mut tau, sigma, label.0)?;
             } else if !tau.prefix.is_empty() {
                 let mut idx: FxHashMap<CvId, u32> = FxHashMap::default();
                 let mut next = 0u32;
@@ -673,7 +786,12 @@ impl<'p> Spec<'p> {
                 if seen.len() > self.opts.widen_threshold {
                     self.widened_prefix.insert(label);
                     self.counters.widenings += 1;
-                    self.flush_stack(&mut tau, sigma)?;
+                    self.events.push(ControlEvent {
+                        label: label.0,
+                        kind: ControlKind::PrefixWiden,
+                        var: None,
+                    });
+                    self.flush_stack(&mut tau, sigma, label.0)?;
                 }
             }
         }
@@ -686,12 +804,32 @@ impl<'p> Spec<'p> {
             .filter(|(v, _)| live.contains(v))
             .map(|(v, d)| (*v, d.clone()))
             .collect();
-        // Bounded-static-variation widening (see CompileOptions).
+        // Bounded-static-variation widening (see CompileOptions),
+        // short-circuited in both directions by the SCT verdict tables:
+        // slots with provable structural descent need no variety
+        // tracking at all, and slots with provable in-situ growth are
+        // generalized on first sight instead of at the cap.
         let label = te.label();
         for (v, d) in &mut env_live {
             let slot = (label, *v);
             if self.widened.contains(&slot) {
                 if !matches!(d, ValDesc::Cv { .. }) {
+                    *d = self.generalize(d.clone(), sigma)?;
+                }
+                continue;
+            }
+            if self.sct.as_ref().is_some_and(|s| s.exempt_vars.contains(v)) {
+                continue;
+            }
+            if self.sct.as_ref().is_some_and(|s| s.eager_vars.contains(v)) {
+                if d.as_constant().is_some() {
+                    self.widened.insert(slot);
+                    self.counters.eager_generalizations += 1;
+                    self.events.push(ControlEvent {
+                        label: label.0,
+                        kind: ControlKind::SlotEager,
+                        var: Some(self.dp.var_name(*v)),
+                    });
                     *d = self.generalize(d.clone(), sigma)?;
                 }
                 continue;
@@ -702,6 +840,11 @@ impl<'p> Spec<'p> {
                 if seen.len() > self.opts.widen_threshold {
                     self.widened.insert(slot);
                     self.counters.widenings += 1;
+                    self.events.push(ControlEvent {
+                        label: label.0,
+                        kind: ControlKind::SlotWiden,
+                        var: Some(self.dp.var_name(*v)),
+                    });
                     *d = self.generalize(d.clone(), sigma)?;
                 }
             }
@@ -985,6 +1128,7 @@ impl<'p> Spec<'p> {
         env: &mut Env,
         tau: &mut CtxStack,
         sigma: &mut Sigma,
+        label: u32,
     ) -> Result<(), SpecError> {
         let vars: Vec<VarId> = env.keys().copied().collect();
         for v in vars {
@@ -1019,7 +1163,7 @@ impl<'p> Spec<'p> {
             }
         }
         if repeat {
-            self.flush_stack(tau, sigma)?;
+            self.flush_stack(tau, sigma, label)?;
         }
         Ok(())
     }
@@ -1027,13 +1171,35 @@ impl<'p> Spec<'p> {
     /// Moves the whole static prefix onto the dynamic context stack — an
     /// ordinary runtime list of closures, top at the car, terminated by
     /// the previous dynamic rest or `'()` (the halt context).
-    fn flush_stack(&mut self, tau: &mut CtxStack, sigma: &mut Sigma) -> Result<(), SpecError> {
+    fn flush_stack(
+        &mut self,
+        tau: &mut CtxStack,
+        sigma: &mut Sigma,
+        label: u32,
+    ) -> Result<(), SpecError> {
         if tau.prefix.is_empty() && tau.dyn_rest.is_some() {
             return Ok(());
         }
-        // A flush is a widening: the stack representation goes from
-        // fully static to the dynamic runtime list for good.
-        self.counters.widenings += 1;
+        // A flush changes the stack representation from fully static to
+        // the dynamic runtime list for good.  When the termination
+        // analysis marked this label as stack-growing the flush was
+        // statically anticipated — an eager generalization; otherwise
+        // the dynamic machinery discovered it — a widening.
+        if self.sct.as_ref().is_some_and(|s| s.stack_labels.contains(&label)) {
+            self.counters.eager_generalizations += 1;
+            self.events.push(ControlEvent {
+                label,
+                kind: ControlKind::StackEager,
+                var: None,
+            });
+        } else {
+            self.counters.widenings += 1;
+            self.events.push(ControlEvent {
+                label,
+                kind: ControlKind::StackFlush,
+                var: None,
+            });
+        }
         let mut expr = match &tau.dyn_rest {
             Some(d) => d.residualize(sigma)?,
             None => S0Simple::Const(Constant::Nil),

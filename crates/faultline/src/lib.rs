@@ -198,6 +198,26 @@ pub fn trap_census() -> Result<Vec<TrapRecord>, String> {
     let r = vm.run_with(&[Datum::Int(0)], tight, &mut sink);
     rows.push(record("spin/vm", &sink, r.map(|_| ()).map_err(|e| e.to_string()))?);
 
+    // Ω against the specializing compiler: the size-change analysis
+    // rejects it statically — zero fuel, zero heap, zero unfolding.
+    let mut sink = CollectingSink::new();
+    let r = pe_core::compile_with(
+        &domega,
+        "omega",
+        &CompileOptions::default(),
+        &mut sink,
+    );
+    rows.push(TrapRecord {
+        case: "omega/sct",
+        outcome: r.err().map_or_else(
+            || "expected a static reject, got success".to_string(),
+            |e| e.to_string(),
+        ),
+        fuel_steps: sink.counter_total(pe_trace::Counter::UnfoldSteps),
+        heap_cells: 0,
+        peak_depth: 0,
+    });
+
     // Mutual divergence on the Hobbit baseline: native recursion, depth
     // cap fires.
     let hob = pe_hobbit::Hobbit::compile(&mutual).map_err(|e| e.to_string())?;
@@ -375,10 +395,46 @@ mod tests {
     // ---- the specializing compiler + S₀ engines --------------------
 
     #[test]
+    fn compiler_rejects_static_divergence_before_burning_fuel() -> R {
+        // Ω and the ping/pong loop: size-change analysis proves both
+        // divergent at BTA time, so the compiler refuses them with a
+        // structured trap *before* the specializer unfolds a single
+        // call — the budget is never touched.
+        for (src, entry) in
+            [(omega_src(), "omega"), (mutual_divergence_src(), "main")]
+        {
+            let p = pe_frontend::parse_source(src)?;
+            let d = pe_frontend::desugar(&p)?;
+            let mut sink = pe_trace::CollectingSink::new();
+            let r = no_panic(|| {
+                pe_core::compile_with(&d, entry, &CompileOptions::default(), &mut sink)
+            })?;
+            assert!(
+                matches!(r, Err(SpecError::SctDiverges(Trap::StaticDivergence { .. }))),
+                "{entry}: expected the static early reject, got {r:?}"
+            );
+            assert_eq!(
+                sink.counter_total(pe_trace::Counter::UnfoldSteps),
+                0,
+                "{entry}: the reject must fire before any unfolding"
+            );
+            assert_eq!(
+                sink.counter_total(pe_trace::Counter::SctEarlyRejects),
+                1,
+                "{entry}: the reject must be counted"
+            );
+        }
+        Ok(())
+    }
+
+    #[test]
     fn compiler_traps_static_divergence() -> R {
+        // With the analysis off, the dynamic fuel path still works: Ω
+        // burns its unfolding budget instead of hanging the compiler.
         let omega = pe_frontend::parse_source(omega_src())?;
         let d = pe_frontend::desugar(&omega)?;
-        let r = no_panic(|| pe_core::compile(&d, "omega", &CompileOptions::default()))?;
+        let opts = CompileOptions { sct: false, ..CompileOptions::default() };
+        let r = no_panic(|| pe_core::compile(&d, "omega", &opts))?;
         assert!(
             matches!(r, Err(ref e) if e.is_budget_exhaustion()),
             "expected budget exhaustion, got {r:?}"
@@ -561,9 +617,10 @@ mod tests {
 
     #[test]
     fn pipeline_robust_run_bounds_runtime_divergence() -> R {
-        // Ω through the robust path: the compile stage degrades (its
-        // unfolding budget fires) and the interpreted fallback then
-        // traps on fuel — a structured error, not a hang.
+        // Ω through the robust path: the compile stage degrades (the
+        // size-change analysis rejects the program statically) and the
+        // interpreted fallback then traps on fuel — a structured error,
+        // not a hang.
         let pipe = Pipeline::new(omega_src())?;
         let r = no_panic(|| {
             pipe.run_robust("omega", &[], &CompileOptions::default(), tight())
@@ -591,6 +648,10 @@ mod tests {
         assert_eq!(by_case("mutual/hobbit").peak_depth, 256);
         // The heap trap fired at (or just past) its budget.
         assert!(by_case("heap-growth/tail").heap_cells >= 100);
+        // The static reject burns nothing: zero unfolding at cut-off.
+        let sct = by_case("omega/sct");
+        assert_eq!(sct.fuel_steps, 0, "static reject consumed fuel");
+        assert!(sct.outcome.contains("diverges"), "{}", sct.outcome);
         // Degradation reports the specializer's work at cut-off.
         let deg = by_case("budget/robust");
         assert!(deg.outcome.starts_with("degraded:"), "{}", deg.outcome);

@@ -118,6 +118,10 @@ pub enum Trap {
     /// A closure dispatch found something other than a well-formed
     /// closure (`pc` is the block the machine was executing).
     BadDispatch { pc: usize, detail: String },
+    /// Static analysis proved the program diverges on every input, so
+    /// it was refused before any fuel was spent.  `witness` names the
+    /// offending cycle.
+    StaticDivergence { witness: String },
 }
 
 impl fmt::Display for Trap {
@@ -146,6 +150,9 @@ impl fmt::Display for Trap {
             }
             Trap::BadDispatch { pc, detail } => {
                 write!(f, "bad closure dispatch at pc {pc}: {detail}")
+            }
+            Trap::StaticDivergence { witness } => {
+                write!(f, "program provably diverges: {witness}")
             }
         }
     }
@@ -341,6 +348,10 @@ mod tests {
             (Trap::Residual { limit: 5 }, "residual"),
             (Trap::UnboundLabel { label: "f".into(), pc: 3 }, "unbound label f"),
             (Trap::BadDispatch { pc: 3, detail: "int 5".into() }, "dispatch"),
+            (
+                Trap::StaticDivergence { witness: "cycle through f".into() },
+                "provably diverges: cycle through f",
+            ),
         ];
         for (t, needle) in cases {
             assert!(t.to_string().contains(needle), "{t}");

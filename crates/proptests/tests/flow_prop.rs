@@ -138,7 +138,7 @@ proptest! {
             Datum::parse(&format!("({})", l.iter().map(i64::to_string)
                 .collect::<Vec<_>>().join(" "))).unwrap(),
         ];
-        let lim = Limits { fuel: 1_000_000 };
+        let lim = Limits { fuel: 1_000_000, ..Limits::default() };
         let base = eval::run(&s0, &args, lim);
         let flow = eval::run(&opt, &args, lim);
         match (&base, &flow) {

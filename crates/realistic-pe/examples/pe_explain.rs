@@ -12,6 +12,7 @@
 //! cargo run --release -p realistic-pe --example pe-explain -- tak     # one benchmark
 //! cargo run --release -p realistic-pe --example pe-explain -- --json  # JSONL stream
 //! cargo run --release -p realistic-pe --example pe-explain -- --flow  # flow counters
+//! cargo run --release -p realistic-pe --example pe-explain -- --sct   # termination verdicts
 //! ```
 //!
 //! With `--json`, the full event stream is emitted as JSON Lines —
@@ -25,6 +26,12 @@
 //! elided by the C emitter, and residual CFG size).  The underlying
 //! event stream is validated against the JSONL schema before the
 //! section is rendered.
+//!
+//! With `--sct`, a per-benchmark section reports the size-change
+//! termination analysis: the verdict for every procedure, the graph and
+//! composition counts, and the dynamic widenings the static control
+//! avoided (compiled once with the analysis on and once off).  The
+//! traced stream is schema-validated the same way.
 
 use pe_trace::{jsonl, report, CollectingSink, Counter, JsonlSink, Sink};
 use realistic_pe::{benchmark, Benchmark, CompileOptions, Limits, Pipeline, SUITE};
@@ -111,10 +118,53 @@ fn flow(benches: &[&Benchmark]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--sct` section: size-change verdicts per procedure plus the
+/// dynamic widenings the static control avoided, against a
+/// schema-validated trace stream.
+fn sct(benches: &[&Benchmark]) -> Result<(), String> {
+    for b in benches {
+        let mut sink = JsonlSink::new(Vec::new());
+        let pipe =
+            Pipeline::new_traced(b.source, &mut sink).map_err(|e| format!("{}: {e}", b.name))?;
+        let on = pipe
+            .compile_traced(b.entry, &CompileOptions::default(), &mut sink)
+            .map_err(|e| format!("{}: {e}", b.name))?;
+        let off_opts = CompileOptions { sct: false, ..CompileOptions::default() };
+        let off = pipe
+            .compile_traced(b.entry, &off_opts, &mut sink)
+            .map_err(|e| format!("{}: {e}", b.name))?;
+        let bytes = sink.finish().map_err(|e| format!("{}: {e}", b.name))?;
+        let stream = String::from_utf8(bytes).expect("jsonl is ascii");
+        jsonl::validate(&stream).map_err(|e| format!("{}: schema: {e}", b.name))?;
+
+        let flow = pe_frontend::flow::FlowAnalysis::analyze(&pipe.dprog);
+        let a = pe_sct::analyze(&pipe.dprog, &flow, b.entry);
+        println!("== {} [sct] ==", b.name);
+        for (name, v) in a.named_verdicts(&pipe.dprog) {
+            println!("  {:<24} {}", name, v.name());
+        }
+        println!("  {:<24} {}", "size-change-graphs", a.stats.graphs);
+        println!("  {:<24} {}", "compositions", a.stats.compositions);
+        println!(
+            "  {:<24} {}",
+            "eager-generalizations",
+            on.counter(Counter::EagerGeneralizations)
+        );
+        println!(
+            "  {:<24} {} (analysis off: {})",
+            "dynamic-widenings",
+            on.counter(Counter::Widenings),
+            off.counter(Counter::Widenings)
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let as_json = args.iter().any(|a| a == "--json");
     let as_flow = args.iter().any(|a| a == "--flow");
+    let as_sct = args.iter().any(|a| a == "--sct");
     let names: Vec<&str> =
         args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let mut benches: Vec<&Benchmark> = Vec::new();
@@ -135,7 +185,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    let run = if as_flow {
+    let run = if as_sct {
+        sct(&benches)
+    } else if as_flow {
         flow(&benches)
     } else if as_json {
         json(&benches)

@@ -15,6 +15,7 @@
 //! | `pe-frontend` | AST (Fig. 2), parser, desugarer (Fig. 5), 0CFA, §4.5 generalization analysis |
 //! | `pe-interp` | the interpreter family: Fig. 3, Fig. 4, Fig. 6 |
 //! | `pe-core` | the specializing compiler (Fig. 7) → S₀, online/offline generalization, post passes |
+//! | `pe-sct` | size-change termination analysis: bounded/unbounded/unknown verdicts driving static specialization control |
 //! | `pe-unmix` | first-order offline partial evaluator: BTA, reducer, arity raiser, Futamura projection |
 //! | `pe-hobbit` | the §6 baseline: native-stack direct compiler |
 //! | `pe-vm` | S₀ goto-machine (the §5.1 C execution model) with counters |
@@ -46,6 +47,7 @@ pub mod suite;
 
 pub use pe_backend_c::{emit_c, COptions, CProgram};
 pub use pe_core::{compile, specialize, CompileOptions, GenStrategy, S0Program, SpecError};
+pub use pe_sct::{SctAnalysis, SctStats, Verdict, Verdicts};
 pub use pe_frontend::{desugar, parse_source, DProgram, Program};
 pub use pe_hobbit::Hobbit;
 pub use pe_interp::{Datum, Fuel, InterpError, Limits, Trap};
@@ -176,10 +178,16 @@ mod tests {
             pipe.run_tail("omega", &[], fuel),
             Err(PipelineError::Run(InterpError::FuelExhausted))
         ));
-        // The specializing compiler unfolds Ω statically and hits its
-        // own unfolding budget at compile time.
+        // The specializing compiler proves Ω divergent at BTA time and
+        // rejects it outright, before any unfolding.
         assert!(matches!(
             pipe.run_compiled("omega", &[], &CompileOptions::default(), Limits::default()),
+            Err(PipelineError::Spec(SpecError::SctDiverges(_)))
+        ));
+        // With the analysis off, the unfolding budget is the backstop.
+        let no_sct = CompileOptions { sct: false, ..CompileOptions::default() };
+        assert!(matches!(
+            pipe.run_compiled("omega", &[], &no_sct, Limits::default()),
             Err(PipelineError::Spec(e)) if e.is_budget_exhaustion()
         ));
     }

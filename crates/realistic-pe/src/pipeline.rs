@@ -78,10 +78,11 @@ impl From<InterpError> for PipelineError {
 pub enum RobustExec {
     /// Specialization finished within budget; run compiled.
     Compiled(Box<Vm>),
-    /// Specialization exhausted its budget (the subject program may
-    /// still terminate at run time); run the tail interpreter.
+    /// Specialization exhausted its budget or the termination analysis
+    /// refused the program; run the tail interpreter (its fuel bounds a
+    /// genuinely divergent run).
     Degraded {
-        /// The budget error that stopped specialization.
+        /// The error that stopped specialization.
         reason: SpecError,
     },
 }
@@ -182,16 +183,19 @@ impl Pipeline {
 
     /// Compiles and verifies, returning the report beside the program so
     /// callers that need both never run the verifier a second time.
-    /// Phase spans and specializer counters go to `sink`.
+    /// Phase spans and specializer counters go to `sink`.  The report
+    /// includes pass 7 (termination): the specializer's widening log
+    /// audited against the size-change verdicts.
     fn compile_verified(
         &self,
         entry: &str,
         opts: &CompileOptions,
         sink: &mut dyn Sink,
     ) -> Result<(S0Program, pe_verify::Report), PipelineError> {
-        let s0 = pe_core::compile_with(&self.dprog, entry, opts, sink)?;
+        let (s0, audit) = pe_core::compile_audited_with(&self.dprog, entry, opts, sink)?;
         let t = pe_trace::begin(sink, Phase::Verify);
-        let report = pe_verify::verify(&s0);
+        let mut report = pe_verify::verify(&s0);
+        report.merge(pe_verify::verify_audit(&audit));
         pe_trace::end(sink, t);
         if report.has_errors() {
             return Err(PipelineError::IllFormed(report.error_messages()));
@@ -231,8 +235,11 @@ impl Pipeline {
         entry: &str,
         opts: &CompileOptions,
     ) -> Result<pe_verify::Report, PipelineError> {
-        let s0 = pe_core::compile(&self.dprog, entry, opts)?;
-        Ok(pe_verify::verify(&s0))
+        let (s0, audit) =
+            pe_core::compile_audited_with(&self.dprog, entry, opts, &mut NullSink)?;
+        let mut report = pe_verify::verify(&s0);
+        report.merge(pe_verify::verify_audit(&audit));
+        Ok(report)
     }
 
     /// Compiles `entry` to S₀ and loads it into the VM.
@@ -339,10 +346,11 @@ impl Pipeline {
     }
 
     /// Compiles `entry` for the VM, degrading gracefully when the
-    /// specializer runs out of budget: a [`SpecError::Budget`] or
-    /// [`SpecError::DepthExceeded`] outcome becomes
-    /// [`RobustExec::Degraded`] instead of an error, since the subject
-    /// program can still be executed by an interpreter.  Genuine
+    /// specializer cannot finish: a [`SpecError::Budget`],
+    /// [`SpecError::DepthExceeded`], or [`SpecError::SctDiverges`]
+    /// outcome becomes [`RobustExec::Degraded`] instead of an error,
+    /// since the subject program can still be handed to an interpreter
+    /// (whose own fuel bounds a genuinely divergent run).  Genuine
     /// compile-time errors (missing entry, arity, internal faults) are
     /// still reported as errors.
     ///
@@ -373,7 +381,7 @@ impl Pipeline {
     ) -> Result<RobustExec, PipelineError> {
         match self.compile_vm_traced(entry, opts, sink) {
             Ok((vm, _)) => Ok(RobustExec::Compiled(Box::new(vm))),
-            Err(PipelineError::Spec(e)) if e.is_budget_exhaustion() => {
+            Err(PipelineError::Spec(e)) if e.is_degradable() => {
                 Ok(RobustExec::Degraded { reason: e })
             }
             Err(e) => Err(e),

@@ -37,6 +37,7 @@ fn suite_spans_balance_on_every_benchmark() -> R {
             Phase::Parse,
             Phase::Desugar,
             Phase::Cfa,
+            Phase::Sct,
             Phase::Specialize,
             Phase::Post,
             Phase::Flow,
@@ -95,7 +96,15 @@ fn compile_report_covers_compile_phases() -> R {
     let phases: Vec<Phase> = report.phases.iter().map(|&(p, _)| p).collect();
     assert_eq!(
         phases,
-        [Phase::Cfa, Phase::Specialize, Phase::Post, Phase::Flow, Phase::Verify, Phase::VmLoad]
+        [
+            Phase::Cfa,
+            Phase::Sct,
+            Phase::Specialize,
+            Phase::Post,
+            Phase::Flow,
+            Phase::Verify,
+            Phase::VmLoad
+        ]
     );
     // Phase times are genuine measurements summing to the total.
     assert_eq!(report.total_ns(), report.phases.iter().map(|&(_, ns)| ns).sum::<u64>());
@@ -135,7 +144,7 @@ fn jsonl_stream_validates_against_schema() -> R {
     let text = String::from_utf8(sink.finish()?)?;
     let summary = jsonl::validate(&text).map_err(|e| format!("schema: {e}"))?;
     assert_eq!(summary.spans_opened, summary.spans_closed);
-    assert_eq!(summary.spans_closed, 10);
+    assert_eq!(summary.spans_closed, 11);
     assert_eq!(summary.max_depth, 1);
     assert!(summary.counter("vm_steps") > 0);
     Ok(())
@@ -153,6 +162,9 @@ fn golden_jsonl_shape_for_a_tiny_program() -> R {
     let golden: &[&str] = &[
         r#"{"type":"span_open","phase":"cfa","depth":0}"#,
         r#"{"type":"span_close","phase":"cfa","depth":0,"dur_ns":"#,
+        r#"{"type":"span_open","phase":"sct","depth":0}"#,
+        r#"{"type":"span_close","phase":"sct","depth":0,"dur_ns":"#,
+        r#"{"type":"counter","name":"sct_bounded","delta":1}"#,
         r#"{"type":"span_open","phase":"specialize","depth":0}"#,
         r#"{"type":"counter","name":"memo_lookups","delta":1}"#,
         r#"{"type":"counter","name":"memo_misses","delta":1}"#,

@@ -1,0 +1,102 @@
+//! Composition closure of the size-change graph set.
+//!
+//! The closure contains one graph per *provable multi-step descent
+//! pattern*: starting from the syntactic call-edge graphs, every
+//! composable pair is composed until no new graph appears.  Termination
+//! reasoning then only ever inspects self-graphs (`src == dst`) in the
+//! closed set.
+//!
+//! The closure is exponential in the worst case, so it runs under an
+//! explicit budget; a truncated closure degrades every recursive
+//! procedure to the `Unknown` verdict rather than over-claiming.
+
+use crate::graph::SizeGraph;
+use std::collections::BTreeSet;
+
+/// Closure result: the closed graph set plus effort accounting.
+#[derive(Debug, Clone)]
+pub struct Closure {
+    /// All distinct graphs reachable by composition.
+    pub graphs: Vec<SizeGraph>,
+    /// Compositions performed (including ones that produced duplicates).
+    pub compositions: u64,
+    /// True when the budget cut the closure short; verdicts must then
+    /// not claim anything beyond `Unknown` for recursive procedures.
+    pub truncated: bool,
+}
+
+/// How many distinct graphs the closure may hold before truncating.
+/// The Gabriel suite needs well under a hundred; the bound only exists
+/// so adversarial inputs degrade to `Unknown` instead of burning time.
+pub const MAX_GRAPHS: usize = 4096;
+
+/// Computes the composition closure of `initial` under the budget.
+#[must_use]
+pub fn close(initial: &[SizeGraph]) -> Closure {
+    let mut set: BTreeSet<SizeGraph> = initial.iter().cloned().collect();
+    let mut work: Vec<SizeGraph> = set.iter().cloned().collect();
+    let mut compositions = 0u64;
+    let mut truncated = false;
+    'outer: while let Some(g) = work.pop() {
+        // Compose with every graph currently in the set, on both sides.
+        let snapshot: Vec<SizeGraph> = set.iter().cloned().collect();
+        for h in &snapshot {
+            for composed in [
+                (g.dst == h.src).then(|| g.compose(h)),
+                (h.dst == g.src).then(|| h.compose(&g)),
+            ]
+            .into_iter()
+            .flatten()
+            {
+                compositions += 1;
+                if set.insert(composed.clone()) {
+                    if set.len() > MAX_GRAPHS {
+                        truncated = true;
+                        break 'outer;
+                    }
+                    work.push(composed);
+                }
+            }
+        }
+    }
+    Closure { graphs: set.into_iter().collect(), compositions, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Descent, Rel};
+    use pe_frontend::dast::ProcId;
+
+    #[test]
+    fn mutual_recursion_composes_to_self_graphs() {
+        let (p, q) = (ProcId(0), ProcId(1));
+        let mut pq = SizeGraph::empty(p, q);
+        pq.add_arc(0, 0, Rel::Up);
+        let mut qp = SizeGraph::empty(q, p);
+        qp.add_arc(0, 0, Rel::Eq);
+        let c = close(&[pq, qp]);
+        assert!(!c.truncated);
+        // p→p and q→q self-graphs appear, both carrying the increase.
+        let pp = c.graphs.iter().find(|g| g.src == p && g.dst == p).unwrap();
+        assert_eq!(pp.self_arc(0), Some(Rel::Up));
+        let qq = c.graphs.iter().find(|g| g.src == q && g.dst == q).unwrap();
+        assert_eq!(qq.self_arc(0), Some(Rel::Up));
+    }
+
+    #[test]
+    fn closure_is_a_fixed_point() {
+        let p = ProcId(0);
+        let mut g = SizeGraph::empty(p, p);
+        g.add_arc(0, 0, Rel::Down(Descent::Structural));
+        g.add_arc(1, 0, Rel::Eq);
+        let c = close(&[g]);
+        for a in &c.graphs {
+            for b in &c.graphs {
+                if a.dst == b.src {
+                    assert!(c.graphs.contains(&a.compose(b)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Early rejection of programs that provably diverge under *any* input
+//! — static or dynamic — so specialization never burns fuel on them.
+//!
+//! Two syntactic-plus-flow criteria, both deliberately conservative
+//! (no false rejects; plenty of divergent programs pass):
+//!
+//! 1. **Unconditional call cycle**: a cycle in the procedure call graph
+//!    restricted to calls in unconditional position (not under any
+//!    `if`), itself reachable from the entry through unconditional
+//!    calls only.  Entering any procedure on the cycle loops forever
+//!    regardless of data — the mutual-recursion divergence pattern.
+//! 2. **Self-application cycle**: a lambda that unconditionally applies
+//!    its own parameter, where the flow analysis says the argument can
+//!    be a lambda doing the same, closing a cycle — the Ω combinator.
+
+use pe_frontend::dast::{DProgram, LamId, ProcId, SimpleExpr, TailExpr};
+use pe_frontend::flow::FlowAnalysis;
+use pe_governor::Trap;
+use std::collections::BTreeSet;
+
+/// Checks both criteria; `Some(trap)` means the program cannot
+/// terminate when `entry` is invoked.
+#[must_use]
+pub fn check(p: &DProgram, flow: &FlowAnalysis, entry: &str) -> Option<Trap> {
+    let pid = p.proc_id(entry)?;
+    if let Some(name) = unconditional_cycle(p, pid) {
+        return Some(Trap::StaticDivergence {
+            witness: format!("unconditional call cycle through procedure {name}"),
+        });
+    }
+    if let Some(lam) = self_application_cycle(p, flow, pid) {
+        return Some(Trap::StaticDivergence {
+            witness: format!("unconditional self-application cycle through lambda #{}", lam.0),
+        });
+    }
+    None
+}
+
+/// Criterion 1.  Returns the name of a witness procedure on the cycle.
+fn unconditional_cycle(p: &DProgram, entry: ProcId) -> Option<String> {
+    let n = p.defs.len();
+    let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); n];
+    for (i, d) in p.defs.iter().enumerate() {
+        unconditional_calls(&d.body, &mut edges[i]);
+    }
+    // Procedures reachable from the entry through unconditional calls.
+    let mut reach = BTreeSet::new();
+    let mut work = vec![entry.0 as usize];
+    while let Some(i) = work.pop() {
+        if !reach.insert(i) {
+            continue;
+        }
+        work.extend(edges[i].iter().copied());
+    }
+    // Any reachable procedure that unconditionally reaches itself.
+    for &i in &reach {
+        let mut seen = BTreeSet::new();
+        let mut work: Vec<usize> = edges[i].iter().copied().collect();
+        while let Some(j) = work.pop() {
+            if j == i {
+                return Some(p.defs[i].name.to_string());
+            }
+            if seen.insert(j) {
+                work.extend(edges[j].iter().copied());
+            }
+        }
+    }
+    None
+}
+
+/// Calls performed on every execution of `te`: a pushed context's body
+/// runs unconditionally, an `if` makes both branches conditional, and
+/// calls inside pushed *lambdas* run only via application (handled by
+/// criterion 2).
+fn unconditional_calls(te: &TailExpr, out: &mut BTreeSet<usize>) {
+    match te {
+        TailExpr::Simple(_) | TailExpr::If(_, _, _, _) => {}
+        TailExpr::CallProc(_, pid, _) => {
+            out.insert(pid.0 as usize);
+        }
+        TailExpr::PushApp(_, _, body) => unconditional_calls(body, out),
+    }
+}
+
+/// Criterion 2.  Returns a witness lambda on the cycle.
+fn self_application_cycle(p: &DProgram, flow: &FlowAnalysis, entry: ProcId) -> Option<LamId> {
+    // Lambdas creatable while running from the entry: everything made
+    // in reachable procedure bodies, transitively through lambda bodies.
+    let mut reachable_procs = BTreeSet::new();
+    let mut work = vec![entry.0 as usize];
+    while let Some(i) = work.pop() {
+        if !reachable_procs.insert(i) {
+            continue;
+        }
+        let mut calls = BTreeSet::new();
+        all_calls(&p.defs[i].body, &mut calls);
+        let mut lams = BTreeSet::new();
+        crate::callgraph::lambdas_created(&p.defs[i].body, &mut lams);
+        let mut lwork: Vec<LamId> = lams.iter().copied().collect();
+        let mut lseen = lams;
+        while let Some(l) = lwork.pop() {
+            all_calls(&p.lambda(l).body, &mut calls);
+            let mut inner = BTreeSet::new();
+            crate::callgraph::lambdas_created(&p.lambda(l).body, &mut inner);
+            for x in inner {
+                if lseen.insert(x) {
+                    lwork.push(x);
+                }
+            }
+        }
+        work.extend(calls);
+    }
+    let mut reachable_lams: BTreeSet<LamId> = BTreeSet::new();
+    for &i in &reachable_procs {
+        let mut lams = BTreeSet::new();
+        crate::callgraph::lambdas_created(&p.defs[i].body, &mut lams);
+        let mut lwork: Vec<LamId> = lams.iter().copied().collect();
+        reachable_lams.extend(lams.iter().copied());
+        while let Some(l) = lwork.pop() {
+            let mut inner = BTreeSet::new();
+            crate::callgraph::lambdas_created(&p.lambda(l).body, &mut inner);
+            for x in inner {
+                if reachable_lams.insert(x) {
+                    lwork.push(x);
+                }
+            }
+        }
+    }
+
+    // Edge a → b: λa unconditionally applies its own parameter with a
+    // guard-free delivery, and λb may flow into that parameter.
+    let mut edges: Vec<(LamId, Vec<LamId>)> = Vec::new();
+    for &a in &reachable_lams {
+        let def = p.lambda(a);
+        if applies_own_param(&def.body, def.param) {
+            let cands: Vec<LamId> = flow
+                .var_lambdas(def.param)
+                .iter()
+                .filter(|b| reachable_lams.contains(b))
+                .collect();
+            if !cands.is_empty() {
+                edges.push((a, cands));
+            }
+        }
+    }
+    // Cycle detection over those edges.
+    for &(start, _) in &edges {
+        let mut seen = BTreeSet::new();
+        let mut work: Vec<LamId> =
+            edges.iter().find(|(a, _)| *a == start).map(|(_, c)| c.clone()).unwrap_or_default();
+        while let Some(l) = work.pop() {
+            if l == start {
+                return Some(start);
+            }
+            if seen.insert(l) {
+                if let Some((_, next)) = edges.iter().find(|(a, _)| *a == l) {
+                    work.extend(next.iter().copied());
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True when `te` pushes `param` as an evaluation context along its
+/// unconditional spine, with a delivery subtree that cannot branch or
+/// call out — the application is then inevitable.
+fn applies_own_param(te: &TailExpr, param: pe_frontend::dast::VarId) -> bool {
+    match te {
+        TailExpr::Simple(_) | TailExpr::If(_, _, _, _) | TailExpr::CallProc(_, _, _) => false,
+        TailExpr::PushApp(_, ctx, body) => {
+            let here = matches!(ctx, SimpleExpr::Var(_, v) if *v == param)
+                && delivery_is_unguarded(body);
+            here || applies_own_param(body, param)
+        }
+    }
+}
+
+/// True when every path through `te` produces a value without passing a
+/// conditional or a procedure call.
+fn delivery_is_unguarded(te: &TailExpr) -> bool {
+    match te {
+        TailExpr::Simple(_) => true,
+        TailExpr::If(_, _, _, _) | TailExpr::CallProc(_, _, _) => false,
+        TailExpr::PushApp(_, _, body) => delivery_is_unguarded(body),
+    }
+}
+
+fn all_calls(te: &TailExpr, out: &mut BTreeSet<usize>) {
+    match te {
+        TailExpr::Simple(_) => {}
+        TailExpr::If(_, _, t, e) => {
+            all_calls(t, out);
+            all_calls(e, out);
+        }
+        TailExpr::CallProc(_, pid, _) => {
+            out.insert(pid.0 as usize);
+        }
+        TailExpr::PushApp(_, _, body) => all_calls(body, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_frontend::{desugar, parse_source};
+
+    fn reject(src: &str, entry: &str) -> Option<Trap> {
+        let p = desugar(&parse_source(src).unwrap()).unwrap();
+        let f = FlowAnalysis::analyze(&p);
+        check(&p, &f, entry)
+    }
+
+    #[test]
+    fn omega_is_rejected() {
+        let t = reject(
+            "(define (omega) ((lambda (x) (x x)) (lambda (x) (x x))))",
+            "omega",
+        );
+        assert!(
+            matches!(&t, Some(Trap::StaticDivergence { witness }) if witness.contains("self-application")),
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn mutual_unconditional_recursion_is_rejected() {
+        let t = reject(
+            "(define (main d) (ping d))
+             (define (ping n) (pong (+ n 1)))
+             (define (pong n) (ping n))",
+            "main",
+        );
+        assert!(
+            matches!(&t, Some(Trap::StaticDivergence { witness }) if witness.contains("call cycle")),
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn guarded_recursion_is_not_rejected() {
+        assert_eq!(
+            reject("(define (f x n) (if (zero? n) x (f x (+ n 1))))", "f"),
+            None,
+            "conditional cycles may terminate at run time"
+        );
+    }
+
+    #[test]
+    fn dead_unconditional_cycle_behind_a_guard_is_not_rejected() {
+        assert_eq!(
+            reject(
+                "(define (boom x) (boom x))
+                 (define (f x) (if (zero? 0) (+ x 1) (boom x)))",
+                "f",
+            ),
+            None,
+            "the cycle is only conditionally reachable"
+        );
+    }
+
+    #[test]
+    fn terminating_self_application_is_not_rejected() {
+        // (x x) where x can only be a lambda that ignores its argument.
+        assert_eq!(
+            reject(
+                "(define (f) ((lambda (x) (x x)) (lambda (y) 1)))",
+                "f",
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn cps_programs_are_not_rejected() {
+        assert_eq!(
+            reject(
+                "(define (append x y) (cps-append x y (lambda (v) v)))
+                 (define (cps-append x y c)
+                   (if (null? x) (c y)
+                       (cps-append (cdr x) y (lambda (xy) (c (cons (car x) xy))))))",
+                "append",
+            ),
+            None
+        );
+    }
+}

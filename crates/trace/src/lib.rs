@@ -50,6 +50,8 @@ pub enum Phase {
     Desugar,
     /// Control-flow + generalization pre-analyses of the specializer.
     Cfa,
+    /// Size-change termination analysis (pe-sct).
+    Sct,
     /// Binding-time analysis (the Unmix offline path).
     Bta,
     /// The specialization loop proper.
@@ -70,11 +72,12 @@ pub enum Phase {
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 12] = [
+    pub const ALL: [Phase; 13] = [
         Phase::Read,
         Phase::Parse,
         Phase::Desugar,
         Phase::Cfa,
+        Phase::Sct,
         Phase::Bta,
         Phase::Specialize,
         Phase::Post,
@@ -93,6 +96,7 @@ impl Phase {
             Phase::Parse => "parse",
             Phase::Desugar => "desugar",
             Phase::Cfa => "cfa",
+            Phase::Sct => "sct",
             Phase::Bta => "bta",
             Phase::Specialize => "specialize",
             Phase::Post => "post",
@@ -126,8 +130,26 @@ pub enum Counter {
     /// strictly less static one.
     Generalizations,
     /// Widening firings: bounded-static-variation caps, prefix caps,
-    /// and context-stack flushes that keep descriptions finite.
+    /// and context-stack flushes that keep descriptions finite —
+    /// discovered dynamically, at points pe-sct did not flag.
     Widenings,
+    /// Generalizations pre-annotated by the termination analysis:
+    /// unbounded slots generalized on sight and stack flushes at
+    /// statically anticipated labels.
+    EagerGeneralizations,
+    /// Size-change graphs built from syntactic call edges (pe-sct).
+    SctGraphs,
+    /// Graph compositions performed closing the size-change set.
+    SctCompositions,
+    /// Procedures classified `bounded` by pe-sct.
+    SctBounded,
+    /// Procedures classified `unbounded` by pe-sct.
+    SctUnbounded,
+    /// Procedures classified `unknown` by pe-sct.
+    SctUnknown,
+    /// Programs refused before specialization because pe-sct proved
+    /// divergence on every input (0 or 1 per compile).
+    SctEarlyRejects,
     /// The-Trick dispatch expansions (one per dispatched call site).
     TrickDispatches,
     /// Total arms materialized across all Trick dispatches.
@@ -165,13 +187,20 @@ pub enum Counter {
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 29] = [
         Counter::MemoLookups,
         Counter::MemoHits,
         Counter::MemoMisses,
         Counter::UnfoldSteps,
         Counter::Generalizations,
         Counter::Widenings,
+        Counter::EagerGeneralizations,
+        Counter::SctGraphs,
+        Counter::SctCompositions,
+        Counter::SctBounded,
+        Counter::SctUnbounded,
+        Counter::SctUnknown,
+        Counter::SctEarlyRejects,
         Counter::TrickDispatches,
         Counter::TrickArms,
         Counter::ResidualProcs,
@@ -200,6 +229,13 @@ impl Counter {
             Counter::UnfoldSteps => "unfold_steps",
             Counter::Generalizations => "generalizations",
             Counter::Widenings => "widenings",
+            Counter::EagerGeneralizations => "eager_generalizations",
+            Counter::SctGraphs => "sct_graphs",
+            Counter::SctCompositions => "sct_compositions",
+            Counter::SctBounded => "sct_bounded",
+            Counter::SctUnbounded => "sct_unbounded",
+            Counter::SctUnknown => "sct_unknown",
+            Counter::SctEarlyRejects => "sct_early_rejects",
             Counter::TrickDispatches => "trick_dispatches",
             Counter::TrickArms => "trick_arms",
             Counter::ResidualProcs => "residual_procs",

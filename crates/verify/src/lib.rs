@@ -27,8 +27,14 @@
 //!    dead closure slots.  The two lint-grade checks mirror the flow
 //!    optimizer exactly, so optimized pipeline output passes them by
 //!    construction.
+//! 7. **termination** ([`termination`]): the specializer's widening log
+//!    audited against the size-change termination verdicts (`pe-sct`) —
+//!    every dynamic widening must occur at a point the analysis flagged
+//!    unbounded or unknown, and bounded points must not carry leftover
+//!    widened slots.
 //!
 //! [`verify`] runs passes 1–4 and 6 over an [`S0Program`];
+//! [`verify_audit`] runs pass 7 over a [`pe_core::CompileAudit`];
 //! [`verify_source`]
 //! runs the preservation certificate over raw text (useful as a
 //! mutation oracle); [`residual::verify_program`] covers Unmix's
@@ -42,6 +48,7 @@ pub mod lints;
 pub mod preservation;
 pub mod report;
 pub mod residual;
+pub mod termination;
 pub mod wellformed;
 
 pub use report::{Diagnostic, Pass, Report, Severity};
@@ -72,6 +79,14 @@ pub fn verify(p: &S0Program) -> Report {
 /// certificate refuses it.
 pub fn verify_source(src: &str) -> Report {
     Report::new(preservation::check_source(src))
+}
+
+/// Audits a compile's control log against its size-change termination
+/// verdicts (pass 7).  Advisory: findings are warnings about prediction
+/// completeness, not residual correctness.
+#[must_use]
+pub fn verify_audit(audit: &pe_core::CompileAudit) -> Report {
+    Report::new(termination::check(audit))
 }
 
 /// Audits an Unmix binding-time division for congruence over its

@@ -20,6 +20,9 @@ pub enum Pass {
     /// Dataflow verification via pe-flow: definite binding, dispatch-arm
     /// reachability, dead closure slots (pass 6).
     Flow,
+    /// The termination audit: dynamic widenings checked against the
+    /// size-change termination verdicts (pass 7).
+    Termination,
 }
 
 impl Pass {
@@ -32,6 +35,7 @@ impl Pass {
             Pass::Lint => "lint",
             Pass::BtaCongruence => "bta-congruence",
             Pass::Flow => "flow",
+            Pass::Termination => "termination",
         }
     }
 }

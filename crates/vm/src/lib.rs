@@ -650,8 +650,9 @@ mod tests {
 
     #[test]
     fn fuel_and_heap_budgets_trap() -> R {
-        // A divergent loop traps on fuel …
-        let vm = compile_to_vm("(define (f n) (f n))", "f")?;
+        // A divergent loop traps on fuel … (dynamically guarded, so the
+        // size-change analysis lets it through to run time)
+        let vm = compile_to_vm("(define (f n) (if (zero? n) (f 1) (f 2)))", "f")?;
         let lim = Limits { fuel: 100, ..Limits::default() };
         assert_eq!(vm.run(&[Datum::Int(0)], lim), Err(InterpError::FuelExhausted));
         // … and a cons-builder traps on the heap budget first.  The

@@ -43,3 +43,13 @@ cargo run --release -p pe-faultline --example trap_census > /dev/null
 # whole Gabriel suite on every engine (small inputs, few reps) so each
 # CI run checks the harness end to end and leaves BENCH_pe.json behind.
 cargo run --release -p pe-bench -- --quick
+
+# pe-siege robustness harness.  First the corpus gate: every minimal
+# reproducer ever banked under crates/siege/corpus must stay clean
+# (differential agreement across all eight engines plus a crash-free
+# budget ladder).  Then the fixed-seed quick campaign: 400 generated
+# programs + mutants through the full oracle/chaos/shrink loop —
+# deterministic, <30s, exits non-zero on any panic, value split, or
+# ladder violation, and leaves a schema-validated SIEGE_pe.json behind.
+cargo run --release -p pe-siege -- --replay
+cargo run --release -p pe-siege -- --quick

@@ -17,14 +17,14 @@ fn main() {
 
     // A raised-but-sane cap admits nests far beyond what a recursive
     // descent could survive at this profile's frame sizes.
-    let lim = Limits { max_syntax_depth: 20_000, ..Limits::default() };
+    let lim = Limits::builder().with_syntax_depth(20_000).build();
     let r = no_panic(|| pe_sexpr::read_with(&deep_nest(10_000), &lim))
         .expect("iterative reader overflowed");
     assert!(r.is_ok(), "reader rejected a legal deep nest: {r:?}");
 
     // Huge flat data: a node-budget error, not memory exhaustion.
     let big = huge_quoted(2_000_000);
-    let small = Limits { max_heap: 100_000, ..Limits::default() };
+    let small = Limits::builder().with_heap(100_000).build();
     let r = no_panic(|| pe_sexpr::read_with(&big, &small)).expect("reader panicked on huge data");
     assert!(r.is_err(), "reader accepted data over its node budget");
 

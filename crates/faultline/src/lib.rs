@@ -13,7 +13,9 @@
 //! Nothing here is used by the pipeline itself; the crate exists so CI
 //! exercises the failure paths as systematically as the success paths.
 
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
 
 /// The Ω combinator: every engine diverges on it, and the specializing
 /// compiler diverges *at compile time* unless its unfolding budget cuts
@@ -84,6 +86,37 @@ pub fn huge_quoted(n: usize) -> String {
     s
 }
 
+/// The Ω self-application as a bare *expression*, for grafting into an
+/// otherwise-valid program (expression position, any scope).
+#[must_use]
+pub fn omega_expr() -> &'static str {
+    "((lambda (x) (x x)) (lambda (x) (x x)))"
+}
+
+/// An arithmetic-ascent loop: structurally identical to a descent loop
+/// but counting *up*, so it sits exactly on the far side of the
+/// size-change Bounded/Unbounded line.
+#[must_use]
+pub fn ascent_src() -> &'static str {
+    "(define (climb n) (if (zero? n) 0 (climb (add1 n))))"
+}
+
+/// Wraps `expr` in `n` layers of `(add1 …)` — deep but *valid* nesting,
+/// hostile to any recursive evaluator while still parsing (below the
+/// syntax-depth cap).
+#[must_use]
+pub fn deep_wrap(expr: &str, n: usize) -> String {
+    let mut s = String::with_capacity(expr.len() + 7 * n);
+    for _ in 0..n {
+        s.push_str("(add1 ");
+    }
+    s.push_str(expr);
+    for _ in 0..n {
+        s.push(')');
+    }
+    s
+}
+
 /// Malformed concrete syntax covering every reader error class.
 #[must_use]
 pub fn hostile_inputs() -> Vec<&'static str> {
@@ -101,14 +134,50 @@ pub fn hostile_inputs() -> Vec<&'static str> {
     ]
 }
 
+thread_local! {
+    /// True while this thread is inside [`no_panic`]: the shared hook
+    /// swallows the backtrace spray for exactly those panics.
+    static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs the suppressing panic hook exactly once, process-wide.
+static INSTALL_HOOK: Once = Once::new();
+
 /// Runs `f` under `catch_unwind`, turning a panic into a test-friendly
 /// `Err(message)`.  The harness asserts entry points *return* errors
 /// rather than unwinding.
+///
+/// The default panic hook is suppressed for the duration of the call:
+/// a trap-census or siege run probes thousands of failure paths, and a
+/// backtrace per *expected* panic would drown the real output.  The
+/// suppression is implemented as a process-wide wrapper hook (installed
+/// once) consulting a thread-local flag, **not** as a
+/// `take_hook`/`set_hook` swap around the call — tests run in parallel
+/// threads, and swapping the global hook from two `no_panic` calls at
+/// once would race, losing the real hook on some interleaving.  The
+/// flag is restored on every path (including when `f` panics) by a
+/// drop guard, and panics on *other* threads still reach the original
+/// hook untouched.
 ///
 /// # Errors
 ///
 /// The panic payload's message, if `f` panicked.
 pub fn no_panic<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    INSTALL_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            SUPPRESS_PANIC_OUTPUT.with(|s| s.set(self.0));
+        }
+    }
+    let _restore = Restore(SUPPRESS_PANIC_OUTPUT.with(|s| s.replace(true)));
     catch_unwind(AssertUnwindSafe(f)).map_err(|e| {
         e.downcast_ref::<&str>().map(|s| (*s).to_string()).unwrap_or_else(|| {
             e.downcast_ref::<String>().cloned().unwrap_or_else(|| "panic".to_string())
@@ -148,7 +217,7 @@ pub fn trap_census() -> Result<Vec<TrapRecord>, String> {
     use realistic_pe::{CompileOptions, Datum, Limits, Pipeline, RobustExec};
 
     let tight =
-        Limits { fuel: 100_000, max_call_depth: 256, max_heap: 100_000, ..Limits::default() };
+        Limits::builder().with_fuel(100_000).with_depth(256).with_heap(100_000).build();
     let gauges = |sink: &CollectingSink| {
         (
             sink.gauge_last(Gauge::FuelUsed).unwrap_or(0),
@@ -235,7 +304,7 @@ pub fn trap_census() -> Result<Vec<TrapRecord>, String> {
     )
     .map_err(|e| e.to_string())?;
     let opts = CompileOptions {
-        limits: Limits { max_residual: 1, ..Limits::default() },
+        limits: Limits::builder().with_residual(1).build(),
         ..CompileOptions::default()
     };
     let mut sink = CollectingSink::new();
@@ -283,7 +352,7 @@ mod tests {
     /// Limits small enough that every divergence test finishes in
     /// milliseconds.
     fn tight() -> Limits {
-        Limits { fuel: 100_000, max_call_depth: 256, max_heap: 100_000, ..Limits::default() }
+        Limits::builder().with_fuel(100_000).with_depth(256).with_heap(100_000).build()
     }
 
     // ---- reader ----------------------------------------------------
@@ -314,7 +383,7 @@ mod tests {
         );
         // Huge quoted data against a small node budget: TooLarge.
         let big = huge_quoted(100_000);
-        let lim = Limits { max_heap: 1_000, ..Limits::default() };
+        let lim = Limits::builder().with_heap(1_000).build();
         let r = no_panic(|| pe_sexpr::read_with(&big, &lim))?;
         assert!(
             matches!(r, Err(ref e) if matches!(e.kind, pe_sexpr::ReadErrorKind::TooLarge { .. })),
@@ -383,7 +452,7 @@ mod tests {
         let src = "(define (grow l) (grow (cons 1 l)))
                    (define (main) (grow '()))";
         let p = pe_frontend::parse_source(src)?;
-        let lim = Limits { max_heap: 100, max_call_depth: 1_000_000, ..Limits::default() };
+        let lim = Limits::builder().with_heap(100).with_depth(1_000_000).build();
         let r = no_panic(|| standard::run(&p, "main", &[], lim))?;
         assert_eq!(r, Err(InterpError::Trap(Trap::Heap { limit: 100 })));
         let d = pe_frontend::desugar(&p)?;
@@ -478,7 +547,7 @@ mod tests {
         // A starved budget is a structured trap — no panic, no hang,
         // and never a silently wrong program.
         let r = no_panic(|| {
-            let mut fuel = pe_governor::Fuel::new(&Limits { fuel: 1, ..Limits::default() });
+            let mut fuel = pe_governor::Fuel::new(&Limits::builder().with_fuel(1).build());
             pe_flow::optimize(s0.clone(), &mut fuel)
         })?;
         assert!(
@@ -604,7 +673,7 @@ mod tests {
              (define (odd-p n) (if (zero? n) 0 (even-p (- n 1))))",
         )?;
         let opts = CompileOptions {
-            limits: Limits { max_residual: 1, ..Limits::default() },
+            limits: Limits::builder().with_residual(1).build(),
             ..CompileOptions::default()
         };
         let (v, why) = no_panic(|| {
@@ -662,6 +731,89 @@ mod tests {
             assert!(table.contains(r.case));
         }
         Ok(())
+    }
+
+    // ---- degradation policy ----------------------------------------
+
+    /// Every [`Trap`] variant maps to a *conscious* degradation
+    /// decision.  The match below is exhaustive on purpose: adding a
+    /// variant to `Trap` fails compilation here, forcing the author to
+    /// decide — and record — whether the new class degrades to
+    /// interpretation in the robust pipeline or surfaces as an error.
+    #[test]
+    fn every_trap_variant_has_a_degradation_decision() {
+        fn degrades_to_interpretation(t: &Trap) -> bool {
+            match t {
+                // Budget classes: the *input* outgrew a configured
+                // bound.  The subject program may still run fine under
+                // an interpreter whose own fuel bounds a doomed run.
+                Trap::OutOfFuel { .. }
+                | Trap::CallDepth { .. }
+                | Trap::SyntaxDepth { .. }
+                | Trap::UnfoldDepth { .. }
+                | Trap::Heap { .. }
+                | Trap::Residual { .. }
+                | Trap::StaticDivergence { .. } => true,
+                // Machine classes: compiled code broke an
+                // execution-model invariant.  Degrading would mask a
+                // miscompile — these must surface as errors.
+                Trap::UnboundLabel { .. } | Trap::BadDispatch { .. } => false,
+            }
+        }
+        let exemplars = [
+            Trap::OutOfFuel { budget: 1 },
+            Trap::CallDepth { limit: 1 },
+            Trap::SyntaxDepth { limit: 1 },
+            Trap::UnfoldDepth { limit: 1 },
+            Trap::Heap { limit: 1 },
+            Trap::Residual { limit: 1 },
+            Trap::StaticDivergence { witness: "ω".into() },
+            Trap::UnboundLabel { label: "f".into(), pc: 0 },
+            Trap::BadDispatch { pc: 0, detail: "int 5".into() },
+        ];
+        for t in &exemplars {
+            // The policy the pipeline actually consults must agree
+            // with the recorded decision.
+            assert_eq!(
+                t.is_budget(),
+                degrades_to_interpretation(t),
+                "degradation policy drifted for {t}"
+            );
+            // The SpecError wrapper for statically-detected traps must
+            // agree as well.
+            if matches!(t, Trap::StaticDivergence { .. }) {
+                assert!(SpecError::SctDiverges(t.clone()).is_degradable());
+            }
+        }
+        // Every exemplar class appears in the census vocabulary.
+        for t in &exemplars {
+            assert!(
+                pe_governor::TrapClass::ALL.contains(&t.class()),
+                "class {} missing from TrapClass::ALL",
+                t.class()
+            );
+        }
+        // And the exemplar list itself is exhaustive: one per class
+        // arm above, so variant count changes are caught even if the
+        // match is edited carelessly.
+        assert_eq!(exemplars.len(), 9);
+    }
+
+    #[test]
+    fn no_panic_restores_suppression_on_all_paths() {
+        // A panicking closure comes back as Err with its message…
+        let r = no_panic(|| -> i32 { panic!("boom {}", 41 + 1) });
+        assert_eq!(r, Err("boom 42".to_string()));
+        // …and the harness stays usable afterwards (the thread-local
+        // suppression flag was restored by the drop guard).
+        assert_eq!(no_panic(|| 7), Ok(7));
+        // Nested calls restore the *outer* state, not just `false`.
+        let r = no_panic(|| {
+            let inner = no_panic(|| -> i32 { panic!("inner") });
+            assert!(inner.is_err());
+            3
+        });
+        assert_eq!(r, Ok(3));
     }
 
     #[test]

@@ -89,6 +89,133 @@ impl Limits {
             max_residual: 1_000,
         }
     }
+
+    /// A starvation budget: every meter is at its floor, so any engine
+    /// run either finishes in a handful of steps or traps immediately.
+    /// The bottom rung of every chaos [`ladder`](Limits::ladder).
+    #[must_use]
+    pub fn starved() -> Limits {
+        Limits {
+            fuel: 1,
+            max_call_depth: 1,
+            max_syntax_depth: 1,
+            max_unfold_depth: 1,
+            max_heap: 1,
+            max_residual: 1,
+        }
+    }
+
+    /// Starts a [`LimitsBuilder`] from the defaults.
+    ///
+    /// ```
+    /// use pe_governor::Limits;
+    /// let l = Limits::builder().with_fuel(10_000).with_depth(128).build();
+    /// assert_eq!(l.fuel, 10_000);
+    /// assert_eq!(l.max_call_depth, 128);
+    /// assert_eq!(l.max_heap, Limits::default().max_heap);
+    /// ```
+    #[must_use]
+    pub fn builder() -> LimitsBuilder {
+        LimitsBuilder { limits: Limits::default() }
+    }
+
+    /// Resumes a [`LimitsBuilder`] from these limits, for deriving a
+    /// variant of an already-tightened budget.
+    #[must_use]
+    pub fn to_builder(self) -> LimitsBuilder {
+        LimitsBuilder { limits: self }
+    }
+
+    /// The chaos ladder: a shrinking sequence of budgets starting from
+    /// `self`, halving fuel, call depth, heap, unfolding depth, and
+    /// residual size at every rung (never below 1), with
+    /// [`Limits::starved`] as the final rung.  Syntax depth is left
+    /// alone: the ladder stresses *execution* budgets, and re-reading
+    /// the same program under a shrinking syntax cap would only measure
+    /// the reader.
+    ///
+    /// `rungs` counts the halved steps, so the returned vector has
+    /// `rungs + 2` entries: `self`, `rungs` halvings, starvation.
+    #[must_use]
+    pub fn ladder(&self, rungs: usize) -> Vec<Limits> {
+        let mut out = Vec::with_capacity(rungs + 2);
+        let mut cur = *self;
+        out.push(cur);
+        for _ in 0..rungs {
+            cur = Limits {
+                fuel: (cur.fuel / 2).max(1),
+                max_call_depth: (cur.max_call_depth / 2).max(1),
+                max_syntax_depth: cur.max_syntax_depth,
+                max_unfold_depth: (cur.max_unfold_depth / 2).max(1),
+                max_heap: (cur.max_heap / 2).max(1),
+                max_residual: (cur.max_residual / 2).max(1),
+            };
+            out.push(cur);
+        }
+        out.push(Limits { max_syntax_depth: self.max_syntax_depth, ..Limits::starved() });
+        out
+    }
+}
+
+/// Fluent constructor for [`Limits`], starting from the defaults.
+///
+/// Struct-update syntax (`Limits { fuel: 10, ..Limits::default() }`)
+/// still works, but call sites that only tighten one or two budgets
+/// read better — and survive field additions without churn — through
+/// the builder.
+#[derive(Debug, Clone, Copy)]
+pub struct LimitsBuilder {
+    limits: Limits,
+}
+
+impl LimitsBuilder {
+    /// Sets [`Limits::fuel`].
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.limits.fuel = fuel;
+        self
+    }
+
+    /// Sets [`Limits::max_call_depth`].
+    #[must_use]
+    pub fn with_depth(mut self, depth: usize) -> Self {
+        self.limits.max_call_depth = depth;
+        self
+    }
+
+    /// Sets [`Limits::max_syntax_depth`].
+    #[must_use]
+    pub fn with_syntax_depth(mut self, depth: usize) -> Self {
+        self.limits.max_syntax_depth = depth;
+        self
+    }
+
+    /// Sets [`Limits::max_unfold_depth`].
+    #[must_use]
+    pub fn with_unfold_depth(mut self, depth: usize) -> Self {
+        self.limits.max_unfold_depth = depth;
+        self
+    }
+
+    /// Sets [`Limits::max_heap`].
+    #[must_use]
+    pub fn with_heap(mut self, cells: u64) -> Self {
+        self.limits.max_heap = cells;
+        self
+    }
+
+    /// Sets [`Limits::max_residual`].
+    #[must_use]
+    pub fn with_residual(mut self, procs: usize) -> Self {
+        self.limits.max_residual = procs;
+        self
+    }
+
+    /// Finishes the builder.
+    #[must_use]
+    pub fn build(self) -> Limits {
+        self.limits
+    }
 }
 
 /// A structured resource/execution trap.
@@ -122,6 +249,94 @@ pub enum Trap {
     /// it was refused before any fuel was spent.  `witness` names the
     /// offending cycle.
     StaticDivergence { witness: String },
+}
+
+/// The coarse classification of a [`Trap`], the vocabulary of the
+/// differential oracle and the chaos ladder (pe-siege): two engines
+/// "agree on a trap" when their traps share a class, and degradation
+/// decisions are made per class, never per variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrapClass {
+    /// [`Trap::OutOfFuel`] — the step budget.
+    Fuel,
+    /// [`Trap::CallDepth`] — host-stack recursion.
+    Depth,
+    /// [`Trap::SyntaxDepth`] — syntactic nesting.
+    Syntax,
+    /// [`Trap::UnfoldDepth`] — static unfolding.
+    Unfold,
+    /// [`Trap::Heap`] — heap cells.
+    Heap,
+    /// [`Trap::Residual`] — residual output size.
+    Residual,
+    /// [`Trap::StaticDivergence`] — refused by termination analysis.
+    Static,
+    /// [`Trap::UnboundLabel`] / [`Trap::BadDispatch`] — a compiled
+    /// program broke an execution-model invariant.  Never acceptable
+    /// from pipeline-produced code.
+    Machine,
+}
+
+impl TrapClass {
+    /// The stable snake_case name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TrapClass::Fuel => "fuel",
+            TrapClass::Depth => "depth",
+            TrapClass::Syntax => "syntax",
+            TrapClass::Unfold => "unfold",
+            TrapClass::Heap => "heap",
+            TrapClass::Residual => "residual",
+            TrapClass::Static => "static",
+            TrapClass::Machine => "machine",
+        }
+    }
+
+    /// All classes, in report order.
+    pub const ALL: [TrapClass; 8] = [
+        TrapClass::Fuel,
+        TrapClass::Depth,
+        TrapClass::Syntax,
+        TrapClass::Unfold,
+        TrapClass::Heap,
+        TrapClass::Residual,
+        TrapClass::Static,
+        TrapClass::Machine,
+    ];
+}
+
+impl fmt::Display for TrapClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Trap {
+    /// This trap's [`TrapClass`].
+    #[must_use]
+    pub fn class(&self) -> TrapClass {
+        match self {
+            Trap::OutOfFuel { .. } => TrapClass::Fuel,
+            Trap::CallDepth { .. } => TrapClass::Depth,
+            Trap::SyntaxDepth { .. } => TrapClass::Syntax,
+            Trap::UnfoldDepth { .. } => TrapClass::Unfold,
+            Trap::Heap { .. } => TrapClass::Heap,
+            Trap::Residual { .. } => TrapClass::Residual,
+            Trap::StaticDivergence { .. } => TrapClass::Static,
+            Trap::UnboundLabel { .. } | Trap::BadDispatch { .. } => TrapClass::Machine,
+        }
+    }
+
+    /// True when the trap means the *input* exceeded a configured
+    /// budget (including a static-divergence refusal, which is a
+    /// zero-fuel budget decision) rather than an engine invariant
+    /// breaking.  Budget traps degrade to interpretation in the robust
+    /// pipeline; machine traps surface as errors.
+    #[must_use]
+    pub fn is_budget(&self) -> bool {
+        self.class() != TrapClass::Machine
+    }
 }
 
 impl fmt::Display for Trap {
@@ -355,6 +570,98 @@ mod tests {
         ];
         for (t, needle) in cases {
             assert!(t.to_string().contains(needle), "{t}");
+        }
+    }
+
+    #[test]
+    fn builder_starts_from_defaults_and_sets_each_field() {
+        let l = Limits::builder()
+            .with_fuel(7)
+            .with_depth(8)
+            .with_syntax_depth(9)
+            .with_unfold_depth(10)
+            .with_heap(11)
+            .with_residual(12)
+            .build();
+        assert_eq!(
+            l,
+            Limits {
+                fuel: 7,
+                max_call_depth: 8,
+                max_syntax_depth: 9,
+                max_unfold_depth: 10,
+                max_heap: 11,
+                max_residual: 12,
+            }
+        );
+        // Untouched fields keep their defaults.
+        let d = Limits::builder().with_fuel(5).build();
+        assert_eq!(d, Limits { fuel: 5, ..Limits::default() });
+        // to_builder resumes from an existing budget.
+        let resumed = Limits::strict().to_builder().with_heap(99).build();
+        assert_eq!(resumed, Limits { max_heap: 99, ..Limits::strict() });
+    }
+
+    #[test]
+    fn ladder_shrinks_monotonically_to_starvation() {
+        let top = Limits::builder().with_fuel(1000).with_depth(64).with_heap(500).build();
+        let ladder = top.ladder(4);
+        assert_eq!(ladder.len(), 6);
+        assert_eq!(ladder[0], top);
+        for pair in ladder.windows(2) {
+            assert!(pair[1].fuel <= pair[0].fuel);
+            assert!(pair[1].max_call_depth <= pair[0].max_call_depth);
+            assert!(pair[1].max_heap <= pair[0].max_heap);
+            assert!(pair[1].fuel >= 1 && pair[1].max_heap >= 1);
+        }
+        let last = ladder.last().unwrap();
+        assert_eq!(last.fuel, 1);
+        assert_eq!(last.max_call_depth, 1);
+        // Syntax depth is not starved: the program still has to *read*.
+        assert_eq!(last.max_syntax_depth, top.max_syntax_depth);
+    }
+
+    #[test]
+    fn trap_classes_partition_the_variants() {
+        // Exhaustive match, no wildcard: adding a `Trap` variant fails
+        // to compile here, forcing an explicit degrade-vs-error
+        // decision for the robust pipeline alongside `class()` and
+        // `is_budget()`.
+        fn degrades(t: &Trap) -> bool {
+            match t {
+                Trap::OutOfFuel { .. }
+                | Trap::CallDepth { .. }
+                | Trap::SyntaxDepth { .. }
+                | Trap::UnfoldDepth { .. }
+                | Trap::Heap { .. }
+                | Trap::Residual { .. }
+                | Trap::StaticDivergence { .. } => true,
+                Trap::UnboundLabel { .. } | Trap::BadDispatch { .. } => false,
+            }
+        }
+        let all = [
+            Trap::OutOfFuel { budget: 1 },
+            Trap::CallDepth { limit: 1 },
+            Trap::SyntaxDepth { limit: 1 },
+            Trap::UnfoldDepth { limit: 1 },
+            Trap::Heap { limit: 1 },
+            Trap::Residual { limit: 1 },
+            Trap::StaticDivergence { witness: "w".into() },
+            Trap::UnboundLabel { label: "f".into(), pc: 0 },
+            Trap::BadDispatch { pc: 0, detail: "int".into() },
+        ];
+        for t in &all {
+            assert_eq!(t.is_budget(), degrades(t), "{t}");
+            assert_eq!(t.class() != TrapClass::Machine, degrades(t), "{t}");
+        }
+        // The variants above cover every class, and every class
+        // renders with a unique stable name.
+        let classes: std::collections::BTreeSet<TrapClass> =
+            all.iter().map(Trap::class).collect();
+        assert_eq!(classes.len(), TrapClass::ALL.len());
+        let mut names = std::collections::HashSet::new();
+        for c in TrapClass::ALL {
+            assert!(names.insert(c.name()), "duplicate class name {c}");
         }
     }
 

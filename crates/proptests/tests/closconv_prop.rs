@@ -47,7 +47,7 @@ proptest! {
     ) {
         let src = format!("(define (main x) {body})");
         let p = parse_source(&src).expect("generated program parses");
-        let lim = Limits { fuel: 500_000, ..Limits::default() };
+        let lim = Limits::builder().with_fuel(500_000).build();
         let a = standard::run(&p, "main", &[Datum::Int(x)], lim);
         let b = closconv::run(&p, "main", &[Datum::Int(x)], lim);
         match (&a, &b) {

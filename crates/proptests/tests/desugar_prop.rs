@@ -90,7 +90,7 @@ proptest! {
         let p = parse_source(&src).expect("parses");
         let d = desugar(&p).expect("desugars");
         let args = [Datum::Int(x)];
-        let lim = Limits { fuel: 1_000_000, ..Limits::default() };
+        let lim = Limits::builder().with_fuel(1_000_000).build();
         let direct = standard::run(&p, "main", &args, lim);
         let tailed = tail::run(&d, "main", &args, lim);
         match (&direct, &tailed) {

@@ -124,7 +124,7 @@ proptest! {
                 l0.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
             )).unwrap(),
         ];
-        let lim = Limits { fuel: 2_000_000, ..Limits::default() };
+        let lim = Limits::builder().with_fuel(2_000_000).build();
         let reference = pipe.run_standard("main", &args, lim);
         let tail = pipe.run_tail("main", &args, lim);
         let cc = pipe.run_closconv("main", &args, lim);

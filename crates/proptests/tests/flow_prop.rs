@@ -138,7 +138,7 @@ proptest! {
             Datum::parse(&format!("({})", l.iter().map(i64::to_string)
                 .collect::<Vec<_>>().join(" "))).unwrap(),
         ];
-        let lim = Limits { fuel: 1_000_000, ..Limits::default() };
+        let lim = Limits::builder().with_fuel(1_000_000).build();
         let base = eval::run(&s0, &args, lim);
         let flow = eval::run(&opt, &args, lim);
         match (&base, &flow) {
@@ -159,7 +159,7 @@ proptest! {
     #[test]
     fn starved_fuel_traps_cleanly(body in arb_body()) {
         let s0 = compile_unoptimized(&body);
-        let mut fuel = Fuel::new(&GovLimits { fuel: 1, ..GovLimits::default() });
+        let mut fuel = Fuel::new(&GovLimits::builder().with_fuel(1).build());
         prop_assert!(pe_flow::optimize(s0, &mut fuel).is_err());
     }
 }

@@ -120,7 +120,7 @@ proptest! {
         let p = parse_source(&src).expect("parses");
         let d = desugar(&p).expect("desugars");
         let args = [Datum::Int(x), list_datum(&l)];
-        let lim = Limits { fuel: 1_000_000, ..Limits::default() };
+        let lim = Limits::builder().with_fuel(1_000_000).build();
         let reference = tail::run(&d, "main", &args, lim);
 
         let s0_on = compile(&d, "main", &CompileOptions::default()).expect("compiles (on)");

@@ -63,7 +63,7 @@ proptest! {
             Datum::parse(&format!("({})", l.iter().map(i64::to_string)
                 .collect::<Vec<_>>().join(" "))).unwrap(),
         ];
-        let lim = Limits { fuel: 1_000_000, ..Limits::default() };
+        let lim = Limits::builder().with_fuel(1_000_000).build();
         let reference = tail::run(&d, "main", &args, lim);
         for strategy in [GenStrategy::Offline, GenStrategy::Online] {
             let opts = CompileOptions { strategy, ..CompileOptions::default() };
@@ -102,7 +102,7 @@ proptest! {
         let d = desugar(&p).expect("desugars");
         let ldat = Datum::parse(&format!("({})", l.iter().map(i64::to_string)
             .collect::<Vec<_>>().join(" "))).unwrap();
-        let lim = Limits { fuel: 1_000_000, ..Limits::default() };
+        let lim = Limits::builder().with_fuel(1_000_000).build();
         let reference = tail::run(&d, "main", &[Datum::Int(x), ldat.clone()], lim);
         let opts = CompileOptions { strategy: GenStrategy::Online, ..CompileOptions::default() };
         let s0 = specialize(&d, "main", &[None, Some(ldat)], &opts).expect("specializes");

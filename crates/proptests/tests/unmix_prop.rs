@@ -55,7 +55,7 @@ proptest! {
             "({})",
             l.iter().map(i64::to_string).collect::<Vec<_>>().join(" ")
         )).unwrap();
-        let lim = Limits { fuel: 500_000, ..Limits::default() };
+        let lim = Limits::builder().with_fuel(500_000).build();
         let all_args = [Datum::Int(a), Datum::Int(b), ldat.clone()];
         let reference = standard::run(&p, "main", &all_args, lim);
 

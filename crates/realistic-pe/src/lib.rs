@@ -228,6 +228,49 @@ mod tests {
         assert!(why.is_none());
     }
 
+    /// The traced robust path streams the executing engine's counters:
+    /// VM counters on the compiled path, interpreter counters on the
+    /// degraded path — so a soak harness can read peak meters from one
+    /// sink regardless of which engine actually ran.
+    #[test]
+    fn run_robust_traced_streams_engine_counters() {
+        let pipe = Pipeline::new(
+            "(define (main n) (even-p n))
+             (define (even-p n) (if (zero? n) 1 (odd-p (- n 1))))
+             (define (odd-p n) (if (zero? n) 0 (even-p (- n 1))))",
+        )
+        .unwrap();
+        // Compiled path: vm-run span + VM step counters.
+        let mut sink = CollectingSink::new();
+        let (v, why) = pipe
+            .run_robust_traced(
+                "main",
+                &[Datum::Int(4)],
+                &CompileOptions::default(),
+                Limits::default(),
+                &mut sink,
+            )
+            .unwrap();
+        assert_eq!(v, Datum::Int(1));
+        assert!(why.is_none());
+        assert!(sink.check_balanced().is_ok());
+        assert!(sink.counter_total(Counter::VmSteps) > 0);
+        // Degraded path: the tail interpreter's counters flush instead.
+        let opts = CompileOptions {
+            limits: Limits::builder().with_residual(1).build(),
+            ..CompileOptions::default()
+        };
+        let mut sink = CollectingSink::new();
+        let (v, why) = pipe
+            .run_robust_traced("main", &[Datum::Int(4)], &opts, Limits::default(), &mut sink)
+            .unwrap();
+        assert_eq!(v, Datum::Int(1));
+        assert!(why.is_some_and(|e| e.is_budget_exhaustion()));
+        assert!(sink.check_balanced().is_ok());
+        assert!(sink.counter_total(Counter::EvalSteps) > 0);
+        assert_eq!(sink.counter_total(Counter::VmSteps), 0);
+    }
+
     /// Genuine errors are NOT degraded: only budget exhaustion is.
     #[test]
     fn robust_compile_still_reports_genuine_errors() {

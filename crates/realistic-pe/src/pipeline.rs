@@ -403,10 +403,33 @@ impl Pipeline {
         opts: &CompileOptions,
         limits: Limits,
     ) -> Result<(Datum, Option<SpecError>), PipelineError> {
-        match self.compile_robust(entry, opts)? {
-            RobustExec::Compiled(vm) => Ok((vm.run(args, limits)?.0, None)),
+        self.run_robust_traced(entry, args, opts, limits, &mut NullSink)
+    }
+
+    /// [`Pipeline::run_robust`] with the whole robust path observable:
+    /// compile-side spans and counters stream to `sink` as in
+    /// [`Pipeline::compile_robust_traced`], and the execution engine —
+    /// the VM on the compiled path, the tail interpreter on the
+    /// degraded path — flushes its run counters and, on a trap, the
+    /// governor meter snapshot.  This is the hook the pe-siege chaos
+    /// ladder drives: one call per budget rung, with peak meters
+    /// recoverable from the gauge stream.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn run_robust_traced(
+        &self,
+        entry: &str,
+        args: &[Datum],
+        opts: &CompileOptions,
+        limits: Limits,
+        sink: &mut dyn Sink,
+    ) -> Result<(Datum, Option<SpecError>), PipelineError> {
+        match self.compile_robust_traced(entry, opts, sink)? {
+            RobustExec::Compiled(vm) => Ok((vm.run_with(args, limits, sink)?.0, None)),
             RobustExec::Degraded { reason } => {
-                let v = pe_interp::tail::run(&self.dprog, entry, args, limits)?;
+                let v = pe_interp::tail::run_with(&self.dprog, entry, args, limits, sink)?;
                 Ok((v, Some(reason)))
             }
         }

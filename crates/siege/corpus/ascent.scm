@@ -1,0 +1,6 @@
+; Arithmetic ascent: the size-change analysis calls this Unbounded and
+; refuses it statically; without sct the residual loops until the fuel
+; meter fires.  Engines split between depth and fuel traps -- a
+; documented budget divergence, not a finding.
+(siege-case (entry climb) (args 1))
+(define (climb n) (if (zero? n) 0 (climb (add1 n))))

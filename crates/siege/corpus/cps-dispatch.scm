@@ -1,0 +1,10 @@
+; Dispatch over conditionally-chosen lambdas (The Trick's favourite
+; shape) feeding a CPS helper: the closure-converted interpreter, the
+; specializer's dispatch code and the flow optimizer all take
+; different routes to the same value.
+(siege-case (entry main) (args 4))
+(define (main n)
+  (apply1 (if (zero? n) (lambda (v) (add1 v)) (lambda (v) (sub1 v)))
+          (pick n)))
+(define (apply1 f x) (f x))
+(define (pick n) (* n 3))

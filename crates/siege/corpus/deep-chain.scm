@@ -1,0 +1,9 @@
+; A 64-deep non-tail call chain at runtime plus nested arithmetic in
+; the body: exercises the call-depth meter of the host-stack engines
+; against the flat engines' indifference.
+(siege-case (entry main) (args 64))
+(define (main n) (down n))
+(define (down n)
+  (if (< n 1)
+      0
+      (add1 (down (sub1 n)))))

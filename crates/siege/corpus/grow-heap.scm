@@ -1,0 +1,6 @@
+; A cons loop that builds a 60-element list: finishes with a value at
+; full budget, and must trap on the heap meter -- structurally -- as
+; the chaos ladder halves the allowance.
+(siege-case (entry main) (args 60))
+(define (main n) (grow n (quote ())))
+(define (grow n acc) (if (< n 1) acc (grow (sub1 n) (cons n acc))))

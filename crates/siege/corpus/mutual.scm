@@ -1,0 +1,6 @@
+; Mutual recursion across two procedures: terminating, value-agreeing,
+; and a size-change graph with a two-step cycle.
+(siege-case (entry main) (args 9))
+(define (main n) (even n))
+(define (even n) (if (< n 1) 1 (odd (sub1 n))))
+(define (odd n) (if (< n 1) 0 (even (sub1 n))))

@@ -1,0 +1,5 @@
+; The Omega combinator in expression position: specialization must
+; degrade on unfold depth and the interpreters must trap on fuel --
+; never hang, never panic.
+(siege-case (entry main) (args 0))
+(define (main d) ((lambda (x) (x x)) (lambda (x) (x x))))

@@ -1,0 +1,5 @@
+; Checked arithmetic at the i64 edge: every engine must report the
+; same structured overflow error; the specializer must residualize the
+; erroring primitive, never evaluate it at compile time.
+(siege-case (entry main) (args 3))
+(define (main n) (+ n 9223372036854775806))

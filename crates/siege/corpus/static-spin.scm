@@ -1,0 +1,7 @@
+; Dynamically divergent with a *static* restart: (spin 7) gives the
+; specializer a fully static call it must memoize rather than unfold
+; forever, and gives every engine an infinite runtime loop the fuel
+; meter must cut.
+(siege-case (entry main) (args 3))
+(define (main n) (spin n))
+(define (spin k) (if (zero? k) (spin 7) (spin (sub1 k))))

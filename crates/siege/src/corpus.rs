@@ -1,0 +1,189 @@
+//! The persistent reproducer corpus.
+//!
+//! Every finding the harness ever shrank is kept as a small `.scm`
+//! file under `crates/siege/corpus/`, alongside hand-seeded regression
+//! anchors for historically interesting shapes (Ω, arithmetic ascent,
+//! mutual recursion, heap growth, dispatch-heavy closures).  Every
+//! siege run replays the corpus *first*: a reproducer that ever
+//! slipped through stays fixed forever.
+//!
+//! A corpus file is ordinary subject-language source preceded by one
+//! metadata form:
+//!
+//! ```text
+//! (siege-case (entry main) (args 3 (1 2)))
+//! (define (main n l) ...)
+//! ```
+//!
+//! Arguments are first-order data; a list argument is written as the
+//! list itself.  Storing the program as forms (not a string) keeps the
+//! corpus diffable and free of escaping.
+
+use crate::gen::render;
+use crate::Case;
+use pe_interp::Datum;
+use pe_sexpr::Sexpr;
+use std::path::{Path, PathBuf};
+
+/// Parses one corpus file.
+///
+/// # Errors
+///
+/// A description of the malformed metadata or unreadable source.
+pub fn parse_case(name: &str, text: &str) -> Result<Case, String> {
+    let forms = pe_sexpr::read(text).map_err(|e| format!("{name}: {e}"))?;
+    let (meta, program) = forms
+        .split_first()
+        .ok_or_else(|| format!("{name}: empty corpus file"))?;
+    let meta = meta
+        .form_args("siege-case")
+        .ok_or_else(|| format!("{name}: first form must be (siege-case ...)"))?;
+    let mut entry = None;
+    let mut args = Vec::new();
+    for m in meta {
+        if let Some(e) = m.form_args("entry") {
+            entry = e.first().and_then(Sexpr::sym).map(str::to_string);
+        } else if let Some(a) = m.form_args("args") {
+            args = a.iter().map(Datum::from_sexpr).collect();
+        }
+    }
+    let entry = entry.ok_or_else(|| format!("{name}: missing (entry ...)"))?;
+    if program.is_empty() {
+        return Err(format!("{name}: no program after the metadata form"));
+    }
+    Ok(Case {
+        name: name.to_string(),
+        source: render(program),
+        entry,
+        args,
+    })
+}
+
+/// Renders a case back into corpus-file text.
+///
+/// # Errors
+///
+/// When the case source does not read back as forms (textual mutants
+/// cannot be persisted in structural format).
+pub fn render_case(case: &Case) -> Result<String, String> {
+    let forms = pe_sexpr::read(&case.source).map_err(|e| e.to_string())?;
+    let mut meta = vec![
+        Sexpr::sym_of("siege-case"),
+        Sexpr::list_of([Sexpr::sym_of("entry"), Sexpr::sym_of(&case.entry)]),
+    ];
+    let mut args = vec![Sexpr::sym_of("args")];
+    args.extend(case.args.iter().map(datum_to_sexpr));
+    meta.push(Sexpr::List(args));
+    Ok(format!("{}\n{}", Sexpr::List(meta), render(&forms)))
+}
+
+fn datum_to_sexpr(d: &Datum) -> Sexpr {
+    use pe_interp::Value;
+    match d {
+        Value::Int(n) => Sexpr::Int(*n),
+        Value::Bool(b) => Sexpr::Bool(*b),
+        Value::Char(c) => Sexpr::Char(*c),
+        Value::Str(s) => Sexpr::Str(s.clone()),
+        Value::Sym(s) => Sexpr::Sym(s.clone()),
+        Value::Nil => Sexpr::nil(),
+        Value::Pair(_) => {
+            // Proper spines render as lists; an improper tail is not
+            // producible by `Datum::from_sexpr`, so flatten greedily.
+            let mut items = Vec::new();
+            let mut cur = d.clone();
+            loop {
+                match cur {
+                    Value::Pair(ref pp) => {
+                        items.push(datum_to_sexpr(&pp.0));
+                        cur = pp.1.clone();
+                    }
+                    Value::Nil => break,
+                    ref other => {
+                        items.push(datum_to_sexpr(other));
+                        break;
+                    }
+                }
+            }
+            Sexpr::List(items)
+        }
+        Value::Closure(c) => match *c {},
+    }
+}
+
+/// Loads every `.scm` case in `dir`, sorted by file name so replay
+/// order (and therefore the whole run) is deterministic.
+///
+/// # Errors
+///
+/// The first unreadable or malformed file.
+pub fn load_dir(dir: &Path) -> Result<Vec<Case>, String> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scm"))
+        .collect();
+    entries.sort();
+    let mut cases = Vec::with_capacity(entries.len());
+    for path in entries {
+        let name = path
+            .file_stem()
+            .map_or_else(|| "case".to_string(), |s| s.to_string_lossy().into_owned());
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        cases.push(parse_case(&name, &text)?);
+    }
+    Ok(cases)
+}
+
+/// Persists a (shrunk) finding reproducer under `dir`, returning the
+/// path.  File names carry the finding class so the corpus doubles as
+/// a census of what ever went wrong.
+///
+/// # Errors
+///
+/// I/O failure, or a case whose source cannot be rendered structurally.
+pub fn save_case(dir: &Path, case: &Case, class: &str) -> Result<PathBuf, String> {
+    let text = render_case(case)?;
+    let slug: String = class
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    let path = dir.join(format!("finding-{slug}-{}.scm", case.name));
+    std::fs::write(&path, text).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_case() {
+        let case = Case {
+            name: "rt".to_string(),
+            source: "(define (main n l) (cons n l))\n".to_string(),
+            entry: "main".to_string(),
+            args: vec![Datum::Int(3), Datum::parse("(1 2)").unwrap()],
+        };
+        let text = render_case(&case).unwrap();
+        let back = parse_case("rt", &text).unwrap();
+        assert_eq!(back.entry, "main");
+        assert_eq!(back.args, case.args);
+        assert!(back.source.contains("(define (main n l)"));
+        // And the round-tripped text parses as a program.
+        pe_frontend::parse_source(&back.source).unwrap();
+    }
+
+    #[test]
+    fn missing_entry_is_rejected() {
+        let err = parse_case("x", "(siege-case (args 1))\n(define (f n) n)").unwrap_err();
+        assert!(err.contains("entry"), "{err}");
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let err = parse_case("x", "(siege-case (entry f) (args))").unwrap_err();
+        assert!(err.contains("no program"), "{err}");
+    }
+}

@@ -1,0 +1,862 @@
+//! Structured program generation and hostility-grafting mutation.
+//!
+//! The generator emits well-scoped subject-language programs (Fig. 2
+//! grammar) spanning what the suite exercises: first-order recursion
+//! with arithmetic descent *and* ascent (straddling the size-change
+//! analysis's Bounded/Unbounded line), list recursion, mutual
+//! recursion, closures passed as arguments, dispatch over
+//! conditionally-chosen lambdas (The Trick's food), quoted data, and
+//! the occasional deliberately partial primitive (`car` of whatever
+//! happens to be there).  Programs are mostly terminating by
+//! construction — generic call sites form a DAG over later-defined
+//! procedures; recursion enters only through guarded descent
+//! templates — so the differential oracle sees values, not just fuel
+//! traps.
+//!
+//! Mutation then grafts faultline-style hostility onto a healthy
+//! program: Ω-cycles spliced into expression position, hundreds of
+//! `add1` wrappers, `i64`-edge literals, descent flipped to ascent,
+//! truncated and paren-bombed source.  Scope discipline is preserved
+//! where the mutation is structural (the spliced Ω binds its own
+//! variables) and deliberately violated where it is textual.
+
+use crate::rng::Rng;
+use pe_interp::Datum;
+use pe_sexpr::{pretty, Sexpr};
+
+/// A generated (or mutated) test case: source text plus an entry call.
+#[derive(Debug, Clone)]
+pub struct GenCase {
+    /// Subject program source.
+    pub source: String,
+    /// Entry procedure name.
+    pub entry: String,
+    /// First-order entry arguments.
+    pub args: Vec<Datum>,
+}
+
+/// The three first-order value shapes the generator tracks so that
+/// emitted programs are well-typed-ish: integers flow into arithmetic,
+/// lists into `car`/`cdr`/`null?`, and `Data` is the any-type used for
+/// quoted leaves and cons payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Int,
+    List,
+    Data,
+}
+
+#[derive(Debug, Clone)]
+struct Sig {
+    name: String,
+    params: Vec<(String, Ty)>,
+    ret: Ty,
+}
+
+/// How a procedure's body recurses on its first parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RecStyle {
+    /// `(if (< n 1) base (.. (self (sub1 n) ..)))` — terminating.
+    IntDescent,
+    /// Same skeleton with `add1`: dynamically divergent, and exactly
+    /// what the size-change analysis calls Unbounded.
+    IntAscent,
+    /// `(if (null? l) base (.. (self (cdr l) ..)))` — terminating.
+    ListDescent,
+    /// No self-call; body is a plain expression DAG.
+    None,
+}
+
+struct Ctx {
+    sigs: Vec<Sig>,
+    higher_order: bool,
+    fresh: u32,
+}
+
+impl Ctx {
+    fn fresh_var(&mut self) -> String {
+        self.fresh += 1;
+        format!("t{}", self.fresh)
+    }
+}
+
+fn sym(s: &str) -> Sexpr {
+    Sexpr::sym_of(s)
+}
+
+fn list(xs: Vec<Sexpr>) -> Sexpr {
+    Sexpr::List(xs)
+}
+
+fn call1(op: &str, a: Sexpr) -> Sexpr {
+    list(vec![sym(op), a])
+}
+
+fn call2(op: &str, a: Sexpr, b: Sexpr) -> Sexpr {
+    list(vec![sym(op), a, b])
+}
+
+/// `(quote d)`.
+fn quoted(d: Sexpr) -> Sexpr {
+    list(vec![sym("quote"), d])
+}
+
+/// Generates one structured program with a deterministic argument
+/// vector for its entry point.
+pub fn gen_case(rng: &mut Rng) -> GenCase {
+    let mut ctx = plan(rng);
+    let mut defs: Vec<Sexpr> = Vec::new();
+
+    // Mutual-recursion pair: the last two auxiliaries become an
+    // even/odd-style cycle, each descending before handing off.
+    let n_aux = ctx.sigs.len() - 1; // sigs[0] is main
+    let mutual = n_aux >= 2
+        && ctx.sigs[n_aux - 1].params.first().map(|p| p.1) == Some(Ty::Int)
+        && ctx.sigs[n_aux].params.first().map(|p| p.1) == Some(Ty::Int)
+        && rng.chance(4);
+
+    for i in 1..=n_aux {
+        let body = if mutual && i >= n_aux - 1 {
+            let partner = if i == n_aux { n_aux - 1 } else { n_aux };
+            mutual_body(&mut ctx, rng, i, partner)
+        } else {
+            let style = rec_style(&ctx.sigs[i], rng);
+            proc_body(&mut ctx, rng, i, style)
+        };
+        defs.push(define(&ctx.sigs[i], body));
+    }
+    let main_body = main_body(&mut ctx, rng);
+    defs.insert(0, define(&ctx.sigs[0], main_body));
+
+    if ctx.higher_order {
+        // A small CPS library generic expressions may call into.
+        defs.push(
+            pe_sexpr::read_one("(define (apply1 f x) (f x))").expect("fixed helper"),
+        );
+        defs.push(
+            pe_sexpr::read_one("(define (twice f x) (f (f x)))").expect("fixed helper"),
+        );
+    }
+
+    let args = ctx.sigs[0]
+        .params
+        .iter()
+        .map(|&(_, ty)| gen_arg(rng, ty))
+        .collect();
+    GenCase {
+        source: render(&defs),
+        entry: ctx.sigs[0].name.clone(),
+        args,
+    }
+}
+
+/// Pretty-prints top-level forms as program source.
+pub fn render(defs: &[Sexpr]) -> String {
+    let mut out = String::new();
+    for d in defs {
+        out.push_str(&pretty(d));
+        out.push('\n');
+    }
+    out
+}
+
+fn plan(rng: &mut Rng) -> Ctx {
+    let n_aux = 2 + rng.below(4) as usize; // 2..=5 auxiliaries
+    let higher_order = rng.chance(3);
+    let mut sigs = Vec::with_capacity(n_aux + 1);
+
+    let main_params = 1 + rng.below(2) as usize;
+    sigs.push(Sig {
+        name: "main".to_string(),
+        params: (0..main_params)
+            .map(|k| (format!("a{k}"), if rng.chance(3) { Ty::List } else { Ty::Int }))
+            .collect(),
+        ret: if rng.chance(4) { Ty::List } else { Ty::Int },
+    });
+
+    for i in 0..n_aux {
+        let n_params = 1 + rng.below(2) as usize;
+        let first_ty = if rng.below(10) < 6 { Ty::Int } else { Ty::List };
+        let mut params = vec![(format!("x{i}0"), first_ty)];
+        for k in 1..n_params {
+            params.push((
+                format!("x{i}{k}"),
+                *rng.pick(&[Ty::Int, Ty::List, Ty::Data]),
+            ));
+        }
+        let ret = match rng.below(4) {
+            0 | 1 => Ty::Int,
+            2 => Ty::List,
+            _ => Ty::Data,
+        };
+        sigs.push(Sig { name: format!("p{i}"), params, ret });
+    }
+    Ctx { sigs, higher_order, fresh: 0 }
+}
+
+fn rec_style(sig: &Sig, rng: &mut Rng) -> RecStyle {
+    match sig.params.first().map(|p| p.1) {
+        Some(Ty::Int) => match rng.below(100) {
+            0..=69 => RecStyle::IntDescent,
+            70..=77 => RecStyle::IntAscent,
+            _ => RecStyle::None,
+        },
+        Some(Ty::List) => {
+            if rng.below(4) < 3 {
+                RecStyle::ListDescent
+            } else {
+                RecStyle::None
+            }
+        }
+        _ => RecStyle::None,
+    }
+}
+
+fn define(sig: &Sig, body: Sexpr) -> Sexpr {
+    let mut head = vec![sym(&sig.name)];
+    head.extend(sig.params.iter().map(|(n, _)| sym(n)));
+    list(vec![sym("define"), list(head), body])
+}
+
+/// `(if GUARD base step)` recursion skeleton for auxiliary `i`; the
+/// step calls `self` (or `partner` for mutual pairs) on a shrunk or
+/// grown first argument, with fresh expressions for the other slots.
+fn proc_body(ctx: &mut Ctx, rng: &mut Rng, i: usize, style: RecStyle) -> Sexpr {
+    let sig = ctx.sigs[i].clone();
+    let env: Vec<(String, Ty)> = sig.params.clone();
+    match style {
+        RecStyle::None => expr(ctx, rng, &env, sig.ret, 3, i + 1),
+        RecStyle::IntDescent | RecStyle::IntAscent => {
+            let n = sym(&sig.params[0].0);
+            let guard = if rng.chance(2) {
+                call2("<", n.clone(), Sexpr::Int(1))
+            } else {
+                call1("zero?", n.clone())
+            };
+            let step_op = if style == RecStyle::IntAscent { "add1" } else { "sub1" };
+            let rec = rec_call(ctx, rng, &env, i, i, call1(step_op, n));
+            let base = expr(ctx, rng, &env, sig.ret, 2, i + 1);
+            let step = combine(ctx, rng, &env, sig.ret, rec, i + 1);
+            list(vec![sym("if"), guard, base, step])
+        }
+        RecStyle::ListDescent => {
+            let l = sym(&sig.params[0].0);
+            let guard = call1("null?", l.clone());
+            let rec = rec_call(ctx, rng, &env, i, i, call1("cdr", l));
+            let base = expr(ctx, rng, &env, sig.ret, 2, i + 1);
+            let step = combine(ctx, rng, &env, sig.ret, rec, i + 1);
+            list(vec![sym("if"), guard, base, step])
+        }
+    }
+}
+
+/// Even/odd-style body: descend, then hand off to the partner.
+fn mutual_body(ctx: &mut Ctx, rng: &mut Rng, i: usize, partner: usize) -> Sexpr {
+    let sig = ctx.sigs[i].clone();
+    let env: Vec<(String, Ty)> = sig.params.clone();
+    let n = sym(&sig.params[0].0);
+    let guard = call2("<", n.clone(), Sexpr::Int(1));
+    let rec = rec_call(ctx, rng, &env, i, partner, call1("sub1", n));
+    let base = expr(ctx, rng, &env, sig.ret, 1, ctx.sigs.len());
+    let step = coerce(rec, ctx.sigs[partner].ret, sig.ret);
+    list(vec![sym("if"), guard, base, step])
+}
+
+/// A call to `sigs[target]` with `first` in the recursion slot and
+/// generated expressions (from `env`, calls only to procs after
+/// `caller`) everywhere else.
+fn rec_call(
+    ctx: &mut Ctx,
+    rng: &mut Rng,
+    env: &[(String, Ty)],
+    caller: usize,
+    target: usize,
+    first: Sexpr,
+) -> Sexpr {
+    let target_sig = ctx.sigs[target].clone();
+    let mut call = vec![sym(&target_sig.name), first];
+    for &(_, ty) in &target_sig.params[1..] {
+        call.push(expr(ctx, rng, env, ty, 1, caller + 1));
+    }
+    list(call)
+}
+
+/// Folds a recursive result into the procedure's return type.
+fn combine(
+    ctx: &mut Ctx,
+    rng: &mut Rng,
+    env: &[(String, Ty)],
+    ret: Ty,
+    rec: Sexpr,
+    callable_from: usize,
+) -> Sexpr {
+    match ret {
+        Ty::Int => {
+            let rhs = expr(ctx, rng, env, Ty::Int, 1, callable_from);
+            let op = *rng.pick(&["+", "-", "*"]);
+            call2(op, rec, rhs)
+        }
+        Ty::List => {
+            if rng.chance(2) {
+                call2("cons", expr(ctx, rng, env, Ty::Data, 1, callable_from), rec)
+            } else {
+                rec
+            }
+        }
+        Ty::Data => {
+            if rng.chance(2) {
+                call2("cons", rec, quoted(Sexpr::nil()))
+            } else {
+                rec
+            }
+        }
+    }
+}
+
+/// Adapts an expression of type `have` into type `want` (cheaply; the
+/// mutual-pair hand-off is the only caller).  `(if (number? e) e 0)`
+/// evaluates `e` twice, which is fine for the pure subject language.
+fn coerce(e: Sexpr, have: Ty, want: Ty) -> Sexpr {
+    if have == want || want == Ty::Data {
+        return e;
+    }
+    match want {
+        Ty::Int => list(vec![
+            sym("if"),
+            call1("number?", e.clone()),
+            e,
+            Sexpr::Int(0),
+        ]),
+        Ty::List => call2("cons", e, quoted(Sexpr::nil())),
+        Ty::Data => e,
+    }
+}
+
+fn main_body(ctx: &mut Ctx, rng: &mut Rng) -> Sexpr {
+    let sig = ctx.sigs[0].clone();
+    let env: Vec<(String, Ty)> = sig.params.clone();
+    if rng.chance(3) {
+        let v = ctx.fresh_var();
+        let bound = expr(ctx, rng, &env, Ty::Int, 2, 1);
+        let mut inner_env = env.clone();
+        inner_env.push((v.clone(), Ty::Int));
+        let body = expr(ctx, rng, &inner_env, sig.ret, 3, 1);
+        list(vec![
+            sym("let"),
+            list(vec![list(vec![sym(&v), bound])]),
+            body,
+        ])
+    } else {
+        expr(ctx, rng, &env, sig.ret, 3, 1)
+    }
+}
+
+/// A random expression of type `ty` with nesting budget `depth`,
+/// referring only to `env` variables and procedures `callable_from..`
+/// (so generic call sites form a DAG — recursion lives only in the
+/// guarded templates above).
+fn expr(
+    ctx: &mut Ctx,
+    rng: &mut Rng,
+    env: &[(String, Ty)],
+    ty: Ty,
+    depth: usize,
+    callable_from: usize,
+) -> Sexpr {
+    if depth == 0 {
+        return leaf(rng, env, ty);
+    }
+    match ty {
+        Ty::Int => match rng.below(12) {
+            0..=2 => {
+                let op = *rng.pick(&["+", "-", "*"]);
+                call2(
+                    op,
+                    expr(ctx, rng, env, Ty::Int, depth - 1, callable_from),
+                    expr(ctx, rng, env, Ty::Int, depth - 1, callable_from),
+                )
+            }
+            3 => call1(
+                rng.pick::<&str>(&["add1", "sub1"]),
+                expr(ctx, rng, env, Ty::Int, depth - 1, callable_from),
+            ),
+            4 => {
+                let c = cond(ctx, rng, env, depth - 1, callable_from);
+                list(vec![
+                    sym("if"),
+                    c,
+                    expr(ctx, rng, env, Ty::Int, depth - 1, callable_from),
+                    expr(ctx, rng, env, Ty::Int, depth - 1, callable_from),
+                ])
+            }
+            5 | 6 => proc_call(ctx, rng, env, Ty::Int, depth, callable_from)
+                .unwrap_or_else(|| leaf(rng, env, Ty::Int)),
+            7 => {
+                // Dispatch over conditionally-chosen lambdas: the
+                // operator is an `if`, The Trick's favourite meal.
+                let c = cond(ctx, rng, env, depth - 1, callable_from);
+                let v = ctx.fresh_var();
+                let mut env2 = env.to_vec();
+                env2.push((v.clone(), Ty::Int));
+                let arm = |ctx: &mut Ctx, rng: &mut Rng| {
+                    list(vec![
+                        sym("lambda"),
+                        list(vec![sym(&v)]),
+                        expr(ctx, rng, &env2, Ty::Int, depth - 1, callable_from),
+                    ])
+                };
+                let f1 = arm(ctx, rng);
+                let f2 = arm(ctx, rng);
+                list(vec![
+                    list(vec![sym("if"), c, f1, f2]),
+                    expr(ctx, rng, env, Ty::Int, depth - 1, callable_from),
+                ])
+            }
+            8 if ctx.higher_order => {
+                let v = ctx.fresh_var();
+                let mut env2 = env.to_vec();
+                env2.push((v.clone(), Ty::Int));
+                let f = list(vec![
+                    sym("lambda"),
+                    list(vec![sym(&v)]),
+                    expr(ctx, rng, &env2, Ty::Int, depth - 1, callable_from),
+                ]);
+                let helper = *rng.pick(&["apply1", "twice"]);
+                list(vec![
+                    sym(helper),
+                    f,
+                    expr(ctx, rng, env, Ty::Int, depth - 1, callable_from),
+                ])
+            }
+            9 if rng.chance(4) => {
+                // Partial primitive on purpose: a deterministic
+                // runtime error every engine must report identically.
+                call1("car", expr(ctx, rng, env, Ty::List, depth - 1, callable_from))
+            }
+            _ => leaf(rng, env, Ty::Int),
+        },
+        Ty::List => match rng.below(8) {
+            0..=2 => call2(
+                "cons",
+                expr(ctx, rng, env, Ty::Data, depth - 1, callable_from),
+                expr(ctx, rng, env, Ty::List, depth - 1, callable_from),
+            ),
+            3 => {
+                let c = cond(ctx, rng, env, depth - 1, callable_from);
+                list(vec![
+                    sym("if"),
+                    c,
+                    expr(ctx, rng, env, Ty::List, depth - 1, callable_from),
+                    expr(ctx, rng, env, Ty::List, depth - 1, callable_from),
+                ])
+            }
+            4 => proc_call(ctx, rng, env, Ty::List, depth, callable_from)
+                .unwrap_or_else(|| leaf(rng, env, Ty::List)),
+            5 if rng.chance(3) => {
+                call1("cdr", expr(ctx, rng, env, Ty::List, depth - 1, callable_from))
+            }
+            _ => leaf(rng, env, Ty::List),
+        },
+        Ty::Data => match rng.below(4) {
+            0 => expr(ctx, rng, env, Ty::Int, depth, callable_from),
+            1 => expr(ctx, rng, env, Ty::List, depth, callable_from),
+            _ => leaf(rng, env, Ty::Data),
+        },
+    }
+}
+
+fn cond(
+    ctx: &mut Ctx,
+    rng: &mut Rng,
+    env: &[(String, Ty)],
+    depth: usize,
+    callable_from: usize,
+) -> Sexpr {
+    match rng.below(5) {
+        0 => call1("zero?", expr(ctx, rng, env, Ty::Int, depth, callable_from)),
+        1 => call1("null?", expr(ctx, rng, env, Ty::List, depth, callable_from)),
+        2 => call2(
+            "<",
+            expr(ctx, rng, env, Ty::Int, depth, callable_from),
+            expr(ctx, rng, env, Ty::Int, depth, callable_from),
+        ),
+        3 => call2(
+            "equal?",
+            expr(ctx, rng, env, Ty::Data, depth.min(1), callable_from),
+            expr(ctx, rng, env, Ty::Data, depth.min(1), callable_from),
+        ),
+        _ => call1("pair?", expr(ctx, rng, env, Ty::Data, depth, callable_from)),
+    }
+}
+
+/// A call to some procedure (index `>= callable_from`) returning `ty`,
+/// or `None` when no such procedure exists.
+fn proc_call(
+    ctx: &mut Ctx,
+    rng: &mut Rng,
+    env: &[(String, Ty)],
+    ty: Ty,
+    depth: usize,
+    callable_from: usize,
+) -> Option<Sexpr> {
+    let candidates: Vec<usize> = (callable_from..ctx.sigs.len())
+        .filter(|&j| ctx.sigs[j].ret == ty || ctx.sigs[j].ret == Ty::Data)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let j = *rng.pick(&candidates);
+    let target = ctx.sigs[j].clone();
+    let mut call = vec![sym(&target.name)];
+    for &(_, pty) in &target.params {
+        call.push(expr(ctx, rng, env, pty, depth.saturating_sub(1).min(1), j + 1));
+    }
+    Some(list(call))
+}
+
+fn leaf(rng: &mut Rng, env: &[(String, Ty)], ty: Ty) -> Sexpr {
+    let vars: Vec<&String> =
+        env.iter().filter(|(_, t)| *t == ty).map(|(n, _)| n).collect();
+    if !vars.is_empty() && rng.below(10) < 6 {
+        return sym(rng.pick(&vars).as_str());
+    }
+    match ty {
+        Ty::Int => Sexpr::Int(rng.below(10) as i64),
+        Ty::List => match rng.below(3) {
+            0 => quoted(Sexpr::nil()),
+            1 => quoted(list(vec![Sexpr::Int(1), Sexpr::Int(2)])),
+            _ => quoted(list(vec![
+                Sexpr::Int(rng.below(9) as i64),
+                sym("a"),
+                Sexpr::Int(rng.below(9) as i64),
+            ])),
+        },
+        Ty::Data => match rng.below(5) {
+            0 => Sexpr::Int(rng.below(10) as i64),
+            1 => quoted(sym(rng.pick::<&str>(&["a", "b", "c"]))),
+            2 => Sexpr::Bool(rng.chance(2)),
+            3 => quoted(Sexpr::nil()),
+            _ => quoted(list(vec![sym("k"), Sexpr::Int(rng.below(5) as i64)])),
+        },
+    }
+}
+
+fn gen_arg(rng: &mut Rng, ty: Ty) -> Datum {
+    match ty {
+        Ty::Int => Datum::Int(rng.below(6) as i64),
+        Ty::List => {
+            let n = rng.below(4);
+            let items: Vec<Datum> = (0..n).map(|_| Datum::Int(rng.below(9) as i64)).collect();
+            pe_interp::Value::list(items)
+        }
+        Ty::Data => match rng.below(3) {
+            0 => Datum::Int(rng.below(9) as i64),
+            1 => Datum::Sym("a".into()),
+            _ => Datum::Bool(true),
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutation: grafting hostility onto a healthy program.
+// ---------------------------------------------------------------------
+
+/// The mutation operators, in the order [`mutate`] cycles through them.
+pub const MUTATIONS: [&str; 6] =
+    ["omega", "deepwrap", "hugelit", "ascent", "truncate", "dropdef"];
+
+/// Applies the mutation named `tag` to `base`, returning `None` when it
+/// does not apply (e.g. no integer literal to inflate).  Structural
+/// mutations keep the program readable; textual ones (`truncate`) aim
+/// at the reader itself.
+pub fn mutate(rng: &mut Rng, base: &GenCase, tag: &str) -> Option<GenCase> {
+    match tag {
+        "truncate" => {
+            let len = base.source.len();
+            if len < 8 {
+                return None;
+            }
+            let mut cut = len / 2 + (rng.below((len / 2) as u64) as usize);
+            while !base.source.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let mut source = base.source[..cut].to_string();
+            if rng.chance(2) {
+                source.push_str(")))");
+            }
+            Some(GenCase { source, ..base.clone() })
+        }
+        _ => {
+            let mut defs = pe_sexpr::read(&base.source).ok()?;
+            match tag {
+                "omega" => {
+                    let omega = pe_sexpr::read_one(pe_faultline::omega_expr())
+                        .expect("omega parses");
+                    replace_random_expr(rng, &mut defs, |_| omega.clone())?;
+                }
+                "deepwrap" => {
+                    // Deep enough to stress unfolding and the syntax
+                    // meters, shallow enough that a debug-build parser
+                    // on a default thread stack survives (the CLI runs
+                    // on a big-stack worker regardless).
+                    let n = 80 + rng.below(140) as usize;
+                    replace_random_expr(rng, &mut defs, |e| {
+                        let mut w = e.clone();
+                        for _ in 0..n {
+                            w = call1("add1", w);
+                        }
+                        w
+                    })?;
+                }
+                "hugelit" => {
+                    let edge = [i64::MAX, i64::MAX - 1, i64::MIN + 1][rng.below(3) as usize];
+                    replace_random_int(rng, &mut defs, edge)?;
+                }
+                "ascent" => {
+                    if !flip_descent(&mut defs) {
+                        return None;
+                    }
+                }
+                "dropdef" => {
+                    let droppable: Vec<usize> = defs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, d)| def_name(d) != Some(base.entry.as_str()))
+                        .map(|(i, _)| i)
+                        .collect();
+                    if droppable.is_empty() {
+                        return None;
+                    }
+                    defs.remove(*rng.pick(&droppable));
+                }
+                _ => return None,
+            }
+            Some(GenCase { source: render(&defs), ..base.clone() })
+        }
+    }
+}
+
+fn def_name(d: &Sexpr) -> Option<&str> {
+    d.form_args("define")?.first()?.list()?.first()?.sym()
+}
+
+/// Walks every expression position of every definition body (skipping
+/// binder lists and quoted data) and collects mutable pointers as
+/// index paths; used by the structural mutators and the shrinker.
+pub(crate) fn expr_paths(defs: &[Sexpr]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    for (i, d) in defs.iter().enumerate() {
+        if let Some(args) = d.form_args("define") {
+            if args.len() == 2 {
+                // Body of (define (f ..) body) sits at defs[i][2].
+                walk(&args[1], vec![i, 2], &mut out);
+            }
+        }
+    }
+    out
+}
+
+fn walk(e: &Sexpr, path: Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    out.push(path.clone());
+    let Some(xs) = e.list() else { return };
+    if xs.is_empty() {
+        return;
+    }
+    match xs[0].sym() {
+        Some("quote") => {}
+        Some("lambda") if xs.len() == 3 => {
+            let mut p = path;
+            p.push(2);
+            walk(&xs[2], p, out);
+        }
+        Some("let") if xs.len() == 3 => {
+            // (let ((v E)) B): E at [1][0][1], B at [2].
+            if let Some(binding) =
+                xs[1].list().and_then(|bs| bs.first()).and_then(Sexpr::list)
+            {
+                if binding.len() == 2 {
+                    let mut p = path.clone();
+                    p.extend([1, 0, 1]);
+                    walk(&binding[1], p, out);
+                }
+            }
+            let mut p = path;
+            p.push(2);
+            walk(&xs[2], p, out);
+        }
+        Some("if") => {
+            for (k, x) in xs.iter().enumerate().skip(1) {
+                let mut p = path.clone();
+                p.push(k);
+                walk(x, p, out);
+            }
+        }
+        Some(_) => {
+            // (op e ...) — arguments only; the head is a name.
+            for (k, x) in xs.iter().enumerate().skip(1) {
+                let mut p = path.clone();
+                p.push(k);
+                walk(x, p, out);
+            }
+        }
+        None => {
+            // Computed operator: every element is an expression.
+            for (k, x) in xs.iter().enumerate() {
+                let mut p = path.clone();
+                p.push(k);
+                walk(x, p, out);
+            }
+        }
+    }
+}
+
+pub(crate) fn node_at<'a>(defs: &'a mut [Sexpr], path: &[usize]) -> Option<&'a mut Sexpr> {
+    let (&first, rest) = path.split_first()?;
+    let mut cur = defs.get_mut(first)?;
+    for &k in rest {
+        match cur {
+            Sexpr::List(xs) => cur = xs.get_mut(k)?,
+            _ => return None,
+        }
+    }
+    Some(cur)
+}
+
+fn replace_random_expr(
+    rng: &mut Rng,
+    defs: &mut [Sexpr],
+    f: impl Fn(&Sexpr) -> Sexpr,
+) -> Option<()> {
+    let paths = expr_paths(defs);
+    if paths.is_empty() {
+        return None;
+    }
+    let path = rng.pick(&paths).clone();
+    let node = node_at(defs, &path)?;
+    *node = f(node);
+    Some(())
+}
+
+fn replace_random_int(rng: &mut Rng, defs: &mut [Sexpr], value: i64) -> Option<()> {
+    let paths: Vec<Vec<usize>> = expr_paths(defs)
+        .into_iter()
+        .filter(|p| {
+            matches!(
+                node_at(defs, p).map(|e| matches!(e, Sexpr::Int(_))),
+                Some(true)
+            )
+        })
+        .collect();
+    if paths.is_empty() {
+        return None;
+    }
+    let path = rng.pick(&paths).clone();
+    *node_at(defs, &path)? = Sexpr::Int(value);
+    Some(())
+}
+
+/// Rewrites every `(sub1 e)` into `(add1 e)`: descent becomes ascent,
+/// which is exactly the Bounded→Unbounded flip the size-change
+/// analysis must catch statically and the fuel meter dynamically.
+fn flip_descent(defs: &mut [Sexpr]) -> bool {
+    let mut flipped = false;
+    let paths = expr_paths(defs);
+    for p in paths {
+        if let Some(node) = node_at(defs, &p) {
+            let is_sub1 = node.is_form("sub1");
+            if is_sub1 {
+                if let Sexpr::List(xs) = node {
+                    xs[0] = sym("add1");
+                    flipped = true;
+                }
+            }
+        }
+    }
+    flipped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_parse_and_are_deterministic() {
+        for seed in 0..40 {
+            let a = gen_case(&mut Rng::new(seed));
+            let b = gen_case(&mut Rng::new(seed));
+            assert_eq!(a.source, b.source, "seed {seed} not deterministic");
+            assert_eq!(a.args, b.args);
+            pe_frontend::parse_source(&a.source)
+                .unwrap_or_else(|e| panic!("seed {seed} does not parse: {e}\n{}", a.source));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = gen_case(&mut Rng::new(1));
+        let b = gen_case(&mut Rng::new(2));
+        assert_ne!(a.source, b.source);
+    }
+
+    #[test]
+    fn structural_mutants_parse_or_fail_structurally() {
+        // Big-stack worker: deep-wrap mutants drive the (recursive,
+        // debug-build) parser hundreds of frames down.
+        realistic_pe::with_big_stack(|| {
+            let mut rng = Rng::new(99);
+            let base = gen_case(&mut rng);
+            for tag in MUTATIONS {
+                let mut r = Rng::new(7);
+                if let Some(m) = mutate(&mut r, &base, tag) {
+                    // A mutant either parses or the parser reports a
+                    // structured error — never a panic (no_panic would
+                    // catch one as an Err with a payload).
+                    let r = pe_faultline::no_panic(|| pe_frontend::parse_source(&m.source));
+                    assert!(r.is_ok(), "{tag}: parser panicked: {:?}", r.err());
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn ascent_mutation_flips_sub1() {
+        let base = GenCase {
+            source: "(define (f n) (if (< n 1) 0 (f (sub1 n))))".to_string(),
+            entry: "f".to_string(),
+            args: vec![Datum::Int(3)],
+        };
+        let mut rng = Rng::new(1);
+        let m = mutate(&mut rng, &base, "ascent").expect("applies");
+        assert!(m.source.contains("add1"));
+        assert!(!m.source.contains("sub1"));
+    }
+
+    #[test]
+    fn dropdef_never_drops_entry() {
+        let base = GenCase {
+            source: "(define (main n) (helper n))\n(define (helper n) n)\n".to_string(),
+            entry: "main".to_string(),
+            args: vec![Datum::Int(1)],
+        };
+        for seed in 0..8 {
+            let mut rng = Rng::new(seed);
+            let m = mutate(&mut rng, &base, "dropdef").expect("applies");
+            assert!(m.source.contains("main"));
+            assert!(!m.source.contains("helper n) n"));
+        }
+    }
+
+    #[test]
+    fn expr_paths_skip_binders_and_quotes() {
+        let defs =
+            pe_sexpr::read("(define (f x) (let ((v (quote (1 2)))) (lambda (y) (+ x 1))))")
+                .unwrap();
+        let paths = expr_paths(&defs);
+        let mut defs2 = defs.clone();
+        for p in &paths {
+            let node = node_at(&mut defs2, p).expect("path resolves");
+            // No param list or binding head should be reachable.
+            assert!(node.sym() != Some("v") && node.sym() != Some("y"), "{node}");
+        }
+    }
+}

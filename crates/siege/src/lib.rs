@@ -1,0 +1,491 @@
+//! pe-siege: differential fuzzing, chaos budgets, and a sustained-
+//! attack soak harness for the realistic-pe suite.
+//!
+//! The compiler's claim is not just "fast" but "never worse than a
+//! structured trap": every engine in the family — interpreters,
+//! baseline, specializer, VM — must agree on values, agree on error
+//! classes, and degrade gracefully under any budget.  This crate
+//! besieges that claim with four layers:
+//!
+//! 1. **Generation** ([`gen`]): deterministic, seed-driven structured
+//!    programs spanning the Fig. 2 grammar, plus mutation operators
+//!    that graft faultline-style hostility onto healthy programs.
+//! 2. **Differential oracle** ([`oracle`]): every case through every
+//!    engine under identical limits; value mismatches, panics and
+//!    machine traps are findings, budget splits are documented.
+//! 3. **Chaos budgets** ([`chaos`]): every case re-run down a halving
+//!    [`pe_governor::Limits::ladder`] to outright starvation, asserting
+//!    crash-freedom and value-or-structured-trap at every rung.
+//! 4. **Shrink & corpus** ([`shrink`], [`corpus`]): findings are
+//!    minimized automatically and persisted as corpus files that
+//!    replay first on every subsequent run.
+//!
+//! The soak entry point emits a `SIEGE_pe.json` report through the
+//! pe-trace JSONL sink, so the existing stream validator checks it.
+
+pub mod chaos;
+pub mod corpus;
+pub mod gen;
+pub mod oracle;
+pub mod report;
+pub mod rng;
+pub mod shrink;
+
+use oracle::{agreement, Agreement, Outcome, ENGINES, REFERENCE};
+use pe_governor::TrapClass;
+use pe_interp::Datum;
+use pe_trace::{Counter, Gauge, Phase, Sink};
+use rng::Rng;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// One siege test case: a subject program plus an entry call.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Stable case name (`gen-17`, `gen-17-omega`, corpus file stem).
+    pub name: String,
+    /// Subject program source text.
+    pub source: String,
+    /// Entry procedure.
+    pub entry: String,
+    /// First-order entry arguments.
+    pub args: Vec<Datum>,
+}
+
+impl Case {
+    fn from_gen(name: String, g: gen::GenCase) -> Case {
+        Case { name, source: g.source, entry: g.entry, args: g.args }
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct SiegeConfig {
+    /// Master seed; everything downstream derives from it.
+    pub seed: u64,
+    /// Number of base programs to generate (mutants ride on top).
+    pub cases: usize,
+    /// Halving rungs between full budget and starvation.
+    pub ladder_rungs: usize,
+    /// Shrink findings before reporting.
+    pub shrink: bool,
+    /// Corpus directory: replayed first, and findings are persisted
+    /// here when set.
+    pub corpus_dir: Option<PathBuf>,
+    /// Persist shrunk findings into the corpus.
+    pub persist_findings: bool,
+}
+
+impl SiegeConfig {
+    /// The deterministic CI configuration: fixed seed, enough cases
+    /// that every grammar corner and mutation fires, small ladder.
+    #[must_use]
+    pub fn quick() -> SiegeConfig {
+        SiegeConfig {
+            seed: 0xC0FF_EE00,
+            cases: 400,
+            ladder_rungs: 2,
+            shrink: true,
+            corpus_dir: None,
+            persist_findings: false,
+        }
+    }
+
+    /// The sustained-attack configuration.
+    #[must_use]
+    pub fn soak() -> SiegeConfig {
+        SiegeConfig {
+            seed: 0xC0FF_EE00,
+            cases: 2_000,
+            ladder_rungs: 3,
+            shrink: true,
+            corpus_dir: None,
+            persist_findings: true,
+        }
+    }
+}
+
+/// A confirmed robustness violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Case name (post-shrink reproducers keep the original name).
+    pub case_name: String,
+    /// Finding class tag (`panic`, `value-mismatch`, …).
+    pub class: String,
+    /// Human-readable description.
+    pub detail: String,
+    /// The (possibly shrunk) reproducer source.
+    pub source: String,
+    /// Residual verification result, when a residual existed:
+    /// `Some(true)` = clean, `Some(false)` = verifier also rejects.
+    pub residual_verified: Option<bool>,
+}
+
+/// Per-engine agreement tallies against the reference engine.
+#[derive(Debug, Clone, Default)]
+pub struct AgreementRow {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Identical values.
+    pub value_agree: u64,
+    /// Identical structured-failure class.
+    pub trap_agree: u64,
+    /// Documented budget divergence.
+    pub budget_divergence: u64,
+    /// Documented non-budget divergence (degraded, refused, …).
+    pub documented: u64,
+    /// Real disagreements (each also produces a [`Finding`]).
+    pub disagree: u64,
+}
+
+/// Aggregated results of one siege run.
+#[derive(Debug, Default)]
+pub struct Totals {
+    /// Cases examined (generated + mutants + corpus).
+    pub cases: u64,
+    /// Of which mutants.
+    pub mutants: u64,
+    /// Of which corpus replays.
+    pub corpus_cases: u64,
+    /// Individual engine executions (compiles included).
+    pub engine_runs: u64,
+    /// Budget-ladder rungs executed.
+    pub ladder_runs: u64,
+    /// Ladder rungs that fell back to the degraded interpreter.
+    pub degraded_runs: u64,
+    /// Structured traps observed, by [`TrapClass`] name.
+    pub trap_census: BTreeMap<&'static str, u64>,
+    /// Shrinker reductions accepted.
+    pub shrink_steps: u64,
+    /// Cases the front end refused structurally (hostile mutants).
+    pub refused_cases: u64,
+    /// Agreement matrix, one row per non-reference engine.
+    pub agreement: Vec<AgreementRow>,
+    /// Peak trap-time meters across every engine run.
+    pub peak_fuel: u64,
+    /// Peak heap cells at trap time.
+    pub peak_heap: u64,
+    /// Peak call depth at trap time.
+    pub peak_depth: u64,
+    /// All findings (must be empty for a healthy tree).
+    pub findings: Vec<Finding>,
+}
+
+/// A sink that remembers gauge high-water marks and otherwise discards
+/// events: engine runs stream through it so the soak report can state
+/// the worst meters any trap ever reached.
+#[derive(Debug, Default)]
+pub struct PeakSink {
+    peaks: [u64; 3],
+    counters: Vec<(Counter, u64)>,
+}
+
+impl PeakSink {
+    /// Fresh sink with zeroed peaks.
+    #[must_use]
+    pub fn new() -> PeakSink {
+        PeakSink::default()
+    }
+
+    /// `(peak fuel, peak heap, peak depth)` observed so far.
+    #[must_use]
+    pub fn peaks(&self) -> (u64, u64, u64) {
+        (self.peaks[0], self.peaks[1], self.peaks[2])
+    }
+
+    /// Total for `c` across every run streamed through this sink.
+    #[must_use]
+    pub fn counter_total(&self, c: Counter) -> u64 {
+        self.counters.iter().find(|&&(k, _)| k == c).map_or(0, |&(_, v)| v)
+    }
+}
+
+impl Sink for PeakSink {
+    fn span_open(&mut self, _phase: Phase) {}
+    fn span_close(&mut self, _phase: Phase, _dur_ns: u64) {}
+    fn counter(&mut self, counter: Counter, delta: u64) {
+        match self.counters.iter_mut().find(|(k, _)| *k == counter) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((counter, delta)),
+        }
+    }
+    fn gauge(&mut self, gauge: Gauge, value: u64) {
+        let i = match gauge {
+            Gauge::FuelUsed => 0,
+            Gauge::HeapUsed => 1,
+            Gauge::CallDepth => 2,
+        };
+        self.peaks[i] = self.peaks[i].max(value);
+    }
+}
+
+/// Runs the whole siege: corpus replay first, then seeded generation
+/// with mutants, oracle and ladder per case, shrinking on findings.
+///
+/// The campaign executes on a big-stack worker thread: the host-stack
+/// engines and the (debug-build) front end both recurse proportionally
+/// to input depth, and siege inputs are hostile by design.
+#[must_use]
+pub fn run_siege(cfg: &SiegeConfig) -> Totals {
+    realistic_pe::with_big_stack(|| run_siege_here(cfg))
+}
+
+fn run_siege_here(cfg: &SiegeConfig) -> Totals {
+    let mut totals = Totals::default();
+    for &e in ENGINES.iter().filter(|&&e| e != ENGINES[REFERENCE]) {
+        totals.agreement.push(AgreementRow { engine: e, ..AgreementRow::default() });
+    }
+    let mut sink = PeakSink::new();
+
+    // Corpus replay comes first: past findings are the cheapest bugs
+    // to re-find.
+    if let Some(dir) = &cfg.corpus_dir {
+        match corpus::load_dir(dir) {
+            Ok(cases) => {
+                for case in cases {
+                    totals.corpus_cases += 1;
+                    besiege_case(&case, cfg, &mut totals, &mut sink);
+                }
+            }
+            Err(e) => totals.findings.push(Finding {
+                case_name: "corpus".to_string(),
+                class: "corpus-unreadable".to_string(),
+                detail: e,
+                source: String::new(),
+                residual_verified: None,
+            }),
+        }
+    }
+
+    let mut master = Rng::new(cfg.seed);
+    for i in 0..cfg.cases {
+        let mut rng = master.fork();
+        let base = Case::from_gen(format!("gen-{i}"), gen::gen_case(&mut rng));
+        besiege_case(&base, cfg, &mut totals, &mut sink);
+
+        // 0–2 mutants per base program, deterministic per seed.
+        let n_mutants = rng.below(3);
+        for _ in 0..n_mutants {
+            let tag = *rng.pick(&gen::MUTATIONS);
+            let g = gen::GenCase {
+                source: base.source.clone(),
+                entry: base.entry.clone(),
+                args: base.args.clone(),
+            };
+            if let Some(m) = gen::mutate(&mut rng, &g, tag) {
+                let case = Case::from_gen(format!("gen-{i}-{tag}"), m);
+                totals.mutants += 1;
+                besiege_case(&case, cfg, &mut totals, &mut sink);
+            }
+        }
+    }
+
+    let (pf, ph, pd) = sink.peaks();
+    totals.peak_fuel = pf;
+    totals.peak_heap = ph;
+    totals.peak_depth = pd;
+    totals
+}
+
+/// Oracle + ladder for one case; findings are shrunk and recorded.
+fn besiege_case(case: &Case, cfg: &SiegeConfig, totals: &mut Totals, sink: &mut PeakSink) {
+    totals.cases += 1;
+    let limits = oracle::oracle_limits();
+
+    let pipe = match oracle::build(&case.source) {
+        Err(panic_msg) => {
+            record_finding(
+                case,
+                "panic",
+                format!("front end panicked: {panic_msg}"),
+                None,
+                cfg,
+                totals,
+            );
+            return;
+        }
+        Ok(Err(_structured_rejection)) => {
+            // Hostile mutants are *supposed* to be refused; the
+            // interesting property is that the refusal is structured,
+            // which reaching this arm proves.
+            totals.refused_cases += 1;
+            return;
+        }
+        Ok(Ok(pipe)) => pipe,
+    };
+
+    let exam = oracle::examine(&pipe, &case.entry, &case.args, limits, sink);
+    totals.engine_runs += exam.runs;
+    for (_, o) in &exam.outcomes {
+        match o {
+            Outcome::Trap(c) => *totals.trap_census.entry(c.name()).or_insert(0) += 1,
+            Outcome::Machine(_) => {
+                *totals.trap_census.entry(TrapClass::Machine.name()).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    let reference = exam.reference().clone();
+    for (name, o) in &exam.outcomes {
+        if *name == ENGINES[REFERENCE] {
+            continue;
+        }
+        let row = totals
+            .agreement
+            .iter_mut()
+            .find(|r| r.engine == *name)
+            .expect("row pre-seeded");
+        match agreement(name, o, &reference) {
+            Agreement::ValueAgree => row.value_agree += 1,
+            Agreement::TrapAgree => row.trap_agree += 1,
+            Agreement::BudgetDivergence => row.budget_divergence += 1,
+            Agreement::Documented => row.documented += 1,
+            Agreement::Disagree => row.disagree += 1,
+        }
+    }
+
+    if let Some((class, detail)) = exam.finding() {
+        let verified = exam.residual.as_ref().map(|s0| !pe_verify::verify(s0).has_errors());
+        record_finding(case, class, detail, verified, cfg, totals);
+        return;
+    }
+
+    let ladder = chaos::ladder_check(
+        &pipe,
+        &case.entry,
+        &case.args,
+        limits,
+        cfg.ladder_rungs,
+        &reference,
+        exam.vm_outcome(),
+        sink,
+    );
+    totals.ladder_runs += ladder.runs;
+    totals.degraded_runs += ladder.degraded;
+    if let Some((class, detail)) = ladder.finding {
+        let verified = exam.residual.as_ref().map(|s0| !pe_verify::verify(s0).has_errors());
+        record_finding(case, class, detail, verified, cfg, totals);
+    }
+}
+
+fn record_finding(
+    case: &Case,
+    class: &str,
+    detail: String,
+    residual_verified: Option<bool>,
+    cfg: &SiegeConfig,
+    totals: &mut Totals,
+) {
+    let reproducer = if cfg.shrink {
+        let class_owned = class.to_string();
+        let (small, steps) = shrink::shrink(
+            case,
+            |c| refind(c, cfg.ladder_rungs).is_some_and(|k| k == class_owned),
+            120,
+        );
+        totals.shrink_steps += steps;
+        small
+    } else {
+        case.clone()
+    };
+    if cfg.persist_findings {
+        if let Some(dir) = &cfg.corpus_dir {
+            // Best effort: a read-only checkout must not turn one
+            // finding into two.
+            let _ = corpus::save_case(dir, &reproducer, class);
+        }
+    }
+    totals.findings.push(Finding {
+        case_name: case.name.clone(),
+        class: class.to_string(),
+        detail,
+        source: reproducer.source,
+        residual_verified,
+    });
+}
+
+/// Re-runs oracle + ladder on a candidate reproducer, returning the
+/// finding class if one (still) fires.  Used by the shrinker.
+#[must_use]
+pub fn refind(case: &Case, ladder_rungs: usize) -> Option<String> {
+    let limits = oracle::oracle_limits();
+    let pipe = match oracle::build(&case.source) {
+        Err(_) => return Some("panic".to_string()),
+        Ok(Err(_)) => return None,
+        Ok(Ok(p)) => p,
+    };
+    let mut sink = pe_trace::NullSink;
+    let exam = oracle::examine(&pipe, &case.entry, &case.args, limits, &mut sink);
+    if let Some((class, _)) = exam.finding() {
+        return Some(class.to_string());
+    }
+    let ladder = chaos::ladder_check(
+        &pipe,
+        &case.entry,
+        &case.args,
+        limits,
+        ladder_rungs,
+        exam.reference(),
+        exam.vm_outcome(),
+        &mut sink,
+    );
+    ladder.finding.map(|(class, _)| class.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SiegeConfig {
+        SiegeConfig {
+            seed: 7,
+            cases: 12,
+            ladder_rungs: 2,
+            shrink: true,
+            corpus_dir: None,
+            persist_findings: false,
+        }
+    }
+
+    #[test]
+    fn tiny_siege_is_clean_and_deterministic() {
+        let a = run_siege(&tiny());
+        assert!(a.findings.is_empty(), "findings: {:#?}", a.findings);
+        assert_eq!(a.cases, 12 + a.mutants);
+        assert!(a.engine_runs > 0 && a.ladder_runs > 0);
+
+        let b = run_siege(&tiny());
+        assert_eq!(a.cases, b.cases);
+        assert_eq!(a.mutants, b.mutants);
+        assert_eq!(a.engine_runs, b.engine_runs);
+        assert_eq!(a.ladder_runs, b.ladder_runs);
+        assert_eq!(a.trap_census, b.trap_census);
+        for (ra, rb) in a.agreement.iter().zip(&b.agreement) {
+            assert_eq!(ra.value_agree, rb.value_agree, "{}", ra.engine);
+            assert_eq!(ra.disagree, rb.disagree, "{}", ra.engine);
+        }
+    }
+
+    #[test]
+    fn peak_sink_tracks_high_water_marks() {
+        let mut s = PeakSink::new();
+        s.gauge(Gauge::FuelUsed, 10);
+        s.gauge(Gauge::FuelUsed, 4);
+        s.gauge(Gauge::HeapUsed, 9);
+        s.counter(Counter::VmSteps, 5);
+        s.counter(Counter::VmSteps, 6);
+        assert_eq!(s.peaks(), (10, 9, 0));
+        assert_eq!(s.counter_total(Counter::VmSteps), 11);
+    }
+
+    #[test]
+    fn refind_reports_nothing_on_a_healthy_case() {
+        let case = Case {
+            name: "ok".to_string(),
+            source: "(define (main n) (add1 n))".to_string(),
+            entry: "main".to_string(),
+            args: vec![Datum::Int(1)],
+        };
+        assert_eq!(refind(&case, 2), None);
+    }
+}

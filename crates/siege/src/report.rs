@@ -1,0 +1,216 @@
+//! The `SIEGE_pe.json` soak report.
+//!
+//! The report is a JSONL stream in the pe-trace schema — the same one
+//! `pe-explain --json` emits and `pe_trace::jsonl::validate` checks:
+//! a `run` header line, one balanced `siege` span carrying the
+//! harness counters and peak gauges, then `run`-typed data rows for
+//! the engine-agreement matrix, the trap census, the ladder summary
+//! and any findings.  [`render`] self-validates before returning, so
+//! a schema-breaking report can never be written to disk.
+
+use crate::{SiegeConfig, Totals};
+use pe_trace::{Counter, Gauge, JsonlSink, Phase, Sink};
+
+/// Renders the validated JSONL report.
+///
+/// # Errors
+///
+/// The validator's message if the rendered stream does not conform
+/// (a harness bug, not an input property).
+pub fn render(totals: &Totals, cfg: &SiegeConfig, elapsed_ns: u64) -> Result<String, String> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"type\":\"run\",\"tool\":\"pe-siege\",\"seed\":{},\"cases\":{},\
+         \"mutants\":{},\"corpus\":{},\"refused\":{},\"ladder_rungs\":{},\
+         \"findings\":{}}}\n",
+        cfg.seed,
+        totals.cases,
+        totals.mutants,
+        totals.corpus_cases,
+        totals.refused_cases,
+        cfg.ladder_rungs,
+        totals.findings.len(),
+    ));
+
+    // The harness counters and peak meters travel inside one balanced
+    // `siege` span, emitted through the real JSONL sink so the event
+    // format cannot drift from the schema.
+    let mut sink = JsonlSink::new(Vec::new());
+    sink.span_open(Phase::Siege);
+    sink.counter(Counter::SiegeCases, totals.cases);
+    sink.counter(Counter::SiegeMutants, totals.mutants);
+    sink.counter(Counter::SiegeEngineRuns, totals.engine_runs);
+    sink.counter(Counter::SiegeTraps, totals.trap_census.values().sum());
+    sink.counter(Counter::SiegeDisagreements, totals.findings.len() as u64);
+    sink.counter(Counter::SiegeLadderRuns, totals.ladder_runs);
+    sink.counter(Counter::SiegeShrinkSteps, totals.shrink_steps);
+    sink.gauge(Gauge::FuelUsed, totals.peak_fuel);
+    sink.gauge(Gauge::HeapUsed, totals.peak_heap);
+    sink.gauge(Gauge::CallDepth, totals.peak_depth);
+    sink.span_close(Phase::Siege, elapsed_ns);
+    let events = sink.finish().map_err(|e| e.to_string())?;
+    out.push_str(&String::from_utf8(events).map_err(|e| e.to_string())?);
+
+    for row in &totals.agreement {
+        out.push_str(&format!(
+            "{{\"type\":\"run\",\"kind\":\"agreement\",\"engine\":\"{}\",\
+             \"value_agree\":{},\"trap_agree\":{},\"budget_divergence\":{},\
+             \"documented\":{},\"disagree\":{}}}\n",
+            row.engine,
+            row.value_agree,
+            row.trap_agree,
+            row.budget_divergence,
+            row.documented,
+            row.disagree,
+        ));
+    }
+
+    for (class, count) in &totals.trap_census {
+        out.push_str(&format!(
+            "{{\"type\":\"run\",\"kind\":\"trap\",\"class\":\"{class}\",\"count\":{count}}}\n",
+        ));
+    }
+
+    out.push_str(&format!(
+        "{{\"type\":\"run\",\"kind\":\"ladder\",\"runs\":{},\"degraded\":{}}}\n",
+        totals.ladder_runs, totals.degraded_runs,
+    ));
+
+    for f in &totals.findings {
+        out.push_str(&format!(
+            "{{\"type\":\"run\",\"kind\":\"finding\",\"case\":\"{}\",\"class\":\"{}\",\
+             \"detail\":\"{}\"}}\n",
+            sanitize(&f.case_name),
+            sanitize(&f.class),
+            sanitize(&f.detail),
+        ));
+    }
+
+    pe_trace::jsonl::validate(&out).map_err(|e| format!("siege report invalid: {e}"))?;
+    Ok(out)
+}
+
+/// Restricts a string to characters that can never interact with JSON
+/// string syntax — the flat-schema parser has no use for exotic
+/// escapes, and a finding detail quoting program text easily contains
+/// quotes and backslashes.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            'a'..='z' | 'A'..='Z' | '0'..='9' => c,
+            ' ' | '-' | '_' | '.' | ':' | ';' | ',' | '(' | ')' | '+' | '*' | '<' | '>'
+            | '=' | '?' | '!' | '#' | '/' => c,
+            _ => '~',
+        })
+        .take(400)
+        .collect()
+}
+
+/// A short human-readable summary for the terminal.
+#[must_use]
+pub fn summarize(totals: &Totals, elapsed_ns: u64) -> String {
+    let mut s = format!(
+        "pe-siege: {} cases ({} mutants, {} corpus, {} refused), {} engine runs, \
+         {} ladder rungs ({} degraded), {} traps, {} findings in {:.2}s\n",
+        totals.cases,
+        totals.mutants,
+        totals.corpus_cases,
+        totals.refused_cases,
+        totals.engine_runs,
+        totals.ladder_runs,
+        totals.degraded_runs,
+        totals.trap_census.values().sum::<u64>(),
+        totals.findings.len(),
+        elapsed_ns as f64 / 1e9,
+    );
+    for row in &totals.agreement {
+        s.push_str(&format!(
+            "  {:<10} value={:<6} trap={:<6} budget-div={:<5} documented={:<5} DISAGREE={}\n",
+            row.engine,
+            row.value_agree,
+            row.trap_agree,
+            row.budget_divergence,
+            row.documented,
+            row.disagree,
+        ));
+    }
+    for f in &totals.findings {
+        s.push_str(&format!("  FINDING [{}] {}: {}\n", f.class, f.case_name, f.detail));
+        for line in f.source.lines().take(12) {
+            s.push_str(&format!("    | {line}\n"));
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AgreementRow;
+
+    fn sample_totals() -> Totals {
+        let mut t = Totals {
+            cases: 10,
+            mutants: 3,
+            engine_runs: 80,
+            ladder_runs: 40,
+            degraded_runs: 5,
+            peak_fuel: 50_000,
+            peak_heap: 123,
+            peak_depth: 17,
+            ..Totals::default()
+        };
+        t.trap_census.insert("fuel", 6);
+        t.trap_census.insert("heap", 2);
+        t.agreement.push(AgreementRow {
+            engine: "vm",
+            value_agree: 7,
+            trap_agree: 2,
+            budget_divergence: 1,
+            ..AgreementRow::default()
+        });
+        t
+    }
+
+    #[test]
+    fn report_validates_and_counts_round_trip() {
+        let cfg = SiegeConfig::quick();
+        let text = render(&sample_totals(), &cfg, 1_000_000).expect("renders");
+        let summary = pe_trace::jsonl::validate(&text).expect("validates");
+        assert_eq!(summary.counter("siege_cases"), 10);
+        assert_eq!(summary.counter("siege_mutants"), 3);
+        assert_eq!(summary.counter("siege_engine_runs"), 80);
+        assert_eq!(summary.counter("siege_ladder_runs"), 40);
+        assert_eq!(summary.spans_opened, 1);
+        assert_eq!(summary.spans_closed, 1);
+    }
+
+    #[test]
+    fn hostile_finding_text_cannot_break_the_schema() {
+        let mut t = sample_totals();
+        t.findings.push(crate::Finding {
+            case_name: "gen-1-omega".to_string(),
+            class: "value-mismatch".to_string(),
+            detail: "tail = \"quote\\evil\" but vm = {weird}\n(newline)".to_string(),
+            source: "(define (main n) n)".to_string(),
+            residual_verified: Some(true),
+        });
+        let text = render(&t, &SiegeConfig::quick(), 5).expect("renders");
+        pe_trace::jsonl::validate(&text).expect("validates despite hostile detail");
+    }
+
+    #[test]
+    fn summary_mentions_findings() {
+        let mut t = sample_totals();
+        t.findings.push(crate::Finding {
+            case_name: "gen-9".to_string(),
+            class: "panic".to_string(),
+            detail: "boom".to_string(),
+            source: "(define (main n) n)".to_string(),
+            residual_verified: None,
+        });
+        let s = summarize(&t, 2_000_000_000);
+        assert!(s.contains("FINDING [panic]"));
+        assert!(s.contains("1 findings"));
+    }
+}

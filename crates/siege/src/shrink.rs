@@ -1,0 +1,161 @@
+//! Automatic reproducer minimization.
+//!
+//! Given a case with a finding and a predicate that re-checks the
+//! finding, the shrinker applies structural reductions — drop a whole
+//! definition, collapse a subtree to an atom, prune oversized
+//! literals — keeping each reduction only if the finding survives.
+//! Classic greedy delta debugging over the S-expression tree; the
+//! budget caps total predicate evaluations, since each one re-runs the
+//! whole engine family.
+
+use crate::gen::{expr_paths, node_at, render};
+use crate::Case;
+use pe_sexpr::Sexpr;
+
+/// Shrinks `case` while `still_fails` holds, spending at most `budget`
+/// predicate calls.  Returns the smallest failing case found and the
+/// number of *accepted* reductions (reported as `siege_shrink_steps`).
+pub fn shrink(
+    case: &Case,
+    still_fails: impl Fn(&Case) -> bool,
+    budget: usize,
+) -> (Case, u64) {
+    let mut best = case.clone();
+    let mut accepted = 0u64;
+    let mut spent = 0usize;
+
+    loop {
+        let Ok(defs) = pe_sexpr::read(&best.source) else {
+            // Textual mutants (truncation) are not tree-shrinkable.
+            return (best, accepted);
+        };
+        let mut improved = false;
+        for candidate in candidates(&defs, &best.entry) {
+            if spent >= budget {
+                return (best, accepted);
+            }
+            let next = Case { source: candidate, ..best.clone() };
+            if next.source.len() >= best.source.len() {
+                continue;
+            }
+            spent += 1;
+            if still_fails(&next) {
+                best = next;
+                accepted += 1;
+                improved = true;
+                break; // restart from the reduced program
+            }
+        }
+        if !improved {
+            return (best, accepted);
+        }
+    }
+}
+
+/// Candidate reductions, biggest first: whole definitions, then large
+/// subtrees replaced by atoms, then literal pruning.
+fn candidates(defs: &[Sexpr], entry: &str) -> Vec<String> {
+    let mut out = Vec::new();
+
+    // 1. Drop a non-entry definition.
+    for i in 0..defs.len() {
+        let is_entry = defs[i]
+            .form_args("define")
+            .and_then(|a| a.first())
+            .and_then(Sexpr::list)
+            .and_then(|h| h.first())
+            .and_then(Sexpr::sym)
+            == Some(entry);
+        if defs.len() > 1 && !is_entry {
+            let mut d = defs.to_vec();
+            d.remove(i);
+            out.push(render(&d));
+        }
+    }
+
+    // 2. Replace subtrees by atoms, biggest subtree first.
+    let mut paths = expr_paths(defs);
+    paths.sort_by_key(|p| std::cmp::Reverse(subtree_size(defs, p)));
+    for p in paths.iter().take(40) {
+        if subtree_size(defs, p) <= 1 {
+            continue;
+        }
+        for atom in [Sexpr::Int(0), Sexpr::list_of([Sexpr::sym_of("quote"), Sexpr::nil()])] {
+            let mut d = defs.to_vec();
+            if let Some(node) = node_at(&mut d, p) {
+                *node = atom;
+                out.push(render(&d));
+            }
+        }
+    }
+
+    // 3. Prune oversized literals.
+    for p in &expr_paths(defs) {
+        let mut d = defs.to_vec();
+        if let Some(node) = node_at(&mut d, p) {
+            if let Sexpr::Int(n) = node {
+                if n.unsigned_abs() > 9 {
+                    *node = Sexpr::Int(1);
+                    out.push(render(&d));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn subtree_size(defs: &[Sexpr], path: &[usize]) -> usize {
+    fn size(e: &Sexpr) -> usize {
+        match e.list() {
+            Some(xs) => 1 + xs.iter().map(size).sum::<usize>(),
+            None => 1,
+        }
+    }
+    let mut d = defs.to_vec();
+    node_at(&mut d, path).map_or(0, |n| size(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_interp::Datum;
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // Predicate: the program still contains a call to `poison`.
+        // The shrinker should strip the unrelated definitions and
+        // collapse the payload around the call.
+        let case = Case {
+            name: "shrink-me".to_string(),
+            source: "(define (main n) (+ (helper n) (poison (* n (+ 2 3)))))\n\
+                     (define (helper n) (* n 17))\n\
+                     (define (poison x) x)\n\
+                     (define (unused a) (cons a (quote ())))\n"
+                .to_string(),
+            entry: "main".to_string(),
+            args: vec![Datum::Int(1)],
+        };
+        let (small, steps) = shrink(
+            &case,
+            |c| c.source.contains("poison") && c.source.contains("(define (main"),
+            200,
+        );
+        assert!(steps > 0, "no reduction accepted");
+        assert!(small.source.len() < case.source.len());
+        assert!(small.source.contains("poison"));
+        assert!(!small.source.contains("unused"), "{}", small.source);
+    }
+
+    #[test]
+    fn textual_garbage_is_returned_unchanged() {
+        let case = Case {
+            name: "garbage".to_string(),
+            source: "(define (main n".to_string(),
+            entry: "main".to_string(),
+            args: vec![],
+        };
+        let (same, steps) = shrink(&case, |_| true, 50);
+        assert_eq!(same.source, case.source);
+        assert_eq!(steps, 0);
+    }
+}

@@ -68,11 +68,14 @@ pub enum Phase {
     EmitC,
     /// Executing on the VM.
     VmRun,
+    /// One pe-siege robustness case: generation, differential oracle,
+    /// and chaos ladder for a single subject program.
+    Siege,
 }
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 13] = [
+    pub const ALL: [Phase; 14] = [
         Phase::Read,
         Phase::Parse,
         Phase::Desugar,
@@ -86,6 +89,7 @@ impl Phase {
         Phase::VmLoad,
         Phase::EmitC,
         Phase::VmRun,
+        Phase::Siege,
     ];
 
     /// The stable snake/kebab-case name used in JSONL and reports.
@@ -105,6 +109,7 @@ impl Phase {
             Phase::VmLoad => "vm-load",
             Phase::EmitC => "emit-c",
             Phase::VmRun => "vm-run",
+            Phase::Siege => "siege",
         }
     }
 }
@@ -183,11 +188,27 @@ pub enum Counter {
     EvalSteps,
     /// Interpreter/`core::eval` heap cells allocated.
     EvalAllocs,
+    /// pe-siege: subject programs put through the oracle (generated,
+    /// mutated, and corpus cases alike).
+    SiegeCases,
+    /// pe-siege: hostile mutants grafted onto generated programs.
+    SiegeMutants,
+    /// pe-siege: individual engine executions across all cases.
+    SiegeEngineRuns,
+    /// pe-siege: structured traps observed across all engine runs.
+    SiegeTraps,
+    /// pe-siege: oracle disagreements (value mismatches, class
+    /// mismatches, panics) — each one is a finding.
+    SiegeDisagreements,
+    /// pe-siege: chaos budget-ladder executions.
+    SiegeLadderRuns,
+    /// pe-siege: accepted shrink steps while minimizing a finding.
+    SiegeShrinkSteps,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 29] = [
+    pub const ALL: [Counter; 36] = [
         Counter::MemoLookups,
         Counter::MemoHits,
         Counter::MemoMisses,
@@ -217,6 +238,13 @@ impl Counter {
         Counter::VmCalls,
         Counter::EvalSteps,
         Counter::EvalAllocs,
+        Counter::SiegeCases,
+        Counter::SiegeMutants,
+        Counter::SiegeEngineRuns,
+        Counter::SiegeTraps,
+        Counter::SiegeDisagreements,
+        Counter::SiegeLadderRuns,
+        Counter::SiegeShrinkSteps,
     ];
 
     /// The stable snake_case name used in JSONL and reports.
@@ -252,6 +280,13 @@ impl Counter {
             Counter::VmCalls => "vm_calls",
             Counter::EvalSteps => "eval_steps",
             Counter::EvalAllocs => "eval_allocs",
+            Counter::SiegeCases => "siege_cases",
+            Counter::SiegeMutants => "siege_mutants",
+            Counter::SiegeEngineRuns => "siege_engine_runs",
+            Counter::SiegeTraps => "siege_traps",
+            Counter::SiegeDisagreements => "siege_disagreements",
+            Counter::SiegeLadderRuns => "siege_ladder_runs",
+            Counter::SiegeShrinkSteps => "siege_shrink_steps",
         }
     }
 }

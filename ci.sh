@@ -53,3 +53,11 @@ cargo run --release -p pe-bench -- --quick
 # ladder violation, and leaves a schema-validated SIEGE_pe.json behind.
 cargo run --release -p pe-siege -- --replay
 cargo run --release -p pe-siege -- --quick
+
+# pe-serve determinism gate: the compile service answers a fixed
+# request mix (suite + seed-pinned generated programs, with duplicates)
+# cold on N threads, warm from the artifact cache, and warm-started
+# from memo snapshots on a capacity-starved cache — every pass must be
+# byte-identical to a sequential reference and the hit/miss accounting
+# must balance.  Deterministic, <30s, exits non-zero on any divergence.
+cargo run --release -p pe-serve -- --gate

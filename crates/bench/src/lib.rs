@@ -24,6 +24,10 @@ use realistic_pe::{
 };
 use std::time::Instant;
 
+pub mod serve;
+
+pub use serve::{run_serve, serve_mix, ServeBench, ServeRow};
+
 /// Harness configuration.
 #[derive(Debug, Clone)]
 pub struct BenchConfig {
@@ -163,8 +167,7 @@ pub fn time_min_ms(reps: u32, mut f: impl FnMut()) -> f64 {
 /// the wrong answer must never be timed.
 pub fn run_suite(cfg: &BenchConfig) -> Result<Vec<BenchRow>, String> {
     // Phase 1 — compile every benchmark in parallel and gate on
-    // correctness (each engine must reproduce `test_expect`).  Compiled
-    // artifacts hold `Rc` internals, so they stay on their thread; no
+    // correctness (each engine must reproduce `test_expect`).  No
     // timing happens here — parallel workers compete for cores, so
     // anything measured in this phase would be contention noise.
     std::thread::scope(|scope| {
@@ -333,6 +336,17 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
 /// differ only in the measured digits and diffs stay reviewable.
 #[must_use]
 pub fn to_json(cfg: &BenchConfig, rows: &[BenchRow]) -> String {
+    to_json_with_serve(cfg, rows, None)
+}
+
+/// [`to_json`] with the optional compile-service workload section
+/// (`"serve"`, sorted after `"schema"`).
+#[must_use]
+pub fn to_json_with_serve(
+    cfg: &BenchConfig,
+    rows: &[BenchRow],
+    serve: Option<&ServeBench>,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"benchmarks\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -407,7 +421,38 @@ pub fn to_json(cfg: &BenchConfig, rows: &[BenchRow]) -> String {
     s.push_str("  ],\n");
     s.push_str(&format!("  \"mode\": \"{}\",\n", cfg.mode()));
     s.push_str(&format!("  \"reps\": {},\n", cfg.reps));
-    s.push_str("  \"schema\": \"pe-bench/3\"\n}\n");
+    match serve {
+        None => s.push_str("  \"schema\": \"pe-bench/4\"\n}\n"),
+        Some(sv) => {
+            s.push_str("  \"schema\": \"pe-bench/4\",\n");
+            s.push_str("  \"serve\": {\n");
+            s.push_str(&format!("    \"cold_compile_ms\": {:.3},\n", sv.cold_compile_ms));
+            s.push_str(&format!("    \"distinct\": {},\n", sv.distinct));
+            s.push_str(&format!("    \"requests\": {},\n", sv.requests));
+            s.push_str("    \"rows\": [\n");
+            for (i, r) in sv.rows.iter().enumerate() {
+                s.push_str(&format!(
+                    "      {{\"cold_ms\": {:.3}, \"evictions\": {}, \"hits\": {}, \
+                     \"misses\": {}, \"threads\": {}, \"throughput_cold_rps\": {:.1}, \
+                     \"throughput_warm_rps\": {:.1}, \"warm_ms\": {:.3}, \
+                     \"warm_starts\": {}}}{}\n",
+                    r.cold_ms,
+                    r.evictions,
+                    r.hits,
+                    r.misses,
+                    r.threads,
+                    r.throughput_cold_rps,
+                    r.throughput_warm_rps,
+                    r.warm_ms,
+                    r.warm_starts,
+                    if i + 1 < sv.rows.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("    ],\n");
+            s.push_str(&format!("    \"warm_compile_ms\": {:.3}\n", sv.warm_compile_ms));
+            s.push_str("  }\n}\n");
+        }
+    }
     s
 }
 
@@ -518,6 +563,72 @@ mod tests {
         assert!(a.find("\"tak\"").unwrap() < a.find("\"queens\"").unwrap());
         // Strings are escaped.
         assert!(a.contains(r#""(a \"b\")""#));
+    }
+
+    #[test]
+    fn serve_section_renders_sorted_and_deterministic() {
+        let cfg = BenchConfig::quick();
+        let sv = ServeBench {
+            requests: 36,
+            distinct: 12,
+            rows: vec![
+                ServeRow {
+                    threads: 1,
+                    cold_ms: 10.0,
+                    warm_ms: 0.5,
+                    throughput_cold_rps: 3600.0,
+                    throughput_warm_rps: 72000.0,
+                    hits: 48,
+                    misses: 24,
+                    evictions: 0,
+                    warm_starts: 0,
+                },
+                ServeRow {
+                    threads: 4,
+                    cold_ms: 4.0,
+                    warm_ms: 0.3,
+                    throughput_cold_rps: 9000.0,
+                    throughput_warm_rps: 120000.0,
+                    hits: 48,
+                    misses: 24,
+                    evictions: 0,
+                    warm_starts: 0,
+                },
+            ],
+            cold_compile_ms: 30.0,
+            warm_compile_ms: 3.0,
+        };
+        let rows = vec![fake_row("tak")];
+        let a = to_json_with_serve(&cfg, &rows, Some(&sv));
+        assert_eq!(a, to_json_with_serve(&cfg, &rows, Some(&sv)));
+        for keys in [
+            vec!["\"schema\"", "\"serve\""],
+            vec![
+                "\"cold_compile_ms\"",
+                "\"distinct\"",
+                "\"requests\"",
+                "\"rows\"",
+                "\"warm_compile_ms\"",
+            ],
+            vec![
+                "\"cold_ms\"",
+                "\"evictions\"",
+                "\"hits\"",
+                "\"misses\"",
+                "\"threads\"",
+                "\"throughput_cold_rps\"",
+                "\"throughput_warm_rps\"",
+                "\"warm_ms\"",
+                "\"warm_starts\"",
+            ],
+        ] {
+            let idx: Vec<usize> =
+                keys.iter().map(|k| a.find(k).unwrap_or_else(|| panic!("missing {k}"))).collect();
+            assert!(idx.windows(2).all(|w| w[0] < w[1]), "keys out of order: {keys:?}");
+        }
+        assert!(a.contains("\"schema\": \"pe-bench/4\""));
+        // Without the section the schema still reads pe-bench/4.
+        assert!(to_json(&cfg, &rows).contains("\"schema\": \"pe-bench/4\""));
     }
 
     #[test]

@@ -4,24 +4,29 @@
 //! cargo run --release -p pe-bench                # full mode, bench_args
 //! cargo run --release -p pe-bench -- --quick     # CI mode, test_args
 //! cargo run --release -p pe-bench -- --out x.json --reps 7
+//! cargo run --release -p pe-bench -- --no-serve  # skip the service workload
 //! ```
 //!
 //! Writes `BENCH_pe.json` (deterministic shape: sorted keys, fixed
-//! Fig. 8 benchmark order) and prints a Fig. 8-style table.
+//! Fig. 8 benchmark order) and prints a Fig. 8-style table.  The
+//! compile-service workload (pe-serve, cold vs warm on 1/2/4 threads)
+//! runs by default and lands in the `"serve"` section.
 
-use pe_bench::{run_suite, to_json, BenchConfig};
+use pe_bench::{run_serve, run_suite, to_json_with_serve, BenchConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut cfg: Option<BenchConfig> = None;
     let mut out = String::from("BENCH_pe.json");
     let mut reps: Option<u32> = None;
+    let mut with_serve = true;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cfg = Some(BenchConfig::quick()),
             "--full" => cfg = Some(BenchConfig::full()),
+            "--no-serve" => with_serve = false,
             "--out" => match args.next() {
                 Some(p) => out = p,
                 None => return usage("--out needs a path"),
@@ -32,10 +37,10 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: pe-bench [--quick | --full] [--reps N] [--out PATH]\n\
+                    "usage: pe-bench [--quick | --full] [--reps N] [--out PATH] [--no-serve]\n\
                      Times every Fig. 8 benchmark on the S0 VM, the tail\n\
-                     interpreter and the Hobbit baseline; writes PATH\n\
-                     (default BENCH_pe.json)."
+                     interpreter and the Hobbit baseline, plus the pe-serve\n\
+                     many-request workload; writes PATH (default BENCH_pe.json)."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -72,7 +77,39 @@ fn main() -> ExitCode {
         );
     }
 
-    let json = to_json(&cfg, &rows);
+    let serve = if with_serve {
+        match run_serve(&cfg, &[1, 2, 4]) {
+            Ok(sv) => {
+                println!(
+                    "\n{:<8} {:>10} {:>10} {:>12} {:>12}",
+                    "threads", "cold ms", "warm ms", "cold rps", "warm rps"
+                );
+                for r in &sv.rows {
+                    println!(
+                        "{:<8} {:>10.2} {:>10.3} {:>12.0} {:>12.0}",
+                        r.threads,
+                        r.cold_ms,
+                        r.warm_ms,
+                        r.throughput_cold_rps,
+                        r.throughput_warm_rps
+                    );
+                }
+                println!(
+                    "serve: {} requests ({} distinct); capacity-0 recompile {:.2} ms cold vs {:.2} ms warm",
+                    sv.requests, sv.distinct, sv.cold_compile_ms, sv.warm_compile_ms
+                );
+                Some(sv)
+            }
+            Err(e) => {
+                eprintln!("pe-bench: serve workload: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    let json = to_json_with_serve(&cfg, &rows, serve.as_ref());
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("pe-bench: writing {out}: {e}");
         return ExitCode::FAILURE;

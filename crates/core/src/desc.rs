@@ -18,7 +18,7 @@ use pe_frontend::ast::Constant;
 use pe_frontend::dast::LamId;
 use pe_frontend::flow::LamSet;
 use pe_intern::FxHashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A configuration variable identifier (paper: `cv(i)`).
 pub type CvId = u32;
@@ -44,7 +44,7 @@ pub enum ValDesc {
     Quote(Constant),
     /// A partially static pair, tagged with its creation site (the
     /// `DLabel` of the `cons` expression).
-    Cons { site: u32, car: Rc<ValDesc>, cdr: Rc<ValDesc> },
+    Cons { site: u32, car: Arc<ValDesc>, cdr: Arc<ValDesc> },
     /// A partially static closure.
     Clos { lam: LamId, freevals: Vec<ValDesc> },
     /// A configuration variable: unknown at compile time; `cands` are the
@@ -78,8 +78,8 @@ impl ValDesc {
         match self {
             ValDesc::Quote(k) => Some(k.clone()),
             ValDesc::Cons { car, cdr, .. } => Some(Constant::Pair(
-                Rc::new(car.as_constant()?),
-                Rc::new(cdr.as_constant()?),
+                Arc::new(car.as_constant()?),
+                Arc::new(cdr.as_constant()?),
             )),
             ValDesc::Clos { .. } | ValDesc::Cv { .. } => None,
         }
@@ -185,8 +185,8 @@ impl ValDesc {
             ValDesc::Quote(_) => Ok(self.clone()),
             ValDesc::Cons { site, car, cdr } => Ok(ValDesc::Cons {
                 site: *site,
-                car: Rc::new(car.rename_cvs(map)?),
-                cdr: Rc::new(cdr.rename_cvs(map)?),
+                car: Arc::new(car.rename_cvs(map)?),
+                cdr: Arc::new(cdr.rename_cvs(map)?),
             }),
             ValDesc::Clos { lam, freevals } => Ok(ValDesc::Clos {
                 lam: *lam,
@@ -266,7 +266,7 @@ mod tests {
     }
 
     fn cons(site: u32, a: ValDesc, d: ValDesc) -> ValDesc {
-        ValDesc::Cons { site, car: Rc::new(a), cdr: Rc::new(d) }
+        ValDesc::Cons { site, car: Arc::new(a), cdr: Arc::new(d) }
     }
 
     fn clos(lam: u32, fvs: Vec<ValDesc>) -> ValDesc {
@@ -349,7 +349,7 @@ mod tests {
         let d = cons(1, kint(1), ValDesc::Quote(Constant::Nil));
         assert_eq!(
             d.as_constant(),
-            Some(Constant::Pair(Rc::new(Constant::Int(1)), Rc::new(Constant::Nil)))
+            Some(Constant::Pair(Arc::new(Constant::Int(1)), Arc::new(Constant::Nil)))
         );
         assert_eq!(cons(1, cv(0), kint(1)).as_constant(), None);
         assert_eq!(clos(0, vec![]).as_constant(), None);

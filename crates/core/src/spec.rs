@@ -34,7 +34,7 @@ use pe_intern::{FxHashMap, FxHashSet};
 use pe_interp::Datum;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// When to generalize self-embedding data (§4.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -214,6 +214,59 @@ struct PendingProc<'p> {
     sigma: Sigma,
 }
 
+/// A restorable image of the specializer's memo state, captured after a
+/// successful compile with [`Spec::compile_snapshot_with`] and restored
+/// into a fresh engine with [`Spec::with_snapshot`].
+///
+/// The snapshot turns the memo table from a per-compile scratchpad into
+/// reusable service state: recompiling the **same entry** over the same
+/// program replays entirely from the table (one memo hit, zero pending
+/// work, byte-identical raw residual), and compiling a **different
+/// entry** of the same program starts from every specialization point
+/// the earlier run already produced, re-emitting its procedures instead
+/// of re-specializing them.
+///
+/// Soundness rests on the memo keys: they name `DLabel`s and `VarId`s
+/// of one desugared program, so a snapshot may only ever be restored
+/// into a [`Spec`] over a [`DProgram`] desugared from *identical*
+/// source with compatible options.  Callers (the pe-serve warm-start
+/// index) enforce that with a content fingerprint; restoring a
+/// snapshot across different programs is a logic error that this type
+/// cannot detect.
+#[derive(Debug, Clone, Default)]
+pub struct MemoSnapshot {
+    memo: FxHashMap<Key, String>,
+    /// Residual procedures emitted for the memoized points (everything
+    /// except the entry wrapper), in emission order.
+    procs: Vec<S0Proc>,
+    next_cv: CvId,
+    next_proc: u32,
+    static_variety: FxHashMap<(DLabel, VarId), FxHashSet<Constant>>,
+    widened: FxHashSet<(DLabel, VarId)>,
+    prefix_variety: FxHashMap<DLabel, FxHashSet<Vec<DescShape>>>,
+    widened_prefix: FxHashSet<DLabel>,
+}
+
+impl MemoSnapshot {
+    /// Memoized specialization points in the snapshot.
+    #[must_use]
+    pub fn points(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Residual procedures carried by the snapshot.
+    #[must_use]
+    pub fn procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when the snapshot carries no reusable state.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty() && self.procs.is_empty()
+    }
+}
+
 /// Event totals from one specialization run.
 ///
 /// The specializer bumps plain integers on its hot paths and flushes
@@ -369,6 +422,25 @@ impl<'p> Spec<'p> {
         self
     }
 
+    /// Restores a [`MemoSnapshot`] captured from an earlier run over the
+    /// *same* desugared program with the same options: the memo table,
+    /// its residual procedures, the id counters, and the widening state
+    /// all resume where that run left them.  A warm run that revisits a
+    /// memoized point emits a call to the already-specialized procedure
+    /// instead of specializing again.
+    #[must_use]
+    pub fn with_snapshot(mut self, snap: &MemoSnapshot) -> Spec<'p> {
+        self.memo = snap.memo.clone();
+        self.done = snap.procs.clone();
+        self.next_cv = snap.next_cv;
+        self.next_proc = snap.next_proc;
+        self.static_variety = snap.static_variety.clone();
+        self.widened = snap.widened.clone();
+        self.prefix_variety = snap.prefix_variety.clone();
+        self.widened_prefix = snap.widened_prefix.clone();
+        self
+    }
+
     fn fresh_cv(&mut self) -> CvId {
         let id = self.next_cv;
         self.next_cv += 1;
@@ -416,6 +488,39 @@ impl<'p> Spec<'p> {
         let r = self.compile_inner(entry);
         self.counters.flush(sink);
         r.map(|p| (p, self.events))
+    }
+
+    /// Like [`Spec::compile_audited_with`], additionally capturing a
+    /// [`MemoSnapshot`] of the finished memo table for warm-starting a
+    /// later compile of the same program.  The snapshot holds the *raw*
+    /// residual procedures (pre-postprocess), because the memo names
+    /// refer to them.
+    ///
+    /// # Errors
+    ///
+    /// See [`SpecError`].
+    #[allow(clippy::type_complexity)]
+    pub fn compile_snapshot_with(
+        mut self,
+        entry: &str,
+        sink: &mut dyn pe_trace::Sink,
+    ) -> Result<(S0Program, Vec<ControlEvent>, MemoSnapshot), SpecError> {
+        let r = self.compile_inner(entry);
+        self.counters.flush(sink);
+        let p = r?;
+        let snap = MemoSnapshot {
+            memo: std::mem::take(&mut self.memo),
+            // Everything but the entry wrapper: those are the procedures
+            // the memo table's values name.
+            procs: p.procs[1..].to_vec(),
+            next_cv: self.next_cv,
+            next_proc: self.next_proc,
+            static_variety: std::mem::take(&mut self.static_variety),
+            widened: std::mem::take(&mut self.widened),
+            prefix_variety: std::mem::take(&mut self.prefix_variety),
+            widened_prefix: std::mem::take(&mut self.widened_prefix),
+        };
+        Ok((p, self.events, snap))
     }
 
     fn compile_inner(&mut self, entry: &str) -> Result<S0Program, SpecError> {
@@ -990,8 +1095,8 @@ impl<'p> Spec<'p> {
             Cons => {
                 let d = ValDesc::Cons {
                     site,
-                    car: Rc::new(descs[0].clone()),
-                    cdr: Rc::new(descs[1].clone()),
+                    car: Arc::new(descs[0].clone()),
+                    cdr: Arc::new(descs[1].clone()),
                 };
                 // Keep the creation site even for fully static pairs: the
                 // §4.5 self-embedding test needs it to spot values that
@@ -1258,8 +1363,8 @@ fn datum_to_constant(d: &Datum) -> Constant {
         Datum::Sym(s) => Constant::Sym(s.clone()),
         Datum::Nil => Constant::Nil,
         Datum::Pair(p) => Constant::Pair(
-            Rc::new(datum_to_constant(&p.0)),
-            Rc::new(datum_to_constant(&p.1)),
+            Arc::new(datum_to_constant(&p.0)),
+            Arc::new(datum_to_constant(&p.1)),
         ),
         Datum::Closure(c) => match *c {},
     }

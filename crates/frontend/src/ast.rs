@@ -15,7 +15,7 @@
 
 use pe_sexpr::Sexpr;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A unique label `ℓ ∈ Label` attached to every expression.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -37,13 +37,13 @@ pub enum Constant {
     /// A character.
     Char(char),
     /// A string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A quoted symbol.
-    Sym(Rc<str>),
+    Sym(Arc<str>),
     /// The empty list.
     Nil,
     /// A quoted pair.
-    Pair(Rc<Constant>, Rc<Constant>),
+    Pair(Arc<Constant>, Arc<Constant>),
 }
 
 impl Constant {
@@ -246,7 +246,7 @@ impl fmt::Display for Prim {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expr {
     /// A variable reference `V`.
-    Var(Label, Rc<str>),
+    Var(Label, Arc<str>),
     /// A constant `K`.
     Const(Label, Constant),
     /// `(if E E E)`.
@@ -254,11 +254,11 @@ pub enum Expr {
     /// `(O E*)` — primitive application.
     Prim(Label, Prim, Vec<Expr>),
     /// `(P E*)` — call of a top-level procedure.
-    Call(Label, Rc<str>, Vec<Expr>),
+    Call(Label, Arc<str>, Vec<Expr>),
     /// `(let ((V E)) E)`.
-    Let(Label, Rc<str>, Box<Expr>, Box<Expr>),
+    Let(Label, Arc<str>, Box<Expr>, Box<Expr>),
     /// `(lambda (V) E)` — single-parameter abstraction.
-    Lambda(Label, Rc<str>, Box<Expr>),
+    Lambda(Label, Arc<str>, Box<Expr>),
     /// `(E E)` — application of a computed function to one argument.
     App(Label, Box<Expr>, Box<Expr>),
 }
@@ -348,9 +348,9 @@ impl Expr {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Definition {
     /// The procedure name `P`.
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// The formal parameters `V*`.
-    pub params: Vec<Rc<str>>,
+    pub params: Vec<Arc<str>>,
     /// The body.
     pub body: Expr,
 }
@@ -429,8 +429,8 @@ mod tests {
     #[test]
     fn constant_list_rendering() {
         let k = Constant::Pair(
-            Rc::new(Constant::Sym("a".into())),
-            Rc::new(Constant::Pair(Rc::new(Constant::Int(2)), Rc::new(Constant::Nil))),
+            Arc::new(Constant::Sym("a".into())),
+            Arc::new(Constant::Pair(Arc::new(Constant::Int(2)), Arc::new(Constant::Nil))),
         );
         assert_eq!(k.to_sexpr().to_string(), "(a 2)");
     }

@@ -20,7 +20,7 @@ use crate::ast::{Constant, Prim};
 use pe_sexpr::Sexpr;
 use std::collections::BTreeSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A globally unique variable after alpha renaming.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -121,7 +121,7 @@ pub struct LambdaDef {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DDef {
     /// The procedure name (unchanged from the surface program).
-    pub name: Rc<str>,
+    pub name: Arc<str>,
     /// Alpha-renamed parameters.
     pub params: Vec<VarId>,
     /// The body in tail form.
@@ -137,7 +137,7 @@ pub struct DProgram {
     pub lambdas: Vec<LambdaDef>,
     /// Original source names for every [`VarId`] (generated temporaries
     /// are named `%tN`).
-    pub var_names: Vec<Rc<str>>,
+    pub var_names: Vec<Arc<str>>,
 }
 
 impl DProgram {

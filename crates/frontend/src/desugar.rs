@@ -26,7 +26,7 @@ use crate::dast::{
 use std::collections::BTreeSet;
 use pe_intern::FxHashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An error produced during desugaring.
 ///
@@ -53,14 +53,14 @@ impl std::error::Error for DesugarError {}
 
 /// Lexical environment: surface name → unique id.  Cloned at binders;
 /// scopes are small.
-type Scope = FxHashMap<Rc<str>, VarId>;
+type Scope = FxHashMap<Arc<str>, VarId>;
 
 struct Ctx {
     next_label: u32,
     next_var: u32,
-    var_names: Vec<Rc<str>>,
+    var_names: Vec<Arc<str>>,
     lambdas: Vec<LambdaDef>,
-    procs: FxHashMap<Rc<str>, ProcId>,
+    procs: FxHashMap<Arc<str>, ProcId>,
 }
 
 impl Ctx {
@@ -266,7 +266,7 @@ impl Ctx {
             unreachable!("holes are variables")
         };
         let mut scope = scope.clone();
-        scope.insert(Rc::from(hole_name(*vid).as_str()), *vid);
+        scope.insert(Arc::from(hole_name(*vid).as_str()), *vid);
         self.tail(e, &scope)
     }
 }
@@ -279,7 +279,7 @@ fn hole_expr(hole: &SimpleExpr) -> Expr {
     let SimpleExpr::Var(_, vid) = hole else {
         unreachable!("holes are variables")
     };
-    Expr::Var(crate::ast::Label(u32::MAX), Rc::from(hole_name(*vid).as_str()))
+    Expr::Var(crate::ast::Label(u32::MAX), Arc::from(hole_name(*vid).as_str()))
 }
 
 /// Desugars a scope-checked surface program into tail form.
@@ -289,7 +289,7 @@ fn hole_expr(hole: &SimpleExpr) -> Expr {
 /// Only programmatically constructed (non-parser) ASTs can fail, with
 /// [`DesugarError::UnboundVariable`] or [`DesugarError::UnknownProcedure`].
 pub fn desugar(p: &Program) -> Result<DProgram, DesugarError> {
-    let procs: FxHashMap<Rc<str>, ProcId> = p
+    let procs: FxHashMap<Arc<str>, ProcId> = p
         .defs
         .iter()
         .enumerate()

@@ -12,7 +12,7 @@ use pe_sexpr::{Pos, Sexpr};
 use pe_intern::FxHashMap;
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An error produced while parsing or validating a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,7 +83,7 @@ impl std::error::Error for ParseError {}
 struct Parser {
     next_label: u32,
     /// name → arity of every top-level procedure.
-    procs: FxHashMap<Rc<str>, usize>,
+    procs: FxHashMap<Arc<str>, usize>,
 }
 
 impl Parser {
@@ -343,7 +343,7 @@ fn datum(e: &Sexpr) -> Result<Constant, ParseError> {
         Sexpr::List(xs) => {
             let mut acc = Constant::Nil;
             for x in xs.iter().rev() {
-                acc = Constant::Pair(Rc::new(datum(x)?), Rc::new(acc));
+                acc = Constant::Pair(Arc::new(datum(x)?), Arc::new(acc));
             }
             acc
         }
@@ -368,12 +368,12 @@ fn check_binder(v: &str) -> Result<(), ParseError> {
 /// A tiny persistent string set used for lexical scopes.
 mod im_set {
     use std::collections::HashSet;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// An immutable set with O(n) insert; scopes are tiny so this is fine
     /// and it keeps the parser free of lifetime plumbing.
     #[derive(Clone, Default)]
-    pub struct Set(Rc<HashSet<Rc<str>>>);
+    pub struct Set(Arc<HashSet<Arc<str>>>);
 
     impl Set {
         pub fn contains(&self, v: &str) -> bool {
@@ -382,13 +382,13 @@ mod im_set {
 
         #[must_use]
         pub fn insert(&self, v: &str) -> Set {
-            let mut s: HashSet<Rc<str>> = (*self.0).clone();
+            let mut s: HashSet<Arc<str>> = (*self.0).clone();
             s.insert(v.into());
-            Set(Rc::new(s))
+            Set(Arc::new(s))
         }
 
         pub fn from_iter<'a>(it: impl IntoIterator<Item = &'a str>) -> Set {
-            Set(Rc::new(it.into_iter().map(Rc::from).collect()))
+            Set(Arc::new(it.into_iter().map(Arc::from).collect()))
         }
     }
 }
@@ -425,12 +425,12 @@ fn locate(poss: Option<&[Pos]>, i: usize, e: ParseError) -> ParseError {
 }
 
 /// A definition signature: name, parameters, and unparsed body form.
-type Sig<'a> = (Rc<str>, Vec<Rc<str>>, &'a Sexpr);
+type Sig<'a> = (Arc<str>, Vec<Arc<str>>, &'a Sexpr);
 
 /// Pass 1 for one form: extract its `(define (P V*) E)` signature.
 fn collect_sig<'a>(
     form: &'a Sexpr,
-    procs: &mut FxHashMap<Rc<str>, usize>,
+    procs: &mut FxHashMap<Arc<str>, usize>,
 ) -> Result<Sig<'a>, ParseError> {
     let Some(args) = form.form_args("define") else {
         return Err(ParseError::BadDefinition(form.to_string()));
@@ -455,12 +455,12 @@ fn collect_sig<'a>(
         if !seen.insert(p) {
             return Err(ParseError::BadDefinition(format!("duplicate parameter {p} in {name}")));
         }
-        params.push(Rc::<str>::from(p));
+        params.push(Arc::<str>::from(p));
     }
     if procs.insert(name.into(), params.len()).is_some() {
         return Err(ParseError::DuplicateDefinition(name.to_string()));
     }
-    Ok((Rc::<str>::from(name), params, body))
+    Ok((Arc::<str>::from(name), params, body))
 }
 
 fn parse_forms(forms: &[Sexpr], poss: Option<&[Pos]>) -> Result<Program, ParseError> {
@@ -468,7 +468,7 @@ fn parse_forms(forms: &[Sexpr], poss: Option<&[Pos]>) -> Result<Program, ParseEr
         return Err(ParseError::EmptyProgram);
     }
     // Pass 1: collect procedure signatures (procedures may call forward).
-    let mut procs: FxHashMap<Rc<str>, usize> = FxHashMap::default();
+    let mut procs: FxHashMap<Arc<str>, usize> = FxHashMap::default();
     let mut sigs = Vec::new();
     for (i, form) in forms.iter().enumerate() {
         sigs.push(collect_sig(form, &mut procs).map_err(|e| locate(poss, i, e))?);

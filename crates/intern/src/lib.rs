@@ -22,7 +22,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::rc::Rc;
+use std::sync::Arc;
 
 // ----------------------------------------------------------------------
 // Fx hashing
@@ -136,8 +136,8 @@ impl fmt::Debug for Symbol {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct SymbolTable {
-    names: Vec<Rc<str>>,
-    map: FxHashMap<Rc<str>, Symbol>,
+    names: Vec<Arc<str>>,
+    map: FxHashMap<Arc<str>, Symbol>,
 }
 
 impl SymbolTable {
@@ -153,7 +153,7 @@ impl SymbolTable {
             return sym;
         }
         let sym = Symbol(u32::try_from(self.names.len()).expect("fewer than 2^32 symbols"));
-        let shared: Rc<str> = name.into();
+        let shared: Arc<str> = name.into();
         self.names.push(shared.clone());
         self.map.insert(shared, sym);
         sym
@@ -237,10 +237,33 @@ impl<T> SymbolMap<T> {
     }
 }
 
+/// Compile-time proof that a type can cross threads.  The compile
+/// service executes independent requests on a worker pool, so every
+/// artifact that flows through it — the interner, the pipeline, residual
+/// programs, loaded VMs — must be `Send`.  Call sites are zero-cost:
+/// they exist only to make a regression (e.g. an `Rc` sneaking back into
+/// [`SymbolTable`]) a compile error rather than a runtime surprise.
+pub fn assert_send<T: Send>() {}
+
+/// Compile-time proof that a type can be shared between threads — the
+/// companion to [`assert_send`] for the service objects workers borrow
+/// (`&Server` crosses every worker in the pool).
+pub fn assert_sync<T: Sync>() {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::hash::BuildHasher;
+
+    #[test]
+    fn symbol_types_are_send() {
+        // `SymbolTable` stored `Rc<str>` until the compile service
+        // needed to move pipelines across worker threads; this pins the
+        // `Arc<str>` fix at compile time.
+        assert_send::<SymbolTable>();
+        assert_send::<SymbolMap<String>>();
+        assert_send::<Symbol>();
+    }
 
     #[test]
     fn interning_is_idempotent_and_dense() {

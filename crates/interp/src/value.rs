@@ -6,10 +6,19 @@
 //! closure records, and first-order *results* use the uninhabited
 //! [`NoClosure`] so that [`Datum`] is statically closure-free.
 //! Primitive application ([`apply_prim`]) is shared across all engines.
+//!
+//! Representation note: strings and symbols are `Arc<str>` so they can
+//! be shared pointer-for-pointer with the *program* representation
+//! (`Constant`, `Sexpr`), which must be `Send` for the compile service.
+//! Pairs and closure records are `Rc`: runtime values are engine-local
+//! and never cross threads — only compiled programs do — and the
+//! cons/car/cdr loop is every engine's hottest path, where atomic
+//! reference counting costs a measurable 7–20%.
 
 use pe_frontend::ast::{Constant, Prim};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A runtime value with closure representation `C`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,9 +30,9 @@ pub enum Value<C> {
     /// A character.
     Char(char),
     /// A string.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A symbol.
-    Sym(Rc<str>),
+    Sym(Arc<str>),
     /// The empty list.
     Nil,
     /// A pair.
@@ -217,7 +226,7 @@ fn equal<C: PartialEq>(a: &Value<C>, b: &Value<C>) -> bool {
 fn eq_identity<C: PartialEq>(a: &Value<C>, b: &Value<C>) -> bool {
     match (a, b) {
         (Value::Pair(x), Value::Pair(y)) => Rc::ptr_eq(x, y),
-        (Value::Str(x), Value::Str(y)) => Rc::ptr_eq(x, y),
+        (Value::Str(x), Value::Str(y)) => Arc::ptr_eq(x, y),
         _ => a == b,
     }
 }
@@ -388,8 +397,8 @@ mod tests {
     #[test]
     fn constants_convert() {
         let k = Constant::Pair(
-            Rc::new(Constant::Sym("a".into())),
-            Rc::new(Constant::Nil),
+            Arc::new(Constant::Sym("a".into())),
+            Arc::new(Constant::Nil),
         );
         let v: Datum = Value::from_constant(&k);
         assert_eq!(v.to_string(), "(a)");

@@ -223,6 +223,41 @@ impl Pipeline {
         Ok(CompileReport { s0, verify, phases, counters })
     }
 
+    /// [`Pipeline::compile_traced`] with warm-start: the specializer is
+    /// seeded from a [`pe_core::MemoSnapshot`] captured by an earlier
+    /// compile of the *same* program with the same options, and the run
+    /// returns a fresh snapshot beside the report.  Verification runs
+    /// in full either way — a warm result is held to exactly the same
+    /// seven passes as a cold one.
+    ///
+    /// Callers own snapshot validity: pe-serve keys snapshots by the
+    /// content fingerprint of (canonical source, options), which is the
+    /// only sound cache key.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineError`].
+    pub fn compile_warm_traced(
+        &self,
+        entry: &str,
+        opts: &CompileOptions,
+        warm: Option<&pe_core::MemoSnapshot>,
+        sink: &mut dyn Sink,
+    ) -> Result<(CompileReport, pe_core::MemoSnapshot), PipelineError> {
+        let mut agg = Aggregator::new(sink);
+        let (s0, audit, snap) =
+            pe_core::compile_warm_audited_with(&self.dprog, entry, opts, warm, &mut agg)?;
+        let t = pe_trace::begin(&mut agg, Phase::Verify);
+        let mut report = pe_verify::verify(&s0);
+        report.merge(pe_verify::verify_audit(&audit));
+        pe_trace::end(&mut agg, t);
+        if report.has_errors() {
+            return Err(PipelineError::IllFormed(report.error_messages()));
+        }
+        let (phases, counters, _) = agg.into_parts();
+        Ok((CompileReport { s0, verify: report, phases, counters }, snap))
+    }
+
     /// Compiles `entry` to S₀ and returns the full verification report,
     /// warnings included.
     ///

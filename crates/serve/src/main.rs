@@ -1,0 +1,170 @@
+//! The `pe-serve` gate: a deterministic, CI-sized proof that the
+//! compile service is sound under concurrency.
+//!
+//! One fixed request mix (the Fig. 8 suite with duplicates plus
+//! seed-pinned pe-siege programs) is served three ways:
+//!
+//! 1. sequentially on a fresh server — the reference;
+//! 2. cold on a fresh multi-threaded server — must be byte-identical
+//!    to the reference, response by response;
+//! 3. again on the *same* server — must be answered entirely from the
+//!    artifact cache, again byte-identical.
+//!
+//! Plus an eviction pass on a capacity-starved server, which must
+//! warm-start rather than recompile from scratch and still produce the
+//! same bytes.  Any divergence exits non-zero with the offending
+//! request named.  Cache accounting (`lookups == hits + misses`) is
+//! asserted suite-wide.
+
+use pe_serve::{CompileRequest, Outcome, Server, ServerConfig};
+use std::process::ExitCode;
+
+/// The fixed gate mix: every suite benchmark, each requested twice
+/// (in-run duplicate → in-run hit), plus deterministic generated
+/// programs from the pe-siege generator.
+fn gate_mix() -> Vec<CompileRequest> {
+    let mut reqs = Vec::new();
+    for b in realistic_pe::SUITE {
+        reqs.push(CompileRequest::new(b.name, b.source, b.entry));
+    }
+    let mut rng = pe_siege::rng::Rng::new(0xC0FFEE);
+    for i in 0..6 {
+        let case = pe_siege::gen::gen_case(&mut rng);
+        reqs.push(CompileRequest::new(
+            &format!("gen-{i}"),
+            &case.source,
+            &case.entry,
+        ));
+    }
+    // Duplicates, shuffled to land on different workers than their
+    // originals.
+    let dups: Vec<CompileRequest> = reqs.iter().rev().cloned().collect();
+    reqs.extend(dups);
+    reqs
+}
+
+/// Compares two response streams byte-for-byte; returns the first
+/// divergence.
+fn diff(
+    reference: &[pe_serve::CompileResponse],
+    candidate: &[pe_serve::CompileResponse],
+) -> Option<String> {
+    if reference.len() != candidate.len() {
+        return Some(format!(
+            "response count diverged: {} vs {}",
+            reference.len(),
+            candidate.len()
+        ));
+    }
+    for (r, c) in reference.iter().zip(candidate) {
+        if r.fingerprint != c.fingerprint {
+            return Some(format!("{}: fingerprint diverged", r.name));
+        }
+        match (r.residual_source(), c.residual_source()) {
+            (Some(a), Some(b)) if a == b => {}
+            (None, None) => {}
+            _ => return Some(format!("{}: residual bytes diverged", r.name)),
+        }
+    }
+    None
+}
+
+fn run_gate(threads: usize) -> Result<String, String> {
+    let mix = gate_mix();
+    let sequential = Server::new(ServerConfig { threads: 1, ..ServerConfig::default() });
+    let reference = sequential.serve(&mix);
+    let compiled = reference
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Compiled { .. }))
+        .count();
+    if compiled == 0 {
+        return Err("gate mix compiled nothing".to_string());
+    }
+
+    let parallel = Server::new(ServerConfig { threads, ..ServerConfig::default() });
+    let cold = parallel.serve(&mix);
+    if let Some(d) = diff(&reference, &cold) {
+        return Err(format!("parallel cold run diverged from sequential: {d}"));
+    }
+    let warm = parallel.serve(&mix);
+    if let Some(d) = diff(&reference, &warm) {
+        return Err(format!("warm re-serve diverged: {d}"));
+    }
+    let readable = mix.len() - reference.iter().filter(|r| r.fingerprint.is_none()).count();
+    let warm_hits = warm.iter().filter(|r| r.is_hit()).count();
+    if warm_hits != readable {
+        return Err(format!(
+            "warm re-serve expected {readable} cache hits, got {warm_hits}"
+        ));
+    }
+    let stats = parallel.stats();
+    if stats.lookups != stats.hits + stats.misses {
+        return Err(format!("cache accounting broken: {stats:?}"));
+    }
+
+    // Eviction pressure: a server that can hold only two artifacts must
+    // warm-start evicted keys and still produce identical bytes.
+    let starved = Server::new(ServerConfig { threads, capacity: 2, ..ServerConfig::default() });
+    starved.serve(&mix);
+    let again = starved.serve(&mix);
+    if let Some(d) = diff(&reference, &again) {
+        return Err(format!("capacity-2 re-serve diverged: {d}"));
+    }
+    let s = starved.stats();
+    if s.evictions == 0 || s.warm_starts == 0 {
+        return Err(format!(
+            "capacity-2 server should evict and warm-start, got {s:?}"
+        ));
+    }
+
+    Ok(format!(
+        "serve gate: OK ({} requests x4 runs, {threads} threads; \
+         parallel+warm byte-identical to sequential; \
+         {}/{} warm hits; starved server: {} evictions, {} warm starts)",
+        mix.len(),
+        warm_hits,
+        readable,
+        s.evictions,
+        s.warm_starts,
+    ))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut threads = 4;
+    let mut gate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gate" => gate = true,
+            "--threads" => {
+                i += 1;
+                threads = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or(4);
+            }
+            other => {
+                eprintln!("pe-serve: unknown argument `{other}`");
+                eprintln!("usage: pe-serve --gate [--threads N]");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    if !gate {
+        eprintln!("usage: pe-serve --gate [--threads N]");
+        return ExitCode::FAILURE;
+    }
+    match run_gate(threads) {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("serve gate: FAIL: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -28,7 +28,7 @@ pub use reader::{
 };
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A source position (byte offset, 1-based line and column) attached to
 /// reader errors.
@@ -50,12 +50,12 @@ impl fmt::Display for Pos {
 
 /// An S-expression.
 ///
-/// Symbols are interned per-expression via `Rc<str>` so that cloning large
+/// Symbols are interned per-expression via `Arc<str>` so that cloning large
 /// trees (which the compiler pipeline does freely) stays cheap.
 #[derive(Clone, PartialEq, Eq)]
 pub enum Sexpr {
     /// A symbol such as `append` or `null?`.
-    Sym(Rc<str>),
+    Sym(Arc<str>),
     /// A fixnum integer.
     Int(i64),
     /// A boolean written `#t` / `#f`.
@@ -63,7 +63,7 @@ pub enum Sexpr {
     /// A character written `#\a`, `#\space`, `#\newline`.
     Char(char),
     /// A string literal.
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// A proper list `(e1 e2 ...)`; the empty list is `List(vec![])`.
     List(Vec<Sexpr>),
 }

@@ -71,11 +71,14 @@ pub enum Phase {
     /// One pe-siege robustness case: generation, differential oracle,
     /// and chaos ladder for a single subject program.
     Siege,
+    /// One pe-serve compile request: fingerprinting, cache lookup, and
+    /// (on a miss) the full compile pipeline.
+    Serve,
 }
 
 impl Phase {
     /// All phases, in pipeline order.
-    pub const ALL: [Phase; 14] = [
+    pub const ALL: [Phase; 15] = [
         Phase::Read,
         Phase::Parse,
         Phase::Desugar,
@@ -90,6 +93,7 @@ impl Phase {
         Phase::EmitC,
         Phase::VmRun,
         Phase::Siege,
+        Phase::Serve,
     ];
 
     /// The stable snake/kebab-case name used in JSONL and reports.
@@ -110,6 +114,7 @@ impl Phase {
             Phase::EmitC => "emit-c",
             Phase::VmRun => "vm-run",
             Phase::Siege => "siege",
+            Phase::Serve => "serve",
         }
     }
 }
@@ -204,11 +209,22 @@ pub enum Counter {
     SiegeLadderRuns,
     /// pe-siege: accepted shrink steps while minimizing a finding.
     SiegeShrinkSteps,
+    /// pe-serve: compile requests handled (cached and compiled alike).
+    ServeRequests,
+    /// pe-serve: residual-cache lookups answered from the cache.
+    CacheHits,
+    /// pe-serve: residual-cache lookups that required a compile.
+    CacheMisses,
+    /// pe-serve: cache entries evicted to stay within capacity.
+    CacheEvictions,
+    /// pe-serve: compiles seeded from a prior memo-table snapshot
+    /// instead of starting cold.
+    WarmStarts,
 }
 
 impl Counter {
     /// All counters, in report order.
-    pub const ALL: [Counter; 36] = [
+    pub const ALL: [Counter; 41] = [
         Counter::MemoLookups,
         Counter::MemoHits,
         Counter::MemoMisses,
@@ -245,6 +261,11 @@ impl Counter {
         Counter::SiegeDisagreements,
         Counter::SiegeLadderRuns,
         Counter::SiegeShrinkSteps,
+        Counter::ServeRequests,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheEvictions,
+        Counter::WarmStarts,
     ];
 
     /// The stable snake_case name used in JSONL and reports.
@@ -287,6 +308,11 @@ impl Counter {
             Counter::SiegeDisagreements => "siege_disagreements",
             Counter::SiegeLadderRuns => "siege_ladder_runs",
             Counter::SiegeShrinkSteps => "siege_shrink_steps",
+            Counter::ServeRequests => "serve_requests",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::CacheEvictions => "cache_evictions",
+            Counter::WarmStarts => "warm_starts",
         }
     }
 }
@@ -715,6 +741,98 @@ impl Sink for Aggregator<'_> {
     }
 }
 
+/// A cloneable, thread-safe handle to one shared [`Sink`].
+///
+/// The compile service runs one pipeline per worker thread but reports
+/// into a single stream; wrapping the stream's sink in a `SharedSink`
+/// makes every event delivery atomic.  For [`JsonlSink`] specifically,
+/// each event is written as one complete line *inside* the lock, so
+/// concurrent workers can never interleave bytes mid-line.
+///
+/// Events from different workers still interleave at event granularity,
+/// which would break span/depth validation if workers opened spans
+/// directly on the shared stream.  Workers should instead record each
+/// request into a private [`CollectingSink`] and publish the finished
+/// group atomically with [`SharedSink::append`] — the published stream
+/// is then a sequence of balanced per-request groups, exactly what the
+/// [`jsonl`] validator accepts.
+pub struct SharedSink<S: Sink>(std::sync::Arc<std::sync::Mutex<S>>);
+
+impl<S: Sink> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink(std::sync::Arc::clone(&self.0))
+    }
+}
+
+impl<S: Sink> SharedSink<S> {
+    /// Wraps `sink` for shared use.
+    pub fn new(sink: S) -> SharedSink<S> {
+        SharedSink(std::sync::Arc::new(std::sync::Mutex::new(sink)))
+    }
+
+    /// Publishes a batch of events under one lock acquisition, so the
+    /// whole group lands contiguously in the shared stream.
+    pub fn append(&self, events: &[Event]) {
+        if let Ok(mut guard) = self.0.lock() {
+            replay(&mut *guard, events);
+        }
+    }
+
+    /// Runs `f` with exclusive access to the wrapped sink.
+    pub fn with<R>(&self, f: impl FnOnce(&mut S) -> R) -> Option<R> {
+        self.0.lock().ok().map(|mut guard| f(&mut *guard))
+    }
+
+    /// Unwraps the sink if this is the last handle.
+    pub fn try_unwrap(self) -> Option<S> {
+        std::sync::Arc::try_unwrap(self.0).ok().and_then(|m| m.into_inner().ok())
+    }
+}
+
+impl<S: Sink> Sink for SharedSink<S> {
+    fn enabled(&self) -> bool {
+        self.0.lock().map(|g| g.enabled()).unwrap_or(false)
+    }
+
+    fn span_open(&mut self, phase: Phase) {
+        if let Ok(mut g) = self.0.lock() {
+            g.span_open(phase);
+        }
+    }
+
+    fn span_close(&mut self, phase: Phase, dur_ns: u64) {
+        if let Ok(mut g) = self.0.lock() {
+            g.span_close(phase, dur_ns);
+        }
+    }
+
+    fn counter(&mut self, counter: Counter, delta: u64) {
+        if let Ok(mut g) = self.0.lock() {
+            g.counter(counter, delta);
+        }
+    }
+
+    fn gauge(&mut self, gauge: Gauge, value: u64) {
+        if let Ok(mut g) = self.0.lock() {
+            g.gauge(gauge, value);
+        }
+    }
+}
+
+/// Replays recorded events into another sink, preserving order.  The
+/// span timings are already measured, so close events carry their
+/// recorded durations through unchanged.
+pub fn replay(sink: &mut dyn Sink, events: &[Event]) {
+    for ev in events {
+        match ev {
+            Event::SpanOpen { phase, .. } => sink.span_open(*phase),
+            Event::SpanClose { phase, dur_ns, .. } => sink.span_close(*phase, *dur_ns),
+            Event::Counter { counter, delta } => sink.counter(*counter, *delta),
+            Event::Gauge { gauge, value } => sink.gauge(*gauge, *value),
+        }
+    }
+}
+
 /// An open span: holds the phase and its start instant.  Create with
 /// [`begin`], finish with [`end`].  Dropping a timer without calling
 /// [`end`] leaves the span unclosed — pair them along every path.
@@ -848,6 +966,64 @@ mod tests {
         drop(agg);
         assert!(under.check_balanced().is_ok());
         assert_eq!(under.counter_total(Counter::UnfoldSteps), 5);
+    }
+
+    #[test]
+    fn shared_sink_appends_groups_atomically() {
+        let shared = SharedSink::new(CollectingSink::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    let mut local = CollectingSink::new();
+                    let t = begin(&mut local, Phase::Serve);
+                    local.counter(Counter::CacheMisses, 1);
+                    local.counter(Counter::ServeRequests, i + 1);
+                    end(&mut local, t);
+                    shared.append(local.events());
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let collected = shared.try_unwrap().expect("last handle");
+        // Each group was published atomically, so the merged stream is
+        // a sequence of balanced spans, never a cross-worker interleave.
+        assert!(collected.check_balanced().is_ok());
+        assert_eq!(collected.counter_total(Counter::CacheMisses), 4);
+        assert_eq!(collected.counter_total(Counter::ServeRequests), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn shared_jsonl_lines_never_tear() {
+        // Many workers hammering one JSONL stream: every line of the
+        // result must still parse and validate in isolation (the
+        // "concurrent reports don't interleave mid-line" guarantee).
+        let shared = SharedSink::new(JsonlSink::new(Vec::new()));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let mut local = CollectingSink::new();
+                        let t = begin(&mut local, Phase::Serve);
+                        local.counter(Counter::CacheHits, 2);
+                        end(&mut local, t);
+                        shared.append(local.events());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker");
+        }
+        let jsonl = shared.try_unwrap().expect("last handle");
+        let buf = jsonl.finish().expect("no I/O error");
+        let text = String::from_utf8(buf).expect("utf8 stream");
+        let sum = jsonl::validate(&text).expect("stream validates");
+        assert_eq!(sum.spans_opened, 8 * 50);
+        assert_eq!(sum.counter("cache_hits"), 8 * 50 * 2);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use pe_frontend::ast::{Expr, Program};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A binding time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -37,18 +37,18 @@ impl Bt {
 #[derive(Debug, Clone)]
 pub struct Division {
     /// Per procedure: binding time of each parameter.
-    pub params: HashMap<Rc<str>, Vec<Bt>>,
+    pub params: HashMap<Arc<str>, Vec<Bt>>,
     /// Per procedure: binding time of the result.
-    pub result: HashMap<Rc<str>, Bt>,
+    pub result: HashMap<Arc<str>, Bt>,
     /// Procedures that must be specialized rather than unfolded.
-    pub residual: HashMap<Rc<str>, bool>,
+    pub residual: HashMap<Arc<str>, bool>,
 }
 
 impl Division {
     /// Runs the analysis for `entry` with the given parameter binding
     /// times (`true` = static).
     pub fn analyze(p: &Program, entry: &str, static_params: &[bool]) -> Division {
-        let mut params: HashMap<Rc<str>, Vec<Bt>> = p
+        let mut params: HashMap<Arc<str>, Vec<Bt>> = p
             .defs
             .iter()
             .map(|d| (d.name.clone(), vec![Bt::Static; d.params.len()]))
@@ -64,14 +64,14 @@ impl Division {
                 };
             }
         }
-        let mut result: HashMap<Rc<str>, Bt> =
+        let mut result: HashMap<Arc<str>, Bt> =
             p.defs.iter().map(|d| (d.name.clone(), Bt::Static)).collect();
         // Fixpoint: propagate argument binding times into divisions and
         // recompute result binding times.
         loop {
             let mut changed = false;
             for d in &p.defs {
-                let env: HashMap<Rc<str>, Bt> = d
+                let env: HashMap<Arc<str>, Bt> = d
                     .params
                     .iter()
                     .cloned()
@@ -89,7 +89,7 @@ impl Division {
                         }
                     }
                 });
-                let env: HashMap<Rc<str>, Bt> = d
+                let env: HashMap<Arc<str>, Bt> = d
                     .params
                     .iter()
                     .cloned()
@@ -112,7 +112,7 @@ impl Division {
         // the entry is always residual.
         let mut residual = HashMap::new();
         for d in &p.defs {
-            let env: HashMap<Rc<str>, Bt> = d
+            let env: HashMap<Arc<str>, Bt> = d
                 .params
                 .iter()
                 .cloned()
@@ -160,7 +160,7 @@ impl Division {
                 ));
                 continue;
             }
-            let env: HashMap<Rc<str>, Bt> =
+            let env: HashMap<Arc<str>, Bt> =
                 d.params.iter().cloned().zip(div.iter().copied()).collect();
             let r = bt_expr(&d.body, &env, &self.result, &mut |callee, arg_bts| {
                 let Some(callee_div) = self.params.get(callee) else {
@@ -201,9 +201,9 @@ impl Division {
 /// argument binding times through `on_call`.
 fn bt_expr(
     e: &Expr,
-    env: &HashMap<Rc<str>, Bt>,
-    result: &HashMap<Rc<str>, Bt>,
-    on_call: &mut impl FnMut(&Rc<str>, &[Bt]),
+    env: &HashMap<Arc<str>, Bt>,
+    result: &HashMap<Arc<str>, Bt>,
+    on_call: &mut impl FnMut(&Arc<str>, &[Bt]),
 ) -> Bt {
     match e {
         Expr::Var(_, v) => env.get(v).copied().unwrap_or(Bt::Dynamic),
@@ -238,8 +238,8 @@ fn bt_expr(
 
 fn find_dynamic_ifs(
     e: &Expr,
-    env: &HashMap<Rc<str>, Bt>,
-    result: &HashMap<Rc<str>, Bt>,
+    env: &HashMap<Arc<str>, Bt>,
+    result: &HashMap<Arc<str>, Bt>,
     found: &mut bool,
 ) {
     match e {

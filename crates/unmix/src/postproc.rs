@@ -12,7 +12,7 @@
 use crate::spec::{is_effect_free, subst_var};
 use pe_frontend::ast::{Expr, Label, Prim, Program};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Runs every pass to a fixpoint.
 pub fn postprocess(mut p: Program) -> Program {
@@ -86,7 +86,7 @@ pub fn drop_unreachable(p: Program) -> Program {
     let Some(entry) = p.defs.first().map(|d| d.name.clone()) else {
         return p;
     };
-    let mut reach: HashSet<Rc<str>> = HashSet::new();
+    let mut reach: HashSet<Arc<str>> = HashSet::new();
     let mut work = vec![entry];
     while let Some(n) = work.pop() {
         if !reach.insert(n.clone()) {
@@ -103,7 +103,7 @@ pub fn drop_unreachable(p: Program) -> Program {
     Program { defs: p.defs.into_iter().filter(|d| reach.contains(&d.name)).collect() }
 }
 
-fn rewrite_calls(e: &Expr, f: &mut impl FnMut(&Rc<str>, &[Expr]) -> Option<Expr>) -> Expr {
+fn rewrite_calls(e: &Expr, f: &mut impl FnMut(&Arc<str>, &[Expr]) -> Option<Expr>) -> Expr {
     match e {
         Expr::Var(_, _) | Expr::Const(_, _) => e.clone(),
         Expr::If(l, c, t, g) => Expr::If(
@@ -131,11 +131,11 @@ fn rewrite_calls(e: &Expr, f: &mut impl FnMut(&Rc<str>, &[Expr]) -> Option<Expr>
 
 /// A trampoline body: the procedure's parameters, the call target, and
 /// the call's argument expressions.
-type Trampoline = (Vec<Rc<str>>, Rc<str>, Vec<Expr>);
+type Trampoline = (Vec<Arc<str>>, Arc<str>, Vec<Expr>);
 
 /// Inlines procedures whose body is a single call (trampolines).
 pub fn compress_transitions(mut p: Program) -> Program {
-    let trivial: HashMap<Rc<str>, Trampoline> = p
+    let trivial: HashMap<Arc<str>, Trampoline> = p
         .defs
         .iter()
         .filter_map(|d| match &d.body {
@@ -191,7 +191,7 @@ pub fn inline_once(mut p: Program) -> Program {
         let Some(entry) = p.defs.first().map(|d| d.name.clone()) else {
             return p;
         };
-        let mut counts: HashMap<Rc<str>, usize> = HashMap::new();
+        let mut counts: HashMap<Arc<str>, usize> = HashMap::new();
         for d in &p.defs {
             d.body.walk(&mut |e| {
                 if let Expr::Call(_, callee, _) = e {
@@ -199,7 +199,7 @@ pub fn inline_once(mut p: Program) -> Program {
                 }
             });
         }
-        let recursive: HashSet<Rc<str>> = p
+        let recursive: HashSet<Arc<str>> = p
             .defs
             .iter()
             .filter(|d| {
@@ -245,7 +245,7 @@ pub fn drop_dead_params(mut p: Program) -> Program {
         return p;
     };
     loop {
-        let mut dead: HashMap<Rc<str>, Vec<usize>> = HashMap::new();
+        let mut dead: HashMap<Arc<str>, Vec<usize>> = HashMap::new();
         for d in &p.defs {
             if d.name == entry {
                 continue;
@@ -309,7 +309,7 @@ pub fn raise_arity(mut p: Program) -> Program {
     };
     loop {
         // Find one raisable (proc, param index).
-        let mut choice: Option<(Rc<str>, usize)> = None;
+        let mut choice: Option<(Arc<str>, usize)> = None;
         'outer: for d in &p.defs {
             if d.name == entry {
                 continue;
@@ -341,8 +341,8 @@ pub fn raise_arity(mut p: Program) -> Program {
         for d in &mut p.defs {
             if d.name == name {
                 let pm = d.params[idx].clone();
-                let hd: Rc<str> = Rc::from(format!("{pm}-hd").as_str());
-                let tl: Rc<str> = Rc::from(format!("{pm}-tl").as_str());
+                let hd: Arc<str> = Arc::from(format!("{pm}-hd").as_str());
+                let tl: Arc<str> = Arc::from(format!("{pm}-tl").as_str());
                 d.params.splice(idx..=idx, [hd.clone(), tl.clone()]);
                 d.body = split_uses(&d.body, &pm, &hd, &tl);
             }
@@ -386,7 +386,7 @@ fn only_destructed(e: &Expr, v: &str) -> bool {
 }
 
 /// Rewrites `(car v) → hd`, `(cdr v) → tl`.
-fn split_uses(e: &Expr, v: &str, hd: &Rc<str>, tl: &Rc<str>) -> Expr {
+fn split_uses(e: &Expr, v: &str, hd: &Arc<str>, tl: &Arc<str>) -> Expr {
     match e {
         Expr::Prim(l, op @ (Prim::Car | Prim::Cdr), args)
             if matches!(&args[0], Expr::Var(_, x) if &**x == v) =>

@@ -15,7 +15,7 @@ use pe_interp::value::apply_prim;
 use pe_interp::Datum;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Options for the Unmix clone.
 #[derive(Debug, Clone)]
@@ -107,18 +107,18 @@ fn datum_to_constant(d: &Datum) -> Constant {
         Datum::Sym(s) => Constant::Sym(s.clone()),
         Datum::Nil => Constant::Nil,
         Datum::Pair(p) => Constant::Pair(
-            Rc::new(datum_to_constant(&p.0)),
-            Rc::new(datum_to_constant(&p.1)),
+            Arc::new(datum_to_constant(&p.0)),
+            Arc::new(datum_to_constant(&p.1)),
         ),
         Datum::Closure(c) => match *c {},
     }
 }
 
 struct PendingProc {
-    name: Rc<str>,
-    proc_name: Rc<str>,
+    name: Arc<str>,
+    proc_name: Arc<str>,
     static_args: Vec<Option<Datum>>,
-    dyn_params: Vec<Rc<str>>,
+    dyn_params: Vec<Arc<str>>,
 }
 
 /// Reducer event totals, accumulated as plain integers and flushed to
@@ -149,23 +149,23 @@ struct Unmix<'p> {
     opts: UnmixOptions,
     labels: u32,
     next_var: u32,
-    memo: HashMap<(Rc<str>, String), Rc<str>>,
-    next_spec: HashMap<Rc<str>, u32>,
+    memo: HashMap<(Arc<str>, String), Arc<str>>,
+    next_spec: HashMap<Arc<str>, u32>,
     pending: VecDeque<PendingProc>,
     done: Vec<Definition>,
     stats: UStats,
 }
 
 impl Unmix<'_> {
-    fn fresh_var(&mut self) -> Rc<str> {
+    fn fresh_var(&mut self) -> Arc<str> {
         self.next_var += 1;
-        Rc::from(format!("u-{}", self.next_var).as_str())
+        Arc::from(format!("u-{}", self.next_var).as_str())
     }
 
     fn spec_expr(
         &mut self,
         e: &Expr,
-        env: &HashMap<Rc<str>, Pv>,
+        env: &HashMap<Arc<str>, Pv>,
         depth: usize,
     ) -> Result<Pv, UnmixError> {
         if depth > self.opts.limits.max_unfold_depth {
@@ -265,7 +265,7 @@ impl Unmix<'_> {
 
     /// Builds `(let ((v rhs)) body)` with let-shrinking: the binding is
     /// dropped, substituted or kept depending on use count.
-    fn build_let(&mut self, v: Rc<str>, rhs: Expr, body: Expr) -> Expr {
+    fn build_let(&mut self, v: Arc<str>, rhs: Expr, body: Expr) -> Expr {
         let uses = count_uses(&body, &v);
         if uses == 0 && is_effect_free(&rhs) {
             return body;
@@ -278,7 +278,7 @@ impl Unmix<'_> {
 
     fn unfold_call(
         &mut self,
-        p: &Rc<str>,
+        p: &Arc<str>,
         pvs: Vec<Pv>,
         depth: usize,
     ) -> Result<Pv, UnmixError> {
@@ -289,7 +289,7 @@ impl Unmix<'_> {
             .ok_or_else(|| UnmixError::NoSuchProc(p.to_string()))?;
         // Bind dynamic arguments to fresh lets to preserve sharing.
         let mut env = HashMap::new();
-        let mut lets: Vec<(Rc<str>, Expr)> = Vec::new();
+        let mut lets: Vec<(Arc<str>, Expr)> = Vec::new();
         for (param, pv) in def.params.iter().zip(pvs) {
             match pv {
                 Pv::Sta(d) => {
@@ -318,7 +318,7 @@ impl Unmix<'_> {
         }
     }
 
-    fn spec_call(&mut self, p: &Rc<str>, pvs: Vec<Pv>) -> Result<Pv, UnmixError> {
+    fn spec_call(&mut self, p: &Arc<str>, pvs: Vec<Pv>) -> Result<Pv, UnmixError> {
         let def = self
             .prog
             .def(p)
@@ -358,12 +358,12 @@ impl Unmix<'_> {
                 self.stats.memo_misses += 1;
                 let n = self.next_spec.entry(p.clone()).or_insert(0);
                 *n += 1;
-                let name: Rc<str> = Rc::from(format!("{p}-${n}").as_str());
+                let name: Arc<str> = Arc::from(format!("{p}-${n}").as_str());
                 self.memo.insert((p.clone(), key), name.clone());
                 if self.memo.len() > self.opts.limits.max_residual {
                     return Err(UnmixError::Budget { procs: self.opts.limits.max_residual });
                 }
-                let dyn_params: Vec<Rc<str>> = static_args
+                let dyn_params: Vec<Arc<str>> = static_args
                     .iter()
                     .zip(&def.params)
                     .filter(|(s, _)| s.is_none())

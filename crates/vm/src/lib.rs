@@ -91,7 +91,11 @@ impl std::error::Error for VmError {}
 #[derive(Debug, Clone)]
 enum RSimple {
     Slot(usize),
-    Const(V),
+    /// Index into the [`Vm`]'s constant table.  Constants are stored as
+    /// [`Constant`] (which is `Send`, so the compiled `Vm` can cross
+    /// threads) and materialized into runtime values once per run — the
+    /// dispatch loop then clones them shallowly from the run's pool.
+    Const(u32),
     Prim(Prim, Vec<RSimple>),
     MakeClosure(u32, Vec<RSimple>),
     ClosureLabel(Box<RSimple>),
@@ -119,6 +123,8 @@ pub struct Vm {
     blocks: Vec<Block>,
     /// Block names, parallel to `blocks` — kept for trap diagnostics.
     names: Vec<String>,
+    /// The constant table `RSimple::Const` indexes into.
+    consts: Vec<Constant>,
     entry: usize,
     entry_name: String,
 }
@@ -147,16 +153,17 @@ impl Vm {
         let mut blocks = Vec::with_capacity(p.procs.len());
         let mut names = Vec::with_capacity(p.procs.len());
         let mut slots = SlotFrame::default();
+        let mut consts = Vec::new();
         for q in &p.procs {
             slots.begin();
             for (i, v) in q.params.iter().enumerate() {
                 slots.set(syms.intern(v), i);
             }
-            let body = resolve_tail(&q.body, &q.name, &syms, &slots, &index, p)?;
+            let body = resolve_tail(&q.body, &q.name, &syms, &slots, &index, p, &mut consts)?;
             blocks.push(Block { arity: q.params.len(), body });
             names.push(q.name.clone());
         }
-        Ok(Vm { blocks, names, entry, entry_name: p.entry.clone() })
+        Ok(Vm { blocks, names, consts, entry, entry_name: p.entry.clone() })
     }
 
     /// The number of compiled blocks (procedures).
@@ -232,6 +239,10 @@ impl Vm {
                 got: args.len(),
             });
         }
+        // Materialize the constant pool for this run: one deep
+        // conversion per constant, then every `RSimple::Const` in the
+        // loop below is a shallow clone.
+        let pool: Vec<V> = self.consts.iter().map(Value::from_constant).collect();
         // The "global parameter variables" of the C translation.
         let mut frame: Vec<V> = args.iter().map(Datum::embed).collect();
         let mut body = &entry.body;
@@ -242,11 +253,11 @@ impl Vm {
             stats.steps += 1;
             match body {
                 RTail::Return(s) => {
-                    let v = eval(s, &frame, pc, stats, fuel)?;
+                    let v = eval(s, &frame, &pool, pc, stats, fuel)?;
                     return v.to_datum().ok_or(InterpError::ResultNotFirstOrder);
                 }
                 RTail::If(c, t, e) => {
-                    body = if eval(c, &frame, pc, stats, fuel)?.is_truthy() {
+                    body = if eval(c, &frame, &pool, pc, stats, fuel)?.is_truthy() {
                         t
                     } else {
                         e
@@ -259,7 +270,7 @@ impl Vm {
                     // C translation's assign-then-goto discipline.
                     let mut next = Vec::with_capacity(args.len());
                     for a in args {
-                        next.push(eval(a, &frame, pc, stats, fuel)?);
+                        next.push(eval(a, &frame, &pool, pc, stats, fuel)?);
                     }
                     let block = self.blocks.get(*target).ok_or_else(|| {
                         InterpError::Trap(Trap::UnboundLabel {
@@ -280,6 +291,7 @@ impl Vm {
 fn eval(
     s: &RSimple,
     frame: &[V],
+    pool: &[V],
     pc: usize,
     stats: &mut VmStats,
     fuel: &mut Fuel,
@@ -291,11 +303,16 @@ fn eval(
                 detail: format!("frame slot {i} out of range ({} slots)", frame.len()),
             })
         }),
-        RSimple::Const(v) => Ok(v.clone()),
+        RSimple::Const(i) => pool.get(*i as usize).cloned().ok_or_else(|| {
+            InterpError::Trap(Trap::BadDispatch {
+                pc,
+                detail: format!("constant {i} out of range ({} constants)", pool.len()),
+            })
+        }),
         RSimple::Prim(op, args) => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval(a, frame, pc, stats, fuel)?);
+                vals.push(eval(a, frame, pool, pc, stats, fuel)?);
             }
             if *op == Prim::Cons {
                 stats.allocs += 1;
@@ -306,20 +323,20 @@ fn eval(
         RSimple::MakeClosure(label, args) => {
             let mut vals = Vec::with_capacity(args.len());
             for a in args {
-                vals.push(eval(a, frame, pc, stats, fuel)?);
+                vals.push(eval(a, frame, pool, pc, stats, fuel)?);
             }
             stats.allocs += 1;
             fuel.alloc(1)?;
             Ok(Value::Closure(VmClosure { label: *label, freevals: vals.into() }))
         }
-        RSimple::ClosureLabel(a) => match eval(a, frame, pc, stats, fuel)? {
+        RSimple::ClosureLabel(a) => match eval(a, frame, pool, pc, stats, fuel)? {
             Value::Closure(c) => Ok(Value::Int(i64::from(c.label))),
             v => Err(InterpError::Trap(Trap::BadDispatch {
                 pc,
                 detail: format!("closure-label of non-closure {v}"),
             })),
         },
-        RSimple::ClosureFreeval(a, i) => match eval(a, frame, pc, stats, fuel)? {
+        RSimple::ClosureFreeval(a, i) => match eval(a, frame, pool, pc, stats, fuel)? {
             Value::Closure(c) => c.freevals.get(*i).cloned().ok_or_else(|| {
                 InterpError::Trap(Trap::BadDispatch {
                     pc,
@@ -378,6 +395,7 @@ fn resolve_simple(
     owner: &str,
     syms: &SymbolTable,
     slots: &SlotFrame,
+    consts: &mut Vec<Constant>,
 ) -> Result<RSimple, VmError> {
     Ok(match s {
         S0Simple::Var(v) => RSimple::Slot(
@@ -388,24 +406,28 @@ fn resolve_simple(
                     var: v.clone(),
                 })?,
         ),
-        S0Simple::Const(k) => RSimple::Const(constant_value(k)),
+        S0Simple::Const(k) => {
+            let i = u32::try_from(consts.len()).unwrap_or(u32::MAX);
+            consts.push(k.clone());
+            RSimple::Const(i)
+        }
         S0Simple::Prim(op, args) => RSimple::Prim(
             *op,
             args.iter()
-                .map(|a| resolve_simple(a, owner, syms, slots))
+                .map(|a| resolve_simple(a, owner, syms, slots, consts))
                 .collect::<Result<_, _>>()?,
         ),
         S0Simple::MakeClosure(l, args) => RSimple::MakeClosure(
             *l,
             args.iter()
-                .map(|a| resolve_simple(a, owner, syms, slots))
+                .map(|a| resolve_simple(a, owner, syms, slots, consts))
                 .collect::<Result<_, _>>()?,
         ),
         S0Simple::ClosureLabel(a) => {
-            RSimple::ClosureLabel(Box::new(resolve_simple(a, owner, syms, slots)?))
+            RSimple::ClosureLabel(Box::new(resolve_simple(a, owner, syms, slots, consts)?))
         }
         S0Simple::ClosureFreeval(a, i) => {
-            RSimple::ClosureFreeval(Box::new(resolve_simple(a, owner, syms, slots)?), *i)
+            RSimple::ClosureFreeval(Box::new(resolve_simple(a, owner, syms, slots, consts)?), *i)
         }
     })
 }
@@ -417,13 +439,14 @@ fn resolve_tail(
     slots: &SlotFrame,
     index: &SymbolMap<usize>,
     p: &S0Program,
+    consts: &mut Vec<Constant>,
 ) -> Result<RTail, VmError> {
     Ok(match t {
-        S0Tail::Return(s) => RTail::Return(resolve_simple(s, owner, syms, slots)?),
+        S0Tail::Return(s) => RTail::Return(resolve_simple(s, owner, syms, slots, consts)?),
         S0Tail::If(c, a, b) => RTail::If(
-            resolve_simple(c, owner, syms, slots)?,
-            Box::new(resolve_tail(a, owner, syms, slots, index, p)?),
-            Box::new(resolve_tail(b, owner, syms, slots, index, p)?),
+            resolve_simple(c, owner, syms, slots, consts)?,
+            Box::new(resolve_tail(a, owner, syms, slots, index, p, consts)?),
+            Box::new(resolve_tail(b, owner, syms, slots, index, p, consts)?),
         ),
         S0Tail::TailCall(callee, args) => {
             let target = *syms
@@ -441,16 +464,12 @@ fn resolve_tail(
             RTail::Goto(
                 target,
                 args.iter()
-                    .map(|a| resolve_simple(a, owner, syms, slots))
+                    .map(|a| resolve_simple(a, owner, syms, slots, consts))
                     .collect::<Result<_, _>>()?,
             )
         }
         S0Tail::Fail(m) => RTail::Fail(m.clone()),
     })
-}
-
-fn constant_value(k: &Constant) -> V {
-    Value::from_constant(k)
 }
 
 /// An error from [`run_s0`], keeping the two failure phases apart: a

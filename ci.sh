@@ -39,10 +39,19 @@ cargo run --release -p realistic-pe --example pe-explain -- --json tak > /dev/nu
 cargo run --release -p realistic-pe --example pe-explain -- deriv fibclos > /dev/null
 cargo run --release -p pe-faultline --example trap_census > /dev/null
 
+# pe-prof cost attribution: every benchmark's traced compile + profiled
+# VM run must produce a per-residual-procedure attribution table whose
+# per-phase sums balance against the span totals within 5%, and whose
+# event stream (attr + hist lines included) passes the JSONL schema.
+# Exits non-zero on unbalanced books or a schema violation.
+cargo run --release -p realistic-pe --example pe-explain -- --prof > /dev/null
+
 # The offline benchmark harness in quick mode: compiles and times the
 # whole Gabriel suite on every engine (small inputs, few reps) so each
 # CI run checks the harness end to end and leaves BENCH_pe.json behind.
-cargo run --release -p pe-bench -- --quick
+# --check gates against the committed baseline: large timing multiples
+# or >5% growth in the deterministic size metrics fail the run.
+cargo run --release -p pe-bench -- --quick --check BENCH_baseline.json
 
 # pe-siege robustness harness.  First the corpus gate: every minimal
 # reproducer ever banked under crates/siege/corpus must stay clean

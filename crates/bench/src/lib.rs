@@ -24,8 +24,10 @@ use realistic_pe::{
 };
 use std::time::Instant;
 
+pub mod check;
 pub mod serve;
 
+pub use check::{check_regressions, Tolerances};
 pub use serve::{run_serve, serve_mix, ServeBench, ServeRow};
 
 /// Harness configuration.
@@ -139,6 +141,10 @@ pub struct BenchRow {
     /// Specializer/size counters from the same traced compilation,
     /// alphabetically sorted.  These are exact and deterministic.
     pub counters: Vec<(String, u64)>,
+    /// The most expensive residual procedures from the traced
+    /// compilation (label → attributed ms summed across phases), the
+    /// top 5 by cost, alphabetically sorted for a deterministic shape.
+    pub attribution: Vec<(String, f64)>,
     /// Residual sizes before/after pe-flow optimization.
     pub residual: ResidualSizes,
     /// Size-change termination verdicts and widening comparison.
@@ -230,11 +236,25 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
         pipe.compile_vm(b.entry, &opts).expect("compile rep");
     });
     // One traced compilation (after the timed reps, so the tracing
-    // can't perturb them) supplies the per-phase breakdown and the
-    // specializer counters.
+    // can't perturb them) supplies the per-phase breakdown, the
+    // specializer counters, and the per-procedure cost attribution.
+    let mut events = pe_trace::CollectingSink::new();
     let (vm, report) = pipe
-        .compile_vm_traced(b.entry, &opts, &mut realistic_pe::NullSink)
+        .compile_vm_traced(b.entry, &opts, &mut events)
         .map_err(|e| fail("compile", &e))?;
+    let table = pe_prof::Attribution::from_events(events.events());
+    let mut by_label: Vec<(String, u64)> = Vec::new();
+    for row in table.rows() {
+        match by_label.iter_mut().find(|(l, _)| *l == row.label) {
+            Some((_, ns)) => *ns = ns.saturating_add(row.ns),
+            None => by_label.push((row.label.clone(), row.ns)),
+        }
+    }
+    by_label.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    by_label.truncate(5);
+    let mut attribution: Vec<(String, f64)> =
+        by_label.into_iter().map(|(l, ns)| (l, ns as f64 / 1e6)).collect();
+    attribution.sort_by(|a, b| a.0.cmp(&b.0));
     let mut phases: Vec<(String, f64)> = report
         .phases
         .iter()
@@ -321,6 +341,7 @@ fn time_benchmark(b: &Benchmark, cfg: &BenchConfig) -> Result<BenchRow, String> 
         paper_hobbit_ms: b.paper_hobbit_ms,
         phases,
         counters,
+        attribution,
         residual,
         sct,
     })
@@ -359,6 +380,14 @@ pub fn to_json_with_serve(
             s.push_str(&json_str(a));
         }
         s.push_str("],\n");
+        s.push_str("      \"attribution\": {");
+        for (j, (name, ms)) in r.attribution.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: {ms:.3}", json_str(name)));
+        }
+        s.push_str("},\n");
         s.push_str(&format!("      \"compile_ms\": {:.3},\n", r.compile_ms));
         s.push_str("      \"counters\": {");
         for (j, (name, n)) in r.counters.iter().enumerate() {
@@ -422,12 +451,31 @@ pub fn to_json_with_serve(
     s.push_str(&format!("  \"mode\": \"{}\",\n", cfg.mode()));
     s.push_str(&format!("  \"reps\": {},\n", cfg.reps));
     match serve {
-        None => s.push_str("  \"schema\": \"pe-bench/4\"\n}\n"),
+        None => s.push_str("  \"schema\": \"pe-bench/5\"\n}\n"),
         Some(sv) => {
-            s.push_str("  \"schema\": \"pe-bench/4\",\n");
+            s.push_str("  \"schema\": \"pe-bench/5\",\n");
             s.push_str("  \"serve\": {\n");
             s.push_str(&format!("    \"cold_compile_ms\": {:.3},\n", sv.cold_compile_ms));
             s.push_str(&format!("    \"distinct\": {},\n", sv.distinct));
+            s.push_str("    \"latency\": {\n");
+            let classes = [
+                ("cold_miss", &sv.metrics.cold_miss),
+                ("hit", &sv.metrics.hit),
+                ("queue_wait", &sv.metrics.queue_wait),
+                ("warm_miss", &sv.metrics.warm_miss),
+            ];
+            for (j, (name, h)) in classes.iter().enumerate() {
+                s.push_str(&format!(
+                    "      \"{name}\": {{\"count\": {}, \"p50_ms\": {:.3}, \
+                     \"p90_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+                    h.count(),
+                    h.p50() as f64 / 1e6,
+                    h.p90() as f64 / 1e6,
+                    h.p99() as f64 / 1e6,
+                    if j + 1 < classes.len() { "," } else { "" }
+                ));
+            }
+            s.push_str("    },\n");
             s.push_str(&format!("    \"requests\": {},\n", sv.requests));
             s.push_str("    \"rows\": [\n");
             for (i, r) in sv.rows.iter().enumerate() {
@@ -492,6 +540,7 @@ mod tests {
             paper_hobbit_ms: 200,
             phases: vec![("cfa".to_string(), 0.1), ("specialize".to_string(), 0.4)],
             counters: vec![("memo_hits".to_string(), 2), ("memo_lookups".to_string(), 5)],
+            attribution: vec![("main_1".to_string(), 0.3), ("loop_2".to_string(), 0.1)],
             residual: ResidualSizes {
                 procs_base: 4,
                 nodes_base: 40,
@@ -524,6 +573,7 @@ mod tests {
             vec!["\"benchmarks\"", "\"mode\"", "\"reps\"", "\"schema\""],
             vec![
                 "\"args\"",
+                "\"attribution\"",
                 "\"compile_ms\"",
                 "\"counters\"",
                 "\"engines\"",
@@ -597,6 +647,13 @@ mod tests {
             ],
             cold_compile_ms: 30.0,
             warm_compile_ms: 3.0,
+            metrics: {
+                let mut m = pe_prof::MetricsRegistry::new();
+                m.record_latency(pe_prof::LatencyClass::Hit, 250_000);
+                m.record_latency(pe_prof::LatencyClass::ColdMiss, 9_000_000);
+                m.record_queue_wait(10_000);
+                m
+            },
         };
         let rows = vec![fake_row("tak")];
         let a = to_json_with_serve(&cfg, &rows, Some(&sv));
@@ -606,10 +663,13 @@ mod tests {
             vec![
                 "\"cold_compile_ms\"",
                 "\"distinct\"",
+                "\"latency\"",
                 "\"requests\"",
                 "\"rows\"",
                 "\"warm_compile_ms\"",
             ],
+            vec!["\"cold_miss\"", "\"hit\"", "\"queue_wait\"", "\"warm_miss\""],
+            vec!["\"count\"", "\"p50_ms\"", "\"p90_ms\"", "\"p99_ms\""],
             vec![
                 "\"cold_ms\"",
                 "\"evictions\"",
@@ -626,9 +686,9 @@ mod tests {
                 keys.iter().map(|k| a.find(k).unwrap_or_else(|| panic!("missing {k}"))).collect();
             assert!(idx.windows(2).all(|w| w[0] < w[1]), "keys out of order: {keys:?}");
         }
-        assert!(a.contains("\"schema\": \"pe-bench/4\""));
-        // Without the section the schema still reads pe-bench/4.
-        assert!(to_json(&cfg, &rows).contains("\"schema\": \"pe-bench/4\""));
+        assert!(a.contains("\"schema\": \"pe-bench/5\""));
+        // Without the section the schema still reads pe-bench/5.
+        assert!(to_json(&cfg, &rows).contains("\"schema\": \"pe-bench/5\""));
     }
 
     #[test]
@@ -660,6 +720,11 @@ mod tests {
             );
             assert!(row.phases.windows(2).all(|w| w[0].0 < w[1].0), "phases sorted");
             assert!(row.counters.windows(2).all(|w| w[0].0 < w[1].0), "counters sorted");
+            assert!(!row.attribution.is_empty(), "{}: no cost attribution", row.name);
+            assert!(
+                row.attribution.windows(2).all(|w| w[0].0 < w[1].0),
+                "attribution sorted"
+            );
             // The flow optimizer never grows a residual.
             let z = row.residual;
             assert!(z.nodes_flow <= z.nodes_base, "{}: flow grew S0", row.name);

@@ -12,7 +12,7 @@
 //! compile-service workload (pe-serve, cold vs warm on 1/2/4 threads)
 //! runs by default and lands in the `"serve"` section.
 
-use pe_bench::{run_serve, run_suite, to_json_with_serve, BenchConfig};
+use pe_bench::{check_regressions, run_serve, run_suite, to_json_with_serve, BenchConfig, Tolerances};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -20,6 +20,7 @@ fn main() -> ExitCode {
     let mut out = String::from("BENCH_pe.json");
     let mut reps: Option<u32> = None;
     let mut with_serve = true;
+    let mut check: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,16 +32,22 @@ fn main() -> ExitCode {
                 Some(p) => out = p,
                 None => return usage("--out needs a path"),
             },
+            "--check" => match args.next() {
+                Some(p) => check = Some(p),
+                None => return usage("--check needs a baseline path"),
+            },
             "--reps" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) if n > 0 => reps = Some(n),
                 _ => return usage("--reps needs a positive integer"),
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: pe-bench [--quick | --full] [--reps N] [--out PATH] [--no-serve]\n\
+                    "usage: pe-bench [--quick | --full] [--reps N] [--out PATH] [--no-serve] [--check BASELINE]\n\
                      Times every Fig. 8 benchmark on the S0 VM, the tail\n\
                      interpreter and the Hobbit baseline, plus the pe-serve\n\
-                     many-request workload; writes PATH (default BENCH_pe.json)."
+                     many-request workload; writes PATH (default BENCH_pe.json).\n\
+                     With --check, compares the fresh run against BASELINE\n\
+                     and exits non-zero on any perf or size regression."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -110,11 +117,37 @@ fn main() -> ExitCode {
     };
 
     let json = to_json_with_serve(&cfg, &rows, serve.as_ref());
-    if let Err(e) = std::fs::write(&out, json) {
+    if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("pe-bench: writing {out}: {e}");
         return ExitCode::FAILURE;
     }
     println!("wrote {out} ({} mode, min of {} runs)", if cfg.quick { "quick" } else { "full" }, cfg.reps);
+
+    if let Some(baseline_path) = check {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pe-bench: reading baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_regressions(&baseline, &json, &Tolerances::default()) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("regression gate: OK against {baseline_path}");
+            }
+            Ok(regressions) => {
+                eprintln!("regression gate: FAIL against {baseline_path}:");
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("regression gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     ExitCode::SUCCESS
 }
 

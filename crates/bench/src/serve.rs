@@ -58,6 +58,9 @@ pub struct ServeBench {
     /// Full-mix ms on the same capacity-0 server, second pass — every
     /// request recompiles from its memo snapshot.
     pub warm_compile_ms: f64,
+    /// Per-outcome latency histograms pooled across every timed server
+    /// (all thread counts, cold and warm passes).
+    pub metrics: pe_prof::MetricsRegistry,
 }
 
 /// The fixed workload: every suite benchmark plus seed-pinned generated
@@ -101,6 +104,7 @@ pub fn run_serve(cfg: &BenchConfig, thread_counts: &[usize]) -> Result<ServeBenc
     };
 
     let mut rows = Vec::new();
+    let mut metrics = pe_prof::MetricsRegistry::new();
     for &threads in thread_counts {
         // Cold: a fresh server per repetition (the pass mutates the
         // cache); keep the last server for the warm pass.
@@ -120,6 +124,7 @@ pub fn run_serve(cfg: &BenchConfig, thread_counts: &[usize]) -> Result<ServeBenc
         if s.lookups != s.hits + s.misses {
             return Err(format!("{threads} threads: cache accounting broken: {s:?}"));
         }
+        metrics.merge(&server.metrics_snapshot());
         rows.push(ServeRow {
             threads,
             cold_ms,
@@ -154,6 +159,7 @@ pub fn run_serve(cfg: &BenchConfig, thread_counts: &[usize]) -> Result<ServeBenc
         rows,
         cold_compile_ms,
         warm_compile_ms,
+        metrics,
     })
 }
 
@@ -211,5 +217,9 @@ mod tests {
         // load the test harness adds, so only sanity-check it here; the
         // release-mode bench run is where the ratio is reported.
         assert!(serve.cold_compile_ms > 0.0 && serve.warm_compile_ms > 0.0);
+        // The pooled latency histograms saw both hit and miss traffic.
+        assert!(serve.metrics.hit.count() > 0, "no hit latencies pooled");
+        assert!(serve.metrics.cold_miss.count() > 0, "no cold-miss latencies pooled");
+        assert!(serve.metrics.queue_wait.count() > 0, "no queue waits pooled");
     }
 }

@@ -310,20 +310,28 @@ fn finish_traced(
 ) -> Result<S0Program, SpecError> {
     let p = if opts.postprocess {
         let t = pe_trace::begin(sink, Phase::Post);
-        let q = post::postprocess(p);
+        let q = post::postprocess_traced(p, sink);
         pe_trace::end(sink, t);
         q
     } else {
         p
     };
     let p = if opts.flow {
-        let t = pe_trace::begin(sink, Phase::Flow);
-        let mut fuel = Fuel::new(&opts.limits);
         // Graceful degradation: an exhausted budget keeps the
         // (already correct) unoptimized program instead of failing
-        // the compile.
-        let (q, stats) = pe_flow::optimize(p.clone(), &mut fuel)
-            .unwrap_or_else(|_| (p, pe_flow::FlowStats::default()));
+        // the compile.  The fallback clone happens before the span
+        // opens — the flow span must cover only optimizer time, so
+        // the per-procedure attribution can sum to it.
+        let fallback = p.clone();
+        let t = pe_trace::begin(sink, Phase::Flow);
+        let mut fuel = Fuel::new(&opts.limits);
+        let (q, stats) = pe_flow::optimize_with_traced(
+            p,
+            &pe_flow::FlowOptions::default(),
+            &mut fuel,
+            sink,
+        )
+        .unwrap_or_else(|_| (fallback, pe_flow::FlowStats::default()));
         pe_trace::end(sink, t);
         if sink.enabled() {
             sink.counter(Counter::CopiesPropagated, stats.copies_propagated as u64);

@@ -382,6 +382,11 @@ pub struct Spec<'p> {
     sct: Option<pe_sct::Verdicts>,
     /// The control log — what widened or generalized, where.
     events: Vec<ControlEvent>,
+    /// Per-residual-procedure cost rows `(name, ns, nodes)`, recorded
+    /// as each procedure's body is produced and flushed as
+    /// `Event::Attr` rows by the audited entry points.  Two clock
+    /// reads per residual procedure — noise next to specializing one.
+    attrs: Vec<(String, u64, u64)>,
 }
 
 impl<'p> Spec<'p> {
@@ -409,6 +414,7 @@ impl<'p> Spec<'p> {
             counters: SpecCounters::default(),
             sct: None,
             events: Vec::new(),
+            attrs: Vec::new(),
         }
     }
 
@@ -487,6 +493,7 @@ impl<'p> Spec<'p> {
     ) -> Result<(S0Program, Vec<ControlEvent>), SpecError> {
         let r = self.compile_inner(entry);
         self.counters.flush(sink);
+        self.flush_attrs(sink);
         r.map(|p| (p, self.events))
     }
 
@@ -507,6 +514,7 @@ impl<'p> Spec<'p> {
     ) -> Result<(S0Program, Vec<ControlEvent>, MemoSnapshot), SpecError> {
         let r = self.compile_inner(entry);
         self.counters.flush(sink);
+        self.flush_attrs(sink);
         let p = r?;
         let snap = MemoSnapshot {
             memo: std::mem::take(&mut self.memo),
@@ -580,6 +588,7 @@ impl<'p> Spec<'p> {
         let name = format!("{entry}-$1");
         let r = self.run(entry, slots, name);
         self.counters.flush(sink);
+        self.flush_attrs(sink);
         r.map(|p| (p, self.events))
     }
 
@@ -624,20 +633,41 @@ impl<'p> Spec<'p> {
         // Going through spec_point registers the entry state in the memo
         // table, so a self-recursive entry reuses one residual procedure
         // (post-processing then merges the trampoline away).
+        let t0 = std::time::Instant::now();
         let body =
             self.spec_point(&def.body, &env, &CtxStack::default(), &mut sigma)?;
         let entry_proc = S0Proc { name: residual_name.clone(), params, body };
+        self.attrs.push((
+            residual_name.clone(),
+            elapsed_ns(t0),
+            entry_proc.size() as u64,
+        ));
         let mut procs = vec![entry_proc];
         while let Some(p) = self.pending.pop_front() {
             if procs.len() + self.done.len() >= self.opts.limits.max_residual {
                 return Err(SpecError::Budget { procs: self.opts.limits.max_residual });
             }
+            let t0 = std::time::Instant::now();
             let mut sigma = p.sigma;
             let body = self.spec_tail(p.te, p.env, p.tau, &mut sigma, 0)?;
-            self.done.push(S0Proc { name: p.name, params: p.params, body });
+            let proc = S0Proc { name: p.name, params: p.params, body };
+            self.attrs.push((proc.name.clone(), elapsed_ns(t0), proc.size() as u64));
+            self.done.push(proc);
         }
         procs.append(&mut self.done);
         Ok(S0Program { procs, entry: residual_name })
+    }
+
+    /// Emits the per-residual-procedure cost rows recorded by
+    /// [`Spec::run`] — one `Event::Attr` per procedure specialized
+    /// *this* run (snapshot-restored procedures cost nothing here).
+    fn flush_attrs(&self, sink: &mut dyn pe_trace::Sink) {
+        if !sink.enabled() {
+            return;
+        }
+        for (name, ns, nodes) in &self.attrs {
+            sink.attr(pe_trace::Phase::Specialize, name, *ns, *nodes);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1325,6 +1355,10 @@ impl<'p> Spec<'p> {
         tau.dyn_rest = Some(ValDesc::Cv { id: cv, cands });
         Ok(())
     }
+}
+
+fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 fn fold_arith(op: Prim, a: i64, b: i64) -> Option<Constant> {

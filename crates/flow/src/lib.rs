@@ -36,5 +36,8 @@ pub mod slots;
 pub mod solver;
 
 pub use check::{check, FlowDiag, FlowSeverity};
-pub use opt::{optimize, optimize_with, postprocess, FlowOptions, FlowStats};
+pub use opt::{
+    optimize, optimize_with, optimize_with_traced, postprocess,
+    postprocess_traced, FlowOptions, FlowStats,
+};
 pub use solver::{solve, Analysis, Direction};

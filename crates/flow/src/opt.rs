@@ -171,6 +171,64 @@ pub fn optimize_with(
     Ok((p, stats))
 }
 
+/// [`postprocess`] with per-residual-procedure cost attribution: the
+/// pass is a whole-program fixpoint, so its measured wall time is
+/// spread over the surviving procedures by node share and emitted as
+/// `Event::Attr` rows under `Phase::Post`.  With a disabled sink this
+/// is exactly [`postprocess`] — no clock reads.
+pub fn postprocess_traced(
+    p: S0Program,
+    sink: &mut dyn pe_trace::Sink,
+) -> S0Program {
+    if !sink.enabled() {
+        return postprocess(p);
+    }
+    let t0 = std::time::Instant::now();
+    let p = postprocess(p);
+    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    attribute_by_size(sink, pe_trace::Phase::Post, &p, ns);
+    p
+}
+
+/// [`optimize_with`] with the same size-share cost attribution as
+/// [`postprocess_traced`], under `Phase::Flow`.
+///
+/// # Errors
+///
+/// [`Trap::OutOfFuel`] when the analysis budget is exhausted.
+pub fn optimize_with_traced(
+    p: S0Program,
+    opts: &FlowOptions,
+    fuel: &mut Fuel,
+    sink: &mut dyn pe_trace::Sink,
+) -> Result<(S0Program, FlowStats), Trap> {
+    if !sink.enabled() {
+        return optimize_with(p, opts, fuel);
+    }
+    let t0 = std::time::Instant::now();
+    let (p, stats) = optimize_with(p, opts, fuel)?;
+    let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    attribute_by_size(sink, pe_trace::Phase::Flow, &p, ns);
+    Ok((p, stats))
+}
+
+/// Spreads `total_ns` over the program's procedures proportionally to
+/// AST node counts (the deterministic work measure of the syntactic
+/// passes) and emits one attribution row per procedure.  The parts sum
+/// exactly to `total_ns`, so the phase books always balance.
+fn attribute_by_size(
+    sink: &mut dyn pe_trace::Sink,
+    phase: pe_trace::Phase,
+    p: &S0Program,
+    total_ns: u64,
+) {
+    let weights: Vec<u64> = p.procs.iter().map(|q| q.size() as u64).collect();
+    let parts = pe_prof::distribute_ns(total_ns, &weights);
+    for (proc, (ns, units)) in p.procs.iter().zip(parts.into_iter().zip(weights)) {
+        sink.attr(phase, &proc.name, ns, units);
+    }
+}
+
 /// Inlines procedures whose whole body is a `Return` of a simple
 /// expression (return compression), with the usual duplication guard.
 pub fn compress_returns(mut p: S0Program) -> S0Program {

@@ -1,0 +1,226 @@
+//! The per-residual-procedure cost-attribution table.
+
+use pe_trace::{Event, Phase};
+
+/// One attribution row: within `phase`, `label` accounted for `ns`
+/// wall nanoseconds and `units` deterministic work units.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrRow {
+    /// The phase the cost belongs to.
+    pub phase: Phase,
+    /// What the cost is attributed to (residual procedure, VM label).
+    pub label: String,
+    /// Attributed wall nanoseconds.
+    pub ns: u64,
+    /// Deterministic work units (AST nodes, block entries, …).
+    pub units: u64,
+}
+
+/// An attribution table assembled from a recorded event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Attribution {
+    rows: Vec<AttrRow>,
+}
+
+impl Attribution {
+    /// Collects every [`Event::Attr`] row from `events`, summing
+    /// duplicate `(phase, label)` pairs (a warm re-compile can emit a
+    /// label twice) while preserving first-emission order.
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> Attribution {
+        let mut rows: Vec<AttrRow> = Vec::new();
+        for ev in events {
+            if let Event::Attr { phase, label, ns, units } = ev {
+                match rows
+                    .iter_mut()
+                    .find(|r| r.phase == *phase && r.label == *label)
+                {
+                    Some(r) => {
+                        r.ns = r.ns.saturating_add(*ns);
+                        r.units = r.units.saturating_add(*units);
+                    }
+                    None => rows.push(AttrRow {
+                        phase: *phase,
+                        label: label.clone(),
+                        ns: *ns,
+                        units: *units,
+                    }),
+                }
+            }
+        }
+        Attribution { rows }
+    }
+
+    /// All rows, in first-emission order.
+    #[must_use]
+    pub fn rows(&self) -> &[AttrRow] {
+        &self.rows
+    }
+
+    /// True when no attribution was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The phases that have at least one row, in [`Phase::ALL`] order.
+    #[must_use]
+    pub fn phases(&self) -> Vec<Phase> {
+        Phase::ALL
+            .into_iter()
+            .filter(|p| self.rows.iter().any(|r| r.phase == *p))
+            .collect()
+    }
+
+    /// Summed attributed nanoseconds for one phase.
+    #[must_use]
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.rows
+            .iter()
+            .filter(|r| r.phase == phase)
+            .fold(0u64, |a, r| a.saturating_add(r.ns))
+    }
+
+    /// The top `k` rows of one phase, ranked by attributed time, then
+    /// units, then label — a total, deterministic order.
+    #[must_use]
+    pub fn top_k(&self, phase: Phase, k: usize) -> Vec<&AttrRow> {
+        let mut rows: Vec<&AttrRow> =
+            self.rows.iter().filter(|r| r.phase == phase).collect();
+        rows.sort_by(|a, b| {
+            b.ns.cmp(&a.ns)
+                .then(b.units.cmp(&a.units))
+                .then(a.label.cmp(&b.label))
+        });
+        rows.truncate(k);
+        rows
+    }
+
+    /// The table with wall times dropped — rank by `units`, compare
+    /// across runs.  Two traced compiles of the same program must
+    /// produce equal redacted tables.
+    #[must_use]
+    pub fn redacted(&self) -> Attribution {
+        Attribution {
+            rows: self
+                .rows
+                .iter()
+                .map(|r| AttrRow { ns: 0, ..r.clone() })
+                .collect(),
+        }
+    }
+
+    /// Checks, for every phase that carries attribution, that the
+    /// attributed nanoseconds sum to the phase's span total within
+    /// `rel_pct` percent or `abs_ns` nanoseconds (whichever allows
+    /// more — tiny phases are all jitter).  Span totals are read from
+    /// the same event stream.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first phase whose books don't balance.
+    pub fn check_sums(
+        &self,
+        events: &[Event],
+        rel_pct: u64,
+        abs_ns: u64,
+    ) -> Result<(), String> {
+        for phase in self.phases() {
+            let span: u64 = events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::SpanClose { phase: p, dur_ns, .. } if *p == phase => {
+                        Some(*dur_ns)
+                    }
+                    _ => None,
+                })
+                .sum();
+            let attributed = self.phase_ns(phase);
+            let tol = (span.saturating_mul(rel_pct) / 100).max(abs_ns);
+            let gap = span.abs_diff(attributed);
+            if gap > tol {
+                return Err(format!(
+                    "phase {phase}: attributed {attributed}ns vs span {span}ns \
+                     (gap {gap}ns > tolerance {tol}ns)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the top-`k` table for every populated phase.
+    #[must_use]
+    pub fn render_top_k(&self, k: usize) -> String {
+        let mut out = String::new();
+        for phase in self.phases() {
+            out.push_str(&format!(
+                "{phase}: {:.3}ms attributed\n",
+                self.phase_ns(phase) as f64 / 1e6
+            ));
+            for r in self.top_k(phase, k) {
+                out.push_str(&format!(
+                    "  {:<30} {:>9.3}ms {:>8} units\n",
+                    r.label,
+                    r.ns as f64 / 1e6,
+                    r.units
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_trace::{CollectingSink, Sink};
+
+    fn sample() -> CollectingSink {
+        let mut s = CollectingSink::new();
+        s.span_open(Phase::Specialize);
+        s.attr(Phase::Specialize, "entry", 600, 10);
+        s.attr(Phase::Specialize, "sl-eval-$1", 400, 30);
+        s.span_close(Phase::Specialize, 1_000);
+        s
+    }
+
+    #[test]
+    fn builds_ranks_and_balances() {
+        let s = sample();
+        let a = Attribution::from_events(s.events());
+        assert_eq!(a.phases(), vec![Phase::Specialize]);
+        assert_eq!(a.phase_ns(Phase::Specialize), 1_000);
+        let top = a.top_k(Phase::Specialize, 1);
+        assert_eq!(top[0].label, "entry");
+        a.check_sums(s.events(), 5, 0).expect("books balance");
+    }
+
+    #[test]
+    fn detects_unbalanced_books() {
+        let mut s = CollectingSink::new();
+        s.span_open(Phase::Post);
+        s.attr(Phase::Post, "entry", 10, 1);
+        s.span_close(Phase::Post, 1_000_000);
+        let a = Attribution::from_events(s.events());
+        assert!(a.check_sums(s.events(), 5, 100).is_err());
+        // A generous absolute tolerance accepts the same gap.
+        assert!(a.check_sums(s.events(), 5, 2_000_000).is_ok());
+    }
+
+    #[test]
+    fn duplicate_labels_merge_and_redaction_drops_ns() {
+        let mut s = sample();
+        s.attr(Phase::Specialize, "entry", 50, 5);
+        let a = Attribution::from_events(s.events());
+        assert_eq!(a.rows().len(), 2);
+        let entry = a
+            .rows()
+            .iter()
+            .find(|r| r.label == "entry")
+            .expect("entry row");
+        assert_eq!((entry.ns, entry.units), (650, 15));
+        let red = a.redacted();
+        assert!(red.rows().iter().all(|r| r.ns == 0));
+        assert_eq!(red, Attribution::from_events(&s.redacted_events()));
+    }
+}

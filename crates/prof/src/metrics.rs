@@ -1,0 +1,188 @@
+//! The compile service's metrics registry: per-outcome latency
+//! histograms plus queue and in-flight gauges, snapshot-cloneable and
+//! publishable through any [`Sink`].
+
+use crate::Histogram;
+use pe_trace::{Gauge, Hist, Sink};
+
+/// How a served request was satisfied, for latency bucketing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyClass {
+    /// Artifact-cache hit (including in-flight dedup waits).
+    Hit,
+    /// Compile miss that warm-started from a memo snapshot.
+    WarmMiss,
+    /// Compile miss from a cold start.
+    ColdMiss,
+}
+
+/// Per-outcome latency histograms and service gauges.  The service
+/// keeps one behind its state lock; [`MetricsRegistry::snapshot`]
+/// clones it out for reporting and [`MetricsRegistry::publish`] emits
+/// it into the shared JSONL stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    /// Latency of artifact-hit requests (ns).
+    pub hit: Histogram,
+    /// Latency of warm-started compile requests (ns).
+    pub warm_miss: Histogram,
+    /// Latency of cold compile requests (ns).
+    pub cold_miss: Histogram,
+    /// Time requests waited for a worker (ns).
+    pub queue_wait: Histogram,
+    /// Requests currently in flight.
+    pub in_flight: u64,
+    /// High-water in-flight count.
+    pub in_flight_peak: u64,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Records one finished request's latency under its outcome class.
+    pub fn record_latency(&mut self, class: LatencyClass, ns: u64) {
+        match class {
+            LatencyClass::Hit => self.hit.record(ns),
+            LatencyClass::WarmMiss => self.warm_miss.record(ns),
+            LatencyClass::ColdMiss => self.cold_miss.record(ns),
+        }
+    }
+
+    /// Records how long a request sat in the queue before pickup.
+    pub fn record_queue_wait(&mut self, ns: u64) {
+        self.queue_wait.record(ns);
+    }
+
+    /// A request entered service; tracks the high-water mark.
+    pub fn enter_flight(&mut self) {
+        self.in_flight = self.in_flight.saturating_add(1);
+        self.in_flight_peak = self.in_flight_peak.max(self.in_flight);
+    }
+
+    /// A request left service.
+    pub fn leave_flight(&mut self) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+    }
+
+    /// Total requests recorded across all outcome classes.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.hit
+            .count()
+            .saturating_add(self.warm_miss.count())
+            .saturating_add(self.cold_miss.count())
+    }
+
+    /// A point-in-time copy for reporting outside the service lock.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.clone()
+    }
+
+    /// Merges another registry (e.g. a per-batch snapshot) into this
+    /// one; gauges take the maximum.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        self.hit.merge(&other.hit);
+        self.warm_miss.merge(&other.warm_miss);
+        self.cold_miss.merge(&other.cold_miss);
+        self.queue_wait.merge(&other.queue_wait);
+        self.in_flight = self.in_flight.max(other.in_flight);
+        self.in_flight_peak = self.in_flight_peak.max(other.in_flight_peak);
+    }
+
+    /// Publishes populated histograms and both gauges into `sink`.
+    pub fn publish(&self, sink: &mut dyn Sink) {
+        if !sink.enabled() {
+            return;
+        }
+        for (hist, id) in [
+            (&self.hit, Hist::ServeHitNs),
+            (&self.warm_miss, Hist::ServeWarmMissNs),
+            (&self.cold_miss, Hist::ServeColdMissNs),
+            (&self.queue_wait, Hist::ServeQueueNs),
+        ] {
+            if !hist.is_empty() {
+                hist.publish(sink, id);
+            }
+        }
+        sink.gauge(Gauge::InFlight, self.in_flight);
+        sink.gauge(Gauge::InFlightPeak, self.in_flight_peak);
+    }
+
+    /// Renders the snapshot as the `pe-serve -- --stats` table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("outcome          count    p50 ms    p90 ms    p99 ms\n");
+        for (name, h) in [
+            ("hit", &self.hit),
+            ("warm miss", &self.warm_miss),
+            ("cold miss", &self.cold_miss),
+            ("queue wait", &self.queue_wait),
+        ] {
+            out.push_str(&format!(
+                "  {name:<14} {:>6} {:>9.3} {:>9.3} {:>9.3}\n",
+                h.count(),
+                h.p50() as f64 / 1e6,
+                h.p90() as f64 / 1e6,
+                h.p99() as f64 / 1e6,
+            ));
+        }
+        out.push_str(&format!(
+            "  in flight {} (peak {})\n",
+            self.in_flight, self.in_flight_peak
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pe_trace::CollectingSink;
+
+    #[test]
+    fn records_classifies_and_publishes() {
+        let mut m = MetricsRegistry::new();
+        m.enter_flight();
+        m.enter_flight();
+        m.record_queue_wait(1_000);
+        m.record_latency(LatencyClass::Hit, 10_000);
+        m.record_latency(LatencyClass::ColdMiss, 4_000_000);
+        m.leave_flight();
+        assert_eq!(m.requests(), 2);
+        assert_eq!(m.in_flight, 1);
+        assert_eq!(m.in_flight_peak, 2);
+        assert!(m.hit.p50() < m.cold_miss.p50());
+
+        let snap = m.snapshot();
+        let mut sink = CollectingSink::new();
+        snap.publish(&mut sink);
+        let hists = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, pe_trace::Event::Hist { .. }))
+            .count();
+        assert_eq!(hists, 3, "warm_miss is empty and must be skipped");
+        assert_eq!(sink.gauge_last(pe_trace::Gauge::InFlightPeak), Some(2));
+        let text = snap.render();
+        assert!(text.contains("cold miss"), "{text}");
+    }
+
+    #[test]
+    fn merge_pools_histograms_and_maxes_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.record_latency(LatencyClass::Hit, 5);
+        a.in_flight_peak = 3;
+        let mut b = MetricsRegistry::new();
+        b.record_latency(LatencyClass::Hit, 7);
+        b.in_flight_peak = 2;
+        a.merge(&b);
+        assert_eq!(a.hit.count(), 2);
+        assert_eq!(a.in_flight_peak, 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the pe-prof histogram: the bucket rule is
+//! monotone and total, merge is associative and agrees with pooled
+//! recording, and percentiles bound the exact order statistics from
+//! above within one power-of-two bucket.
+
+use pe_prof::Histogram;
+use proptest::prelude::*;
+
+/// Arbitrary latency samples spanning the full bucket range.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),
+            1u64..1024,
+            1024u64..1_000_000,
+            1_000_000u64..u64::MAX,
+        ],
+        0..200,
+    )
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn bucketing_is_monotone_and_total(a in any::<u64>(), b in any::<u64>()) {
+        let (ba, bb) = (Histogram::bucket_of(a), Histogram::bucket_of(b));
+        prop_assert!(ba < pe_trace::HIST_BUCKETS);
+        prop_assert!(bb < pe_trace::HIST_BUCKETS);
+        if a <= b {
+            prop_assert!(ba <= bb, "bucket_of not monotone: {a}->{ba}, {b}->{bb}");
+        }
+        // The value lands inside its bucket's advertised bounds.
+        let (lo, hi) = Histogram::bucket_bounds(ba);
+        prop_assert!(lo <= a && a <= hi, "{a} outside [{lo}, {hi}] of bucket {ba}");
+    }
+
+    #[test]
+    fn merge_is_associative_and_matches_pooled_recording(
+        xs in arb_samples(),
+        ys in arb_samples(),
+        zs in arb_samples(),
+    ) {
+        let (hx, hy, hz) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        // (x + y) + z == x + (y + z)
+        let mut left = hx.clone();
+        left.merge(&hy);
+        left.merge(&hz);
+        let mut right_tail = hy.clone();
+        right_tail.merge(&hz);
+        let mut right = hx.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+        // Merging equals recording the pooled samples directly.
+        let mut pooled: Vec<u64> = xs.clone();
+        pooled.extend(&ys);
+        pooled.extend(&zs);
+        prop_assert_eq!(&left, &hist_of(&pooled));
+        prop_assert_eq!(left.count(), pooled.len() as u64);
+    }
+
+    #[test]
+    fn percentiles_bound_exact_order_statistics(xs in arb_samples(), p in 1u8..=100) {
+        let h = hist_of(&xs);
+        if xs.is_empty() {
+            prop_assert_eq!(h.percentile(p), 0);
+            return Ok(());
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        // The exact p-th percentile (nearest-rank definition).
+        let rank = ((p as usize * sorted.len()).div_ceil(100)).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let got = h.percentile(p);
+        // The histogram reports the upper bound of the bucket holding
+        // the exact order statistic: never an underestimate, and at
+        // most one power-of-two bucket above.
+        prop_assert!(got >= exact, "p{p}: {got} < exact {exact}");
+        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_of(exact));
+        prop_assert!(lo <= exact && got <= hi, "p{p}: {got} beyond bucket of {exact}");
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(xs in arb_samples(), a in 1u8..=100, b in 1u8..=100) {
+        let h = hist_of(&xs);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(h.percentile(lo) <= h.percentile(hi));
+    }
+}

@@ -32,6 +32,14 @@
 //! composition counts, and the dynamic widenings the static control
 //! avoided (compiled once with the analysis on and once off).  The
 //! traced stream is schema-validated the same way.
+//!
+//! With `--prof`, a per-benchmark section reports the per-residual-
+//! procedure cost attribution: the top 5 most expensive procedures in
+//! every phase that attributes cost (specialize, post, flow, verify,
+//! vm-run, the latter from a hot-label profiled run).  The books are
+//! audited — per-phase attributed time must sum to the phase's span
+//! total within 5% — and the event stream is schema-validated; either
+//! failure exits non-zero.
 
 use pe_trace::{jsonl, report, CollectingSink, Counter, JsonlSink, Sink};
 use realistic_pe::{benchmark, Benchmark, CompileOptions, Limits, Pipeline, SUITE};
@@ -160,41 +168,102 @@ fn sct(benches: &[&Benchmark]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--prof` section: one traced compile plus one hot-label
+/// profiled run per benchmark, rendered as a top-5 cost-attribution
+/// table per phase.  Before anything is printed the books are audited
+/// (per-phase attributed time must sum to the phase's span total
+/// within 5%, with half a millisecond of absolute slack for phases
+/// that are pure jitter) and the stream is replayed through the JSONL
+/// schema validator.
+fn prof(benches: &[&Benchmark]) -> Result<(), String> {
+    for b in benches {
+        let mut sink = CollectingSink::new();
+        let pipe =
+            Pipeline::new_traced(b.source, &mut sink).map_err(|e| format!("{}: {e}", b.name))?;
+        let (vm, _report) = pipe
+            .compile_vm_traced(b.entry, &CompileOptions::default(), &mut sink)
+            .map_err(|e| format!("{}: {e}", b.name))?;
+        vm.run_profiled_with(&b.test_inputs(), Limits::default(), &mut sink)
+            .map_err(|e| format!("{}: {e}", b.name))?;
+        sink.check_balanced().map_err(|e| format!("{}: unbalanced spans: {e}", b.name))?;
+
+        let table = pe_prof::Attribution::from_events(sink.events());
+        if table.is_empty() {
+            return Err(format!("{}: the traced compile attributed nothing", b.name));
+        }
+        table
+            .check_sums(sink.events(), 5, 500_000)
+            .map_err(|e| format!("{}: attribution books don't balance: {e}", b.name))?;
+
+        // The same stream must survive the JSONL schema, attr and hist
+        // lines included.
+        let mut jsink = JsonlSink::new(Vec::new());
+        pe_trace::replay(&mut jsink, sink.events());
+        let bytes = jsink.finish().map_err(|e| format!("{}: {e}", b.name))?;
+        let stream = String::from_utf8(bytes).expect("jsonl is ascii");
+        jsonl::validate(&stream).map_err(|e| format!("{}: schema: {e}", b.name))?;
+
+        println!("== {} [prof] ==", b.name);
+        print!("{}", table.render_top_k(5));
+    }
+    Ok(())
+}
+
+/// One report mode over the selected benchmarks.
+type Mode = fn(&[&Benchmark]) -> Result<(), String>;
+
+/// Every flag pe-explain accepts: `(flag, what it selects, runner)`.
+/// The default (no flag) is the human-readable span report.
+const MODES: [(&str, &str, Mode); 4] = [
+    ("--json", "validated JSONL event stream", json),
+    ("--flow", "flow-optimizer counters", flow),
+    ("--sct", "size-change termination verdicts", sct),
+    ("--prof", "per-procedure cost attribution", prof),
+];
+
+fn usage() {
+    eprintln!("usage: pe-explain [FLAG] [BENCHMARK...]");
+    for (flag, what, _) in MODES {
+        eprintln!("  {flag:<8} {what}");
+    }
+    eprintln!(
+        "  benchmarks: {} (default: all)",
+        SUITE.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let as_json = args.iter().any(|a| a == "--json");
-    let as_flow = args.iter().any(|a| a == "--flow");
-    let as_sct = args.iter().any(|a| a == "--sct");
-    let names: Vec<&str> =
-        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
+    let mut mode: Option<(&str, Mode)> = None;
     let mut benches: Vec<&Benchmark> = Vec::new();
-    if names.is_empty() {
-        benches.extend(SUITE);
-    } else {
-        for n in names {
-            match benchmark(n) {
+    for arg in &args {
+        if arg.starts_with('-') {
+            let Some(&(flag, _, run)) = MODES.iter().find(|(f, _, _)| f == arg) else {
+                eprintln!("pe-explain: unknown flag {arg:?}");
+                usage();
+                return ExitCode::FAILURE;
+            };
+            if let Some((prev, _)) = mode.replace((flag, run)) {
+                eprintln!("pe-explain: {prev} and {flag} are exclusive — pick one mode");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        } else {
+            match benchmark(arg) {
                 Some(b) => benches.push(b),
                 None => {
-                    eprintln!("pe-explain: no benchmark named {n:?}");
-                    eprintln!(
-                        "  available: {}",
-                        SUITE.iter().map(|b| b.name).collect::<Vec<_>>().join(", ")
-                    );
+                    eprintln!("pe-explain: no benchmark named {arg:?}");
+                    usage();
                     return ExitCode::FAILURE;
                 }
             }
         }
     }
-    let run = if as_sct {
-        sct(&benches)
-    } else if as_flow {
-        flow(&benches)
-    } else if as_json {
-        json(&benches)
-    } else {
-        human(&benches)
-    };
-    match run {
+    if benches.is_empty() {
+        benches.extend(SUITE);
+    }
+    let run = mode.map_or(human as Mode, |(_, run)| run);
+    match run(&benches) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("pe-explain: {e}");

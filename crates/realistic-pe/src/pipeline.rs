@@ -194,8 +194,8 @@ impl Pipeline {
     ) -> Result<(S0Program, pe_verify::Report), PipelineError> {
         let (s0, audit) = pe_core::compile_audited_with(&self.dprog, entry, opts, sink)?;
         let t = pe_trace::begin(sink, Phase::Verify);
-        let mut report = pe_verify::verify(&s0);
-        report.merge(pe_verify::verify_audit(&audit));
+        let mut report = pe_verify::verify_with(&s0, sink);
+        merge_audit_attributed(&mut report, &audit, sink);
         pe_trace::end(sink, t);
         if report.has_errors() {
             return Err(PipelineError::IllFormed(report.error_messages()));
@@ -248,8 +248,8 @@ impl Pipeline {
         let (s0, audit, snap) =
             pe_core::compile_warm_audited_with(&self.dprog, entry, opts, warm, &mut agg)?;
         let t = pe_trace::begin(&mut agg, Phase::Verify);
-        let mut report = pe_verify::verify(&s0);
-        report.merge(pe_verify::verify_audit(&audit));
+        let mut report = pe_verify::verify_with(&s0, &mut agg);
+        merge_audit_attributed(&mut report, &audit, &mut agg);
         pe_trace::end(&mut agg, t);
         if report.has_errors() {
             return Err(PipelineError::IllFormed(report.error_messages()));
@@ -511,5 +511,21 @@ impl Pipeline {
             sink.counter(Counter::MovesElided, c.moves_elided as u64);
         }
         Ok(c)
+    }
+}
+
+/// Runs the termination audit (verify pass 7) and merges its findings,
+/// emitting an `<audit>` attribution row so the verify phase's books
+/// include the one check that is not per-procedure.
+fn merge_audit_attributed(
+    report: &mut pe_verify::Report,
+    audit: &pe_core::CompileAudit,
+    sink: &mut dyn Sink,
+) {
+    let t0 = sink.enabled().then(std::time::Instant::now);
+    report.merge(pe_verify::verify_audit(audit));
+    if let Some(t0) = t0 {
+        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        sink.attr(Phase::Verify, "<audit>", ns, audit.events.len() as u64);
     }
 }

@@ -17,6 +17,7 @@
 //! asserted suite-wide.
 
 use pe_serve::{CompileRequest, Outcome, Server, ServerConfig};
+use pe_trace::{JsonlSink, SharedSink};
 use std::process::ExitCode;
 
 /// The fixed gate mix: every suite benchmark, each requested twice
@@ -101,6 +102,28 @@ fn run_gate(threads: usize) -> Result<String, String> {
     if stats.lookups != stats.hits + stats.misses {
         return Err(format!("cache accounting broken: {stats:?}"));
     }
+    // Latency observability: the cold+warm runs must have populated the
+    // outcome histograms, and serving from the cache must be faster
+    // than a cold compile even at histogram (power-of-two bucket)
+    // resolution.
+    let m = parallel.metrics_snapshot();
+    if m.hit.is_empty() || m.cold_miss.is_empty() {
+        return Err(format!(
+            "latency histograms unpopulated: {} hits, {} cold misses",
+            m.hit.count(),
+            m.cold_miss.count()
+        ));
+    }
+    if m.hit.p50() >= m.cold_miss.p50() {
+        return Err(format!(
+            "latency ordering violated: p50 hit {}ns >= p50 cold miss {}ns",
+            m.hit.p50(),
+            m.cold_miss.p50()
+        ));
+    }
+    if m.queue_wait.count() == 0 || m.in_flight_peak == 0 {
+        return Err("queue/in-flight gauges never moved".to_string());
+    }
 
     // Eviction pressure: a server that can hold only two artifacts must
     // warm-start evicted keys and still produce identical bytes.
@@ -120,12 +143,43 @@ fn run_gate(threads: usize) -> Result<String, String> {
     Ok(format!(
         "serve gate: OK ({} requests x4 runs, {threads} threads; \
          parallel+warm byte-identical to sequential; \
-         {}/{} warm hits; starved server: {} evictions, {} warm starts)",
+         {}/{} warm hits; p50 hit {:.3}ms < p50 cold {:.3}ms; \
+         starved server: {} evictions, {} warm starts)",
         mix.len(),
         warm_hits,
         readable,
+        m.hit.p50() as f64 / 1e6,
+        m.cold_miss.p50() as f64 / 1e6,
         s.evictions,
         s.warm_starts,
+    ))
+}
+
+/// `--stats`: serve the gate mix cold then warm, publish the metrics
+/// snapshot through a validated JSONL stream, and print the latency
+/// table.
+fn run_stats(threads: usize) -> Result<String, String> {
+    let mix = gate_mix();
+    let server = Server::new(ServerConfig { threads, ..ServerConfig::default() });
+    let shared = SharedSink::new(JsonlSink::new(Vec::new()));
+    server.serve_with(&mix, &shared);
+    server.serve_with(&mix, &shared);
+    server.publish_metrics(&shared);
+    let bytes = shared
+        .try_unwrap()
+        .ok_or("trace sink still shared")?
+        .finish()
+        .map_err(|e| format!("jsonl flush failed: {e}"))?;
+    let stream = String::from_utf8(bytes).map_err(|e| format!("jsonl not utf-8: {e}"))?;
+    let summary = pe_trace::jsonl::validate(&stream)
+        .map_err(|e| format!("metrics stream failed schema validation: {e}"))?;
+    let snap = server.metrics_snapshot();
+    Ok(format!(
+        "serve stats ({} requests x2 runs, {threads} threads; \
+         {} JSONL events, schema-valid):\n{}",
+        mix.len(),
+        summary.lines,
+        snap.render(),
     ))
 }
 
@@ -133,10 +187,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threads = 4;
     let mut gate = false;
+    let mut stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--gate" => gate = true,
+            "--stats" => stats = true,
             "--threads" => {
                 i += 1;
                 threads = args
@@ -147,23 +203,24 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("pe-serve: unknown argument `{other}`");
-                eprintln!("usage: pe-serve --gate [--threads N]");
+                eprintln!("usage: pe-serve --gate|--stats [--threads N]");
                 return ExitCode::FAILURE;
             }
         }
         i += 1;
     }
-    if !gate {
-        eprintln!("usage: pe-serve --gate [--threads N]");
+    if !gate && !stats {
+        eprintln!("usage: pe-serve --gate|--stats [--threads N]");
         return ExitCode::FAILURE;
     }
-    match run_gate(threads) {
+    let result = if gate { run_gate(threads) } else { run_stats(threads) };
+    match result {
         Ok(msg) => {
             println!("{msg}");
             ExitCode::SUCCESS
         }
         Err(msg) => {
-            eprintln!("serve gate: FAIL: {msg}");
+            eprintln!("serve {}: FAIL: {msg}", if gate { "gate" } else { "stats" });
             ExitCode::FAILURE
         }
     }

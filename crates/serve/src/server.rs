@@ -27,11 +27,13 @@ use crate::cache::{Artifact, CacheStats, ResidualCache};
 use crate::fingerprint::{fingerprint, Fingerprint};
 use pe_core::{CompileOptions, MemoSnapshot};
 use pe_governor::Limits;
+use pe_prof::{LatencyClass, MetricsRegistry};
 use pe_trace::{CollectingSink, Counter, NullSink, Phase, SharedSink, Sink};
 use realistic_pe::Pipeline;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 /// Server-side configuration.
 #[derive(Debug, Clone)]
@@ -134,6 +136,22 @@ impl CompileResponse {
     }
 }
 
+/// Saturating nanoseconds since `t0`.
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The latency bucket for an outcome; rejections are not latencies of
+/// successful service and stay out of the histograms.
+fn latency_class(outcome: &Outcome) -> Option<LatencyClass> {
+    match outcome {
+        Outcome::Hit(_) => Some(LatencyClass::Hit),
+        Outcome::Compiled { warm_started: true, .. } => Some(LatencyClass::WarmMiss),
+        Outcome::Compiled { warm_started: false, .. } => Some(LatencyClass::ColdMiss),
+        Outcome::Rejected(_) => None,
+    }
+}
+
 /// Clamps request limits to the server ceiling, field by field.
 fn clamp_limits(req: &Limits, ceiling: &Limits) -> Limits {
     Limits {
@@ -161,6 +179,9 @@ pub struct Server {
     /// workers waiting on that key can collect the artifact instead of
     /// duplicating the compile.
     landed: Condvar,
+    /// Per-outcome latency histograms and service gauges, on their own
+    /// lock so recording never contends with the cache.
+    metrics: Mutex<MetricsRegistry>,
 }
 
 /// Removes a claimed fingerprint from the in-flight set on drop, so a
@@ -185,7 +206,12 @@ impl Server {
             cache: ResidualCache::new(config.capacity),
             in_flight: HashSet::new(),
         });
-        Server { config, state, landed: Condvar::new() }
+        Server {
+            config,
+            state,
+            landed: Condvar::new(),
+            metrics: Mutex::new(MetricsRegistry::new()),
+        }
     }
 
     /// The server configuration.
@@ -206,6 +232,29 @@ impl Server {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    fn metrics_lock(&self) -> MutexGuard<'_, MetricsRegistry> {
+        // Histograms and gauges are always internally consistent; a
+        // poisoned lock just means a request died mid-record.
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// A point-in-time copy of the service metrics: per-outcome latency
+    /// histograms, queue-wait, and in-flight gauges.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsRegistry {
+        self.metrics_lock().snapshot()
+    }
+
+    /// Publishes the current metrics snapshot through `shared` as one
+    /// atomic event group (histograms for each populated outcome class
+    /// plus the in-flight gauges).
+    pub fn publish_metrics<S: Sink + Send>(&self, shared: &SharedSink<S>) {
+        let snap = self.metrics_snapshot();
+        let mut local = CollectingSink::new();
+        snap.publish(&mut local);
+        shared.append(local.events());
+    }
+
     /// Answers `requests` on the configured worker pool, returning
     /// responses in request order.
     pub fn serve(&self, requests: &[CompileRequest]) -> Vec<CompileResponse> {
@@ -224,6 +273,7 @@ impl Server {
         }
         let workers = self.config.threads.clamp(1, requests.len());
         let next = AtomicUsize::new(0);
+        let batch_start = Instant::now();
         let slots: Vec<Mutex<Option<CompileResponse>>> =
             requests.iter().map(|_| Mutex::new(None)).collect();
         std::thread::scope(|scope| {
@@ -231,7 +281,22 @@ impl Server {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(req) = requests.get(i) else { break };
+                    // Queue wait: submission (batch start) to pickup.
+                    {
+                        let mut m = self.metrics_lock();
+                        m.record_queue_wait(elapsed_ns(batch_start));
+                        m.enter_flight();
+                    }
+                    let picked_up = Instant::now();
                     let resp = self.handle(req, shared);
+                    let latency = elapsed_ns(picked_up);
+                    {
+                        let mut m = self.metrics_lock();
+                        m.leave_flight();
+                        if let Some(class) = latency_class(&resp.outcome) {
+                            m.record_latency(class, latency);
+                        }
+                    }
                     *slots[i].lock().unwrap_or_else(std::sync::PoisonError::into_inner) =
                         Some(resp);
                 });
@@ -239,10 +304,20 @@ impl Server {
         });
         slots
             .into_iter()
-            .map(|slot| {
+            .zip(requests)
+            .map(|(slot, req)| {
+                // Unclaimed slots cannot happen while the worker loop
+                // covers every index, but a structured rejection keeps
+                // one lost request from sinking the whole batch.
                 slot.into_inner()
                     .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .expect("every request index was claimed by a worker")
+                    .unwrap_or_else(|| CompileResponse {
+                        name: req.name.clone(),
+                        fingerprint: None,
+                        outcome: Outcome::Rejected(
+                            "request was never claimed by a worker".to_string(),
+                        ),
+                    })
             })
             .collect()
     }
@@ -405,6 +480,37 @@ mod tests {
         assert!(matches!(resps[1].outcome, Outcome::Rejected(_)));
         assert!(matches!(resps[2].outcome, Outcome::Compiled { .. }));
         assert!(server.lock().cache.len() == 1, "only the success was cached");
+    }
+
+    #[test]
+    fn metrics_classify_every_serviced_request() {
+        let server = Server::new(ServerConfig { threads: 2, ..ServerConfig::default() });
+        let reqs = vec![
+            CompileRequest::new("cold", SRC, "inc"),
+            CompileRequest::new("bad", "(define (f", "f"),
+        ];
+        server.serve(&reqs);
+        server.serve(&[CompileRequest::new("hot", SRC, "inc")]);
+        let m = server.metrics_snapshot();
+        assert_eq!(m.cold_miss.count(), 1);
+        assert_eq!(m.hit.count(), 1);
+        assert_eq!(m.warm_miss.count(), 0);
+        assert_eq!(m.requests(), 2, "the rejection is not a latency sample");
+        assert_eq!(m.queue_wait.count(), 3, "every pickup waits in the queue");
+        assert_eq!(m.in_flight, 0, "all requests have left service");
+        assert!(m.in_flight_peak >= 1);
+
+        // The snapshot publishes as a balanced, replayable event group.
+        let shared = SharedSink::new(CollectingSink::new());
+        server.publish_metrics(&shared);
+        let sink = shared.try_unwrap().expect("sole owner");
+        assert!(sink.check_balanced().is_ok());
+        let hists = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, pe_trace::Event::Hist { .. }))
+            .count();
+        assert_eq!(hists, 3, "hit, cold-miss, and queue-wait histograms");
     }
 
     #[test]

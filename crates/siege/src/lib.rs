@@ -214,6 +214,9 @@ impl Sink for PeakSink {
             Gauge::FuelUsed => 0,
             Gauge::HeapUsed => 1,
             Gauge::CallDepth => 2,
+            // Service-level gauges: not a trap-time peak this harness
+            // tracks.
+            Gauge::InFlight | Gauge::InFlightPeak => return,
         };
         self.peaks[i] = self.peaks[i].max(value);
     }

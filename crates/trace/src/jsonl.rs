@@ -121,6 +121,43 @@ pub fn validate(stream: &str) -> Result<Summary, String> {
                 }
                 require_u64(&fields, "value", lineno)?;
             }
+            "attr" => {
+                let phase = require_str(&fields, "phase", lineno)?;
+                require_phase(phase, lineno)?;
+                require_str(&fields, "label", lineno)?;
+                require_u64(&fields, "ns", lineno)?;
+                require_u64(&fields, "units", lineno)?;
+            }
+            "hist" => {
+                let name = require_str(&fields, "name", lineno)?;
+                if !crate::Hist::ALL.iter().any(|h| h.name() == name) {
+                    return Err(format!("line {lineno}: unknown hist \"{name}\""));
+                }
+                let count = require_u64(&fields, "count", lineno)?;
+                let buckets = fields
+                    .iter()
+                    .find(|(k, _)| k == "buckets")
+                    .and_then(|(_, v)| match v {
+                        Value::Arr(xs) => Some(xs),
+                        _ => None,
+                    })
+                    .ok_or_else(|| {
+                        format!("line {lineno}: missing array field \"buckets\"")
+                    })?;
+                if buckets.len() != crate::HIST_BUCKETS {
+                    return Err(format!(
+                        "line {lineno}: hist has {} buckets, expected {}",
+                        buckets.len(),
+                        crate::HIST_BUCKETS
+                    ));
+                }
+                let sum: u64 = buckets.iter().sum();
+                if sum != count {
+                    return Err(format!(
+                        "line {lineno}: hist count {count} != bucket sum {sum}"
+                    ));
+                }
+            }
             "run" => {
                 // Benchmark header written by pe-explain; only legal
                 // between balanced groups of spans.
@@ -140,18 +177,20 @@ pub fn validate(stream: &str) -> Result<Summary, String> {
     Ok(summary)
 }
 
-/// One parsed field value: this schema only ever uses strings and
+/// One parsed field value: this schema only ever uses strings,
+/// unsigned integers, and (for histogram buckets) flat arrays of
 /// unsigned integers.
 #[derive(Debug, PartialEq, Eq)]
 enum Value {
     Str(String),
     Num(u64),
+    Arr(Vec<u64>),
 }
 
 fn field_str<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a str> {
     fields.iter().find(|(k, _)| k == key).and_then(|(_, v)| match v {
         Value::Str(s) => Some(s.as_str()),
-        Value::Num(_) => None,
+        _ => None,
     })
 }
 
@@ -170,7 +209,7 @@ fn require_u64(fields: &[(String, Value)], key: &str, lineno: usize) -> Result<u
         .find(|(k, _)| k == key)
         .and_then(|(_, v)| match v {
             Value::Num(n) => Some(*n),
-            Value::Str(_) => None,
+            _ => None,
         })
         .ok_or_else(|| format!("line {lineno}: missing numeric field \"{key}\""))
 }
@@ -208,16 +247,36 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
         }
         let value = match chars.peek() {
             Some('"') => Value::Str(parse_string(&mut chars)?),
-            Some(c) if c.is_ascii_digit() => {
-                let mut n: u64 = 0;
-                while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+            Some(c) if c.is_ascii_digit() => Value::Num(parse_u64(&mut chars, &key)?),
+            Some('[') => {
+                chars.next();
+                let mut xs = Vec::new();
+                if chars.peek() == Some(&']') {
                     chars.next();
-                    n = n
-                        .checked_mul(10)
-                        .and_then(|n| n.checked_add(u64::from(d)))
-                        .ok_or_else(|| format!("number overflow in field {key:?}"))?;
+                } else {
+                    loop {
+                        match chars.peek() {
+                            Some(c) if c.is_ascii_digit() => {
+                                xs.push(parse_u64(&mut chars, &key)?);
+                            }
+                            _ => {
+                                return Err(format!(
+                                    "expected digit in array for key {key:?}"
+                                ))
+                            }
+                        }
+                        match chars.next() {
+                            Some(',') => {}
+                            Some(']') => break,
+                            _ => {
+                                return Err(format!(
+                                    "expected ',' or ']' in array for key {key:?}"
+                                ))
+                            }
+                        }
+                    }
                 }
-                Value::Num(n)
+                Value::Arr(xs)
             }
             Some(c) => return Err(format!("unsupported value start {c:?} for key {key:?}")),
             None => return Err("unterminated object".to_string()),
@@ -234,6 +293,21 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, String> {
         return Err("trailing characters after object".to_string());
     }
     Ok(fields)
+}
+
+fn parse_u64(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    key: &str,
+) -> Result<u64, String> {
+    let mut n: u64 = 0;
+    while let Some(d) = chars.peek().and_then(|c| c.to_digit(10)) {
+        chars.next();
+        n = n
+            .checked_mul(10)
+            .and_then(|n| n.checked_add(u64::from(d)))
+            .ok_or_else(|| format!("number overflow in field {key:?}"))?;
+    }
+    Ok(n)
 }
 
 fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
@@ -303,6 +377,28 @@ mod tests {
         let bad = "{\"type\":\"span_open\",\"phase\":\"read\",\"depth\":0}\n\
                    {\"type\":\"run\",\"benchmark\":\"tak\"}";
         assert!(validate(bad).is_err());
+    }
+
+    #[test]
+    fn validates_attr_and_hist_lines() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.attr(Phase::Post, "sl-eval-$2", 1234, 55);
+        let mut buckets = [0u64; crate::HIST_BUCKETS];
+        buckets[7] = 2;
+        buckets[9] = 1;
+        s.hist(crate::Hist::ServeColdMissNs, &buckets);
+        let text = String::from_utf8(s.finish().expect("vec")).expect("utf8");
+        validate(&text).expect("attr + hist validate");
+
+        // Unknown phase, unknown hist name, wrong bucket arity, and a
+        // count that disagrees with the bucket sum are all refused.
+        assert!(validate("{\"type\":\"attr\",\"phase\":\"nope\",\"label\":\"x\",\"ns\":1,\"units\":1}").is_err());
+        assert!(validate("{\"type\":\"hist\",\"name\":\"bogus\",\"count\":0,\"buckets\":[]}").is_err());
+        assert!(validate("{\"type\":\"hist\",\"name\":\"serve_hit_ns\",\"count\":0,\"buckets\":[0,0]}").is_err());
+        let mut wrong = String::from("{\"type\":\"hist\",\"name\":\"serve_hit_ns\",\"count\":5,\"buckets\":[");
+        wrong.push_str(&vec!["0"; crate::HIST_BUCKETS].join(","));
+        wrong.push_str("]}");
+        assert!(validate(&wrong).is_err());
     }
 
     #[test]

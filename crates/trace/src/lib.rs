@@ -332,11 +332,21 @@ pub enum Gauge {
     HeapUsed,
     /// High-water call depth reached.
     CallDepth,
+    /// Requests currently being handled by the compile service.
+    InFlight,
+    /// High-water in-flight request count over a service batch.
+    InFlightPeak,
 }
 
 impl Gauge {
     /// All gauges, in report order.
-    pub const ALL: [Gauge; 3] = [Gauge::FuelUsed, Gauge::HeapUsed, Gauge::CallDepth];
+    pub const ALL: [Gauge; 5] = [
+        Gauge::FuelUsed,
+        Gauge::HeapUsed,
+        Gauge::CallDepth,
+        Gauge::InFlight,
+        Gauge::InFlightPeak,
+    ];
 
     /// The stable snake_case name used in JSONL and reports.
     #[must_use]
@@ -345,11 +355,60 @@ impl Gauge {
             Gauge::FuelUsed => "fuel_used",
             Gauge::HeapUsed => "heap_used",
             Gauge::CallDepth => "call_depth",
+            Gauge::InFlight => "in_flight",
+            Gauge::InFlightPeak => "in_flight_peak",
         }
     }
 }
 
 impl fmt::Display for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The number of buckets in every published histogram.  Fixed so that
+/// histograms from different workers, runs, and processes merge by
+/// element-wise addition with no negotiation.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A named latency/value distribution published as a log-bucketed
+/// histogram (see `pe-prof`'s `Histogram` for the bucketing rule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Serve latency for artifact cache hits (ns).
+    ServeHitNs,
+    /// Serve latency for warm-started compile misses (ns).
+    ServeWarmMissNs,
+    /// Serve latency for cold compile misses (ns).
+    ServeColdMissNs,
+    /// Time a request waited in the service queue before a worker
+    /// picked it up (ns).
+    ServeQueueNs,
+}
+
+impl Hist {
+    /// All histogram ids, in report order.
+    pub const ALL: [Hist; 4] = [
+        Hist::ServeHitNs,
+        Hist::ServeWarmMissNs,
+        Hist::ServeColdMissNs,
+        Hist::ServeQueueNs,
+    ];
+
+    /// The stable snake_case name used in JSONL and reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::ServeHitNs => "serve_hit_ns",
+            Hist::ServeWarmMissNs => "serve_warm_miss_ns",
+            Hist::ServeColdMissNs => "serve_cold_miss_ns",
+            Hist::ServeQueueNs => "serve_queue_ns",
+        }
+    }
+}
+
+impl fmt::Display for Hist {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
@@ -388,6 +447,28 @@ pub enum Event {
         /// The snapshotted value.
         value: u64,
     },
+    /// A cost-attribution row: within `phase`, the item named `label`
+    /// (typically a residual procedure) accounted for `ns` of the
+    /// phase's wall time and `units` of its deterministic work measure
+    /// (AST nodes, VM block entries, …).
+    Attr {
+        /// The phase the cost belongs to.
+        phase: Phase,
+        /// What the cost is attributed to.
+        label: String,
+        /// Attributed wall time (ns); 0 when only units are meaningful.
+        ns: u64,
+        /// Deterministic work units (nodes, entries, rewrites, …).
+        units: u64,
+    },
+    /// A published histogram snapshot: [`HIST_BUCKETS`] log-bucket
+    /// counts for the named distribution.
+    Hist {
+        /// Which distribution.
+        hist: Hist,
+        /// Per-bucket sample counts.
+        buckets: Box<[u64; HIST_BUCKETS]>,
+    },
 }
 
 impl Event {
@@ -400,6 +481,12 @@ impl Event {
                 phase: *phase,
                 depth: *depth,
                 dur_ns: 0,
+            },
+            Event::Attr { phase, label, units, .. } => Event::Attr {
+                phase: *phase,
+                label: label.clone(),
+                ns: 0,
+                units: *units,
             },
             other => other.clone(),
         }
@@ -430,6 +517,19 @@ pub trait Sink {
 
     /// Record a point-in-time `gauge` snapshot.
     fn gauge(&mut self, gauge: Gauge, value: u64);
+
+    /// Record a cost-attribution row (see [`Event::Attr`]).  Defaults
+    /// to a no-op so existing sinks keep compiling; recording sinks
+    /// override it.
+    fn attr(&mut self, phase: Phase, label: &str, ns: u64, units: u64) {
+        let _ = (phase, label, ns, units);
+    }
+
+    /// Record a histogram snapshot (see [`Event::Hist`]).  Defaults to
+    /// a no-op, like [`Sink::attr`].
+    fn hist(&mut self, hist: Hist, buckets: &[u64; HIST_BUCKETS]) {
+        let _ = (hist, buckets);
+    }
 }
 
 /// The default sink: discards everything at zero cost.
@@ -453,6 +553,12 @@ impl Sink for NullSink {
 
     #[inline(always)]
     fn gauge(&mut self, _gauge: Gauge, _value: u64) {}
+
+    #[inline(always)]
+    fn attr(&mut self, _phase: Phase, _label: &str, _ns: u64, _units: u64) {}
+
+    #[inline(always)]
+    fn hist(&mut self, _hist: Hist, _buckets: &[u64; HIST_BUCKETS]) {}
 }
 
 /// A sink that records every event in order, for tests and reports.
@@ -515,7 +621,10 @@ impl CollectingSink {
                     }
                     None => return Err(format!("span {phase} closed with no span open")),
                 },
-                Event::Counter { .. } | Event::Gauge { .. } => {}
+                Event::Counter { .. }
+                | Event::Gauge { .. }
+                | Event::Attr { .. }
+                | Event::Hist { .. } => {}
             }
         }
         if let Some(open) = stack.pop() {
@@ -556,6 +665,19 @@ impl CollectingSink {
             })
             .sum()
     }
+
+    /// Summed attributed nanoseconds for `phase` across all
+    /// [`Event::Attr`] rows.
+    #[must_use]
+    pub fn attr_ns(&self, phase: Phase) -> u64 {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Attr { phase: p, ns, .. } if *p == phase => Some(*ns),
+                _ => None,
+            })
+            .sum()
+    }
 }
 
 impl Sink for CollectingSink {
@@ -578,6 +700,14 @@ impl Sink for CollectingSink {
     fn gauge(&mut self, gauge: Gauge, value: u64) {
         self.events.push(Event::Gauge { gauge, value });
     }
+
+    fn attr(&mut self, phase: Phase, label: &str, ns: u64, units: u64) {
+        self.events.push(Event::Attr { phase, label: label.to_string(), ns, units });
+    }
+
+    fn hist(&mut self, hist: Hist, buckets: &[u64; HIST_BUCKETS]) {
+        self.events.push(Event::Hist { hist, buckets: Box::new(*buckets) });
+    }
 }
 
 /// A sink that writes one JSON object per line to any [`Write`].
@@ -589,6 +719,8 @@ impl Sink for CollectingSink {
 /// {"type":"span_close","phase":"specialize","depth":1,"dur_ns":12345}
 /// {"type":"counter","name":"memo_hits","delta":17}
 /// {"type":"gauge","name":"fuel_used","value":500000000}
+/// {"type":"attr","phase":"specialize","label":"sl-eval-$3","ns":41000,"units":212}
+/// {"type":"hist","name":"serve_hit_ns","count":12,"buckets":[0,0,3,...]}
 /// ```
 ///
 /// Write errors are sticky: the first one is kept and later events
@@ -661,6 +793,45 @@ impl<W: Write> Sink for JsonlSink<W> {
             gauge.name()
         ));
     }
+
+    fn attr(&mut self, phase: Phase, label: &str, ns: u64, units: u64) {
+        self.line(&format!(
+            "{{\"type\":\"attr\",\"phase\":\"{}\",\"label\":\"{}\",\"ns\":{ns},\"units\":{units}}}",
+            phase.name(),
+            escape_json(label)
+        ));
+    }
+
+    fn hist(&mut self, hist: Hist, buckets: &[u64; HIST_BUCKETS]) {
+        let count: u64 = buckets.iter().sum();
+        let mut body = String::with_capacity(HIST_BUCKETS * 3);
+        for (i, b) in buckets.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&b.to_string());
+        }
+        self.line(&format!(
+            "{{\"type\":\"hist\",\"name\":\"{}\",\"count\":{count},\"buckets\":[{body}]}}",
+            hist.name()
+        ));
+    }
+}
+
+/// Escapes `"` and `\` for embedding in a JSON string — the only
+/// escapes the flat schema (and its validator) supports.
+fn escape_json(s: &str) -> String {
+    if !s.contains(['"', '\\']) {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        if c == '"' || c == '\\' {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
 }
 
 /// A pass-through sink that also accumulates per-phase durations,
@@ -738,6 +909,14 @@ impl Sink for Aggregator<'_> {
             None => self.gauges.push((gauge, value)),
         }
         self.inner.gauge(gauge, value);
+    }
+
+    fn attr(&mut self, phase: Phase, label: &str, ns: u64, units: u64) {
+        self.inner.attr(phase, label, ns, units);
+    }
+
+    fn hist(&mut self, hist: Hist, buckets: &[u64; HIST_BUCKETS]) {
+        self.inner.hist(hist, buckets);
     }
 }
 
@@ -817,6 +996,18 @@ impl<S: Sink> Sink for SharedSink<S> {
             g.gauge(gauge, value);
         }
     }
+
+    fn attr(&mut self, phase: Phase, label: &str, ns: u64, units: u64) {
+        if let Ok(mut g) = self.0.lock() {
+            g.attr(phase, label, ns, units);
+        }
+    }
+
+    fn hist(&mut self, hist: Hist, buckets: &[u64; HIST_BUCKETS]) {
+        if let Ok(mut g) = self.0.lock() {
+            g.hist(hist, buckets);
+        }
+    }
 }
 
 /// Replays recorded events into another sink, preserving order.  The
@@ -829,6 +1020,10 @@ pub fn replay(sink: &mut dyn Sink, events: &[Event]) {
             Event::SpanClose { phase, dur_ns, .. } => sink.span_close(*phase, *dur_ns),
             Event::Counter { counter, delta } => sink.counter(*counter, *delta),
             Event::Gauge { gauge, value } => sink.gauge(*gauge, *value),
+            Event::Attr { phase, label, ns, units } => {
+                sink.attr(*phase, label, *ns, *units);
+            }
+            Event::Hist { hist, buckets } => sink.hist(*hist, buckets),
         }
     }
 }
@@ -1038,5 +1233,41 @@ mod tests {
         for g in Gauge::ALL {
             assert!(seen.insert(g.name()), "duplicate gauge name {}", g.name());
         }
+        for h in Hist::ALL {
+            assert!(seen.insert(h.name()), "duplicate hist name {}", h.name());
+        }
+    }
+
+    #[test]
+    fn attr_and_hist_round_trip_through_sinks() {
+        let mut s = CollectingSink::new();
+        s.attr(Phase::Specialize, "sl-eval-$3", 41_000, 212);
+        let mut buckets = [0u64; HIST_BUCKETS];
+        buckets[2] = 3;
+        buckets[10] = 9;
+        s.hist(Hist::ServeHitNs, &buckets);
+        assert_eq!(s.attr_ns(Phase::Specialize), 41_000);
+        assert_eq!(
+            s.events()[0],
+            Event::Attr {
+                phase: Phase::Specialize,
+                label: "sl-eval-$3".to_string(),
+                ns: 41_000,
+                units: 212
+            }
+        );
+        // Redaction keeps labels and units, zeroes wall time.
+        match s.events()[0].redacted() {
+            Event::Attr { ns: 0, units: 212, .. } => {}
+            ref e => panic!("unexpected redaction {e:?}"),
+        }
+        // Replay into a JSONL sink produces schema-valid lines.
+        let mut j = JsonlSink::new(Vec::new());
+        replay(&mut j, s.events());
+        let text = String::from_utf8(j.finish().expect("vec")).expect("utf8");
+        assert!(text.contains("\"type\":\"attr\""), "{text}");
+        assert!(text.contains("\"type\":\"hist\""), "{text}");
+        assert!(text.contains("\"count\":12"), "{text}");
+        jsonl::validate(&text).expect("attr/hist lines validate");
     }
 }

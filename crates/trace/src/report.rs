@@ -93,6 +93,42 @@ fn render_into(out: &mut String, events: &[Event]) {
             }
         }
     }
+
+    // Attribution rows, grouped by phase in Phase::ALL order, top 5
+    // per phase by attributed time (then units, then label).
+    let mut attrs: Vec<(Phase, &str, u64, u64)> = Vec::new();
+    for ev in events {
+        if let Event::Attr { phase, label, ns, units } = ev {
+            attrs.push((*phase, label.as_str(), *ns, *units));
+        }
+    }
+    if !attrs.is_empty() {
+        out.push_str("attribution (top 5 per phase)\n");
+        for p in Phase::ALL {
+            let mut rows: Vec<_> =
+                attrs.iter().filter(|(ph, ..)| *ph == p).collect();
+            if rows.is_empty() {
+                continue;
+            }
+            rows.sort_by(|a, b| {
+                b.2.cmp(&a.2).then(b.3.cmp(&a.3)).then(a.1.cmp(b.1))
+            });
+            for (_, label, ns, units) in rows.into_iter().take(5) {
+                out.push_str(&format!(
+                    "  {:<12} {label:<28} {:>9.3}ms {units:>8} units\n",
+                    p.name(),
+                    *ns as f64 / 1e6
+                ));
+            }
+        }
+    }
+
+    for ev in events {
+        if let Event::Hist { hist, buckets } = ev {
+            let count: u64 = buckets.iter().sum();
+            out.push_str(&format!("hist {:<22} count {count}\n", hist.name()));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -60,14 +60,44 @@ use pe_unmix::Division;
 /// Runs every S₀ pass (well-formed, closure-shape, preservation, lints,
 /// flow) over `p` and collects the findings.
 pub fn verify(p: &S0Program) -> Report {
-    let mut diagnostics = wellformed::check(p);
+    verify_with(p, &mut pe_trace::NullSink)
+}
+
+/// [`verify`] with per-residual-procedure cost attribution: each pass
+/// is timed, and the summed wall time is spread over the program's
+/// procedures by node share (the passes are whole-program analyses)
+/// and emitted as `Event::Attr` rows under `Phase::Verify`.  With a
+/// disabled sink this is exactly [`verify`] — no clock reads.
+pub fn verify_with(p: &S0Program, sink: &mut dyn pe_trace::Sink) -> Report {
+    let profiled = sink.enabled();
+    let mut total_ns = 0u64;
+    let mut timed = |check: &dyn Fn(&S0Program) -> Vec<Diagnostic>| {
+        let t0 = profiled.then(std::time::Instant::now);
+        let diags = check(p);
+        if let Some(t0) = t0 {
+            total_ns = total_ns
+                .saturating_add(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        diags
+    };
+    let mut diagnostics = timed(&wellformed::check);
     // The deeper passes assume basic well-formedness (e.g. bound
     // variables); run them anyway — they are robust — but order the
     // report by pass.
-    diagnostics.extend(closure::check(p));
-    diagnostics.extend(preservation::check(p));
-    diagnostics.extend(lints::check(p));
-    diagnostics.extend(flow::check(p));
+    diagnostics.extend(timed(&closure::check));
+    diagnostics.extend(timed(&preservation::check));
+    diagnostics.extend(timed(&lints::check));
+    diagnostics.extend(timed(&flow::check));
+    if profiled {
+        let weights: Vec<u64> =
+            p.procs.iter().map(|q| q.size() as u64).collect();
+        let parts = pe_prof::distribute_ns(total_ns, &weights);
+        for (proc, (ns, units)) in
+            p.procs.iter().zip(parts.into_iter().zip(weights))
+        {
+            sink.attr(pe_trace::Phase::Verify, &proc.name, ns, units);
+        }
+    }
     Report::new(diagnostics)
 }
 

@@ -207,7 +207,7 @@ impl Vm {
         let t = pe_trace::begin(sink, pe_trace::Phase::VmRun);
         let mut stats = VmStats::default();
         let mut fuel = Fuel::new(&limits);
-        let result = self.exec(args, &mut stats, &mut fuel);
+        let result = self.exec(args, &mut stats, &mut fuel, &mut NoProfile);
         if sink.enabled() {
             use pe_trace::Counter;
             sink.counter(Counter::VmSteps, stats.steps);
@@ -222,11 +222,59 @@ impl Vm {
         result.map(|v| (v, stats))
     }
 
-    fn exec(
+    /// [`Vm::run_with`] with the hot-label profiler switched on: the
+    /// run additionally counts block entries and dispatch-arm takes
+    /// per label and emits per-label `Event::Attr` rows under
+    /// `vm-run`, with the run's measured execution time spread across
+    /// labels by entry share.  The normal [`Vm::run_with`] path is
+    /// monomorphized over a no-op profiler, so it pays nothing for
+    /// this — profiling is opt-in per run, not a VM mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`Vm::run`].
+    pub fn run_profiled_with(
+        &self,
+        args: &[Datum],
+        limits: Limits,
+        sink: &mut dyn pe_trace::Sink,
+    ) -> Result<(Datum, VmStats, VmProfile), InterpError> {
+        let t = pe_trace::begin(sink, pe_trace::Phase::VmRun);
+        let mut stats = VmStats::default();
+        let mut fuel = Fuel::new(&limits);
+        let mut profile = VmProfile::sized(self.blocks.len());
+        let t0 = std::time::Instant::now();
+        let result = self.exec(args, &mut stats, &mut fuel, &mut profile);
+        let exec_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if sink.enabled() {
+            use pe_trace::Counter;
+            sink.counter(Counter::VmSteps, stats.steps);
+            sink.counter(Counter::VmAllocs, stats.allocs);
+            sink.counter(Counter::VmCalls, stats.calls);
+            if result.is_err() {
+                let snap = fuel.snapshot();
+                pe_trace::trap_gauges(sink, snap.steps, snap.cells, snap.peak_depth as u64);
+            }
+            let parts = pe_prof::distribute_ns(exec_ns, &profile.entries);
+            for (pc, (&entries, ns)) in
+                profile.entries.iter().zip(parts).enumerate()
+            {
+                if entries > 0 {
+                    let name = self.block_name(pc).unwrap_or("<unknown>");
+                    sink.attr(pe_trace::Phase::VmRun, name, ns, entries);
+                }
+            }
+        }
+        pe_trace::end(sink, t);
+        result.map(|v| (v, stats, profile))
+    }
+
+    fn exec<P: Profiler>(
         &self,
         args: &[Datum],
         stats: &mut VmStats,
         fuel: &mut Fuel,
+        prof: &mut P,
     ) -> Result<Datum, InterpError> {
         let mut pc = self.entry;
         let entry = self.blocks.get(pc).ok_or_else(|| {
@@ -246,6 +294,7 @@ impl Vm {
         // The "global parameter variables" of the C translation.
         let mut frame: Vec<V> = args.iter().map(Datum::embed).collect();
         let mut body = &entry.body;
+        prof.enter(pc);
         // The machine is a flat goto loop: fuel and the heap budget
         // apply; `max_call_depth` does not (the host stack never grows).
         loop {
@@ -257,11 +306,9 @@ impl Vm {
                     return v.to_datum().ok_or(InterpError::ResultNotFirstOrder);
                 }
                 RTail::If(c, t, e) => {
-                    body = if eval(c, &frame, &pool, pc, stats, fuel)?.is_truthy() {
-                        t
-                    } else {
-                        e
-                    };
+                    let taken = eval(c, &frame, &pool, pc, stats, fuel)?.is_truthy();
+                    prof.branch(pc, taken);
+                    body = if taken { t } else { e };
                 }
                 RTail::Goto(target, args) => {
                     stats.calls += 1;
@@ -281,8 +328,86 @@ impl Vm {
                     frame = next;
                     body = &block.body;
                     pc = *target;
+                    prof.enter(pc);
                 }
                 RTail::Fail(m) => return Err(InterpError::NotAProcedure(m.clone())),
+            }
+        }
+    }
+}
+
+/// The execution loop's profiling hook.  [`NoProfile`] monomorphizes
+/// to nothing (the default path); [`VmProfile`] counts label entries
+/// and dispatch arms for the hot-path ranking a native tier needs.
+trait Profiler {
+    fn enter(&mut self, pc: usize);
+    fn branch(&mut self, pc: usize, taken: bool);
+}
+
+/// The zero-cost profiler: every hook is an empty inline body.
+struct NoProfile;
+
+impl Profiler for NoProfile {
+    #[inline(always)]
+    fn enter(&mut self, _pc: usize) {}
+
+    #[inline(always)]
+    fn branch(&mut self, _pc: usize, _taken: bool) {}
+}
+
+/// Per-label execution counts from one profiled run
+/// ([`Vm::run_profiled_with`]).  Indexes parallel the VM's block
+/// table; translate with [`Vm::block_name`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VmProfile {
+    /// Times each block was entered (the entry block counts its
+    /// initial activation).
+    pub entries: Vec<u64>,
+    /// Conditional dispatches per block: `(true-arm, false-arm)`
+    /// takes, summed over every `if` the block executed.
+    pub branches: Vec<(u64, u64)>,
+}
+
+impl VmProfile {
+    fn sized(blocks: usize) -> VmProfile {
+        VmProfile { entries: vec![0; blocks], branches: vec![(0, 0); blocks] }
+    }
+
+    /// Block indices ranked by entry count (descending, index as the
+    /// deterministic tiebreak), hottest first, zero-entry blocks
+    /// omitted.
+    #[must_use]
+    pub fn hottest(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> =
+            (0..self.entries.len()).filter(|&i| self.entries[i] > 0).collect();
+        idx.sort_by(|&a, &b| {
+            self.entries[b].cmp(&self.entries[a]).then(a.cmp(&b))
+        });
+        idx
+    }
+
+    /// Total block entries across the run.
+    #[must_use]
+    pub fn total_entries(&self) -> u64 {
+        self.entries.iter().sum()
+    }
+}
+
+impl Profiler for VmProfile {
+    #[inline]
+    fn enter(&mut self, pc: usize) {
+        if let Some(n) = self.entries.get_mut(pc) {
+            *n += 1;
+        }
+    }
+
+    #[inline]
+    fn branch(&mut self, pc: usize, taken: bool) {
+        if let Some((t, f)) = self.branches.get_mut(pc) {
+            if taken {
+                *t += 1;
+            } else {
+                *f += 1;
             }
         }
     }
@@ -555,6 +680,38 @@ mod tests {
             vm.run(&[Datum::parse("(a b)")?, Datum::parse("(c)")?], Limits::default())?;
         assert_eq!(r.to_string(), "(a b c)");
         assert!(stats.allocs >= 3, "conses + continuation closures: {stats:?}");
+        Ok(())
+    }
+
+    #[test]
+    fn profiled_run_matches_plain_run_and_counts_deterministically() -> R {
+        let src = "(define (count n) (if (zero? n) 0 (count (- n 1))))";
+        let vm = compile_to_vm(src, "count")?;
+        let (plain, pstats) = vm.run(&[Datum::Int(25)], Limits::default())?;
+        let mut sink = pe_trace::CollectingSink::new();
+        let (profiled, stats, profile) =
+            vm.run_profiled_with(&[Datum::Int(25)], Limits::default(), &mut sink)?;
+        assert_eq!(plain, profiled);
+        assert_eq!(pstats, stats, "profiling must not perturb the machine");
+        // The loop block was entered once per count, and the branch
+        // split 25 continues / 1 exit (arm polarity aside).
+        assert!(profile.total_entries() >= 26, "{profile:?}");
+        let hot = profile.hottest();
+        assert!(!hot.is_empty());
+        assert_eq!(profile.entries[hot[0]], *profile.entries.iter().max().unwrap());
+        let branches: u64 = profile
+            .branches
+            .iter()
+            .map(|&(t, f)| t + f)
+            .sum();
+        assert_eq!(branches, 26, "{profile:?}");
+        // Per-label attribution rows landed under vm-run and sum to
+        // the phase span.
+        assert!(sink.attr_ns(pe_trace::Phase::VmRun) <= sink.phase_ns(pe_trace::Phase::VmRun));
+        let (again, _, profile2) =
+            vm.run_profiled_with(&[Datum::Int(25)], Limits::default(), &mut pe_trace::NullSink)?;
+        assert_eq!(again, plain);
+        assert_eq!(profile, profile2, "profiles are deterministic");
         Ok(())
     }
 
